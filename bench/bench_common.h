@@ -1,0 +1,60 @@
+#ifndef PRIMA_BENCH_BENCH_COMMON_H_
+#define PRIMA_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/prima.h"
+#include "workloads/brep.h"
+#include "workloads/geo.h"
+#include "workloads/vlsi.h"
+
+namespace prima::bench {
+
+/// Abort the bench with a readable message when setup fails.
+inline void Require(const util::Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                 st.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T RequireR(util::Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+/// Fresh in-memory database.
+inline std::unique_ptr<core::Prima> OpenDb(size_t buffer_bytes = 16u << 20) {
+  core::PrimaOptions options;
+  options.storage.buffer_bytes = buffer_bytes;
+  return RequireR(core::Prima::Open(options), "open");
+}
+
+/// Fresh database preloaded with `n` BREP tetrahedra (solid/brep no from
+/// `base`).
+inline std::unique_ptr<core::Prima> OpenBrepDb(int n, int64_t base = 1000,
+                                               size_t buffer_bytes = 16u
+                                                                     << 20) {
+  auto db = OpenDb(buffer_bytes);
+  workloads::BrepWorkload brep(db.get());
+  Require(brep.CreateSchema(), "brep schema");
+  RequireR(brep.BuildMany(base, n), "brep data");
+  return db;
+}
+
+inline void PrintHeader(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+}  // namespace prima::bench
+
+#endif  // PRIMA_BENCH_BENCH_COMMON_H_

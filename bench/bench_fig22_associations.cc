@@ -1,0 +1,176 @@
+// Experiment E2 (paper Fig. 2.2): the three binary association types —
+// 1:1, 1:n, n:m — expressed with REFERENCE + SET_OF(REFERENCE) attributes.
+//
+// Claim: all relationship types reduce to the same symmetric mechanism;
+// every connect/disconnect implies exactly one implicit back-reference
+// update, independent of the relationship's cardinality class.
+
+#include "bench_common.h"
+
+namespace prima::bench {
+namespace {
+
+using access::AttrValue;
+using access::Tid;
+using access::Value;
+
+/// Three pairs of atom types, one per relationship type of Fig. 2.2.
+void CreateSchema(core::Prima* db) {
+  // 1:1 — scalar REF on both sides.
+  Require(db->Execute("CREATE ATOM_TYPE ai ( ai_id : IDENTIFIER,"
+                      "  num : INTEGER, bj : REF_TO (bi.ai) )")
+              .status(),
+          "ai");
+  Require(db->Execute("CREATE ATOM_TYPE bi ( bi_id : IDENTIFIER,"
+                      "  num : INTEGER, ai : REF_TO (ai.bj) )")
+              .status(),
+          "bi");
+  // 1:n — SET on the one side, scalar REF on the many side (the DDL the
+  // paper prints under Fig. 2.2).
+  Require(db->Execute("CREATE ATOM_TYPE an ( an_id : IDENTIFIER,"
+                      "  num : INTEGER, bjs : SET_OF (REF_TO (bn.ai)) )")
+              .status(),
+          "an");
+  Require(db->Execute("CREATE ATOM_TYPE bn ( bn_id : IDENTIFIER,"
+                      "  num : INTEGER, ai : REF_TO (an.bjs) )")
+              .status(),
+          "bn");
+  // n:m — SETs on both sides.
+  Require(db->Execute("CREATE ATOM_TYPE am ( am_id : IDENTIFIER,"
+                      "  num : INTEGER, bjs : SET_OF (REF_TO (bm.ais)) )")
+              .status(),
+          "am");
+  Require(db->Execute("CREATE ATOM_TYPE bm ( bm_id : IDENTIFIER,"
+                      "  num : INTEGER, ais : SET_OF (REF_TO (am.bjs)) )")
+              .status(),
+          "bm");
+}
+
+struct Pairs {
+  std::vector<Tid> a;
+  std::vector<Tid> b;
+  uint16_t a_attr;  // association attr on the A side
+};
+
+Pairs Populate(core::Prima* db, const char* a_type, const char* b_type,
+               int n) {
+  Pairs out;
+  access::AccessSystem& access = db->access();
+  const auto* a = access.catalog().FindAtomType(a_type);
+  const auto* b = access.catalog().FindAtomType(b_type);
+  out.a_attr = 2;
+  for (int i = 0; i < n; ++i) {
+    out.a.push_back(RequireR(
+        access.InsertAtom(a->id, {AttrValue{1, Value::Int(i)}}), "a"));
+    out.b.push_back(RequireR(
+        access.InsertAtom(b->id, {AttrValue{1, Value::Int(i)}}), "b"));
+  }
+  return out;
+}
+
+constexpr int kPairs = 256;
+
+void Report() {
+  PrintHeader(
+      "E2 / Fig. 2.2 — relationship types as symmetric association types",
+      "Claim: 1:1, 1:n, n:m all map onto REFERENCE/SET_OF(REFERENCE) pairs; "
+      "the system maintains exactly one back-reference per connect, and the "
+      "reverse direction is usable 'in exactly the same way'.");
+
+  auto db = OpenDb();
+  CreateSchema(db.get());
+  access::AccessSystem& access = db->access();
+
+  struct Row {
+    const char* kind;
+    const char* a_type;
+    const char* b_type;
+  };
+  const Row rows[] = {{"1:1", "ai", "bi"}, {"1:n", "an", "bn"},
+                      {"n:m", "am", "bm"}};
+  std::printf("%-6s %14s %18s %16s\n", "type", "connects",
+              "backref updates", "updates/connect");
+  for (const Row& row : rows) {
+    Pairs pairs = Populate(db.get(), row.a_type, row.b_type, kPairs);
+    const uint64_t before = access.stats().backref_maintenance.load();
+    for (int i = 0; i < kPairs; ++i) {
+      Require(access.Connect(pairs.a[i], pairs.a_attr, pairs.b[i]), "connect");
+    }
+    const uint64_t updates = access.stats().backref_maintenance.load() - before;
+    std::printf("%-6s %14d %18llu %16.2f\n", row.kind, kPairs,
+                (unsigned long long)updates, double(updates) / kPairs);
+    // Symmetry spot check: the back reference answers without the forward.
+    auto back = access.GetAtom(pairs.b[0]);
+    Require(back.status(), "read back");
+    const Value& v = back->attrs[2];
+    const bool linked = v.kind() == Value::Kind::kTid
+                            ? v.AsTid() == pairs.a[0]
+                            : v.Contains(Value::Ref(pairs.a[0]));
+    std::printf("       back-reference resolves: %s\n", linked ? "yes" : "NO");
+  }
+  std::printf("\n1:1 over-connection is rejected by the system:\n");
+  Pairs pairs = Populate(db.get(), "ai", "bi", 2);
+  Require(access.Connect(pairs.a[0], 2, pairs.b[0]), "first");
+  const auto st = access.Connect(pairs.a[1], 2, pairs.b[0]);
+  std::printf("  second owner for the same 1:1 partner -> %s\n",
+              st.ToString().c_str());
+}
+
+template <const char* kAType, const char* kBType>
+void BM_Connect(benchmark::State& state) {
+  auto db = OpenDb();
+  CreateSchema(db.get());
+  Pairs pairs = Populate(db.get(), kAType, kBType, kPairs);
+  int i = 0;
+  for (auto _ : state) {
+    const int k = i++ % kPairs;
+    Require(db->access().Connect(pairs.a[k], 2, pairs.b[k]), "connect");
+    Require(db->access().Disconnect(pairs.a[k], 2, pairs.b[k]), "disconnect");
+  }
+  state.counters["backrefs"] = benchmark::Counter(
+      static_cast<double>(db->access().stats().backref_maintenance.load()),
+      benchmark::Counter::kAvgIterations);
+}
+
+char kAi[] = "ai";
+char kBi[] = "bi";
+char kAn[] = "an";
+char kBn[] = "bn";
+char kAm[] = "am";
+char kBm[] = "bm";
+BENCHMARK(BM_Connect<kAi, kBi>)->Name("BM_ConnectDisconnect_1to1");
+BENCHMARK(BM_Connect<kAn, kBn>)->Name("BM_ConnectDisconnect_1toN");
+BENCHMARK(BM_Connect<kAm, kBm>)->Name("BM_ConnectDisconnect_NtoM");
+
+void BM_NtoMFanout(benchmark::State& state) {
+  // Cost of connecting one A to `fanout` B atoms (set growth).
+  const int fanout = static_cast<int>(state.range(0));
+  auto db = OpenDb();
+  CreateSchema(db.get());
+  Pairs pairs = Populate(db.get(), "am", "bm", fanout + 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fresh = db->access().InsertAtom(
+        db->access().catalog().FindAtomType("am")->id,
+        {AttrValue{1, Value::Int(999)}});
+    state.ResumeTiming();
+    for (int i = 0; i < fanout; ++i) {
+      Require(db->access().Connect(*fresh, 2, pairs.b[i]), "connect");
+    }
+    state.PauseTiming();
+    Require(db->access().DeleteAtom(*fresh), "cleanup");
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_NtoMFanout)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace prima::bench
+
+int main(int argc, char** argv) {
+  prima::bench::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Experiment E3 (paper Fig. 2.3): the solid representation expressed in the
+// MAD-DDL — schema compilation, reference resolution, and catalog
+// persistence round-trips.
+//
+// Claim: the extended type concept (IDENTIFIER, typed REF_TO with enforced
+// inverses, RECORD, SET_OF with cardinalities) compiles directly from the
+// paper's DDL text, and the catalog representation survives persistence.
+
+#include "bench_common.h"
+#include "mql/parser.h"
+
+namespace prima::bench {
+namespace {
+
+void Report() {
+  PrintHeader("E3 / Fig. 2.3 — MAD-DDL schema compilation",
+              "Claim: the published BREP DDL compiles verbatim; every "
+              "association resolves to a mutually inverse pair.");
+
+  auto db = OpenDb();
+  workloads::BrepWorkload brep(db.get());
+  Require(brep.CreateSchema(), "schema");
+
+  const access::Catalog& catalog = db->access().catalog();
+  std::printf("%-10s %8s %8s %12s\n", "atom type", "attrs", "assocs", "keyed");
+  size_t associations = 0;
+  for (const auto* type : catalog.ListAtomTypes()) {
+    size_t assocs = 0;
+    for (const auto& a : type->attrs) {
+      if (a.type.IsAssociation()) ++assocs;
+    }
+    associations += assocs;
+    std::printf("%-10s %8zu %8zu %12s\n", type->name.c_str(),
+                type->attrs.size(), assocs,
+                type->key_attrs.empty() ? "-" : "yes");
+  }
+  std::printf("\nassociation attrs total: %zu (every one resolved to its "
+              "inverse)\n",
+              associations);
+  std::printf("molecule types defined: %zu (edge_obj, face_obj, brep_obj, "
+              "piece_list)\n",
+              catalog.ListMoleculeTypes().size());
+
+  const std::string blob = catalog.Encode();
+  std::printf("catalog blob: %zu bytes; decode round-trip: ", blob.size());
+  access::Catalog copy;
+  std::printf("%s\n", copy.DecodeFrom(blob).ok() ? "ok" : "FAILED");
+}
+
+void BM_ParseSolidDdl(benchmark::State& state) {
+  const std::string ddl =
+      "CREATE ATOM_TYPE solid"
+      " ( solid_id : IDENTIFIER,"
+      "   solid_no : INTEGER,"
+      "   description : CHAR_VAR,"
+      "   sub : SET_OF (REF_TO (solid.super)),"
+      "   super : SET_OF (REF_TO (solid.sub)),"
+      "   brep : REF_TO (brep.solid) )"
+      " KEYS_ARE (solid_no)";
+  for (auto _ : state) {
+    auto stmt = mql::ParseStatement(ddl);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseSolidDdl);
+
+void BM_CompileFullBrepSchema(benchmark::State& state) {
+  for (auto _ : state) {
+    auto db = OpenDb(4u << 20);
+    workloads::BrepWorkload brep(db.get());
+    Require(brep.CreateSchema(), "schema");
+    benchmark::DoNotOptimize(db);
+  }
+}
+BENCHMARK(BM_CompileFullBrepSchema);
+
+void BM_CatalogEncodeDecode(benchmark::State& state) {
+  auto db = OpenDb();
+  workloads::BrepWorkload brep(db.get());
+  Require(brep.CreateSchema(), "schema");
+  for (auto _ : state) {
+    const std::string blob = db->access().catalog().Encode();
+    access::Catalog copy;
+    Require(copy.DecodeFrom(blob), "decode");
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_CatalogEncodeDecode);
+
+void BM_ReopenDatabaseWithSchema(benchmark::State& state) {
+  // Includes catalog + address table persistence (memory device shared via
+  // the storage system of a single Prima instance is not reopenable, so we
+  // measure the Flush + fresh AccessSystem::Open path).
+  auto db = OpenBrepDb(16);
+  Require(db->Flush(), "flush");
+  for (auto _ : state) {
+    access::AccessSystem fresh(&db->storage(), access::AccessOptions{});
+    Require(fresh.Open(), "open");
+    benchmark::DoNotOptimize(fresh.catalog().ListAtomTypes());
+  }
+}
+BENCHMARK(BM_ReopenDatabaseWithSchema);
+
+}  // namespace
+}  // namespace prima::bench
+
+int main(int argc, char** argv) {
+  prima::bench::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Experiment E8 (paper Fig. 3.1): the multi-layer implementation model.
+//
+// Claim: one molecule-set operation at the data system decomposes into many
+// atom operations at the access system, which decompose into many page
+// operations at the storage system, which decompose into block transfers on
+// the device — the classic mapping pyramid. We regenerate that pyramid from
+// the per-layer counters for a representative query mix.
+
+#include "bench_common.h"
+
+namespace prima::bench {
+namespace {
+
+constexpr int kSolids = 48;
+
+void Report() {
+  PrintHeader("E8 / Fig. 3.1 — the implementation model's mapping hierarchy",
+              "Claim: molecule ops fan out into atom ops, page ops, and "
+              "block transfers layer by layer.");
+
+  // Small buffer so the device layer actually sees traffic; cold start.
+  auto db = OpenBrepDb(kSolids, 1700, /*buffer_bytes=*/256u << 10);
+  Require(db->Flush(), "flush");
+  for (storage::SegmentId seg : db->storage().ListSegments()) {
+    Require(db->storage().buffer().Discard(seg), "discard");
+  }
+
+  db->data().stats().Reset();
+  db->access().stats().Reset();
+  db->storage().buffer().stats().Reset();
+  db->storage().device().stats().Reset();
+
+  // A molecule-set operation: derive all brep molecules (vertical access).
+  auto set = RequireR(db->Query("SELECT ALL FROM brep-face-edge-point"),
+                      "query");
+
+  const auto& ds = db->data().stats();
+  const auto& as = db->access().stats();
+  const auto& bs = db->storage().buffer().stats();
+  const auto& dev = db->storage().device().stats();
+
+  size_t atoms = 0;
+  for (const auto& m : set.molecules) atoms += m.AtomCount();
+
+  std::printf("%-18s %-34s %12s\n", "layer", "interface objects", "operations");
+  std::printf("%-18s %-34s %12llu\n", "data system",
+              "molecule sets / molecules",
+              (unsigned long long)ds.molecules_built.load());
+  std::printf("%-18s %-34s %12llu\n", "access system", "atoms",
+              (unsigned long long)as.atoms_read.load());
+  std::printf("%-18s %-34s %12llu\n", "storage system", "pages (buffer fixes)",
+              (unsigned long long)(bs.hits.load() + bs.misses.load()));
+  std::printf("%-18s %-34s %12llu\n", "file manager", "blocks",
+              (unsigned long long)(dev.blocks_read.load() +
+                                   dev.blocks_written.load()));
+  std::printf("\nresult: %zu molecules / %zu atoms; buffer hit ratio %.1f%%\n",
+              set.size(), atoms, 100.0 * bs.HitRatio());
+  std::printf("fan-out per molecule: %.1f atom ops, %.1f page ops\n",
+              double(as.atoms_read.load()) / set.size(),
+              double(bs.hits.load() + bs.misses.load()) / set.size());
+}
+
+// Per-layer micro-costs for the same logical object.
+
+void BM_Layer1_DeviceBlockRead(benchmark::State& state) {
+  auto device = std::make_unique<storage::MemoryBlockDevice>();
+  Require(device->Create(1, 4096), "create");
+  std::string block(4096, 'b');
+  Require(device->Write(1, 0, block.data()), "write");
+  for (auto _ : state) {
+    Require(device->Read(1, 0, block.data()), "read");
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_Layer1_DeviceBlockRead);
+
+void BM_Layer2_BufferFixResident(benchmark::State& state) {
+  auto db = OpenBrepDb(4);
+  const auto* brep = db->access().catalog().FindAtomType("brep");
+  const auto seg = brep->base_segment;
+  for (auto _ : state) {
+    auto guard = db->storage().FixPage(seg, 1, storage::LatchMode::kShared);
+    Require(guard.status(), "fix");
+    benchmark::DoNotOptimize(guard->data());
+  }
+}
+BENCHMARK(BM_Layer2_BufferFixResident);
+
+void BM_Layer3_AtomRead(benchmark::State& state) {
+  auto db = OpenBrepDb(4);
+  const auto* brep = db->access().catalog().FindAtomType("brep");
+  auto atoms = db->access().AllAtoms(brep->id);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto atom = db->access().GetAtom(atoms[i++ % atoms.size()]);
+    Require(atom.status(), "get");
+    benchmark::DoNotOptimize(*atom);
+  }
+}
+BENCHMARK(BM_Layer3_AtomRead);
+
+void BM_Layer4_MoleculeDerivation(benchmark::State& state) {
+  auto db = OpenBrepDb(16, 1700);
+  int64_t no = 1700;
+  for (auto _ : state) {
+    auto set = RequireR(
+        db->Query("SELECT ALL FROM brep-face-edge-point WHERE brep_no = " +
+                  std::to_string(1700 + (no++ % 16))),
+        "query");
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_Layer4_MoleculeDerivation);
+
+void BM_Layer5_MoleculeSetDerivation(benchmark::State& state) {
+  auto db = OpenBrepDb(16, 1700);
+  for (auto _ : state) {
+    auto set = RequireR(db->Query("SELECT ALL FROM brep-face-edge-point"),
+                        "query");
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["molecules"] = 16;
+}
+BENCHMARK(BM_Layer5_MoleculeSetDerivation);
+
+}  // namespace
+}  // namespace prima::bench
+
+int main(int argc, char** argv) {
+  prima::bench::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

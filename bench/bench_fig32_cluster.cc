@@ -1,0 +1,176 @@
+// Experiment E9 (paper Fig. 3.2): atom clusters — the molecule materialized
+// as one physical record on a page sequence.
+//
+// Claim: "in order to speed up construction of frequently used molecules"
+// the cluster allocates all atoms of the molecule's main lanes in physical
+// contiguity; a page sequence transfers with one chained I/O. Without the
+// cluster, assembly chases associations atom by atom (one random page
+// access each on a cold buffer).
+
+#include "bench_common.h"
+
+namespace prima::bench {
+namespace {
+
+constexpr int kSolids = 64;
+const char* kQuery = "SELECT ALL FROM brep-face-edge-point WHERE brep_no = ";
+
+std::unique_ptr<core::Prima> MakeDb(bool with_cluster, size_t buffer_bytes) {
+  // Small base pages model the paper's setting: molecule atoms scatter over
+  // many pages, so association chasing pays one page access per hop.
+  core::PrimaOptions options;
+  options.storage.buffer_bytes = buffer_bytes;
+  options.access.base_page_size = storage::PageSize::k512;
+  auto db = RequireR(core::Prima::Open(options), "open");
+  workloads::BrepWorkload brep(db.get());
+  Require(brep.CreateSchema(), "schema");
+  RequireR(brep.BuildMany(1700, kSolids), "data");
+  if (with_cluster) {
+    RequireR(db->ExecuteLdl(
+                 "CREATE ATOM CLUSTER brep_cl ON brep (faces, edges, points)"),
+             "cluster");
+  }
+  Require(db->Flush(), "flush");
+  return db;
+}
+
+/// Device operations for one cold molecule construction.
+uint64_t ColdOps(core::Prima* db, int64_t brep_no) {
+  // Empty the buffer: discard every segment's pages.
+  for (storage::SegmentId seg : db->storage().ListSegments()) {
+    Require(db->storage().buffer().Discard(seg), "discard");
+  }
+  db->storage().device().stats().Reset();
+  auto set = RequireR(db->Query(kQuery + std::to_string(brep_no)), "query");
+  if (set.size() != 1 || set.molecules[0].AtomCount() != 15) {
+    std::fprintf(stderr, "unexpected molecule shape\n");
+    std::abort();
+  }
+  return db->storage().device().stats().TotalOps();
+}
+
+void Report() {
+  PrintHeader("E9 / Fig. 3.2 — atom cluster: molecule as one page sequence",
+              "Claim: with the cluster the whole molecule arrives with one "
+              "chained I/O (plus the lookup); without it, every atom costs "
+              "a random page access on a cold buffer.");
+
+  auto plain = MakeDb(false, 4u << 20);
+  auto clustered = MakeDb(true, 4u << 20);
+
+  // Average cold-construction device cost over several molecules.
+  uint64_t plain_ops = 0, cluster_ops = 0;
+  const int kTrials = 8;
+  for (int i = 0; i < kTrials; ++i) {
+    plain_ops += ColdOps(plain.get(), 1700 + i);
+    cluster_ops += ColdOps(clustered.get(), 1700 + i);
+  }
+  std::printf("%-30s %18s %18s\n", "construction path", "device ops/molecule",
+              "chained reads");
+  std::printf("%-30s %18.1f %18s\n", "association chasing (no cluster)",
+              double(plain_ops) / kTrials, "0");
+  std::printf("%-30s %18.1f %18s\n", "atom cluster (page sequence)",
+              double(cluster_ops) / kTrials, "1 per molecule");
+  std::printf("\nI/O reduction factor: %.1fx (paper: 'speed up construction "
+              "of frequently used molecules')\n",
+              double(plain_ops) / double(cluster_ops == 0 ? 1 : cluster_ops));
+
+  // The logical view (Fig. 3.2a): the characteristic atom references all
+  // member atoms grouped by type.
+  auto image = RequireR(
+      clustered->access().ReadCluster(
+          clustered->access().catalog().FindStructure("brep_cl")->id,
+          clustered->access().AllAtoms(
+              clustered->access().catalog().FindAtomType("brep")->id)[0]),
+      "cluster image");
+  std::printf("\ncluster image of one brep molecule (Fig. 3.2a):\n");
+  std::printf("  characteristic atom: brep%s\n",
+              image.characteristic.tid.ToString().c_str());
+  for (const auto& [type, atoms] : image.groups) {
+    std::printf("  member group: %s x %zu\n",
+                clustered->access().catalog().GetAtomType(type)->name.c_str(),
+                atoms.size());
+  }
+}
+
+void BM_MoleculeConstruction_NoCluster_Warm(benchmark::State& state) {
+  auto db = MakeDb(false, 16u << 20);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto set = RequireR(
+        db->Query(kQuery + std::to_string(1700 + (i++ % kSolids))), "q");
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_MoleculeConstruction_NoCluster_Warm);
+
+void BM_MoleculeConstruction_Cluster_Warm(benchmark::State& state) {
+  auto db = MakeDb(true, 16u << 20);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto set = RequireR(
+        db->Query(kQuery + std::to_string(1700 + (i++ % kSolids))), "q");
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_MoleculeConstruction_Cluster_Warm);
+
+void BM_MoleculeConstruction_NoCluster_Cold(benchmark::State& state) {
+  auto db = MakeDb(false, 4u << 20);
+  int64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (storage::SegmentId seg : db->storage().ListSegments()) {
+      Require(db->storage().buffer().Discard(seg), "discard");
+    }
+    state.ResumeTiming();
+    auto set = RequireR(
+        db->Query(kQuery + std::to_string(1700 + (i++ % kSolids))), "q");
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_MoleculeConstruction_NoCluster_Cold);
+
+void BM_MoleculeConstruction_Cluster_Cold(benchmark::State& state) {
+  auto db = MakeDb(true, 4u << 20);
+  int64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (storage::SegmentId seg : db->storage().ListSegments()) {
+      Require(db->storage().buffer().Discard(seg), "discard");
+    }
+    state.ResumeTiming();
+    auto set = RequireR(
+        db->Query(kQuery + std::to_string(1700 + (i++ % kSolids))), "q");
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_MoleculeConstruction_Cluster_Cold);
+
+void BM_ClusterMaintenance_MemberModify(benchmark::State& state) {
+  // The cost of the redundancy: modifying a member atom re-materializes the
+  // cluster (deferred until the next cluster read).
+  auto db = MakeDb(true, 16u << 20);
+  const auto* face = db->access().catalog().FindAtomType("face");
+  auto faces = db->access().AllAtoms(face->id);
+  size_t i = 0;
+  double v = 1.0;
+  for (auto _ : state) {
+    Require(db->access().ModifyAtom(
+                faces[i++ % faces.size()],
+                {access::AttrValue{1, access::Value::Real(v += 0.1)}}),
+            "modify");
+    Require(db->access().DrainAll(), "drain");
+  }
+}
+BENCHMARK(BM_ClusterMaintenance_MemberModify);
+
+}  // namespace
+}  // namespace prima::bench
+
+int main(int argc, char** argv) {
+  prima::bench::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

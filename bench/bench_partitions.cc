@@ -1,0 +1,165 @@
+// Experiment E13 (paper §3.2): partitions — separate storage of attribute
+// combinations.
+//
+// Claim: "the projection of frequently used attributes may be supported by
+// means of partitions"; an attribute-selective read served from a partition
+// moves fewer bytes (and touches smaller pages) than reading the full
+// record.
+
+#include "bench_common.h"
+
+namespace prima::bench {
+namespace {
+
+using access::AttrValue;
+using access::Tid;
+using access::Value;
+
+constexpr int kItems = 1000;
+constexpr int kBlobBytes = 600;  // fat payload the projection never needs
+
+std::unique_ptr<core::Prima> MakeDb(bool with_partition) {
+  auto db = OpenDb();
+  Require(db->Execute("CREATE ATOM_TYPE doc"
+                      " ( doc_id : IDENTIFIER,"
+                      "   num : INTEGER,"
+                      "   title : CHAR_VAR,"
+                      "   body : CHAR_VAR )"
+                      " KEYS_ARE (num)")
+              .status(),
+          "schema");
+  const auto* doc = db->access().catalog().FindAtomType("doc");
+  for (int i = 0; i < kItems; ++i) {
+    RequireR(db->access().InsertAtom(
+                 doc->id,
+                 {AttrValue{1, Value::Int(i)},
+                  AttrValue{2, Value::String("t" + std::to_string(i))},
+                  AttrValue{3, Value::String(std::string(kBlobBytes, 'b'))}}),
+             "insert");
+  }
+  if (with_partition) {
+    RequireR(db->ExecuteLdl("CREATE PARTITION titles ON doc (title)"), "ldl");
+  }
+  return db;
+}
+
+void Report() {
+  PrintHeader("E13 / §3.2 — partitions collect the results of projections",
+              "Claim: a covered projection reads the small partition record "
+              "instead of the full atom image.");
+  auto plain = MakeDb(false);
+  auto part = MakeDb(true);
+
+  const auto* doc = plain->access().catalog().FindAtomType("doc");
+  auto atoms_plain = plain->access().AllAtoms(doc->id);
+  auto atoms_part = part->access().AllAtoms(doc->id);
+
+  // Count device traffic for a cold projection sweep.
+  auto cold_sweep = [&](core::Prima* db, const std::vector<Tid>& atoms) {
+    Require(db->Flush(), "flush");
+    for (storage::SegmentId seg : db->storage().ListSegments()) {
+      Require(db->storage().buffer().Discard(seg), "discard");
+    }
+    db->storage().device().stats().Reset();
+    for (const Tid& t : atoms) {
+      auto atom = db->access().GetAtom(t, {2});  // project title only
+      Require(atom.status(), "get");
+    }
+    return db->storage().device().stats().blocks_read.load() *
+           0;  // replaced below
+  };
+  (void)cold_sweep;
+
+  auto sweep_bytes = [&](core::Prima* db, const std::vector<Tid>& atoms) {
+    Require(db->Flush(), "flush");
+    for (storage::SegmentId seg : db->storage().ListSegments()) {
+      Require(db->storage().buffer().Discard(seg), "discard");
+    }
+    db->storage().device().stats().Reset();
+    for (const Tid& t : atoms) {
+      auto atom = db->access().GetAtom(t, {2});
+      Require(atom.status(), "get");
+    }
+    const auto& stats = db->storage().device().stats();
+    return std::make_pair(stats.TotalOps(), stats.blocks_read.load());
+  };
+  const auto [plain_ops, plain_blocks] = sweep_bytes(plain.get(), atoms_plain);
+  const auto [part_ops, part_blocks] = sweep_bytes(part.get(), atoms_part);
+
+  std::printf("cold projection sweep of %d atoms (title only):\n\n", kItems);
+  std::printf("%-26s %14s %14s %16s\n", "storage", "device ops", "blocks read",
+              "partition reads");
+  std::printf("%-26s %14llu %14llu %16s\n", "base records only",
+              (unsigned long long)plain_ops, (unsigned long long)plain_blocks,
+              "0");
+  std::printf("%-26s %14llu %14llu %16llu\n", "title partition",
+              (unsigned long long)part_ops, (unsigned long long)part_blocks,
+              (unsigned long long)part->access().stats().partition_reads.load());
+  std::printf("\nblock-read reduction: %.1fx (partition pages are 1K and hold "
+              "many more records)\n",
+              double(plain_blocks) / double(part_blocks ? part_blocks : 1));
+}
+
+void BM_ProjectedRead(benchmark::State& state) {
+  const bool with_partition = state.range(0) != 0;
+  auto db = MakeDb(with_partition);
+  const auto* doc = db->access().catalog().FindAtomType("doc");
+  auto atoms = db->access().AllAtoms(doc->id);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto atom = db->access().GetAtom(atoms[i++ % atoms.size()], {2});
+    Require(atom.status(), "get");
+    benchmark::DoNotOptimize(*atom);
+  }
+  state.counters["partition_reads"] = static_cast<double>(
+      db->access().stats().partition_reads.load());
+}
+BENCHMARK(BM_ProjectedRead)->Arg(0)->Name("BM_ProjectedRead_BaseOnly");
+BENCHMARK(BM_ProjectedRead)->Arg(1)->Name("BM_ProjectedRead_Partition");
+
+void BM_FullRead(benchmark::State& state) {
+  // Control: unprojected reads must not regress with a partition installed.
+  auto db = MakeDb(true);
+  const auto* doc = db->access().catalog().FindAtomType("doc");
+  auto atoms = db->access().AllAtoms(doc->id);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto atom = db->access().GetAtom(atoms[i++ % atoms.size()]);
+    Require(atom.status(), "get");
+    benchmark::DoNotOptimize(*atom);
+  }
+}
+BENCHMARK(BM_FullRead);
+
+void BM_PartitionMaintenanceCost(benchmark::State& state) {
+  // The price of the redundancy: updates to partitioned attributes.
+  const bool touch_partitioned = state.range(0) != 0;
+  auto db = MakeDb(true);
+  const auto* doc = db->access().catalog().FindAtomType("doc");
+  auto atoms = db->access().AllAtoms(doc->id);
+  size_t i = 0;
+  for (auto _ : state) {
+    const uint16_t attr = touch_partitioned ? 2 : 3;
+    Require(db->access().ModifyAtom(
+                atoms[i++ % atoms.size()],
+                {AttrValue{attr, Value::String("v" + std::to_string(i))}}),
+            "modify");
+  }
+  Require(db->access().DrainAll(), "drain");
+}
+BENCHMARK(BM_PartitionMaintenanceCost)
+    ->Arg(1)
+    ->Name("BM_Modify_PartitionedAttr");
+BENCHMARK(BM_PartitionMaintenanceCost)
+    ->Arg(0)
+    ->Name("BM_Modify_UnpartitionedAttr");
+
+}  // namespace
+}  // namespace prima::bench
+
+int main(int argc, char** argv) {
+  prima::bench::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

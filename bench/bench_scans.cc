@@ -1,0 +1,237 @@
+// Experiment E11 (paper §3.2): the five scan operations.
+//
+// Claim: the scan menu trades generality for cost — atom-type scans read
+// everything; sort scans are cheap exactly when a redundant sort order (or
+// access path) exists and expensive when the sort must be performed
+// explicitly; access-path scans touch only the qualifying range; cluster
+// scans read materialized molecules.
+
+#include "bench_common.h"
+
+namespace prima::bench {
+namespace {
+
+using namespace prima::access;  // NOLINT — bench-local brevity
+
+constexpr int kItems = 2000;
+
+std::unique_ptr<core::Prima> MakeDb() {
+  auto db = OpenDb();
+  Require(db->Execute("CREATE ATOM_TYPE item"
+                      " ( item_id : IDENTIFIER,"
+                      "   num : INTEGER,"
+                      "   weight : REAL,"
+                      "   label : CHAR_VAR,"
+                      "   box : REF_TO (box.items) )"
+                      " KEYS_ARE (num)")
+              .status(),
+          "item");
+  Require(db->Execute("CREATE ATOM_TYPE box"
+                      " ( box_id : IDENTIFIER,"
+                      "   box_no : INTEGER,"
+                      "   items : SET_OF (REF_TO (item.box)) )"
+                      " KEYS_ARE (box_no)")
+              .status(),
+          "box");
+  AccessSystem& access = db->access();
+  const auto* item = access.catalog().FindAtomType("item");
+  const auto* box = access.catalog().FindAtomType("box");
+  util::Random rng(9);
+  Tid current_box;
+  for (int i = 0; i < kItems; ++i) {
+    if (i % 20 == 0) {
+      current_box = RequireR(
+          access.InsertAtom(box->id, {AttrValue{1, Value::Int(i / 20)}}),
+          "box");
+    }
+    RequireR(access.InsertAtom(
+                 item->id,
+                 {AttrValue{1, Value::Int(i)},
+                  AttrValue{2, Value::Real(rng.NextDouble() * 1000)},
+                  AttrValue{3, Value::String("item" + std::to_string(i))},
+                  AttrValue{4, Value::Ref(current_box)}}),
+             "item");
+  }
+  return db;
+}
+
+AtomTypeId ItemType(core::Prima* db) {
+  return db->access().catalog().FindAtomType("item")->id;
+}
+
+void Report() {
+  PrintHeader("E11 / §3.2 — the five scan operations",
+              "Claim: scan cost tracks the supporting structure — the sort "
+              "scan is free with a sort order, linear without; access-path "
+              "scans touch only the range; cluster scans read materialized "
+              "molecules.");
+  auto db = MakeDb();
+  std::printf("database: %d items in %d boxes\n\n", kItems, kItems / 20);
+
+  // Sort scan modes before/after installing the sort order.
+  SortScan no_support(&db->access(), ItemType(db.get()), {2}, {true});
+  Require(no_support.Open(), "open");
+  std::printf("sort scan on weight without structure: mode = %s\n",
+              no_support.mode() == SortScan::Mode::kExplicitSort
+                  ? "explicit (temporary) sort"
+                  : "supported");
+  RequireR(db->ExecuteLdl("CREATE SORT ORDER w ON item (weight)"), "so");
+  SortScan supported(&db->access(), ItemType(db.get()), {2}, {true});
+  Require(supported.Open(), "open");
+  std::printf("sort scan on weight with sort order:   mode = %s\n",
+              supported.mode() == SortScan::Mode::kSortOrder
+                  ? "redundant sort order"
+                  : "unexpected");
+}
+
+void BM_AtomTypeScan(benchmark::State& state) {
+  auto db = MakeDb();
+  for (auto _ : state) {
+    AtomTypeScan scan(&db->access(), ItemType(db.get()));
+    Require(scan.Open(), "open");
+    int n = 0;
+    for (;;) {
+      auto atom = RequireR(scan.Next(), "next");
+      if (!atom) break;
+      ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+BENCHMARK(BM_AtomTypeScan);
+
+void BM_SortScan_WithSortOrder(benchmark::State& state) {
+  auto db = MakeDb();
+  RequireR(db->ExecuteLdl("CREATE SORT ORDER w ON item (weight)"), "so");
+  for (auto _ : state) {
+    SortScan scan(&db->access(), ItemType(db.get()), {2}, {true});
+    Require(scan.Open(), "open");
+    int n = 0;
+    for (;;) {
+      auto atom = RequireR(scan.Next(), "next");
+      if (!atom) break;
+      ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+BENCHMARK(BM_SortScan_WithSortOrder);
+
+void BM_SortScan_Explicit(benchmark::State& state) {
+  auto db = MakeDb();
+  for (auto _ : state) {
+    SortScan scan(&db->access(), ItemType(db.get()), {2}, {true});
+    Require(scan.Open(), "open");  // sorts all atoms explicitly
+    int n = 0;
+    for (;;) {
+      auto atom = RequireR(scan.Next(), "next");
+      if (!atom) break;
+      ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+BENCHMARK(BM_SortScan_Explicit);
+
+void BM_AccessPathScan_Range(benchmark::State& state) {
+  auto db = MakeDb();
+  // The implicit key index on num serves as the access path.
+  const StructureDef* index = db->access().catalog().FindStructure("item_key");
+  const int64_t width = state.range(0);
+  int64_t lo = 0;
+  for (auto _ : state) {
+    KeyRange range;
+    range.start = std::vector<Value>{Value::Int(lo % (kItems - width))};
+    range.stop = std::vector<Value>{Value::Int(lo % (kItems - width) + width)};
+    lo += 37;
+    BTreeAccessPathScan scan(&db->access(), index->id, range);
+    Require(scan.Open(), "open");
+    int n = 0;
+    for (;;) {
+      auto atom = RequireR(scan.Next(), "next");
+      if (!atom) break;
+      ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * (width + 1));
+}
+BENCHMARK(BM_AccessPathScan_Range)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_AccessPathScan_Prior(benchmark::State& state) {
+  // Backward traversal is native (doubly chained leaves).
+  auto db = MakeDb();
+  const StructureDef* index = db->access().catalog().FindStructure("item_key");
+  for (auto _ : state) {
+    KeyRange range;
+    range.start = std::vector<Value>{Value::Int(500)};
+    range.stop = std::vector<Value>{Value::Int(600)};
+    BTreeAccessPathScan scan(&db->access(), index->id, range,
+                             /*forward=*/false);
+    Require(scan.Open(), "open");
+    int n = 0;
+    for (;;) {
+      auto atom = RequireR(scan.Next(), "next");
+      if (!atom) break;
+      ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_AccessPathScan_Prior);
+
+void BM_AtomClusterTypeScan(benchmark::State& state) {
+  auto db = MakeDb();
+  RequireR(db->ExecuteLdl("CREATE ATOM CLUSTER bc ON box (items)"), "cluster");
+  const uint32_t cid = db->access().catalog().FindStructure("bc")->id;
+  for (auto _ : state) {
+    AtomClusterTypeScan scan(&db->access(), cid);
+    Require(scan.Open(), "open");
+    int atoms = 0;
+    for (;;) {
+      auto image = RequireR(scan.Next(), "next");
+      if (!image) break;
+      for (const auto& [type, group] : image->groups) {
+        atoms += static_cast<int>(group.size());
+      }
+    }
+    benchmark::DoNotOptimize(atoms);
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+BENCHMARK(BM_AtomClusterTypeScan);
+
+void BM_AtomClusterScan_SingleCluster(benchmark::State& state) {
+  auto db = MakeDb();
+  RequireR(db->ExecuteLdl("CREATE ATOM CLUSTER bc ON box (items)"), "cluster");
+  const uint32_t cid = db->access().catalog().FindStructure("bc")->id;
+  const auto* box = db->access().catalog().FindAtomType("box");
+  const Tid first_box = db->access().AllAtoms(box->id)[0];
+  const AtomTypeId item = ItemType(db.get());
+  for (auto _ : state) {
+    AtomClusterScan scan(&db->access(), cid, first_box, item);
+    Require(scan.Open(), "open");
+    int n = 0;
+    for (;;) {
+      auto atom = RequireR(scan.Next(), "next");
+      if (!atom) break;
+      ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_AtomClusterScan_SingleCluster);
+
+}  // namespace
+}  // namespace prima::bench
+
+int main(int argc, char** argv) {
+  prima::bench::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

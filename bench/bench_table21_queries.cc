@@ -1,0 +1,143 @@
+// Experiments E4–E7 (paper Table 2.1): the four published query examples.
+//
+//   a) vertical access to network molecules (brep-face-edge-point, keyed)
+//   b) vertical access to recursive molecules (piece_list, seed qualified)
+//   c) horizontal access with unqualified projection (solid, sub = EMPTY)
+//   d) branching FROM + quantifier + qualified projection
+//
+// The harness prints the molecule set each query produces (the paper shows
+// only the statements; the shape claims are: a) selects exactly one
+// 15-atom molecule via its key, b) expands level-stepwise, c) streams over
+// the whole type, d) combines all restriction forms) and then times them.
+
+#include "bench_common.h"
+
+namespace prima::bench {
+namespace {
+
+constexpr int kSolids = 64;
+
+std::unique_ptr<core::Prima> MakeDb() {
+  auto db = OpenBrepDb(kSolids, 1700);
+  workloads::BrepWorkload brep(db.get());
+  RequireR(brep.BuildAssembly(4711, 3, 3), "assembly");  // 1+3+9+27 solids
+  return db;
+}
+
+const char* kQueryA =
+    "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1713";
+const char* kQueryB =
+    "SELECT ALL FROM piece_list WHERE piece_list (0).solid_no = 4711";
+const char* kQueryC =
+    "SELECT solid_no, description FROM solid WHERE sub = EMPTY";
+const char* kQueryD =
+    "SELECT edge, (point, face := SELECT face_id, square_dim FROM face "
+    "WHERE square_dim > 5.0E0) "
+    "FROM brep-edge (face, point) "
+    "WHERE brep_no = 1713 AND "
+    "EXISTS_AT_LEAST (2) edge: edge.length > 1.0E0";
+
+void Report() {
+  PrintHeader("E4-E7 / Table 2.1 — the four published MQL queries",
+              "Claim shapes: (a) one keyed molecule, 15 atoms; (b) stepwise "
+              "recursion over the sub hierarchy; (c) set-oriented horizontal "
+              "access; (d) quantifier + qualified projection compose.");
+  auto db = MakeDb();
+
+  struct Row {
+    const char* id;
+    const char* query;
+  };
+  const Row rows[] = {
+      {"2.1a", kQueryA}, {"2.1b", kQueryB}, {"2.1c", kQueryC}, {"2.1d", kQueryD}};
+  std::printf("%-6s %10s %12s %10s  %s\n", "query", "molecules", "atoms",
+              "levels", "access");
+  for (const Row& row : rows) {
+    db->data().stats().Reset();
+    auto set = RequireR(db->Query(row.query), row.id);
+    size_t atoms = 0, levels = 0;
+    for (const auto& m : set.molecules) {
+      atoms += m.AtomCount();
+      levels = std::max(levels, m.levels.size());
+    }
+    const auto& stats = db->data().stats();
+    const char* access = stats.key_lookups.load() > 0      ? "key lookup"
+                         : stats.access_path_scans.load() > 0 ? "access path"
+                         : stats.grid_scans.load() > 0        ? "grid"
+                                                              : "atom-type scan";
+    std::printf("%-6s %10zu %12zu %10zu  %s\n", row.id, set.size(), atoms,
+                levels, access);
+  }
+}
+
+void BM_Table21a_VerticalAccess(benchmark::State& state) {
+  auto db = MakeDb();
+  for (auto _ : state) {
+    auto set = RequireR(db->Query(kQueryA), "a");
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["molecules"] = 1;
+  state.counters["atoms"] = 15;
+}
+BENCHMARK(BM_Table21a_VerticalAccess);
+
+void BM_Table21b_Recursion(benchmark::State& state) {
+  auto db = MakeDb();
+  for (auto _ : state) {
+    auto set = RequireR(db->Query(kQueryB), "b");
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["recursion_atoms"] = 40;  // 1+3+9+27
+}
+BENCHMARK(BM_Table21b_Recursion);
+
+void BM_Table21c_HorizontalAccess(benchmark::State& state) {
+  auto db = MakeDb();
+  for (auto _ : state) {
+    auto set = RequireR(db->Query(kQueryC), "c");
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_Table21c_HorizontalAccess);
+
+void BM_Table21d_Miscellaneous(benchmark::State& state) {
+  auto db = MakeDb();
+  for (auto _ : state) {
+    auto set = RequireR(db->Query(kQueryD), "d");
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_Table21d_Miscellaneous);
+
+void BM_Table21a_ScalingDatabaseSize(benchmark::State& state) {
+  // Keyed vertical access should be ~independent of database size.
+  auto db = OpenBrepDb(static_cast<int>(state.range(0)), 1700);
+  for (auto _ : state) {
+    auto set = RequireR(db->Query(kQueryA), "a");
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_Table21a_ScalingDatabaseSize)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Table21b_ScalingRecursionDepth(benchmark::State& state) {
+  auto db = OpenBrepDb(4, 1700);
+  workloads::BrepWorkload brep(db.get());
+  RequireR(brep.BuildAssembly(4711, 2, static_cast<int>(state.range(0))),
+           "assembly");
+  for (auto _ : state) {
+    auto set = RequireR(db->Query(kQueryB), "b");
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Table21b_ScalingRecursionDepth)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+}  // namespace prima::bench
+
+int main(int argc, char** argv) {
+  prima::bench::Report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

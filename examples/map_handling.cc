@@ -1,0 +1,113 @@
+// Map handling in geographic information systems: the third application
+// area of the paper's §1 — and its showcase for NON-DISJOINT molecules:
+// adjacent regions share their border atoms, so region molecules overlap
+// (the n:m consists-of relationship of [BB84]).
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "core/prima.h"
+#include "workloads/geo.h"
+
+using namespace prima;  // NOLINT — example brevity
+
+namespace {
+void Check(const util::Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+}  // namespace
+
+int main() {
+  auto db_or = core::Prima::Open(core::PrimaOptions{});
+  Check(db_or.status(), "open");
+  auto db = std::move(*db_or);
+
+  workloads::GeoWorkload geo(db.get());
+  Check(geo.CreateSchema(), "schema");
+  auto map = geo.GenerateGrid(/*map_no=*/1, /*rows=*/6, /*cols=*/8, /*seed=*/3);
+  Check(map.status(), "generate");
+  std::printf("map 1: %zu regions, %zu shared borders\n",
+              map->regions.size(), map->borders.size());
+
+  // Non-disjoint molecules: take two adjacent regions and show their
+  // molecules overlap in the shared border atom.
+  const access::Tid r0 = map->regions[0];
+  const access::Tid r1 = map->regions[1];
+  auto mol = [&](const access::Tid& region) {
+    auto set = db->Query("SELECT ALL FROM region-border WHERE region_no = " +
+                         std::to_string(100000 + (region == r0 ? 0 : 1)));
+    Check(set.status(), "region molecule");
+    std::set<uint64_t> borders;
+    for (const auto& atom :
+         set->molecules[0].FindGroup("border")->atoms) {
+      borders.insert(atom.tid.Pack());
+    }
+    return borders;
+  };
+  const auto b0 = mol(r0);
+  const auto b1 = mol(r1);
+  std::set<uint64_t> shared;
+  for (uint64_t b : b0) {
+    if (b1.count(b) != 0) shared.insert(b);
+  }
+  std::printf("\nnon-disjoint molecules: region A has %zu borders, region B "
+              "has %zu, overlap = %zu shared border atom(s)\n",
+              b0.size(), b1.size(), shared.size());
+
+  // Symmetric traversal: from a shared border back to BOTH regions.
+  auto owners = db->Query(
+      "SELECT ALL FROM border-region WHERE border_id = @" +
+      std::to_string(access::Tid::Unpack(*shared.begin()).type) + ":" +
+      std::to_string(access::Tid::Unpack(*shared.begin()).seq));
+  Check(owners.status(), "owners");
+  std::printf("symmetric traversal: the shared border reaches %zu regions\n",
+              owners->molecules[0].FindGroup("region")->atoms.size());
+
+  // The whole map as one molecule (vertical access across three types).
+  auto whole = db->Query("SELECT ALL FROM map-region-border WHERE map_no = 1");
+  Check(whole.status(), "whole map");
+  std::printf("\nwhole-map molecule: %zu atoms (1 map + %zu regions + %zu "
+              "borders; shared borders appear once)\n",
+              whole->molecules[0].AtomCount(),
+              whole->molecules[0].FindGroup("region")->atoms.size(),
+              whole->molecules[0].FindGroup("border")->atoms.size());
+
+  // An analysis query with quantifiers: densely populated regions with a
+  // long total perimeter candidate (at least 3 borders longer than 5).
+  auto dense = db->Query(
+      "SELECT ALL FROM region-border WHERE population > 500000 AND "
+      "EXISTS_AT_LEAST (3) border: border.length > 5.0");
+  Check(dense.status(), "analysis");
+  std::printf("\nanalysis: %zu dense regions with >= 3 long borders\n",
+              dense->size());
+
+  // Semantic parallelism over the region molecules.
+  auto parallel = db->QueryParallel("SELECT ALL FROM region-border");
+  Check(parallel.status(), "parallel");
+  std::printf("parallel derivation of all %zu region molecules: ok\n",
+              parallel->size());
+
+  // Updating a shared border is a single atom update — both owning regions
+  // see it (the MAD answer to the redundancy hazard of Fig. 2.1).
+  const access::Tid border = access::Tid::Unpack(*shared.begin());
+  Check(db->access().ModifyAtom(
+            border, {access::AttrValue{2, access::Value::Real(99.9)}}),
+        "modify");
+  auto check = db->Query("SELECT ALL FROM region-border WHERE region_no = 100000");
+  Check(check.status(), "recheck");
+  for (const auto& atom : check->molecules[0].FindGroup("border")->atoms) {
+    if (atom.tid == border && atom.attrs[2].AsReal() != 99.9) {
+      std::fprintf(stderr, "update not visible!\n");
+      return 1;
+    }
+  }
+  std::printf("\nshared border updated once; both regions observe the new "
+              "geometry (no redundant copies to chase)\n");
+
+  std::printf("\nmap_handling complete.\n");
+  return 0;
+}

@@ -1,0 +1,295 @@
+#ifndef PRIMA_ACCESS_ACCESS_SYSTEM_H_
+#define PRIMA_ACCESS_ACCESS_SYSTEM_H_
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "access/address_table.h"
+#include "access/atom_cluster.h"
+#include "access/btree.h"
+#include "access/catalog.h"
+#include "access/grid_file.h"
+#include "access/record_file.h"
+#include "access/search_arg.h"
+#include "access/tid.h"
+#include "access/value.h"
+#include "storage/storage_system.h"
+
+namespace prima::access {
+
+/// Operation counters of the access system (experiment E8 reads the layer
+/// pyramid off these plus the storage/buffer stats).
+struct AccessStats {
+  std::atomic<uint64_t> atoms_inserted{0};
+  std::atomic<uint64_t> atoms_read{0};
+  std::atomic<uint64_t> atoms_modified{0};
+  std::atomic<uint64_t> atoms_deleted{0};
+  std::atomic<uint64_t> backref_maintenance{0};  ///< implicit inverse updates
+  std::atomic<uint64_t> partition_reads{0};      ///< projections served by partition
+  std::atomic<uint64_t> cluster_reads{0};        ///< whole-cluster materializations
+  std::atomic<uint64_t> deferred_enqueued{0};
+  std::atomic<uint64_t> deferred_applied{0};
+
+  void Reset() {
+    atoms_inserted = atoms_read = atoms_modified = atoms_deleted = 0;
+    backref_maintenance = partition_reads = cluster_reads = 0;
+    deferred_enqueued = deferred_applied = 0;
+  }
+};
+
+struct AccessOptions {
+  storage::PageSize base_page_size = storage::PageSize::k4K;
+  storage::PageSize index_page_size = storage::PageSize::k4K;
+  storage::PageSize partition_page_size = storage::PageSize::k1K;
+  storage::PageSize cluster_page_size = storage::PageSize::k8K;
+  /// Paper §3.2 deferred update: redundant structures are refreshed lazily.
+  /// false = propagate immediately (ablation E12).
+  bool defer_updates = true;
+};
+
+/// Attribute assignment used by insert/modify.
+struct AttrValue {
+  uint16_t attr = 0;
+  Value value;
+};
+
+/// The access system (paper §3.2): an atom-oriented interface in the spirit
+/// of System R's RSS, with direct access by surrogate, atom sets via scans
+/// (scan.h), system-enforced referential integrity for the symmetric
+/// association attributes, and the LDL-controlled redundancy (access paths,
+/// sort orders, partitions, atom clusters) underneath.
+class AccessSystem {
+ public:
+  AccessSystem(storage::StorageSystem* storage, AccessOptions options = {});
+  ~AccessSystem();
+
+  /// Attach to existing on-device state (catalog + address table), or
+  /// initialize a fresh database if none exists.
+  util::Status Open();
+  /// Drain deferred updates, persist catalog/address table, flush storage.
+  util::Status Flush();
+
+  // --- DDL -------------------------------------------------------------------
+
+  /// Create an atom type; attribute/key validation in the catalog. Creates
+  /// the base segment and, when `keys` is non-empty, the implicit unique
+  /// key access path enforcing KEYS_ARE.
+  util::Result<AtomTypeId> CreateAtomType(
+      const std::string& name, std::vector<AttributeDef> attrs,
+      const std::vector<std::string>& keys);
+  util::Status DropAtomType(const std::string& name);
+
+  // --- LDL (paper §2.3): transparent performance structures ------------------
+
+  util::Result<uint32_t> CreateBTreeAccessPath(
+      const std::string& name, const std::string& atom_type,
+      const std::vector<std::string>& attrs, bool unique = false);
+  util::Result<uint32_t> CreateGridAccessPath(
+      const std::string& name, const std::string& atom_type,
+      const std::vector<std::string>& attrs);
+  util::Result<uint32_t> CreateSortOrder(const std::string& name,
+                                         const std::string& atom_type,
+                                         const std::vector<std::string>& attrs,
+                                         const std::vector<bool>& asc = {});
+  util::Result<uint32_t> CreatePartition(
+      const std::string& name, const std::string& atom_type,
+      const std::vector<std::string>& attrs);
+  /// Atom-cluster type: characteristic atom type + the reference attributes
+  /// whose targets belong to the cluster (paper Fig. 3.2a).
+  util::Result<uint32_t> CreateAtomClusterType(
+      const std::string& name, const std::string& char_type,
+      const std::vector<std::string>& ref_attrs);
+  util::Status DropStructure(const std::string& name);
+
+  // --- atom operations (direct access by logical address) --------------------
+
+  /// Insert an atom; IDENTIFIER attribute is system-assigned. Values may
+  /// cover all or only selected attributes. Maintains back-references of
+  /// every referenced atom and all redundancy transparently.
+  util::Result<Tid> InsertAtom(AtomTypeId type, std::vector<AttrValue> values);
+
+  /// Read an atom — whole, or only selected attributes (`projection` of
+  /// attribute ids; empty = all). Serves covered projections from a
+  /// partition when one exists (cheapest materialization wins).
+  util::Result<Atom> GetAtom(const Tid& tid,
+                             const std::vector<uint16_t>& projection = {});
+
+  /// Modify selected attributes (never the IDENTIFIER). Reference changes
+  /// imply implicit updates of the affected back-references.
+  util::Status ModifyAtom(const Tid& tid, std::vector<AttrValue> changes);
+
+  /// Delete an atom: disconnects every association, releases the surrogate.
+  util::Status DeleteAtom(const Tid& tid);
+
+  /// Connect / disconnect one association pair (component management).
+  util::Status Connect(const Tid& from, uint16_t attr, const Tid& to);
+  util::Status Disconnect(const Tid& from, uint16_t attr, const Tid& to);
+
+  bool AtomExists(const Tid& tid) const { return addresses_.Exists(tid); }
+  uint64_t AtomCount(AtomTypeId type) const {
+    return addresses_.CountOfType(type);
+  }
+  /// All surrogates of a type in system-defined order.
+  std::vector<Tid> AllAtoms(AtomTypeId type) const {
+    return addresses_.AllOfType(type);
+  }
+
+  /// Enforce min-cardinality restrictions for one atom (deferred structural
+  /// integrity check; max cardinality is enforced eagerly on writes).
+  util::Status CheckIntegrity(const Tid& tid);
+
+  // --- atom clusters ----------------------------------------------------------
+
+  /// Read a whole cluster (one chained I/O on a cold buffer). `cluster_id`
+  /// is the structure id; `char_tid` the characteristic atom.
+  util::Result<ClusterImage> ReadCluster(uint32_t cluster_id,
+                                         const Tid& char_tid);
+  /// The cluster structure (if any) whose characteristic type is
+  /// `char_type` and whose member types cover `needed` types.
+  const StructureDef* FindCoveringCluster(
+      AtomTypeId char_type, const std::vector<AtomTypeId>& needed) const;
+  /// Member atom types of a cluster structure (characteristic excluded).
+  std::vector<AtomTypeId> ClusterMemberTypes(const StructureDef& def) const;
+
+  // --- recovery interface (nested transactions, core/transaction.h) ----------
+
+  /// One base-atom mutation, reported to the installed undo hook. The
+  /// implicit back-reference maintenance writes are reported individually,
+  /// so replaying `before` images in reverse order restores full symmetry.
+  struct UndoRecord {
+    enum class Kind : uint8_t { kInsert, kModify, kDelete };
+    Kind kind = Kind::kModify;
+    Tid tid;
+    Atom before;  ///< valid for kModify / kDelete
+  };
+  using UndoHook = std::function<void(const UndoRecord&)>;
+
+  /// Install (or clear, with nullptr) the mutation hook. The transaction
+  /// manager owns this; hooks fire while the write lock is held.
+  void SetUndoHook(UndoHook hook) { undo_hook_ = std::move(hook); }
+
+  /// Compensation operations: adjust the base record, access paths, and
+  /// redundancy WITHOUT back-reference maintenance (each maintenance write
+  /// was logged separately and compensates itself).
+  util::Status RawDeleteAtom(const Tid& tid);
+  util::Status RawRestoreAtom(const Atom& atom);
+  util::Status RawOverwriteAtom(const Atom& before);
+
+  // --- deferred update (paper §3.2) ------------------------------------------
+
+  /// Apply every pending propagation for one structure (scans call this on
+  /// open so they always see current data).
+  util::Status DrainStructure(uint32_t structure_id);
+  /// Apply everything (checkpoint).
+  util::Status DrainAll();
+  size_t PendingCount() const;
+
+  // --- plumbing ---------------------------------------------------------------
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  AddressTable& addresses() { return addresses_; }
+  storage::StorageSystem& storage() { return *storage_; }
+  AccessStats& stats() { return stats_; }
+  const AccessOptions& options() const { return options_; }
+
+  /// Internal accessors used by the scan layer.
+  RecordFile* BaseFile(AtomTypeId type);
+  BTree* BTreeFor(uint32_t structure_id);
+  GridFile* GridFor(uint32_t structure_id);
+  RecordFile* PartitionFile(uint32_t structure_id);
+
+  /// Decode an atom of `type` from record bytes.
+  util::Result<Atom> DecodeAtom(AtomTypeId type, util::Slice bytes) const;
+
+  /// Build the order-preserving composite key of `atom` over `attrs`
+  /// (per-attribute asc flags optional) with the surrogate tie-breaker
+  /// appended when `with_tid`.
+  util::Result<std::string> BuildKey(const Atom& atom,
+                                     const std::vector<uint16_t>& attrs,
+                                     const std::vector<bool>& asc,
+                                     bool with_tid) const;
+
+ private:
+  struct Pending {
+    enum class Kind : uint8_t {
+      kUpsert,          ///< refresh the structure's copy of `tid`
+      kRemove,          ///< remove `tid` from the structure (aux: old key)
+      kClusterRebuild,  ///< re-materialize the cluster of char atom `tid`
+      kClusterRemove,   ///< drop the cluster of deleted char atom `tid`
+    };
+    uint32_t structure_id = 0;
+    Kind kind = Kind::kUpsert;
+    Tid tid;
+    std::string aux;  ///< old sort key / partition rid (packed)
+  };
+
+  // --- internals (callers hold no locks; these take what they need) ---------
+
+  util::Result<storage::SegmentId> NewSegment(storage::PageSize size);
+
+  util::Status AttachStructures();
+  util::Status BackfillStructure(const StructureDef& def);
+
+  util::Result<Atom> ReadBaseAtom(const Tid& tid);
+  util::Status WriteBaseAtom(const Tid& tid, const Atom& atom, bool is_new);
+
+  /// One side of the implicit inverse maintenance: add/remove `target` in
+  /// `atom_tid`.attr (scalar ref or set). No recursion back.
+  util::Status AddBackRef(const Tid& atom_tid, uint16_t attr, const Tid& target);
+  util::Status RemoveBackRef(const Tid& atom_tid, uint16_t attr,
+                             const Tid& target);
+
+  util::Status MaintainKeyIndex(const AtomTypeDef& def, const Atom& old_atom,
+                                const Atom* new_atom);
+  util::Status MaintainAccessPaths(const AtomTypeDef& def, const Atom* old_atom,
+                                   const Atom* new_atom, const Tid& tid);
+  util::Status EnqueueRedundancy(const AtomTypeDef& def, const Atom* old_atom,
+                                 const Atom* new_atom, const Tid& tid);
+  util::Status EnqueueClusterMaintenance(const AtomTypeDef& def,
+                                         const Atom* old_atom,
+                                         const Atom* new_atom, const Tid& tid);
+  void EnqueuePending(Pending p);
+  util::Status ApplyPending(const Pending& p);
+
+  util::Status MaterializeCluster(const StructureDef& def, const Tid& char_tid);
+  util::Status RemoveClusterImage(const StructureDef& def, const Tid& char_tid);
+
+  util::Result<std::string> EncodeSortKey(const StructureDef& def,
+                                          const Atom& atom) const;
+  util::Result<std::vector<std::string>> EncodeGridKeys(
+      const StructureDef& def, const Atom& atom) const;
+
+  util::Status PersistMetadata();
+
+  storage::StorageSystem* storage_;
+  AccessOptions options_;
+  Catalog catalog_;
+  AddressTable addresses_;
+  AccessStats stats_;
+
+  std::map<AtomTypeId, std::unique_ptr<RecordFile>> base_files_;
+  std::map<uint32_t, std::unique_ptr<BTree>> btrees_;
+  std::map<uint32_t, std::unique_ptr<GridFile>> grids_;
+  std::map<uint32_t, std::unique_ptr<RecordFile>> partition_files_;
+
+  mutable std::mutex pending_mu_;
+  std::deque<Pending> pending_;
+
+  UndoHook undo_hook_;
+
+  // Serializes multi-structure mutations (atom writes). Reads are lock-free
+  // at this level (page latches + structure mutexes below).
+  std::mutex write_mu_;
+};
+
+}  // namespace prima::access
+
+#endif  // PRIMA_ACCESS_ACCESS_SYSTEM_H_

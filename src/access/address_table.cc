@@ -1,0 +1,181 @@
+#include "access/address_table.h"
+
+#include "util/coding.h"
+
+namespace prima::access {
+
+using util::Result;
+using util::Slice;
+using util::Status;
+
+Tid AddressTable::NewTid(AtomTypeId type) {
+  std::unique_lock lock(mu_);
+  uint64_t& next = next_seq_[type];
+  ++next;
+  return Tid(type, next);
+}
+
+Status AddressTable::Register(const Tid& tid, uint32_t structure,
+                              uint64_t rid) {
+  std::unique_lock lock(mu_);
+  auto& list = entries_[tid.Pack()];
+  for (const auto& e : list) {
+    if (e.structure_id == structure) {
+      return Status::AlreadyExists("structure already materializes atom " +
+                                   tid.ToString());
+    }
+  }
+  list.push_back(AddressEntry{structure, rid});
+  return Status::Ok();
+}
+
+Status AddressTable::Unregister(const Tid& tid, uint32_t structure) {
+  std::unique_lock lock(mu_);
+  auto it = entries_.find(tid.Pack());
+  if (it == entries_.end()) return Status::NotFound("atom " + tid.ToString());
+  auto& list = it->second;
+  for (auto e = list.begin(); e != list.end(); ++e) {
+    if (e->structure_id == structure) {
+      list.erase(e);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no entry for structure " + std::to_string(structure));
+}
+
+Status AddressTable::UpdateEntry(const Tid& tid, uint32_t structure,
+                                 uint64_t rid) {
+  std::unique_lock lock(mu_);
+  auto it = entries_.find(tid.Pack());
+  if (it == entries_.end()) return Status::NotFound("atom " + tid.ToString());
+  for (auto& e : it->second) {
+    if (e.structure_id == structure) {
+      e.rid = rid;
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no entry for structure " + std::to_string(structure));
+}
+
+Status AddressTable::Remove(const Tid& tid) {
+  std::unique_lock lock(mu_);
+  if (entries_.erase(tid.Pack()) == 0) {
+    return Status::NotFound("atom " + tid.ToString());
+  }
+  return Status::Ok();
+}
+
+bool AddressTable::Exists(const Tid& tid) const {
+  std::shared_lock lock(mu_);
+  return entries_.count(tid.Pack()) != 0;
+}
+
+Result<uint64_t> AddressTable::Lookup(const Tid& tid,
+                                      uint32_t structure) const {
+  std::shared_lock lock(mu_);
+  auto it = entries_.find(tid.Pack());
+  if (it == entries_.end()) return Status::NotFound("atom " + tid.ToString());
+  for (const auto& e : it->second) {
+    if (e.structure_id == structure) return e.rid;
+  }
+  return Status::NotFound("no entry for structure " + std::to_string(structure));
+}
+
+std::vector<AddressEntry> AddressTable::EntriesFor(const Tid& tid) const {
+  std::shared_lock lock(mu_);
+  auto it = entries_.find(tid.Pack());
+  if (it == entries_.end()) return {};
+  return it->second;
+}
+
+std::vector<Tid> AddressTable::AllOfType(AtomTypeId type) const {
+  std::shared_lock lock(mu_);
+  std::vector<Tid> out;
+  const uint64_t lo = Tid(type, 0).Pack();
+  const uint64_t hi = Tid(type + 1, 0).Pack();
+  for (auto it = entries_.lower_bound(lo); it != entries_.end() && it->first < hi;
+       ++it) {
+    out.push_back(Tid::Unpack(it->first));
+  }
+  return out;
+}
+
+uint64_t AddressTable::CountOfType(AtomTypeId type) const {
+  std::shared_lock lock(mu_);
+  const uint64_t lo = Tid(type, 0).Pack();
+  const uint64_t hi = Tid(type + 1, 0).Pack();
+  uint64_t n = 0;
+  for (auto it = entries_.lower_bound(lo); it != entries_.end() && it->first < hi;
+       ++it) {
+    ++n;
+  }
+  return n;
+}
+
+void AddressTable::RemoveType(AtomTypeId type) {
+  std::unique_lock lock(mu_);
+  const uint64_t lo = Tid(type, 0).Pack();
+  const uint64_t hi = Tid(type + 1, 0).Pack();
+  entries_.erase(entries_.lower_bound(lo), entries_.lower_bound(hi));
+  next_seq_.erase(type);
+}
+
+std::string AddressTable::Encode() const {
+  std::shared_lock lock(mu_);
+  std::string out;
+  util::PutVarint64(&out, next_seq_.size());
+  for (const auto& [type, next] : next_seq_) {
+    util::PutVarint64(&out, type);
+    util::PutVarint64(&out, next);
+  }
+  util::PutVarint64(&out, entries_.size());
+  for (const auto& [packed, list] : entries_) {
+    util::PutFixed64(&out, packed);
+    util::PutVarint64(&out, list.size());
+    for (const auto& e : list) {
+      util::PutVarint64(&out, e.structure_id);
+      util::PutFixed64(&out, e.rid);
+    }
+  }
+  return out;
+}
+
+Status AddressTable::DecodeFrom(Slice in) {
+  std::unique_lock lock(mu_);
+  entries_.clear();
+  next_seq_.clear();
+  uint64_t n_types;
+  if (!util::GetVarint64(&in, &n_types)) {
+    return Status::Corruption("address table header");
+  }
+  for (uint64_t i = 0; i < n_types; ++i) {
+    uint64_t type, next;
+    if (!util::GetVarint64(&in, &type) || !util::GetVarint64(&in, &next)) {
+      return Status::Corruption("address table counters");
+    }
+    next_seq_[static_cast<AtomTypeId>(type)] = next;
+  }
+  uint64_t n_atoms;
+  if (!util::GetVarint64(&in, &n_atoms)) {
+    return Status::Corruption("address table size");
+  }
+  for (uint64_t i = 0; i < n_atoms; ++i) {
+    uint64_t packed, n_entries;
+    if (!util::GetFixed64(&in, &packed) ||
+        !util::GetVarint64(&in, &n_entries)) {
+      return Status::Corruption("address table entry");
+    }
+    auto& list = entries_[packed];
+    for (uint64_t j = 0; j < n_entries; ++j) {
+      uint64_t sid, rid;
+      if (!util::GetVarint64(&in, &sid) || !util::GetFixed64(&in, &rid)) {
+        return Status::Corruption("address table entry body");
+      }
+      list.push_back(
+          AddressEntry{static_cast<uint32_t>(sid), rid});
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace prima::access

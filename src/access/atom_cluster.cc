@@ -1,0 +1,75 @@
+#include "access/atom_cluster.h"
+
+#include "util/coding.h"
+
+namespace prima::access {
+
+using util::Result;
+using util::Slice;
+using util::Status;
+
+void ClusterImage::EncodeInto(std::string* out) const {
+  {
+    std::string atom_bytes;
+    characteristic.EncodeInto(&atom_bytes);
+    util::PutLengthPrefixed(out, atom_bytes);
+  }
+  util::PutVarint64(out, groups.size());
+  for (const auto& [type, atoms] : groups) {
+    util::PutVarint64(out, type);
+    util::PutVarint64(out, atoms.size());
+    for (const auto& atom : atoms) {
+      std::string atom_bytes;
+      atom.EncodeInto(&atom_bytes);
+      util::PutLengthPrefixed(out, atom_bytes);
+    }
+  }
+}
+
+Result<ClusterImage> ClusterImage::Decode(
+    Slice in, AtomTypeId char_type,
+    const std::function<size_t(AtomTypeId)>& attr_counts) {
+  ClusterImage image;
+  Slice char_bytes;
+  if (!util::GetLengthPrefixed(&in, &char_bytes)) {
+    return Status::Corruption("cluster image: characteristic atom");
+  }
+  PRIMA_ASSIGN_OR_RETURN(image.characteristic,
+                         Atom::Decode(&char_bytes, attr_counts(char_type)));
+  uint64_t n_groups;
+  if (!util::GetVarint64(&in, &n_groups)) {
+    return Status::Corruption("cluster image: group count");
+  }
+  for (uint64_t g = 0; g < n_groups; ++g) {
+    uint64_t type, n_atoms;
+    if (!util::GetVarint64(&in, &type) || !util::GetVarint64(&in, &n_atoms)) {
+      return Status::Corruption("cluster image: group header");
+    }
+    std::vector<Atom> atoms;
+    atoms.reserve(n_atoms);
+    for (uint64_t i = 0; i < n_atoms; ++i) {
+      Slice atom_bytes;
+      if (!util::GetLengthPrefixed(&in, &atom_bytes)) {
+        return Status::Corruption("cluster image: member atom");
+      }
+      PRIMA_ASSIGN_OR_RETURN(
+          Atom atom,
+          Atom::Decode(&atom_bytes,
+                       attr_counts(static_cast<AtomTypeId>(type))));
+      atoms.push_back(std::move(atom));
+    }
+    image.groups.emplace_back(static_cast<AtomTypeId>(type), std::move(atoms));
+  }
+  return image;
+}
+
+std::vector<Atom> ClusterImage::Flatten() const {
+  std::vector<Atom> out;
+  out.push_back(characteristic);
+  for (const auto& [type, atoms] : groups) {
+    for (const auto& a : atoms) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace prima::access

@@ -1,0 +1,406 @@
+#include "access/catalog.h"
+
+#include "util/coding.h"
+
+namespace prima::access {
+
+using util::Result;
+using util::Slice;
+using util::Status;
+
+Result<AtomTypeId> Catalog::AddAtomType(AtomTypeDef def) {
+  std::unique_lock lock(mu_);
+  if (atom_type_names_.count(def.name) != 0) {
+    return Status::AlreadyExists("atom type " + def.name);
+  }
+  // Exactly one IDENTIFIER attribute.
+  int id_attrs = 0;
+  for (size_t i = 0; i < def.attrs.size(); ++i) {
+    def.attrs[i].id = static_cast<uint16_t>(i);
+    if (def.attrs[i].type.kind == TypeKind::kIdentifier) {
+      ++id_attrs;
+      def.identifier_attr = static_cast<uint16_t>(i);
+    }
+  }
+  if (id_attrs != 1) {
+    return Status::InvalidArgument(
+        "atom type " + def.name + " must declare exactly one IDENTIFIER attribute");
+  }
+  for (uint16_t k : def.key_attrs) {
+    if (k >= def.attrs.size()) {
+      return Status::InvalidArgument("KEYS_ARE references unknown attribute");
+    }
+    if (!def.attrs[k].type.IsScalar()) {
+      return Status::InvalidArgument("key attribute " + def.attrs[k].name +
+                                     " is not scalar");
+    }
+  }
+  def.id = next_atom_type_id_++;
+  atom_type_names_[def.name] = def.id;
+  const AtomTypeId id = def.id;
+  atom_types_[id] = std::move(def);
+  return id;
+}
+
+Status Catalog::DropAtomType(AtomTypeId id) {
+  std::unique_lock lock(mu_);
+  auto it = atom_types_.find(id);
+  if (it == atom_types_.end()) {
+    return Status::NotFound("atom type id " + std::to_string(id));
+  }
+  atom_type_names_.erase(it->second.name);
+  atom_types_.erase(it);
+  return Status::Ok();
+}
+
+const AtomTypeDef* Catalog::FindAtomType(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = atom_type_names_.find(name);
+  if (it == atom_type_names_.end()) return nullptr;
+  return &atom_types_.at(it->second);
+}
+
+const AtomTypeDef* Catalog::GetAtomType(AtomTypeId id) const {
+  std::shared_lock lock(mu_);
+  auto it = atom_types_.find(id);
+  return it == atom_types_.end() ? nullptr : &it->second;
+}
+
+std::vector<const AtomTypeDef*> Catalog::ListAtomTypes() const {
+  std::shared_lock lock(mu_);
+  std::vector<const AtomTypeDef*> out;
+  out.reserve(atom_types_.size());
+  for (const auto& [id, def] : atom_types_) out.push_back(&def);
+  return out;
+}
+
+namespace {
+Status ResolveOne(std::map<AtomTypeId, AtomTypeDef>& types,
+                  const std::map<std::string, AtomTypeId>& names,
+                  AtomTypeDef& owner, AttributeDef& attr, TypeDesc* ref) {
+  auto target_it = names.find(ref->ref_type_name);
+  if (target_it == names.end()) {
+    // Forward declaration: tolerated until the attribute is actually used.
+    return Status::Ok();
+  }
+  AtomTypeDef& target = types.at(target_it->second);
+  const AttributeDef* back = target.FindAttr(ref->ref_attr_name);
+  if (back == nullptr) {
+    return Status::InvalidArgument(
+        owner.name + "." + attr.name + ": back-reference attribute " +
+        ref->ref_type_name + "." + ref->ref_attr_name + " does not exist");
+  }
+  if (!back->type.IsAssociation()) {
+    return Status::InvalidArgument(
+        owner.name + "." + attr.name + ": back-reference " + back->name +
+        " is not a REFERENCE attribute");
+  }
+  const TypeDesc* back_ref = back->type.ReferenceDesc();
+  if (back_ref->ref_type_name != owner.name ||
+      back_ref->ref_attr_name != attr.name) {
+    return Status::InvalidArgument(
+        owner.name + "." + attr.name + " and " + target.name + "." +
+        back->name + " are not mutually inverse");
+  }
+  ref->ref_type_id = target.id;
+  ref->ref_attr_id = back->id;
+  return Status::Ok();
+}
+}  // namespace
+
+Status Catalog::ResolveReferences() {
+  std::unique_lock lock(mu_);
+  for (auto& [id, def] : atom_types_) {
+    for (auto& attr : def.attrs) {
+      if (!attr.type.IsAssociation()) continue;
+      TypeDesc* ref;
+      if (attr.type.kind == TypeKind::kReference) {
+        ref = &attr.type;
+      } else {
+        // The shared element descriptor is logically owned by this attr.
+        ref = const_cast<TypeDesc*>(attr.type.elem.get());
+      }
+      PRIMA_RETURN_IF_ERROR(ResolveOne(atom_types_, atom_type_names_, def,
+                                       attr, ref));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Catalog::DefineMoleculeType(MoleculeTypeDef def) {
+  std::unique_lock lock(mu_);
+  if (molecule_types_.count(def.name) != 0) {
+    return Status::AlreadyExists("molecule type " + def.name);
+  }
+  molecule_types_[def.name] = std::move(def);
+  return Status::Ok();
+}
+
+Status Catalog::DropMoleculeType(const std::string& name) {
+  std::unique_lock lock(mu_);
+  if (molecule_types_.erase(name) == 0) {
+    return Status::NotFound("molecule type " + name);
+  }
+  return Status::Ok();
+}
+
+const MoleculeTypeDef* Catalog::FindMoleculeType(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = molecule_types_.find(name);
+  return it == molecule_types_.end() ? nullptr : &it->second;
+}
+
+std::vector<const MoleculeTypeDef*> Catalog::ListMoleculeTypes() const {
+  std::shared_lock lock(mu_);
+  std::vector<const MoleculeTypeDef*> out;
+  for (const auto& [name, def] : molecule_types_) out.push_back(&def);
+  return out;
+}
+
+Result<uint32_t> Catalog::AddStructure(StructureDef def) {
+  std::unique_lock lock(mu_);
+  for (const auto& [id, s] : structures_) {
+    if (s.name == def.name) {
+      return Status::AlreadyExists("structure " + def.name);
+    }
+  }
+  def.id = next_structure_id_++;
+  const uint32_t id = def.id;
+  structures_[id] = std::move(def);
+  return id;
+}
+
+Status Catalog::DropStructure(uint32_t id) {
+  std::unique_lock lock(mu_);
+  if (structures_.erase(id) == 0) {
+    return Status::NotFound("structure id " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+const StructureDef* Catalog::GetStructure(uint32_t id) const {
+  std::shared_lock lock(mu_);
+  auto it = structures_.find(id);
+  return it == structures_.end() ? nullptr : &it->second;
+}
+
+const StructureDef* Catalog::FindStructure(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  for (const auto& [id, s] : structures_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const StructureDef*> Catalog::StructuresFor(AtomTypeId type) const {
+  std::shared_lock lock(mu_);
+  std::vector<const StructureDef*> out;
+  for (const auto& [id, s] : structures_) {
+    if (s.atom_type == type) out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<const StructureDef*> Catalog::ListStructures() const {
+  std::shared_lock lock(mu_);
+  std::vector<const StructureDef*> out;
+  for (const auto& [id, s] : structures_) out.push_back(&s);
+  return out;
+}
+
+Status Catalog::SetStructureRoot(uint32_t id, uint32_t root_page) {
+  std::unique_lock lock(mu_);
+  auto it = structures_.find(id);
+  if (it == structures_.end()) {
+    return Status::NotFound("structure id " + std::to_string(id));
+  }
+  it->second.root_page = root_page;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr uint32_t kCatalogMagic = 0x4341544Cu;  // "CATL"
+
+void EncodeAtomType(const AtomTypeDef& def, std::string* out) {
+  util::PutLengthPrefixed(out, def.name);
+  util::PutVarint64(out, def.id);
+  util::PutVarint64(out, def.base_segment);
+  util::PutVarint64(out, def.identifier_attr);
+  util::PutVarint64(out, def.attrs.size());
+  for (const auto& a : def.attrs) {
+    util::PutLengthPrefixed(out, a.name);
+    a.type.EncodeInto(out);
+  }
+  util::PutVarint64(out, def.key_attrs.size());
+  for (uint16_t k : def.key_attrs) util::PutVarint64(out, k);
+}
+
+Result<AtomTypeDef> DecodeAtomType(Slice* in) {
+  AtomTypeDef def;
+  Slice name;
+  uint64_t id, seg, ident, n_attrs;
+  if (!util::GetLengthPrefixed(in, &name) || !util::GetVarint64(in, &id) ||
+      !util::GetVarint64(in, &seg) || !util::GetVarint64(in, &ident) ||
+      !util::GetVarint64(in, &n_attrs)) {
+    return Status::Corruption("catalog atom type header");
+  }
+  def.name = name.ToString();
+  def.id = static_cast<AtomTypeId>(id);
+  def.base_segment = static_cast<storage::SegmentId>(seg);
+  def.identifier_attr = static_cast<uint16_t>(ident);
+  for (uint64_t i = 0; i < n_attrs; ++i) {
+    Slice an;
+    if (!util::GetLengthPrefixed(in, &an)) {
+      return Status::Corruption("catalog attribute name");
+    }
+    PRIMA_ASSIGN_OR_RETURN(TypeDesc t, TypeDesc::Decode(in));
+    AttributeDef attr;
+    attr.name = an.ToString();
+    attr.type = std::move(t);
+    attr.id = static_cast<uint16_t>(i);
+    def.attrs.push_back(std::move(attr));
+  }
+  uint64_t n_keys;
+  if (!util::GetVarint64(in, &n_keys)) {
+    return Status::Corruption("catalog key count");
+  }
+  for (uint64_t i = 0; i < n_keys; ++i) {
+    uint64_t k;
+    if (!util::GetVarint64(in, &k)) return Status::Corruption("catalog key");
+    def.key_attrs.push_back(static_cast<uint16_t>(k));
+  }
+  return def;
+}
+
+void EncodeStructure(const StructureDef& s, std::string* out) {
+  util::PutVarint64(out, s.id);
+  out->push_back(static_cast<char>(s.kind));
+  util::PutLengthPrefixed(out, s.name);
+  util::PutVarint64(out, s.atom_type);
+  util::PutVarint64(out, s.attrs.size());
+  for (uint16_t a : s.attrs) util::PutVarint64(out, a);
+  util::PutVarint64(out, s.asc.size());
+  for (bool b : s.asc) out->push_back(b ? '\x01' : '\x00');
+  out->push_back(s.unique ? '\x01' : '\x00');
+  util::PutVarint64(out, s.segment);
+  util::PutVarint64(out, s.root_page);
+}
+
+Result<StructureDef> DecodeStructure(Slice* in) {
+  StructureDef s;
+  uint64_t id;
+  if (!util::GetVarint64(in, &id) || in->empty()) {
+    return Status::Corruption("catalog structure header");
+  }
+  s.id = static_cast<uint32_t>(id);
+  s.kind = static_cast<StructureKind>((*in)[0]);
+  in->RemovePrefix(1);
+  Slice name;
+  uint64_t type, n_attrs;
+  if (!util::GetLengthPrefixed(in, &name) || !util::GetVarint64(in, &type) ||
+      !util::GetVarint64(in, &n_attrs)) {
+    return Status::Corruption("catalog structure body");
+  }
+  s.name = name.ToString();
+  s.atom_type = static_cast<AtomTypeId>(type);
+  for (uint64_t i = 0; i < n_attrs; ++i) {
+    uint64_t a;
+    if (!util::GetVarint64(in, &a)) return Status::Corruption("structure attr");
+    s.attrs.push_back(static_cast<uint16_t>(a));
+  }
+  uint64_t n_asc;
+  if (!util::GetVarint64(in, &n_asc)) return Status::Corruption("structure asc");
+  for (uint64_t i = 0; i < n_asc; ++i) {
+    if (in->empty()) return Status::Corruption("structure asc flag");
+    s.asc.push_back((*in)[0] != '\x00');
+    in->RemovePrefix(1);
+  }
+  if (in->empty()) return Status::Corruption("structure unique flag");
+  s.unique = (*in)[0] != '\x00';
+  in->RemovePrefix(1);
+  uint64_t seg, root;
+  if (!util::GetVarint64(in, &seg) || !util::GetVarint64(in, &root)) {
+    return Status::Corruption("structure segment/root");
+  }
+  s.segment = static_cast<storage::SegmentId>(seg);
+  s.root_page = static_cast<uint32_t>(root);
+  return s;
+}
+}  // namespace
+
+std::string Catalog::Encode() const {
+  std::shared_lock lock(mu_);
+  std::string out;
+  util::PutFixed32(&out, kCatalogMagic);
+  util::PutVarint64(&out, next_atom_type_id_);
+  util::PutVarint64(&out, next_structure_id_);
+  util::PutVarint64(&out, atom_types_.size());
+  for (const auto& [id, def] : atom_types_) EncodeAtomType(def, &out);
+  util::PutVarint64(&out, molecule_types_.size());
+  for (const auto& [name, def] : molecule_types_) {
+    util::PutLengthPrefixed(&out, def.name);
+    util::PutLengthPrefixed(&out, def.from_text);
+    out.push_back(def.recursive ? '\x01' : '\x00');
+  }
+  util::PutVarint64(&out, structures_.size());
+  for (const auto& [id, s] : structures_) EncodeStructure(s, &out);
+  return out;
+}
+
+Status Catalog::DecodeFrom(Slice in) {
+  std::unique_lock lock(mu_);
+  uint32_t magic;
+  if (!util::GetFixed32(&in, &magic) || magic != kCatalogMagic) {
+    return Status::Corruption("bad catalog magic");
+  }
+  uint64_t next_type, next_struct, n_types;
+  if (!util::GetVarint64(&in, &next_type) ||
+      !util::GetVarint64(&in, &next_struct) ||
+      !util::GetVarint64(&in, &n_types)) {
+    return Status::Corruption("catalog header");
+  }
+  atom_types_.clear();
+  atom_type_names_.clear();
+  molecule_types_.clear();
+  structures_.clear();
+  next_atom_type_id_ = static_cast<AtomTypeId>(next_type);
+  next_structure_id_ = static_cast<uint32_t>(next_struct);
+  for (uint64_t i = 0; i < n_types; ++i) {
+    PRIMA_ASSIGN_OR_RETURN(AtomTypeDef def, DecodeAtomType(&in));
+    atom_type_names_[def.name] = def.id;
+    atom_types_[def.id] = std::move(def);
+  }
+  uint64_t n_mol;
+  if (!util::GetVarint64(&in, &n_mol)) {
+    return Status::Corruption("catalog molecule count");
+  }
+  for (uint64_t i = 0; i < n_mol; ++i) {
+    Slice name, text;
+    if (!util::GetLengthPrefixed(&in, &name) ||
+        !util::GetLengthPrefixed(&in, &text) || in.empty()) {
+      return Status::Corruption("catalog molecule type");
+    }
+    MoleculeTypeDef def;
+    def.name = name.ToString();
+    def.from_text = text.ToString();
+    def.recursive = in[0] != '\x00';
+    in.RemovePrefix(1);
+    molecule_types_[def.name] = std::move(def);
+  }
+  uint64_t n_structs;
+  if (!util::GetVarint64(&in, &n_structs)) {
+    return Status::Corruption("catalog structure count");
+  }
+  for (uint64_t i = 0; i < n_structs; ++i) {
+    PRIMA_ASSIGN_OR_RETURN(StructureDef s, DecodeStructure(&in));
+    structures_[s.id] = std::move(s);
+  }
+  lock.unlock();
+  return ResolveReferences();
+}
+
+}  // namespace prima::access

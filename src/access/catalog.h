@@ -1,0 +1,146 @@
+#ifndef PRIMA_ACCESS_CATALOG_H_
+#define PRIMA_ACCESS_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "access/type_system.h"
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prima::access {
+
+/// One attribute of an atom type. `id` is the positional index within the
+/// atom type (stable: attributes are never reordered).
+struct AttributeDef {
+  std::string name;
+  TypeDesc type;
+  uint16_t id = 0;
+};
+
+/// Schema of an atom type (paper Fig. 2.3: CREATE ATOM_TYPE).
+struct AtomTypeDef {
+  std::string name;
+  AtomTypeId id = 0;
+  std::vector<AttributeDef> attrs;
+  /// KEYS_ARE attribute ids — value-based keys with enforced uniqueness.
+  std::vector<uint16_t> key_attrs;
+  /// Index of the (single) IDENTIFIER attribute.
+  uint16_t identifier_attr = 0;
+  /// Base segment holding the primary physical records.
+  storage::SegmentId base_segment = 0;
+
+  const AttributeDef* FindAttr(const std::string& attr_name) const {
+    for (const auto& a : attrs) {
+      if (a.name == attr_name) return &a;
+    }
+    return nullptr;
+  }
+};
+
+/// A named molecule type from `DEFINE MOLECULE TYPE` (paper Fig. 2.3c).
+/// The catalog stores the FROM-clause text; the data system parses it on
+/// use (keeps the access layer independent of MQL).
+struct MoleculeTypeDef {
+  std::string name;
+  std::string from_text;
+  bool recursive = false;
+};
+
+/// Kind of redundant storage structure installed by LDL (paper §2.3, §3.2).
+enum class StructureKind : uint8_t {
+  kBTreeAccessPath = 0,  ///< one- or multi-attribute B*-tree
+  kGridAccessPath = 1,   ///< multidimensional grid file
+  kSortOrder = 2,        ///< redundant sorted record materialization
+  kPartition = 3,        ///< vertical partition (attribute combination)
+  kAtomCluster = 4,      ///< molecule materialization on page sequences
+};
+
+/// Descriptor of one storage structure. All structures "materialize
+/// homogeneous or heterogeneous result sets" (paper §3.2) and are
+/// transparent at the MAD interface.
+struct StructureDef {
+  uint32_t id = 0;
+  StructureKind kind = StructureKind::kBTreeAccessPath;
+  std::string name;
+  /// Owning atom type; for clusters: the characteristic atom type.
+  AtomTypeId atom_type = 0;
+  /// Key attrs (access path / sort order) or stored attrs (partition) or
+  /// the reference attrs of the characteristic type to follow (cluster).
+  std::vector<uint16_t> attrs;
+  /// Sort order: per-attr ascending flags (parallel to attrs).
+  std::vector<bool> asc;
+  bool unique = false;
+  storage::SegmentId segment = 0;
+  /// B*-tree root page / grid meta page; 0 when not applicable.
+  uint32_t root_page = 0;
+};
+
+/// The metadata hub of the access system: atom types, named molecule types,
+/// and storage structures. Persisted wholesale into the catalog segment.
+class Catalog {
+ public:
+  // --- atom types ----------------------------------------------------------
+
+  /// Register a new atom type. Validates: unique name, exactly one
+  /// IDENTIFIER attribute, key attrs exist and are scalar. Assigns the id
+  /// and attribute ids; base_segment is set by the caller beforehand.
+  util::Result<AtomTypeId> AddAtomType(AtomTypeDef def);
+
+  util::Status DropAtomType(AtomTypeId id);
+
+  const AtomTypeDef* FindAtomType(const std::string& name) const;
+  const AtomTypeDef* GetAtomType(AtomTypeId id) const;
+  std::vector<const AtomTypeDef*> ListAtomTypes() const;
+
+  /// Resolve all REF_TO targets that are resolvable and validate that every
+  /// resolved association is *mutually* inverse — the symmetry invariant of
+  /// the MAD model (paper §2.1: "the referenced record must contain a
+  /// back-reference that can be used in exactly the same way").
+  util::Status ResolveReferences();
+
+  // --- molecule types -------------------------------------------------------
+
+  util::Status DefineMoleculeType(MoleculeTypeDef def);
+  util::Status DropMoleculeType(const std::string& name);
+  const MoleculeTypeDef* FindMoleculeType(const std::string& name) const;
+  std::vector<const MoleculeTypeDef*> ListMoleculeTypes() const;
+
+  // --- storage structures ----------------------------------------------------
+
+  util::Result<uint32_t> AddStructure(StructureDef def);
+  util::Status DropStructure(uint32_t id);
+  const StructureDef* GetStructure(uint32_t id) const;
+  const StructureDef* FindStructure(const std::string& name) const;
+  /// All structures owned by an atom type (for update propagation).
+  std::vector<const StructureDef*> StructuresFor(AtomTypeId type) const;
+  std::vector<const StructureDef*> ListStructures() const;
+  /// Update a structure's root page (B*-tree splits move the root).
+  util::Status SetStructureRoot(uint32_t id, uint32_t root_page);
+
+  // --- persistence -----------------------------------------------------------
+
+  std::string Encode() const;
+  util::Status DecodeFrom(util::Slice in);
+
+  /// Monotone structure-id source (also used for segment naming).
+  uint32_t next_structure_id() const { return next_structure_id_; }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<AtomTypeId, AtomTypeDef> atom_types_;
+  std::map<std::string, AtomTypeId> atom_type_names_;
+  std::map<std::string, MoleculeTypeDef> molecule_types_;
+  std::map<uint32_t, StructureDef> structures_;
+  AtomTypeId next_atom_type_id_ = 1;
+  uint32_t next_structure_id_ = 1;
+};
+
+}  // namespace prima::access
+
+#endif  // PRIMA_ACCESS_CATALOG_H_

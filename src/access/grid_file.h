@@ -1,0 +1,117 @@
+#ifndef PRIMA_ACCESS_GRID_FILE_H_
+#define PRIMA_ACCESS_GRID_FILE_H_
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "access/tid.h"
+#include "storage/storage_system.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prima::access {
+
+/// Multi-dimensional access path (paper §3.2: "since we offer
+/// multi-dimensional access path structures ... start/stop conditions and
+/// directions may be specified individually for every key involved in the
+/// scan"). A classic grid file: one linear scale of split boundaries per
+/// dimension, a directory mapping grid cells to bucket pages (with bucket
+/// sharing across cells), and bucket splits that extend one scale at a time.
+///
+/// Keys per dimension are order-preserving byte encodings (util/coding.h).
+/// Entries are (key vector, surrogate) pairs; the pair must be unique.
+///
+/// The directory and scales live in memory and persist as a page sequence
+/// (the structure's meta object); buckets are regular pages of the grid's
+/// segment. Degenerate buckets (every entry equal in all dimensions) grow
+/// overflow chains instead of splitting.
+class GridFile {
+ public:
+  /// `meta_page` = 0 creates an empty grid; otherwise Open() loads it.
+  /// `on_meta_change` fires when the meta page-sequence header moves.
+  GridFile(storage::StorageSystem* storage, storage::SegmentId segment,
+           size_t dims, uint32_t meta_page,
+           std::function<void(uint32_t)> on_meta_change);
+
+  /// Load persisted scales + directory (no-op for a fresh grid).
+  util::Status Open();
+  /// Persist scales + directory if dirty.
+  util::Status Save();
+
+  util::Status Insert(const std::vector<std::string>& keys, Tid tid);
+  util::Status Delete(const std::vector<std::string>& keys, Tid tid);
+
+  /// Range with optional bounds; `asc` picks the direction for this key.
+  struct QueryRange {
+    std::optional<std::string> lo;
+    std::optional<std::string> hi;
+    bool lo_inclusive = true;
+    bool hi_inclusive = true;
+    bool asc = true;
+  };
+
+  struct Match {
+    std::vector<std::string> keys;
+    Tid tid;
+  };
+
+  /// Evaluate an n-dimensional range query. `dim_priority` orders the sort
+  /// dimensions of the result (the "selection path in an n-dimensional
+  /// space"); empty means dimension order 0,1,2,...
+  util::Result<std::vector<Match>> Query(
+      const std::vector<QueryRange>& ranges,
+      const std::vector<size_t>& dim_priority) const;
+
+  size_t dims() const { return dims_; }
+  uint32_t meta_page() const { return meta_page_; }
+  uint64_t entry_count() const { return entry_count_; }
+  /// Cells per dimension (tests inspect splitting behaviour).
+  std::vector<size_t> CellCounts() const;
+
+ private:
+  struct Entry {
+    std::vector<std::string> keys;
+    Tid tid;
+  };
+
+  // Directory addressing: row-major over per-dim cell indices.
+  size_t CellIndex(const std::vector<size_t>& coord) const;
+  std::vector<size_t> CoordOf(const std::vector<std::string>& keys) const;
+  size_t DirSize() const;
+
+  util::Result<std::vector<Entry>> LoadBucket(uint32_t page,
+                                              uint32_t* overflow) const;
+  util::Status StoreBucket(uint32_t page, const std::vector<Entry>& entries,
+                           uint32_t overflow) const;
+  // All entries across a bucket's overflow chain.
+  util::Result<std::vector<Entry>> LoadChain(uint32_t page) const;
+  // Store entries into the chain, growing/shrinking overflow pages.
+  util::Status StoreChain(uint32_t page, std::vector<Entry> entries);
+
+  static size_t EntryBytes(const Entry& e);
+  size_t BucketCapacityBytes() const;
+
+  util::Status SplitBucket(uint32_t bucket_page,
+                           const std::vector<size_t>& coord);
+
+  storage::StorageSystem* storage_;
+  storage::SegmentId segment_;
+  size_t dims_;
+  uint32_t meta_page_;
+  std::function<void(uint32_t)> on_meta_change_;
+  uint32_t page_size_ = 0;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::string>> scales_;  // per dim, sorted boundaries
+  std::vector<uint32_t> directory_;               // cell -> bucket page
+  uint64_t entry_count_ = 0;
+  bool dirty_ = false;
+  bool opened_ = false;
+};
+
+}  // namespace prima::access
+
+#endif  // PRIMA_ACCESS_GRID_FILE_H_

@@ -1,0 +1,83 @@
+#ifndef PRIMA_ACCESS_SEARCH_ARG_H_
+#define PRIMA_ACCESS_SEARCH_ARG_H_
+
+#include <vector>
+
+#include "access/value.h"
+
+namespace prima::access {
+
+/// Comparison operators usable in a simple search argument.
+enum class CompareOp : uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kIsEmpty,    ///< repeating group has no elements (MQL: attr = EMPTY)
+  kNotEmpty,   ///< repeating group has elements   (MQL: attr <> EMPTY)
+  kContains,   ///< repeating group contains the operand
+};
+
+/// One comparison decidable on a single atom. `field_path` optionally
+/// descends into RECORD values (e.g. placement.x_coord).
+struct SimplePredicate {
+  uint16_t attr = 0;
+  std::vector<uint16_t> field_path;
+  CompareOp op = CompareOp::kEq;
+  Value operand;
+
+  bool Eval(const Atom& atom) const {
+    if (attr >= atom.attrs.size()) return false;
+    const Value* v = &atom.attrs[attr];
+    for (uint16_t f : field_path) {
+      if (v->kind() != Value::Kind::kRecord || f >= v->elems().size()) {
+        return false;
+      }
+      v = &v->elems()[f];
+    }
+    switch (op) {
+      case CompareOp::kIsEmpty:
+        return v->is_null() ||
+               (v->kind() == Value::Kind::kList && v->elems().empty());
+      case CompareOp::kNotEmpty:
+        return v->kind() == Value::Kind::kList && !v->elems().empty();
+      case CompareOp::kContains:
+        return v->Contains(operand);
+      default:
+        break;
+    }
+    if (v->is_null()) return false;
+    const int c = v->Compare(operand);
+    switch (op) {
+      case CompareOp::kEq: return c == 0;
+      case CompareOp::kNe: return c != 0;
+      case CompareOp::kLt: return c < 0;
+      case CompareOp::kLe: return c <= 0;
+      case CompareOp::kGt: return c > 0;
+      case CompareOp::kGe: return c >= 0;
+      default: return false;
+    }
+  }
+};
+
+/// A conjunction of simple predicates — restricted by design so it is
+/// "decidable on each atom" in one pass (the single-scan property the paper
+/// cites from [DPS86]). The data system pushes qualifying conjuncts down
+/// into scans and evaluates everything else itself.
+struct SearchArgument {
+  std::vector<SimplePredicate> conjuncts;
+
+  bool Matches(const Atom& atom) const {
+    for (const auto& p : conjuncts) {
+      if (!p.Eval(atom)) return false;
+    }
+    return true;
+  }
+  bool empty() const { return conjuncts.empty(); }
+};
+
+}  // namespace prima::access
+
+#endif  // PRIMA_ACCESS_SEARCH_ARG_H_

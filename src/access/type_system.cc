@@ -1,0 +1,139 @@
+#include "access/type_system.h"
+
+#include "util/coding.h"
+
+namespace prima::access {
+
+using util::Result;
+using util::Slice;
+using util::Status;
+
+std::string TypeDesc::ToString() const {
+  switch (kind) {
+    case TypeKind::kIdentifier: return "IDENTIFIER";
+    case TypeKind::kInteger: return "INTEGER";
+    case TypeKind::kReal: return "REAL";
+    case TypeKind::kBoolean: return "BOOLEAN";
+    case TypeKind::kCharVar: return "CHAR_VAR";
+    case TypeKind::kChar: return "CHAR(" + std::to_string(length) + ")";
+    case TypeKind::kReference:
+      return "REF_TO(" + ref_type_name + "." + ref_attr_name + ")";
+    case TypeKind::kRecord: {
+      std::string s = "RECORD(";
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += fields[i].name + ": " + fields[i].type->ToString();
+      }
+      return s + ")";
+    }
+    case TypeKind::kArray:
+      return "ARRAY_OF(" + elem->ToString() + ")(" + std::to_string(length) +
+             ")";
+    case TypeKind::kSet:
+    case TypeKind::kList: {
+      std::string s = kind == TypeKind::kSet ? "SET_OF(" : "LIST_OF(";
+      s += elem->ToString() + ")";
+      if (!card.Unrestricted()) {
+        s += "(" + std::to_string(card.min) + "," +
+             (card.var_max ? "VAR" : std::to_string(card.max)) + ")";
+      }
+      return s;
+    }
+  }
+  return "?";
+}
+
+void TypeDesc::EncodeInto(std::string* out) const {
+  out->push_back(static_cast<char>(kind));
+  util::PutVarint64(out, length);
+  switch (kind) {
+    case TypeKind::kReference:
+      util::PutLengthPrefixed(out, ref_type_name);
+      util::PutLengthPrefixed(out, ref_attr_name);
+      util::PutVarint64(out, ref_type_id);
+      util::PutVarint64(out, ref_attr_id);
+      break;
+    case TypeKind::kRecord:
+      util::PutVarint64(out, fields.size());
+      for (const auto& f : fields) {
+        util::PutLengthPrefixed(out, f.name);
+        f.type->EncodeInto(out);
+      }
+      break;
+    case TypeKind::kArray:
+    case TypeKind::kSet:
+    case TypeKind::kList:
+      elem->EncodeInto(out);
+      util::PutVarint64(out, card.min);
+      util::PutVarint64(out, card.max);
+      out->push_back(card.var_max ? '\x01' : '\x00');
+      break;
+    default:
+      break;
+  }
+}
+
+Result<TypeDesc> TypeDesc::Decode(Slice* in) {
+  if (in->empty()) return Status::Corruption("truncated type descriptor");
+  TypeDesc t;
+  t.kind = static_cast<TypeKind>((*in)[0]);
+  in->RemovePrefix(1);
+  uint64_t len;
+  if (!util::GetVarint64(in, &len)) {
+    return Status::Corruption("truncated type length");
+  }
+  t.length = static_cast<uint32_t>(len);
+  switch (t.kind) {
+    case TypeKind::kReference: {
+      Slice tn, an;
+      uint64_t tid, aid;
+      if (!util::GetLengthPrefixed(in, &tn) ||
+          !util::GetLengthPrefixed(in, &an) || !util::GetVarint64(in, &tid) ||
+          !util::GetVarint64(in, &aid)) {
+        return Status::Corruption("truncated reference descriptor");
+      }
+      t.ref_type_name = tn.ToString();
+      t.ref_attr_name = an.ToString();
+      t.ref_type_id = static_cast<AtomTypeId>(tid);
+      t.ref_attr_id = static_cast<uint16_t>(aid);
+      break;
+    }
+    case TypeKind::kRecord: {
+      uint64_t n;
+      if (!util::GetVarint64(in, &n)) {
+        return Status::Corruption("truncated record descriptor");
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        Slice name;
+        if (!util::GetLengthPrefixed(in, &name)) {
+          return Status::Corruption("truncated record field");
+        }
+        PRIMA_ASSIGN_OR_RETURN(TypeDesc ft, Decode(in));
+        t.fields.push_back(
+            {name.ToString(), std::make_shared<const TypeDesc>(std::move(ft))});
+      }
+      break;
+    }
+    case TypeKind::kArray:
+    case TypeKind::kSet:
+    case TypeKind::kList: {
+      PRIMA_ASSIGN_OR_RETURN(TypeDesc et, Decode(in));
+      t.elem = std::make_shared<const TypeDesc>(std::move(et));
+      uint64_t mn, mx;
+      if (!util::GetVarint64(in, &mn) || !util::GetVarint64(in, &mx) ||
+          in->empty()) {
+        return Status::Corruption("truncated cardinality");
+      }
+      t.card.min = static_cast<uint32_t>(mn);
+      t.card.max = static_cast<uint32_t>(mx);
+      t.card.var_max = (*in)[0] != '\x00';
+      in->RemovePrefix(1);
+      break;
+    }
+    default:
+      break;
+  }
+  return t;
+}
+
+}  // namespace prima::access

@@ -1,0 +1,166 @@
+#ifndef PRIMA_ACCESS_TYPE_SYSTEM_H_
+#define PRIMA_ACCESS_TYPE_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "access/tid.h"
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace prima::access {
+
+/// The extended attribute type concept of the MAD model (paper §2.2): on
+/// top of the conventional scalar types it offers IDENTIFIER (surrogates),
+/// typed REFERENCEs carrying the association concept, and the structured
+/// types RECORD, ARRAY and the repeating groups SET_OF / LIST_OF with
+/// optional cardinality restrictions.
+enum class TypeKind : uint8_t {
+  kIdentifier = 0,  ///< system-assigned surrogate (exactly one per atom type)
+  kReference = 1,   ///< typed logical pointer with enforced back-reference
+  kInteger = 2,
+  kReal = 3,
+  kBoolean = 4,
+  kChar = 5,       ///< fixed length
+  kCharVar = 6,    ///< variable length
+  kRecord = 7,
+  kArray = 8,      ///< fixed element count
+  kSet = 9,        ///< unordered repeating group, duplicate-free
+  kList = 10,      ///< ordered repeating group
+};
+
+/// Cardinality restriction for SET_OF / LIST_OF, e.g. `(4,VAR)` in the
+/// paper's Fig. 2.3 (min 4 elements, no upper bound).
+struct Cardinality {
+  uint32_t min = 0;
+  uint32_t max = 0;      ///< meaningful only if !var_max
+  bool var_max = true;   ///< VAR: unbounded
+
+  bool Unrestricted() const { return min == 0 && var_max; }
+};
+
+/// Recursive type descriptor. Copyable (element/field descriptors are
+/// shared immutable nodes).
+struct TypeDesc {
+  TypeKind kind = TypeKind::kInteger;
+
+  /// kChar / kArray: fixed length (characters / elements).
+  uint32_t length = 0;
+
+  /// kReference: the association target written as `type.attr` in MAD-DDL —
+  /// the attribute named here is the *back-reference* on the target type.
+  /// Names are recorded at parse time; ids resolved by the catalog.
+  std::string ref_type_name;
+  std::string ref_attr_name;
+  AtomTypeId ref_type_id = 0;
+  uint16_t ref_attr_id = 0;
+
+  /// kRecord fields.
+  struct Field {
+    std::string name;
+    std::shared_ptr<const TypeDesc> type;
+  };
+  std::vector<Field> fields;
+
+  /// kArray / kSet / kList element type.
+  std::shared_ptr<const TypeDesc> elem;
+
+  /// kSet / kList cardinality restriction.
+  Cardinality card;
+
+  // --- convenience constructors -------------------------------------------
+
+  static TypeDesc Identifier() { return Simple(TypeKind::kIdentifier); }
+  static TypeDesc Integer() { return Simple(TypeKind::kInteger); }
+  static TypeDesc Real() { return Simple(TypeKind::kReal); }
+  static TypeDesc Boolean() { return Simple(TypeKind::kBoolean); }
+  static TypeDesc CharVar() { return Simple(TypeKind::kCharVar); }
+  static TypeDesc Char(uint32_t n) {
+    TypeDesc t = Simple(TypeKind::kChar);
+    t.length = n;
+    return t;
+  }
+  /// REF_TO(type.attr)
+  static TypeDesc RefTo(std::string type_name, std::string attr_name) {
+    TypeDesc t = Simple(TypeKind::kReference);
+    t.ref_type_name = std::move(type_name);
+    t.ref_attr_name = std::move(attr_name);
+    return t;
+  }
+  static TypeDesc SetOf(TypeDesc elem, Cardinality card = {}) {
+    TypeDesc t = Simple(TypeKind::kSet);
+    t.elem = std::make_shared<const TypeDesc>(std::move(elem));
+    t.card = card;
+    return t;
+  }
+  static TypeDesc ListOf(TypeDesc elem, Cardinality card = {}) {
+    TypeDesc t = Simple(TypeKind::kList);
+    t.elem = std::make_shared<const TypeDesc>(std::move(elem));
+    t.card = card;
+    return t;
+  }
+  static TypeDesc ArrayOf(TypeDesc elem, uint32_t n) {
+    TypeDesc t = Simple(TypeKind::kArray);
+    t.elem = std::make_shared<const TypeDesc>(std::move(elem));
+    t.length = n;
+    return t;
+  }
+  static TypeDesc RecordOf(std::vector<Field> fields) {
+    TypeDesc t = Simple(TypeKind::kRecord);
+    t.fields = std::move(fields);
+    return t;
+  }
+
+  /// True for REFERENCE or SET_OF/LIST_OF(REFERENCE) — the attribute forms
+  /// one side of an association.
+  bool IsAssociation() const {
+    if (kind == TypeKind::kReference) return true;
+    if ((kind == TypeKind::kSet || kind == TypeKind::kList) &&
+        elem != nullptr) {
+      return elem->kind == TypeKind::kReference;
+    }
+    return false;
+  }
+
+  /// For association attributes: the descriptor of the REFERENCE involved.
+  const TypeDesc* ReferenceDesc() const {
+    if (kind == TypeKind::kReference) return this;
+    if (IsAssociation()) return elem.get();
+    return nullptr;
+  }
+
+  /// Can values of this type be index keys / sort criteria?
+  bool IsScalar() const {
+    switch (kind) {
+      case TypeKind::kInteger:
+      case TypeKind::kReal:
+      case TypeKind::kBoolean:
+      case TypeKind::kChar:
+      case TypeKind::kCharVar:
+      case TypeKind::kIdentifier:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  std::string ToString() const;
+
+  /// Serialize / parse (catalog persistence).
+  void EncodeInto(std::string* out) const;
+  static util::Result<TypeDesc> Decode(util::Slice* in);
+
+ private:
+  static TypeDesc Simple(TypeKind k) {
+    TypeDesc t;
+    t.kind = k;
+    return t;
+  }
+};
+
+}  // namespace prima::access
+
+#endif  // PRIMA_ACCESS_TYPE_SYSTEM_H_

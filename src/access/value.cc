@@ -1,0 +1,356 @@
+#include "access/value.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace prima::access {
+
+using util::Result;
+using util::Slice;
+using util::Status;
+
+bool Value::Equals(const Value& other) const { return Compare(other) == 0; }
+
+int Value::Compare(const Value& other) const {
+  // Numbers compare numerically across int/real.
+  if (IsNumber() && other.IsNumber()) {
+    const double a = AsNumber(), b = other.AsNumber();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (kind_ != other.kind_) {
+    return static_cast<int>(kind_) < static_cast<int>(other.kind_) ? -1 : 1;
+  }
+  switch (kind_) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kInt:
+    case Kind::kReal:
+      return 0;  // handled above
+    case Kind::kBool:
+      return static_cast<int>(bool_) - static_cast<int>(other.bool_);
+    case Kind::kString:
+      return str_.compare(other.str_) < 0   ? -1
+             : str_.compare(other.str_) > 0 ? 1
+                                            : 0;
+    case Kind::kTid: {
+      const uint64_t a = tid_.Pack(), b = other.tid_.Pack();
+      return a < b ? -1 : a > b ? 1 : 0;
+    }
+    case Kind::kRecord:
+    case Kind::kList: {
+      const size_t n = std::min(elems_.size(), other.elems_.size());
+      for (size_t i = 0; i < n; ++i) {
+        const int c = elems_[i].Compare(other.elems_[i]);
+        if (c != 0) return c;
+      }
+      if (elems_.size() < other.elems_.size()) return -1;
+      if (elems_.size() > other.elems_.size()) return 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+bool Value::Contains(const Value& v) const {
+  if (kind_ != Kind::kList) return false;
+  for (const auto& e : elems_) {
+    if (e.Equals(v)) return true;
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull: return "NULL";
+    case Kind::kInt: return std::to_string(int_);
+    case Kind::kReal: {
+      std::string s = std::to_string(real_);
+      return s;
+    }
+    case Kind::kBool: return bool_ ? "TRUE" : "FALSE";
+    case Kind::kString: return "'" + str_ + "'";
+    case Kind::kTid: return tid_.ToString();
+    case Kind::kRecord:
+    case Kind::kList: {
+      std::string s = kind_ == Kind::kRecord ? "(" : "{";
+      for (size_t i = 0; i < elems_.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += elems_[i].ToString();
+      }
+      s += kind_ == Kind::kRecord ? ")" : "}";
+      return s;
+    }
+  }
+  return "?";
+}
+
+void Value::EncodeInto(std::string* out) const {
+  out->push_back(static_cast<char>(kind_));
+  switch (kind_) {
+    case Kind::kNull:
+      break;
+    case Kind::kInt:
+      util::PutVarsint64(out, int_);
+      break;
+    case Kind::kReal: {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(real_));
+      std::memcpy(&bits, &real_, sizeof(bits));
+      util::PutFixed64(out, bits);
+      break;
+    }
+    case Kind::kBool:
+      out->push_back(bool_ ? '\x01' : '\x00');
+      break;
+    case Kind::kString:
+      util::PutLengthPrefixed(out, str_);
+      break;
+    case Kind::kTid:
+      util::PutFixed64(out, tid_.Pack());
+      break;
+    case Kind::kRecord:
+    case Kind::kList:
+      util::PutVarint64(out, elems_.size());
+      for (const auto& e : elems_) e.EncodeInto(out);
+      break;
+  }
+}
+
+Result<Value> Value::Decode(Slice* in) {
+  if (in->empty()) return Status::Corruption("truncated value");
+  const Kind kind = static_cast<Kind>((*in)[0]);
+  in->RemovePrefix(1);
+  switch (kind) {
+    case Kind::kNull:
+      return Value::Null();
+    case Kind::kInt: {
+      int64_t v;
+      if (!util::GetVarsint64(in, &v)) return Status::Corruption("int value");
+      return Value::Int(v);
+    }
+    case Kind::kReal: {
+      uint64_t bits;
+      if (!util::GetFixed64(in, &bits)) return Status::Corruption("real value");
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Real(d);
+    }
+    case Kind::kBool: {
+      if (in->empty()) return Status::Corruption("bool value");
+      const bool b = (*in)[0] != '\x00';
+      in->RemovePrefix(1);
+      return Value::Bool(b);
+    }
+    case Kind::kString: {
+      Slice s;
+      if (!util::GetLengthPrefixed(in, &s)) {
+        return Status::Corruption("string value");
+      }
+      return Value::String(s.ToString());
+    }
+    case Kind::kTid: {
+      uint64_t packed;
+      if (!util::GetFixed64(in, &packed)) return Status::Corruption("tid value");
+      return Value::Ref(Tid::Unpack(packed));
+    }
+    case Kind::kRecord:
+    case Kind::kList: {
+      uint64_t n;
+      if (!util::GetVarint64(in, &n)) return Status::Corruption("composite");
+      std::vector<Value> elems;
+      elems.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        PRIMA_ASSIGN_OR_RETURN(Value e, Decode(in));
+        elems.push_back(std::move(e));
+      }
+      return kind == Kind::kRecord ? Value::Record(std::move(elems))
+                                   : Value::List(std::move(elems));
+    }
+  }
+  return Status::Corruption("unknown value kind");
+}
+
+Status Value::EncodeKeyInto(std::string* out) const {
+  switch (kind_) {
+    case Kind::kInt:
+      out->push_back('\x02');
+      util::PutKeyInt64(out, int_);
+      return Status::Ok();
+    case Kind::kReal:
+      // Same tag as kInt so mixed numeric keys stay ordered.
+      out->push_back('\x02');
+      util::PutKeyDouble(out, real_);
+      return Status::Ok();
+    case Kind::kBool:
+      out->push_back('\x01');
+      util::PutKeyBool(out, bool_);
+      return Status::Ok();
+    case Kind::kString:
+      out->push_back('\x03');
+      util::PutKeyString(out, str_);
+      return Status::Ok();
+    case Kind::kTid: {
+      out->push_back('\x04');
+      // big-endian for order preservation
+      const uint64_t p = tid_.Pack();
+      for (int i = 7; i >= 0; --i) {
+        out->push_back(static_cast<char>((p >> (8 * i)) & 0xFF));
+      }
+      return Status::Ok();
+    }
+    case Kind::kNull:
+      out->push_back('\x00');
+      return Status::Ok();
+    default:
+      return Status::InvalidArgument("value kind not key-encodable");
+  }
+}
+
+// kInt keys must sort with kReal keys: encode ints as doubles when they fit
+// exactly; EncodeKeyInto above uses PutKeyInt64 for ints which would NOT
+// interleave with doubles. Index key building therefore normalizes numeric
+// values first — see NormalizeForKey in access_system.cc.
+
+void Atom::EncodeInto(std::string* out) const {
+  util::PutFixed64(out, tid.Pack());
+  uint64_t non_null = 0;
+  for (const auto& a : attrs) {
+    if (!a.is_null()) ++non_null;
+  }
+  util::PutVarint64(out, non_null);
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i].is_null()) continue;
+    util::PutVarint64(out, i);
+    attrs[i].EncodeInto(out);
+  }
+}
+
+Result<Atom> Atom::Decode(Slice* in, size_t attr_count) {
+  Atom atom;
+  uint64_t packed;
+  if (!util::GetFixed64(in, &packed)) return Status::Corruption("atom tid");
+  atom.tid = Tid::Unpack(packed);
+  atom.attrs.assign(attr_count, Value::Null());
+  uint64_t n;
+  if (!util::GetVarint64(in, &n)) return Status::Corruption("atom attr count");
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t idx;
+    if (!util::GetVarint64(in, &idx)) return Status::Corruption("atom attr idx");
+    PRIMA_ASSIGN_OR_RETURN(Value v, Value::Decode(in));
+    if (idx >= atom.attrs.size()) {
+      // Schema narrowed since the record was written; ignore the extra.
+      continue;
+    }
+    atom.attrs[idx] = std::move(v);
+  }
+  return atom;
+}
+
+Status TypeCheckValue(const Value& v, const TypeDesc& t) {
+  if (v.is_null()) return Status::Ok();
+  switch (t.kind) {
+    case TypeKind::kIdentifier:
+    case TypeKind::kReference:
+      if (v.kind() != Value::Kind::kTid) {
+        return Status::InvalidArgument("expected surrogate/reference value");
+      }
+      if (t.kind == TypeKind::kReference && t.ref_type_id != 0 &&
+          !v.AsTid().IsNull() && v.AsTid().type != t.ref_type_id) {
+        return Status::InvalidArgument("reference targets wrong atom type");
+      }
+      return Status::Ok();
+    case TypeKind::kInteger:
+      if (v.kind() != Value::Kind::kInt) {
+        return Status::InvalidArgument("expected INTEGER");
+      }
+      return Status::Ok();
+    case TypeKind::kReal:
+      if (!v.IsNumber()) return Status::InvalidArgument("expected REAL");
+      return Status::Ok();
+    case TypeKind::kBoolean:
+      if (v.kind() != Value::Kind::kBool) {
+        return Status::InvalidArgument("expected BOOLEAN");
+      }
+      return Status::Ok();
+    case TypeKind::kChar:
+      if (v.kind() != Value::Kind::kString) {
+        return Status::InvalidArgument("expected CHAR");
+      }
+      if (v.AsString().size() > t.length) {
+        return Status::InvalidArgument("CHAR value too long");
+      }
+      return Status::Ok();
+    case TypeKind::kCharVar:
+      if (v.kind() != Value::Kind::kString) {
+        return Status::InvalidArgument("expected CHAR_VAR");
+      }
+      return Status::Ok();
+    case TypeKind::kRecord: {
+      if (v.kind() != Value::Kind::kRecord) {
+        return Status::InvalidArgument("expected RECORD");
+      }
+      if (v.elems().size() != t.fields.size()) {
+        return Status::InvalidArgument("RECORD arity mismatch");
+      }
+      for (size_t i = 0; i < t.fields.size(); ++i) {
+        PRIMA_RETURN_IF_ERROR(TypeCheckValue(v.elems()[i], *t.fields[i].type));
+      }
+      return Status::Ok();
+    }
+    case TypeKind::kArray: {
+      if (v.kind() != Value::Kind::kList) {
+        return Status::InvalidArgument("expected ARRAY");
+      }
+      if (v.elems().size() != t.length) {
+        return Status::InvalidArgument("ARRAY length mismatch");
+      }
+      for (const auto& e : v.elems()) {
+        PRIMA_RETURN_IF_ERROR(TypeCheckValue(e, *t.elem));
+      }
+      return Status::Ok();
+    }
+    case TypeKind::kSet:
+    case TypeKind::kList: {
+      if (v.kind() != Value::Kind::kList) {
+        return Status::InvalidArgument("expected SET/LIST");
+      }
+      for (const auto& e : v.elems()) {
+        PRIMA_RETURN_IF_ERROR(TypeCheckValue(e, *t.elem));
+      }
+      if (t.kind == TypeKind::kSet) {
+        for (size_t i = 0; i < v.elems().size(); ++i) {
+          for (size_t j = i + 1; j < v.elems().size(); ++j) {
+            if (v.elems()[i].Equals(v.elems()[j])) {
+              return Status::InvalidArgument("duplicate element in SET");
+            }
+          }
+        }
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckCardinality(const Value& v, const TypeDesc& t,
+                        const std::string& attr_name) {
+  if (t.kind != TypeKind::kSet && t.kind != TypeKind::kList) {
+    return Status::Ok();
+  }
+  const size_t n = v.is_null() ? 0 : v.elems().size();
+  if (!t.card.var_max && t.card.max != 0 && n > t.card.max) {
+    return Status::Constraint("attribute " + attr_name + " exceeds max cardinality " +
+                              std::to_string(t.card.max));
+  }
+  if (n < t.card.min) {
+    return Status::Constraint("attribute " + attr_name + " below min cardinality " +
+                              std::to_string(t.card.min));
+  }
+  return Status::Ok();
+}
+
+}  // namespace prima::access

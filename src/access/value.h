@@ -1,0 +1,148 @@
+#ifndef PRIMA_ACCESS_VALUE_H_
+#define PRIMA_ACCESS_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "access/tid.h"
+#include "access/type_system.h"
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace prima::access {
+
+/// Runtime representation of an attribute value. A small tagged union:
+/// RECORD values are positional field vectors; SET / LIST / ARRAY values all
+/// use the composite vector (sets are kept duplicate-free by the access
+/// system). Values serialize self-describing so partitions (attribute
+/// subsets) and schema evolution decode without a schema in hand.
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kNull = 0,
+    kInt = 1,
+    kReal = 2,
+    kBool = 3,
+    kString = 4,
+    kTid = 5,      ///< IDENTIFIER and REFERENCE values
+    kRecord = 6,
+    kList = 7,     ///< SET / LIST / ARRAY
+  };
+
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value x;
+    x.kind_ = Kind::kInt;
+    x.int_ = v;
+    return x;
+  }
+  static Value Real(double v) {
+    Value x;
+    x.kind_ = Kind::kReal;
+    x.real_ = v;
+    return x;
+  }
+  static Value Bool(bool v) {
+    Value x;
+    x.kind_ = Kind::kBool;
+    x.bool_ = v;
+    return x;
+  }
+  static Value String(std::string v) {
+    Value x;
+    x.kind_ = Kind::kString;
+    x.str_ = std::move(v);
+    return x;
+  }
+  static Value Ref(Tid t) {
+    Value x;
+    x.kind_ = Kind::kTid;
+    x.tid_ = t;
+    return x;
+  }
+  static Value Record(std::vector<Value> fields) {
+    Value x;
+    x.kind_ = Kind::kRecord;
+    x.elems_ = std::move(fields);
+    return x;
+  }
+  static Value List(std::vector<Value> elems) {
+    Value x;
+    x.kind_ = Kind::kList;
+    x.elems_ = std::move(elems);
+    return x;
+  }
+  /// An empty repeating group (what MQL's EMPTY literal denotes).
+  static Value EmptyList() { return List({}); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  int64_t AsInt() const { return int_; }
+  double AsReal() const { return real_; }
+  bool AsBool() const { return bool_; }
+  const std::string& AsString() const { return str_; }
+  Tid AsTid() const { return tid_; }
+  const std::vector<Value>& elems() const { return elems_; }
+  std::vector<Value>* mutable_elems() { return &elems_; }
+
+  /// Numeric view: kInt and kReal compare/convert interchangeably.
+  double AsNumber() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : real_;
+  }
+  bool IsNumber() const { return kind_ == Kind::kInt || kind_ == Kind::kReal; }
+
+  bool Equals(const Value& other) const;
+  /// Total order: null < everything; numbers compare numerically across
+  /// kInt/kReal; otherwise kind, then value. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// True if this list/set value contains an element equal to `v`.
+  bool Contains(const Value& v) const;
+
+  std::string ToString() const;
+
+  void EncodeInto(std::string* out) const;
+  static util::Result<Value> Decode(util::Slice* in);
+
+  /// Order-preserving key encoding (B*-tree / grid file). Only scalar kinds
+  /// (int, real, bool, string, tid) are encodable.
+  util::Status EncodeKeyInto(std::string* out) const;
+
+ private:
+  Kind kind_;
+  int64_t int_ = 0;
+  double real_ = 0;
+  bool bool_ = false;
+  Tid tid_;
+  std::string str_;
+  std::vector<Value> elems_;
+};
+
+/// A typed record at the access-system interface: the atom (paper §2.2).
+/// `attrs` is positional over the atom type's attribute list; attributes the
+/// caller did not supply (or project) are kNull.
+struct Atom {
+  Tid tid;
+  std::vector<Value> attrs;
+
+  /// Serialize non-null attributes as (index, value) pairs.
+  void EncodeInto(std::string* out) const;
+  static util::Result<Atom> Decode(util::Slice* in, size_t attr_count);
+};
+
+/// Validate that `v` structurally matches `t` (kinds, record arity, element
+/// types, array length, reference target type when resolvable).
+util::Status TypeCheckValue(const Value& v, const TypeDesc& t);
+
+/// Check a SET/LIST cardinality restriction.
+util::Status CheckCardinality(const Value& v, const TypeDesc& t,
+                              const std::string& attr_name);
+
+}  // namespace prima::access
+
+#endif  // PRIMA_ACCESS_VALUE_H_

@@ -1,0 +1,64 @@
+#include "core/prima.h"
+
+#include <thread>
+
+namespace prima::core {
+
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
+  std::unique_ptr<storage::BlockDevice> device;
+  if (options.in_memory) {
+    device = std::make_unique<storage::MemoryBlockDevice>();
+  } else {
+    if (options.path.empty()) {
+      return Status::InvalidArgument("file-backed database needs a path");
+    }
+    device = std::make_unique<storage::FileBlockDevice>(options.path);
+  }
+  auto db = std::unique_ptr<Prima>(new Prima());
+  db->storage_ = std::make_unique<storage::StorageSystem>(std::move(device),
+                                                          options.storage);
+  PRIMA_RETURN_IF_ERROR(db->storage_->Open());
+  db->access_ =
+      std::make_unique<access::AccessSystem>(db->storage_.get(), options.access);
+  PRIMA_RETURN_IF_ERROR(db->access_->Open());
+  db->data_ = std::make_unique<mql::DataSystem>(db->access_.get());
+  db->ldl_ = std::make_unique<ldl::LoadDefinition>(db->access_.get());
+  db->txns_ = std::make_unique<TransactionManager>(db->access_.get());
+  size_t workers = options.parallel_workers;
+  if (workers == 0) {
+    workers = std::max(2u, std::thread::hardware_concurrency());
+  }
+  db->pool_ = std::make_unique<util::ThreadPool>(workers);
+  db->parallel_ = std::make_unique<ParallelQueryProcessor>(db->data_.get(),
+                                                           db->pool_.get());
+  db->object_buffer_ = std::make_unique<ObjectBuffer>(db->data_.get());
+  return db;
+}
+
+Prima::~Prima() {
+  if (access_ != nullptr) (void)access_->Flush();
+}
+
+Result<mql::ExecResult> Prima::Execute(const std::string& mql) {
+  return data_->Execute(mql);
+}
+
+Result<mql::MoleculeSet> Prima::Query(const std::string& mql) {
+  return data_->ExecuteQuery(mql);
+}
+
+Result<mql::MoleculeSet> Prima::QueryParallel(const std::string& mql,
+                                              size_t max_units) {
+  return parallel_->Run(mql, max_units);
+}
+
+Result<std::string> Prima::ExecuteLdl(const std::string& ldl) {
+  return ldl_->Execute(ldl);
+}
+
+Status Prima::Flush() { return access_->Flush(); }
+
+}  // namespace prima::core

@@ -1,0 +1,94 @@
+#ifndef PRIMA_CORE_PRIMA_H_
+#define PRIMA_CORE_PRIMA_H_
+
+#include <memory>
+#include <string>
+
+#include "access/access_system.h"
+#include "core/app_layer.h"
+#include "core/semantic_parallel.h"
+#include "core/transaction.h"
+#include "ldl/ldl.h"
+#include "mql/data_system.h"
+#include "storage/storage_system.h"
+#include "util/thread_pool.h"
+
+namespace prima::core {
+
+/// Database configuration.
+struct PrimaOptions {
+  /// In-memory block device (default) or a directory of segment files.
+  bool in_memory = true;
+  std::string path;
+
+  storage::StorageOptions storage;
+  access::AccessOptions access;
+
+  /// Worker threads for semantic parallelism (0 = hardware concurrency).
+  size_t parallel_workers = 0;
+};
+
+/// PRIMA — the kernel facade. Wires the three layers of Fig. 3.1 together
+/// with the load definition language, nested transactions, the semantic-
+/// parallelism processor, and the application-layer object buffer.
+///
+/// Quickstart:
+///   auto db = *Prima::Open({});
+///   db->Execute("CREATE ATOM_TYPE point (point_id: IDENTIFIER, x: REAL)");
+///   db->Execute("INSERT point (x = 1.5)");
+///   auto set = *db->Query("SELECT ALL FROM point");
+class Prima {
+ public:
+  static util::Result<std::unique_ptr<Prima>> Open(PrimaOptions options);
+  ~Prima();
+
+  Prima(const Prima&) = delete;
+  Prima& operator=(const Prima&) = delete;
+
+  // --- MQL / LDL ---------------------------------------------------------------
+
+  /// Execute one MQL statement (DDL, DML, or query).
+  util::Result<mql::ExecResult> Execute(const std::string& mql);
+  /// Execute a SELECT and return its molecule set.
+  util::Result<mql::MoleculeSet> Query(const std::string& mql);
+  /// Execute a SELECT with semantic parallelism (decomposed units of work).
+  util::Result<mql::MoleculeSet> QueryParallel(const std::string& mql,
+                                               size_t max_units = 0);
+  /// Execute one LDL statement (access paths, sort orders, partitions,
+  /// atom clusters).
+  util::Result<std::string> ExecuteLdl(const std::string& ldl);
+
+  // --- transactions ---------------------------------------------------------------
+
+  util::Result<Transaction*> Begin() { return txns_->Begin(); }
+
+  // --- maintenance ----------------------------------------------------------------
+
+  /// Drain deferred updates and write everything to the device.
+  util::Status Flush();
+
+  // --- subsystem access -------------------------------------------------------------
+
+  storage::StorageSystem& storage() { return *storage_; }
+  access::AccessSystem& access() { return *access_; }
+  mql::DataSystem& data() { return *data_; }
+  TransactionManager& transactions() { return *txns_; }
+  ObjectBuffer& object_buffer() { return *object_buffer_; }
+  util::ThreadPool& pool() { return *pool_; }
+
+ private:
+  Prima() = default;
+
+  std::unique_ptr<storage::StorageSystem> storage_;
+  std::unique_ptr<access::AccessSystem> access_;
+  std::unique_ptr<mql::DataSystem> data_;
+  std::unique_ptr<ldl::LoadDefinition> ldl_;
+  std::unique_ptr<TransactionManager> txns_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<ParallelQueryProcessor> parallel_;
+  std::unique_ptr<ObjectBuffer> object_buffer_;
+};
+
+}  // namespace prima::core
+
+#endif  // PRIMA_CORE_PRIMA_H_

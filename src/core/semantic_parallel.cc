@@ -1,0 +1,82 @@
+#include "core/semantic_parallel.h"
+
+#include <vector>
+
+#include "mql/parser.h"
+
+namespace prima::core {
+
+using mql::Molecule;
+using mql::MoleculeSet;
+using util::Result;
+using util::Status;
+
+Result<MoleculeSet> ParallelQueryProcessor::Run(const std::string& query_text,
+                                                size_t max_units) {
+  stats_.operations++;
+  PRIMA_ASSIGN_OR_RETURN(mql::Statement stmt, mql::ParseStatement(query_text));
+  if (stmt.kind != mql::Statement::Kind::kQuery) {
+    return Status::InvalidArgument("parallel execution expects a SELECT");
+  }
+  const mql::Query& query = stmt.query;
+  mql::Executor& exec = data_->executor();
+
+  PRIMA_ASSIGN_OR_RETURN(mql::QueryPlan plan,
+                         exec.Prepare(query.from, query.where.get()));
+  PRIMA_ASSIGN_OR_RETURN(std::vector<access::Atom> roots, exec.Roots(plan));
+
+  const size_t workers = pool_->num_threads();
+  size_t units = max_units == 0 ? workers : max_units;
+  if (units > roots.size()) units = roots.size() == 0 ? 1 : roots.size();
+
+  // One slot per root keeps the result order deterministic.
+  struct Slot {
+    bool qualified = false;
+    Molecule molecule;
+    util::Status status;
+  };
+  std::vector<Slot> slots(roots.size());
+
+  // Decompose: contiguous root ranges, one DU each.
+  const size_t per_unit = units == 0 ? 0 : (roots.size() + units - 1) / units;
+  for (size_t u = 0; u < units; ++u) {
+    const size_t begin = u * per_unit;
+    const size_t end = std::min(roots.size(), begin + per_unit);
+    if (begin >= end) break;
+    stats_.units_of_work++;
+    pool_->Submit([&, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        auto molecule_or = exec.Assemble(plan, roots[i]);
+        if (!molecule_or.ok()) {
+          slots[i].status = molecule_or.status();
+          continue;
+        }
+        if (query.where != nullptr) {
+          auto ok_or = exec.Eval(*molecule_or, *query.where, {});
+          if (!ok_or.ok()) {
+            slots[i].status = ok_or.status();
+            continue;
+          }
+          if (!*ok_or) continue;
+        }
+        slots[i].qualified = true;
+        slots[i].molecule = std::move(*molecule_or);
+      }
+    });
+  }
+  pool_->Wait();
+
+  MoleculeSet out;
+  for (Slot& slot : slots) {
+    PRIMA_RETURN_IF_ERROR(slot.status);
+    if (!slot.qualified) continue;
+    PRIMA_ASSIGN_OR_RETURN(
+        Molecule projected,
+        exec.ProjectMolecule(query, plan, std::move(slot.molecule)));
+    out.molecules.push_back(std::move(projected));
+    stats_.molecules++;
+  }
+  return out;
+}
+
+}  // namespace prima::core

@@ -1,0 +1,49 @@
+#ifndef PRIMA_CORE_SEMANTIC_PARALLEL_H_
+#define PRIMA_CORE_SEMANTIC_PARALLEL_H_
+
+#include <atomic>
+#include <string>
+
+#include "mql/data_system.h"
+#include "util/thread_pool.h"
+
+namespace prima::core {
+
+struct ParallelStats {
+  std::atomic<uint64_t> operations{0};
+  std::atomic<uint64_t> units_of_work{0};  ///< DUs scheduled
+  std::atomic<uint64_t> molecules{0};
+};
+
+/// Semantic decomposition (paper §4): "units of work decomposed from a
+/// single user operation are said to allow for inherent semantic
+/// parallelism when they do not conflict with each other at the level of
+/// decomposition."
+///
+/// For molecule-set retrieval the decomposition is by root atom: each DU
+/// assembles and qualifies a partition of the candidate molecules. DUs are
+/// read-only and target disjoint molecule roots, so they are conflict-free
+/// by construction; they run concurrently on the worker pool (the
+/// shared-memory stand-in for multi-processor PRIMA — DESIGN.md §3).
+class ParallelQueryProcessor {
+ public:
+  ParallelQueryProcessor(mql::DataSystem* data, util::ThreadPool* pool)
+      : data_(data), pool_(pool) {}
+
+  /// Execute a SELECT with `max_units` decomposed units of work
+  /// (0 = one DU per worker thread). Results are deterministic: molecule
+  /// order matches serial execution.
+  util::Result<mql::MoleculeSet> Run(const std::string& query_text,
+                                     size_t max_units = 0);
+
+  ParallelStats& stats() { return stats_; }
+
+ private:
+  mql::DataSystem* data_;
+  util::ThreadPool* pool_;
+  ParallelStats stats_;
+};
+
+}  // namespace prima::core
+
+#endif  // PRIMA_CORE_SEMANTIC_PARALLEL_H_

@@ -1,0 +1,277 @@
+#include "core/transaction.h"
+
+#include <algorithm>
+
+namespace prima::core {
+
+using access::AccessSystem;
+using access::Atom;
+using access::AttrValue;
+using access::Tid;
+using util::Result;
+using util::Status;
+
+namespace {
+std::vector<Tid> RefTargets(const access::Value& v) {
+  std::vector<Tid> out;
+  if (v.kind() == access::Value::Kind::kTid) {
+    if (!v.AsTid().IsNull()) out.push_back(v.AsTid());
+  } else if (v.kind() == access::Value::Kind::kList) {
+    for (const auto& e : v.elems()) {
+      if (e.kind() == access::Value::Kind::kTid && !e.AsTid().IsNull()) {
+        out.push_back(e.AsTid());
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TransactionManager
+// ---------------------------------------------------------------------------
+
+Result<Transaction*> TransactionManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto txn =
+      std::unique_ptr<Transaction>(new Transaction(this, next_id_++, nullptr));
+  Transaction* raw = txn.get();
+  top_level_.push_back(std::move(txn));
+  stats_.begun++;
+  return raw;
+}
+
+bool TransactionManager::IsAncestorOf(const Transaction* maybe_ancestor,
+                                      const Transaction* txn) {
+  for (const Transaction* t = txn; t != nullptr; t = t->parent()) {
+    if (t == maybe_ancestor) return true;
+  }
+  return false;
+}
+
+Status TransactionManager::Acquire(Transaction* txn, const Tid& tid,
+                                   LockMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LockEntry& entry = lock_table_[tid.Pack()];
+  for (const auto& [holder, held_mode] : entry.holders) {
+    if (holder == txn) continue;
+    const bool conflicting =
+        mode == LockMode::kWrite || held_mode == LockMode::kWrite;
+    if (conflicting && !IsAncestorOf(holder, txn)) {
+      stats_.lock_conflicts++;
+      return Status::Conflict("atom " + tid.ToString() + " locked by txn " +
+                              std::to_string(holder->id()));
+    }
+  }
+  auto it = entry.holders.find(txn);
+  if (it == entry.holders.end()) {
+    entry.holders[txn] = mode;
+  } else if (mode == LockMode::kWrite) {
+    it->second = LockMode::kWrite;  // upgrade
+  }
+  auto lt = txn->locks_.find(tid.Pack());
+  if (lt == txn->locks_.end()) {
+    txn->locks_[tid.Pack()] = mode;
+  } else if (mode == LockMode::kWrite) {
+    lt->second = LockMode::kWrite;
+  }
+  return Status::Ok();
+}
+
+void TransactionManager::ReleaseAll(Transaction* txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [packed, mode] : txn->locks_) {
+    auto it = lock_table_.find(packed);
+    if (it == lock_table_.end()) continue;
+    it->second.holders.erase(txn);
+    if (it->second.holders.empty()) lock_table_.erase(it);
+  }
+  txn->locks_.clear();
+}
+
+void TransactionManager::InheritToParent(Transaction* child) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Transaction* parent = child->parent();
+  for (const auto& [packed, mode] : child->locks_) {
+    auto it = lock_table_.find(packed);
+    if (it == lock_table_.end()) continue;
+    it->second.holders.erase(child);
+    auto& parent_mode = it->second.holders[parent];
+    if (mode == LockMode::kWrite) parent_mode = LockMode::kWrite;
+    auto pl = parent->locks_.find(packed);
+    if (pl == parent->locks_.end()) {
+      parent->locks_[packed] = mode;
+    } else if (mode == LockMode::kWrite) {
+      pl->second = LockMode::kWrite;
+    }
+  }
+  child->locks_.clear();
+  // Undo inheritance: the parent compensates the child's effects if it
+  // later aborts.
+  parent->undo_.insert(parent->undo_.end(),
+                       std::make_move_iterator(child->undo_.begin()),
+                       std::make_move_iterator(child->undo_.end()));
+  child->undo_.clear();
+}
+
+size_t TransactionManager::LockedAtomCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lock_table_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Transaction
+// ---------------------------------------------------------------------------
+
+Status Transaction::CheckActive() const {
+  if (state_ != State::kActive) {
+    return Status::InvalidArgument("transaction " + std::to_string(id_) +
+                                   " is not active");
+  }
+  return Status::Ok();
+}
+
+Result<Transaction*> Transaction::BeginChild() {
+  PRIMA_RETURN_IF_ERROR(CheckActive());
+  std::lock_guard<std::mutex> lock(mgr_->mu_);
+  auto child = std::unique_ptr<Transaction>(
+      new Transaction(mgr_, mgr_->next_id_++, this));
+  Transaction* raw = child.get();
+  children_.push_back(std::move(child));
+  ++active_children_;
+  mgr_->stats_.begun++;
+  return raw;
+}
+
+Status Transaction::LockRefTargets(const access::Value& value) {
+  for (const Tid& t : RefTargets(value)) {
+    PRIMA_RETURN_IF_ERROR(mgr_->Acquire(this, t, LockMode::kWrite));
+  }
+  return Status::Ok();
+}
+
+Result<Tid> Transaction::InsertAtom(access::AtomTypeId type,
+                                    std::vector<AttrValue> values) {
+  PRIMA_RETURN_IF_ERROR(CheckActive());
+  for (const AttrValue& av : values) {
+    PRIMA_RETURN_IF_ERROR(LockRefTargets(av.value));
+  }
+  PRIMA_ASSIGN_OR_RETURN(
+      const Tid tid, mgr_->WithUndoHook(this, [&] {
+        return mgr_->access_->InsertAtom(type, std::move(values));
+      }));
+  PRIMA_RETURN_IF_ERROR(mgr_->Acquire(this, tid, LockMode::kWrite));
+  return tid;
+}
+
+Result<Atom> Transaction::GetAtom(const Tid& tid,
+                                  const std::vector<uint16_t>& projection) {
+  PRIMA_RETURN_IF_ERROR(CheckActive());
+  PRIMA_RETURN_IF_ERROR(mgr_->Acquire(this, tid, LockMode::kRead));
+  return mgr_->access_->GetAtom(tid, projection);
+}
+
+Status Transaction::ModifyAtom(const Tid& tid,
+                               std::vector<AttrValue> changes) {
+  PRIMA_RETURN_IF_ERROR(CheckActive());
+  PRIMA_RETURN_IF_ERROR(mgr_->Acquire(this, tid, LockMode::kWrite));
+  // Lock both the old and new association targets (their back-references
+  // change).
+  PRIMA_ASSIGN_OR_RETURN(const Atom current, mgr_->access_->GetAtom(tid));
+  const auto* def = mgr_->access_->catalog().GetAtomType(tid.type);
+  for (const AttrValue& av : changes) {
+    if (av.attr < def->attrs.size() && def->attrs[av.attr].type.IsAssociation()) {
+      PRIMA_RETURN_IF_ERROR(LockRefTargets(current.attrs[av.attr]));
+      PRIMA_RETURN_IF_ERROR(LockRefTargets(av.value));
+    }
+  }
+  return mgr_->WithUndoHook(this, [&] {
+    return mgr_->access_->ModifyAtom(tid, std::move(changes));
+  });
+}
+
+Status Transaction::DeleteAtom(const Tid& tid) {
+  PRIMA_RETURN_IF_ERROR(CheckActive());
+  PRIMA_RETURN_IF_ERROR(mgr_->Acquire(this, tid, LockMode::kWrite));
+  PRIMA_ASSIGN_OR_RETURN(const Atom current, mgr_->access_->GetAtom(tid));
+  const auto* def = mgr_->access_->catalog().GetAtomType(tid.type);
+  for (size_t i = 0; i < current.attrs.size(); ++i) {
+    if (def->attrs[i].type.IsAssociation()) {
+      PRIMA_RETURN_IF_ERROR(LockRefTargets(current.attrs[i]));
+    }
+  }
+  return mgr_->WithUndoHook(this,
+                            [&] { return mgr_->access_->DeleteAtom(tid); });
+}
+
+Status Transaction::Connect(const Tid& from, uint16_t attr, const Tid& to) {
+  PRIMA_RETURN_IF_ERROR(CheckActive());
+  PRIMA_RETURN_IF_ERROR(mgr_->Acquire(this, from, LockMode::kWrite));
+  PRIMA_RETURN_IF_ERROR(mgr_->Acquire(this, to, LockMode::kWrite));
+  return mgr_->WithUndoHook(
+      this, [&] { return mgr_->access_->Connect(from, attr, to); });
+}
+
+Status Transaction::Disconnect(const Tid& from, uint16_t attr, const Tid& to) {
+  PRIMA_RETURN_IF_ERROR(CheckActive());
+  PRIMA_RETURN_IF_ERROR(mgr_->Acquire(this, from, LockMode::kWrite));
+  PRIMA_RETURN_IF_ERROR(mgr_->Acquire(this, to, LockMode::kWrite));
+  return mgr_->WithUndoHook(
+      this, [&] { return mgr_->access_->Disconnect(from, attr, to); });
+}
+
+Status Transaction::Commit() {
+  PRIMA_RETURN_IF_ERROR(CheckActive());
+  if (active_children_ > 0) {
+    return Status::InvalidArgument(
+        "cannot commit with active subtransactions");
+  }
+  state_ = State::kCommitted;
+  if (parent_ != nullptr) {
+    mgr_->InheritToParent(this);
+    std::lock_guard<std::mutex> lock(mgr_->mu_);
+    --parent_->active_children_;
+  } else {
+    mgr_->ReleaseAll(this);
+    undo_.clear();
+  }
+  mgr_->stats_.committed++;
+  return Status::Ok();
+}
+
+Status Transaction::Abort() {
+  PRIMA_RETURN_IF_ERROR(CheckActive());
+  if (active_children_ > 0) {
+    return Status::InvalidArgument("cannot abort with active subtransactions");
+  }
+  // Selective in-transaction recovery: compensate this subtree only, in
+  // reverse chronological order.
+  Status first_error;
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    Status st;
+    switch (it->kind) {
+      case AccessSystem::UndoRecord::Kind::kInsert:
+        st = mgr_->access_->RawDeleteAtom(it->tid);
+        break;
+      case AccessSystem::UndoRecord::Kind::kModify:
+        st = mgr_->access_->RawOverwriteAtom(it->before);
+        break;
+      case AccessSystem::UndoRecord::Kind::kDelete:
+        st = mgr_->access_->RawRestoreAtom(it->before);
+        break;
+    }
+    mgr_->stats_.undo_applied++;
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  undo_.clear();
+  state_ = State::kAborted;
+  mgr_->ReleaseAll(this);
+  if (parent_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mgr_->mu_);
+    --parent_->active_children_;
+  }
+  mgr_->stats_.aborted++;
+  return first_error;
+}
+
+}  // namespace prima::core

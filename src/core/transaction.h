@@ -1,0 +1,149 @@
+#ifndef PRIMA_CORE_TRANSACTION_H_
+#define PRIMA_CORE_TRANSACTION_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "access/access_system.h"
+
+namespace prima::core {
+
+enum class LockMode : uint8_t { kRead, kWrite };
+
+class TransactionManager;
+
+/// A node of a nested-transaction tree (paper §4, refining Moss [Mo81]):
+/// subtransactions acquire locks under the ancestor rule, commit by
+/// inheriting locks and undo information to their parent, and abort by
+/// selective in-transaction recovery — only the subtree's effects are
+/// compensated.
+///
+/// All data operations go through the transaction so locking and undo
+/// logging are automatic. Lock requests are non-blocking: a conflicting
+/// request returns kConflict and the caller decides (retry or abort).
+class Transaction {
+ public:
+  uint64_t id() const { return id_; }
+  Transaction* parent() const { return parent_; }
+  bool active() const { return state_ == State::kActive; }
+  size_t undo_size() const { return undo_.size(); }
+
+  /// Spawn a subtransaction (the unit of work of semantic decomposition).
+  util::Result<Transaction*> BeginChild();
+
+  // --- transactional data operations -----------------------------------------
+
+  util::Result<access::Tid> InsertAtom(access::AtomTypeId type,
+                                       std::vector<access::AttrValue> values);
+  util::Result<access::Atom> GetAtom(
+      const access::Tid& tid, const std::vector<uint16_t>& projection = {});
+  util::Status ModifyAtom(const access::Tid& tid,
+                          std::vector<access::AttrValue> changes);
+  util::Status DeleteAtom(const access::Tid& tid);
+  util::Status Connect(const access::Tid& from, uint16_t attr,
+                       const access::Tid& to);
+  util::Status Disconnect(const access::Tid& from, uint16_t attr,
+                          const access::Tid& to);
+
+  // --- outcome -----------------------------------------------------------------
+
+  /// Commit: a subtransaction passes locks + undo to its parent; a
+  /// top-level transaction releases everything (effects are durable at the
+  /// next flush). Fails if any child is still active.
+  util::Status Commit();
+
+  /// Abort: compensate this subtree's effects (reverse undo application)
+  /// and release its locks. The surrounding transaction continues.
+  util::Status Abort();
+
+ private:
+  friend class TransactionManager;
+  enum class State : uint8_t { kActive, kCommitted, kAborted };
+
+  Transaction(TransactionManager* mgr, uint64_t id, Transaction* parent)
+      : mgr_(mgr), id_(id), parent_(parent) {}
+
+  /// Write-lock the atom and every atom its association change will touch.
+  util::Status LockRefTargets(const access::Value& value);
+
+  util::Status CheckActive() const;
+
+  TransactionManager* mgr_;
+  uint64_t id_;
+  Transaction* parent_;
+  State state_ = State::kActive;
+  std::vector<std::unique_ptr<Transaction>> children_;
+  size_t active_children_ = 0;
+  std::vector<access::AccessSystem::UndoRecord> undo_;
+  std::map<uint64_t, LockMode> locks_;  // packed tid -> mode
+};
+
+struct TransactionStats {
+  std::atomic<uint64_t> begun{0};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> lock_conflicts{0};
+  std::atomic<uint64_t> undo_applied{0};
+};
+
+/// Owns the transaction trees and the atom lock table.
+class TransactionManager {
+ public:
+  explicit TransactionManager(access::AccessSystem* access)
+      : access_(access) {}
+
+  /// Start a top-level transaction (owned by the manager until finished).
+  util::Result<Transaction*> Begin();
+
+  TransactionStats& stats() { return stats_; }
+  access::AccessSystem& access() { return *access_; }
+
+  /// Number of atoms currently locked (tests).
+  size_t LockedAtomCount() const;
+
+ private:
+  friend class Transaction;
+
+  /// Moss's rule: a lock may be granted iff every conflicting holder is an
+  /// ancestor of (or is) the requester.
+  util::Status Acquire(Transaction* txn, const access::Tid& tid, LockMode mode);
+  void ReleaseAll(Transaction* txn);
+  void InheritToParent(Transaction* child);
+
+  /// Run `op` with the undo hook routed into `txn`'s log. Serializes
+  /// transactional writes.
+  template <typename Fn>
+  auto WithUndoHook(Transaction* txn, Fn&& op) {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    access_->SetUndoHook([txn](const access::AccessSystem::UndoRecord& rec) {
+      txn->undo_.push_back(rec);
+    });
+    auto result = op();
+    access_->SetUndoHook(nullptr);
+    return result;
+  }
+
+  static bool IsAncestorOf(const Transaction* maybe_ancestor,
+                           const Transaction* txn);
+
+  access::AccessSystem* access_;
+  TransactionStats stats_;
+
+  mutable std::mutex mu_;  // lock table + registry
+  struct LockEntry {
+    std::map<Transaction*, LockMode> holders;
+  };
+  std::unordered_map<uint64_t, LockEntry> lock_table_;
+  std::vector<std::unique_ptr<Transaction>> top_level_;
+  uint64_t next_id_ = 1;
+
+  std::mutex hook_mu_;  // serializes hooked write operations
+};
+
+}  // namespace prima::core
+
+#endif  // PRIMA_CORE_TRANSACTION_H_

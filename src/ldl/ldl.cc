@@ -1,0 +1,165 @@
+#include "ldl/ldl.h"
+
+#include <vector>
+
+#include "mql/lexer.h"
+
+namespace prima::ldl {
+
+using mql::Lex;
+using mql::Token;
+using mql::TokenKind;
+using util::Result;
+using util::Status;
+
+namespace {
+
+class LdlParser {
+ public:
+  explicit LdlParser(access::AccessSystem* access) : access_(access) {}
+
+  Result<std::string> Run(const std::string& text) {
+    PRIMA_ASSIGN_OR_RETURN(tokens_, Lex(text));
+    pos_ = 0;
+    if (AcceptKeyword("CREATE")) return RunCreate();
+    if (AcceptKeyword("DROP")) {
+      PRIMA_RETURN_IF_ERROR(ExpectKeyword("STRUCTURE"));
+      PRIMA_ASSIGN_OR_RETURN(const std::string name, ExpectIdent());
+      PRIMA_RETURN_IF_ERROR(access_->DropStructure(name));
+      return "dropped structure " + name;
+    }
+    return Err("expected CREATE or DROP");
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  void Advance() {
+    if (Cur().kind != TokenKind::kEnd) ++pos_;
+  }
+  Status Err(const std::string& what) const {
+    return Status::ParseError(what + " near offset " +
+                              std::to_string(Cur().offset));
+  }
+  bool IsKeyword(const char* kw) const {
+    return Cur().kind == TokenKind::kIdent && Cur().upper == kw;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (!IsKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) return Err(std::string("expected ") + kw);
+    return Status::Ok();
+  }
+  bool AcceptSymbol(const char* s) {
+    if (Cur().kind != TokenKind::kSymbol || Cur().text != s) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!AcceptSymbol(s)) return Err(std::string("expected '") + s + "'");
+    return Status::Ok();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Cur().kind != TokenKind::kIdent) return Err("expected identifier");
+    std::string name = Cur().text;
+    Advance();
+    return name;
+  }
+
+  Result<std::string> RunCreate() {
+    enum class What { kAccessPath, kSortOrder, kPartition, kCluster };
+    What what;
+    if (AcceptKeyword("ACCESS")) {
+      PRIMA_RETURN_IF_ERROR(ExpectKeyword("PATH"));
+      what = What::kAccessPath;
+    } else if (AcceptKeyword("SORT")) {
+      PRIMA_RETURN_IF_ERROR(ExpectKeyword("ORDER"));
+      what = What::kSortOrder;
+    } else if (AcceptKeyword("PARTITION")) {
+      what = What::kPartition;
+    } else if (AcceptKeyword("ATOM")) {
+      PRIMA_RETURN_IF_ERROR(ExpectKeyword("CLUSTER"));
+      what = What::kCluster;
+    } else {
+      return Err("expected ACCESS PATH / SORT ORDER / PARTITION / ATOM CLUSTER");
+    }
+    PRIMA_ASSIGN_OR_RETURN(const std::string name, ExpectIdent());
+    PRIMA_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    PRIMA_ASSIGN_OR_RETURN(const std::string type, ExpectIdent());
+    PRIMA_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<std::string> attrs;
+    std::vector<bool> asc;
+    do {
+      PRIMA_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      attrs.push_back(std::move(attr));
+      if (AcceptKeyword("DESC")) {
+        asc.push_back(false);
+      } else {
+        (void)AcceptKeyword("ASC");
+        asc.push_back(true);
+      }
+    } while (AcceptSymbol(","));
+    PRIMA_RETURN_IF_ERROR(ExpectSymbol(")"));
+
+    switch (what) {
+      case What::kAccessPath: {
+        bool unique = false, grid = false;
+        for (;;) {
+          if (AcceptKeyword("UNIQUE")) {
+            unique = true;
+          } else if (AcceptKeyword("USING")) {
+            PRIMA_RETURN_IF_ERROR(ExpectKeyword("GRID"));
+            grid = true;
+          } else {
+            break;
+          }
+        }
+        if (grid) {
+          if (unique) {
+            return Err("grid access paths do not enforce uniqueness");
+          }
+          PRIMA_ASSIGN_OR_RETURN(const uint32_t id,
+                                 access_->CreateGridAccessPath(name, type, attrs));
+          return "created grid access path " + name + " (#" +
+                 std::to_string(id) + ")";
+        }
+        PRIMA_ASSIGN_OR_RETURN(
+            const uint32_t id,
+            access_->CreateBTreeAccessPath(name, type, attrs, unique));
+        return "created access path " + name + " (#" + std::to_string(id) + ")";
+      }
+      case What::kSortOrder: {
+        PRIMA_ASSIGN_OR_RETURN(const uint32_t id,
+                               access_->CreateSortOrder(name, type, attrs, asc));
+        return "created sort order " + name + " (#" + std::to_string(id) + ")";
+      }
+      case What::kPartition: {
+        PRIMA_ASSIGN_OR_RETURN(const uint32_t id,
+                               access_->CreatePartition(name, type, attrs));
+        return "created partition " + name + " (#" + std::to_string(id) + ")";
+      }
+      case What::kCluster: {
+        PRIMA_ASSIGN_OR_RETURN(
+            const uint32_t id,
+            access_->CreateAtomClusterType(name, type, attrs));
+        return "created atom cluster " + name + " (#" + std::to_string(id) + ")";
+      }
+    }
+    return Err("unreachable");
+  }
+
+  access::AccessSystem* access_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::string> LoadDefinition::Execute(const std::string& text) {
+  LdlParser parser(access_);
+  return parser.Run(text);
+}
+
+}  // namespace prima::ldl

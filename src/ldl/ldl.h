@@ -1,0 +1,35 @@
+#ifndef PRIMA_LDL_LDL_H_
+#define PRIMA_LDL_LDL_H_
+
+#include <string>
+
+#include "access/access_system.h"
+#include "util/result.h"
+
+namespace prima::ldl {
+
+/// The load definition language (paper §2.3): DBA "hints" that install or
+/// drop the redundant storage structures — access paths, sort orders,
+/// partitions, physical (atom) clusters. All of them are transparent at the
+/// MAD interface: queries never change, only their cost.
+///
+/// Grammar:
+///   CREATE ACCESS PATH name ON type (attr, ...) [UNIQUE] [USING GRID]
+///   CREATE SORT ORDER  name ON type (attr [ASC|DESC], ...)
+///   CREATE PARTITION   name ON type (attr, ...)
+///   CREATE ATOM CLUSTER name ON type (ref_attr, ...)
+///   DROP STRUCTURE name
+class LoadDefinition {
+ public:
+  explicit LoadDefinition(access::AccessSystem* access) : access_(access) {}
+
+  /// Execute one LDL statement; returns a human-readable confirmation.
+  util::Result<std::string> Execute(const std::string& text);
+
+ private:
+  access::AccessSystem* access_;
+};
+
+}  // namespace prima::ldl
+
+#endif  // PRIMA_LDL_LDL_H_

@@ -1,0 +1,206 @@
+#include "mql/data_system.h"
+
+#include <set>
+
+#include "mql/parser.h"
+
+namespace prima::mql {
+
+using access::AtomTypeDef;
+using access::AttrValue;
+using access::Tid;
+using access::Value;
+using util::Result;
+using util::Status;
+
+Result<ExecResult> DataSystem::Execute(const std::string& text) {
+  PRIMA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(text));
+  switch (stmt.kind) {
+    case Statement::Kind::kQuery:
+      return RunQuery(stmt.query);
+    case Statement::Kind::kCreateAtomType:
+      return RunCreateAtomType(stmt.create_atom_type);
+    case Statement::Kind::kDefineMoleculeType:
+      return RunDefineMolecule(stmt.define_molecule_type);
+    case Statement::Kind::kDrop:
+      return RunDrop(stmt.drop);
+    case Statement::Kind::kInsert:
+      return RunInsert(stmt.insert);
+    case Statement::Kind::kDelete:
+      return RunDelete(stmt.del);
+    case Statement::Kind::kModify:
+      return RunModify(stmt.modify);
+    case Statement::Kind::kConnect:
+      return RunConnect(stmt.connect);
+  }
+  return Status::InvalidArgument("unhandled statement");
+}
+
+Result<MoleculeSet> DataSystem::ExecuteQuery(const std::string& text) {
+  PRIMA_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
+  if (r.kind != ExecResult::Kind::kMolecules) {
+    return Status::InvalidArgument("statement is not a query");
+  }
+  return std::move(r.molecules);
+}
+
+std::string DataSystem::Format(const ExecResult& result) const {
+  switch (result.kind) {
+    case ExecResult::Kind::kMolecules:
+      return result.molecules.ToString(access_->catalog());
+    case ExecResult::Kind::kTid:
+      return "inserted " + result.tid.ToString() + "\n";
+    case ExecResult::Kind::kCount:
+      return std::to_string(result.count) + " atom(s) affected\n";
+    case ExecResult::Kind::kNone:
+      return "ok\n";
+  }
+  return "";
+}
+
+Result<ExecResult> DataSystem::RunQuery(const struct Query& q) {
+  ExecResult r;
+  r.kind = ExecResult::Kind::kMolecules;
+  PRIMA_ASSIGN_OR_RETURN(r.molecules, executor_.Run(q));
+  return r;
+}
+
+Result<ExecResult> DataSystem::RunCreateAtomType(
+    const CreateAtomTypeStmt& stmt) {
+  PRIMA_ASSIGN_OR_RETURN(
+      const access::AtomTypeId ignored,
+      access_->CreateAtomType(stmt.name, stmt.attrs, stmt.keys));
+  (void)ignored;
+  ExecResult r;
+  r.kind = ExecResult::Kind::kNone;
+  return r;
+}
+
+Result<ExecResult> DataSystem::RunDefineMolecule(
+    const DefineMoleculeTypeStmt& stmt) {
+  // Validate by resolving against the current schema.
+  PRIMA_ASSIGN_OR_RETURN(FromClause from, ParseFromText(stmt.from_text));
+  SemanticAnalyzer analyzer(&access_->catalog());
+  PRIMA_ASSIGN_OR_RETURN(ResolvedStructure ignored, analyzer.Resolve(from));
+  (void)ignored;
+  access::MoleculeTypeDef def;
+  def.name = stmt.name;
+  def.from_text = stmt.from_text;
+  def.recursive = stmt.recursive;
+  PRIMA_RETURN_IF_ERROR(access_->catalog().DefineMoleculeType(std::move(def)));
+  ExecResult r;
+  r.kind = ExecResult::Kind::kNone;
+  return r;
+}
+
+Result<ExecResult> DataSystem::RunDrop(const DropStmt& stmt) {
+  if (stmt.what == DropStmt::What::kAtomType) {
+    PRIMA_RETURN_IF_ERROR(access_->DropAtomType(stmt.name));
+  } else {
+    PRIMA_RETURN_IF_ERROR(access_->catalog().DropMoleculeType(stmt.name));
+  }
+  ExecResult r;
+  r.kind = ExecResult::Kind::kNone;
+  return r;
+}
+
+Result<ExecResult> DataSystem::RunInsert(const InsertStmt& stmt) {
+  const AtomTypeDef* def = access_->catalog().FindAtomType(stmt.type_name);
+  if (def == nullptr) {
+    return Status::NotFound("atom type " + stmt.type_name);
+  }
+  std::vector<AttrValue> values;
+  for (const auto& [name, value] : stmt.values) {
+    const access::AttributeDef* attr = def->FindAttr(name);
+    if (attr == nullptr) {
+      return Status::InvalidArgument("unknown attribute " + stmt.type_name +
+                                     "." + name);
+    }
+    values.push_back(AttrValue{attr->id, value});
+  }
+  ExecResult r;
+  r.kind = ExecResult::Kind::kTid;
+  PRIMA_ASSIGN_OR_RETURN(r.tid, access_->InsertAtom(def->id, std::move(values)));
+  return r;
+}
+
+Result<ExecResult> DataSystem::RunDelete(const DeleteStmt& stmt) {
+  PRIMA_ASSIGN_OR_RETURN(QueryPlan plan,
+                         executor_.Prepare(stmt.from, stmt.where.get()));
+  PRIMA_ASSIGN_OR_RETURN(MoleculeSet set,
+                         executor_.Qualify(plan, stmt.where.get()));
+  // Components to delete: named ones, or every component (whole molecules).
+  std::set<std::string> which(stmt.components.begin(), stmt.components.end());
+  std::set<uint64_t> victims;
+  for (const Molecule& m : set.molecules) {
+    for (const MoleculeGroup& g : m.groups) {
+      if (!which.empty() && which.count(g.component) == 0) continue;
+      for (const access::Atom& a : g.atoms) victims.insert(a.tid.Pack());
+    }
+  }
+  ExecResult r;
+  r.kind = ExecResult::Kind::kCount;
+  for (uint64_t packed : victims) {
+    const Status st = access_->DeleteAtom(Tid::Unpack(packed));
+    if (!st.ok() && !st.IsNotFound()) return st;
+    if (st.ok()) ++r.count;
+  }
+  return r;
+}
+
+Result<ExecResult> DataSystem::RunModify(const ModifyStmt& stmt) {
+  PRIMA_ASSIGN_OR_RETURN(QueryPlan plan,
+                         executor_.Prepare(stmt.from, stmt.where.get()));
+  PRIMA_ASSIGN_OR_RETURN(MoleculeSet set,
+                         executor_.Qualify(plan, stmt.where.get()));
+  const AtomTypeDef* target_def = nullptr;
+  ExecResult r;
+  r.kind = ExecResult::Kind::kCount;
+  std::set<uint64_t> modified;
+  for (const Molecule& m : set.molecules) {
+    const MoleculeGroup* g = m.FindGroup(stmt.target);
+    if (g == nullptr) {
+      return Status::InvalidArgument("MODIFY target " + stmt.target +
+                                     " is not a component");
+    }
+    if (target_def == nullptr) {
+      target_def = access_->catalog().GetAtomType(g->type);
+    }
+    std::vector<AttrValue> changes;
+    for (const auto& [name, value] : stmt.sets) {
+      const access::AttributeDef* attr = target_def->FindAttr(name);
+      if (attr == nullptr) {
+        return Status::InvalidArgument("unknown attribute " + name);
+      }
+      changes.push_back(AttrValue{attr->id, value});
+    }
+    for (const access::Atom& a : g->atoms) {
+      if (!modified.insert(a.tid.Pack()).second) continue;
+      PRIMA_RETURN_IF_ERROR(access_->ModifyAtom(a.tid, changes));
+      ++r.count;
+    }
+  }
+  return r;
+}
+
+Result<ExecResult> DataSystem::RunConnect(const ConnectStmt& stmt) {
+  const AtomTypeDef* def = access_->catalog().GetAtomType(stmt.from.type);
+  if (def == nullptr) {
+    return Status::NotFound("atom type of " + stmt.from.ToString());
+  }
+  const access::AttributeDef* attr = def->FindAttr(stmt.attr);
+  if (attr == nullptr) {
+    return Status::InvalidArgument("unknown attribute " + def->name + "." +
+                                   stmt.attr);
+  }
+  if (stmt.connect) {
+    PRIMA_RETURN_IF_ERROR(access_->Connect(stmt.from, attr->id, stmt.to));
+  } else {
+    PRIMA_RETURN_IF_ERROR(access_->Disconnect(stmt.from, attr->id, stmt.to));
+  }
+  ExecResult r;
+  r.kind = ExecResult::Kind::kNone;
+  return r;
+}
+
+}  // namespace prima::mql

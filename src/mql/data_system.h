@@ -1,0 +1,64 @@
+#ifndef PRIMA_MQL_DATA_SYSTEM_H_
+#define PRIMA_MQL_DATA_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "access/access_system.h"
+#include "mql/executor.h"
+#include "mql/molecule.h"
+
+namespace prima::mql {
+
+/// Result of executing one MQL statement.
+struct ExecResult {
+  enum class Kind {
+    kMolecules,  ///< SELECT
+    kTid,        ///< INSERT
+    kCount,      ///< DELETE / MODIFY (# atoms affected)
+    kNone,       ///< DDL / CONNECT
+  };
+  Kind kind = Kind::kNone;
+  MoleculeSet molecules;
+  access::Tid tid;
+  uint64_t count = 0;
+};
+
+/// The data system (paper §3.1, top DBMS layer of Fig. 3.1): translates
+/// MOL/MQL statements into access-system calls — validation & modification,
+/// simplification, preparation, and molecule management — and executes them.
+class DataSystem {
+ public:
+  explicit DataSystem(access::AccessSystem* access)
+      : access_(access), executor_(access) {}
+
+  /// Parse and execute one statement.
+  util::Result<ExecResult> Execute(const std::string& text);
+
+  /// Convenience: Execute a SELECT and return its molecule set.
+  util::Result<MoleculeSet> ExecuteQuery(const std::string& text);
+
+  /// Render a result for interactive display.
+  std::string Format(const ExecResult& result) const;
+
+  Executor& executor() { return executor_; }
+  access::AccessSystem& access() { return *access_; }
+  DataStats& stats() { return executor_.stats(); }
+
+ private:
+  util::Result<ExecResult> RunQuery(const struct Query& q);
+  util::Result<ExecResult> RunCreateAtomType(const CreateAtomTypeStmt& stmt);
+  util::Result<ExecResult> RunDefineMolecule(const DefineMoleculeTypeStmt& stmt);
+  util::Result<ExecResult> RunDrop(const DropStmt& stmt);
+  util::Result<ExecResult> RunInsert(const InsertStmt& stmt);
+  util::Result<ExecResult> RunDelete(const DeleteStmt& stmt);
+  util::Result<ExecResult> RunModify(const ModifyStmt& stmt);
+  util::Result<ExecResult> RunConnect(const ConnectStmt& stmt);
+
+  access::AccessSystem* access_;
+  Executor executor_;
+};
+
+}  // namespace prima::mql
+
+#endif  // PRIMA_MQL_DATA_SYSTEM_H_

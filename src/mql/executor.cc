@@ -1,0 +1,824 @@
+#include "mql/executor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace prima::mql {
+
+using access::Atom;
+using access::AtomTypeDef;
+using access::AtomTypeId;
+using access::CompareOp;
+using access::SearchArgument;
+using access::SimplePredicate;
+using access::StructureDef;
+using access::StructureKind;
+using access::Tid;
+using access::Value;
+using util::Result;
+using util::Status;
+
+namespace {
+
+std::vector<Tid> RefTargets(const Value& v) {
+  std::vector<Tid> out;
+  if (v.kind() == Value::Kind::kTid) {
+    if (!v.AsTid().IsNull()) out.push_back(v.AsTid());
+  } else if (v.kind() == Value::Kind::kList) {
+    for (const auto& e : v.elems()) {
+      if (e.kind() == Value::Kind::kTid && !e.AsTid().IsNull()) {
+        out.push_back(e.AsTid());
+      }
+    }
+  }
+  return out;
+}
+
+bool CompareSatisfied(CompareOp op, const Value& v, const Value& operand) {
+  switch (op) {
+    case CompareOp::kIsEmpty:
+      return v.is_null() ||
+             (v.kind() == Value::Kind::kList && v.elems().empty());
+    case CompareOp::kNotEmpty:
+      return v.kind() == Value::Kind::kList && !v.elems().empty();
+    case CompareOp::kContains:
+      return v.Contains(operand);
+    default:
+      break;
+  }
+  if (v.is_null()) return false;
+  const int c = v.Compare(operand);
+  switch (op) {
+    case CompareOp::kEq: return c == 0;
+    case CompareOp::kNe: return c != 0;
+    case CompareOp::kLt: return c < 0;
+    case CompareOp::kLe: return c <= 0;
+    case CompareOp::kGt: return c > 0;
+    case CompareOp::kGe: return c >= 0;
+    default: return false;
+  }
+}
+
+/// Resolve attr name + record-field names into ids on an atom type.
+Result<std::pair<uint16_t, std::vector<uint16_t>>> ResolveAttrOnType(
+    const AtomTypeDef& def, const std::vector<std::string>& attrs) {
+  const access::AttributeDef* attr = def.FindAttr(attrs[0]);
+  if (attr == nullptr) {
+    return Status::InvalidArgument("unknown attribute " + def.name + "." +
+                                   attrs[0]);
+  }
+  std::vector<uint16_t> fields;
+  const access::TypeDesc* t = &attr->type;
+  for (size_t i = 1; i < attrs.size(); ++i) {
+    if (t->kind != access::TypeKind::kRecord) {
+      return Status::InvalidArgument("attribute path descends into non-RECORD");
+    }
+    bool found = false;
+    for (size_t f = 0; f < t->fields.size(); ++f) {
+      if (t->fields[f].name == attrs[i]) {
+        fields.push_back(static_cast<uint16_t>(f));
+        t = t->fields[f].type.get();
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown RECORD field " + attrs[i]);
+    }
+  }
+  return std::make_pair(attr->id, std::move(fields));
+}
+
+const Value* DescendFields(const Value& v, const std::vector<uint16_t>& fields) {
+  const Value* cur = &v;
+  for (uint16_t f : fields) {
+    if (cur->kind() != Value::Kind::kRecord || f >= cur->elems().size()) {
+      return nullptr;
+    }
+    cur = &cur->elems()[f];
+  }
+  return cur;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+Status Executor::ExtractRootPreds(const Expr* where,
+                                  const ResolvedStructure& structure,
+                                  std::vector<RootPred>* out) const {
+  if (where == nullptr) return Status::Ok();
+  if (where->kind == Expr::Kind::kAnd) {
+    for (const auto& child : where->children) {
+      PRIMA_RETURN_IF_ERROR(ExtractRootPreds(child.get(), structure, out));
+    }
+    return Status::Ok();
+  }
+  if (where->kind != Expr::Kind::kCompare || where->rhs_path.has_value()) {
+    return Status::Ok();
+  }
+  const AttrPath& path = where->lhs;
+  // Root-bound: bare attr, explicit root component, or seed level 0.
+  bool root_bound =
+      (path.component.empty()) ||
+      (path.component == structure.root.name) ||
+      (path.component == structure.molecule_name && path.level <= 0);
+  std::vector<std::string> attrs = path.attrs;
+  const AtomTypeDef* def = access_->catalog().GetAtomType(structure.root.type);
+  if (!root_bound && path.level < 0 &&
+      structure.FindNode(path.component) == nullptr &&
+      def->FindAttr(path.component) != nullptr) {
+    // `placement.x_coord`: a RECORD attribute of the root, not a component.
+    attrs.insert(attrs.begin(), path.component);
+    root_bound = true;
+  }
+  if (!root_bound || path.level > 0) return Status::Ok();
+  auto resolved = ResolveAttrOnType(*def, attrs);
+  if (!resolved.ok()) return Status::Ok();  // not a root attribute; skip
+  RootPred p;
+  p.attr = resolved->first;
+  p.fields = std::move(resolved->second);
+  p.op = where->op;
+  p.operand = where->literal;
+  out->push_back(std::move(p));
+  return Status::Ok();
+}
+
+Result<QueryPlan> Executor::Prepare(const FromClause& from, const Expr* where) {
+  QueryPlan plan;
+  PRIMA_ASSIGN_OR_RETURN(plan.structure, analyzer_.Resolve(from));
+  const AtomTypeDef* root_def =
+      access_->catalog().GetAtomType(plan.structure.root.type);
+
+  std::vector<RootPred> preds;
+  PRIMA_RETURN_IF_ERROR(ExtractRootPreds(where, plan.structure, &preds));
+
+  // 1. Key lookup: equality predicates covering KEYS_ARE.
+  if (!root_def->key_attrs.empty()) {
+    std::vector<Value> key_values;
+    bool covered = true;
+    for (uint16_t k : root_def->key_attrs) {
+      bool found = false;
+      for (const auto& p : preds) {
+        if (p.attr == k && p.fields.empty() && p.op == CompareOp::kEq) {
+          Value v = p.operand;
+          if (root_def->attrs[k].type.kind == access::TypeKind::kReal &&
+              v.kind() == Value::Kind::kInt) {
+            v = Value::Real(static_cast<double>(v.AsInt()));
+          }
+          key_values.push_back(std::move(v));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        covered = false;
+        break;
+      }
+    }
+    const StructureDef* key_index =
+        access_->catalog().FindStructure(root_def->name + "_key");
+    if (covered && key_index != nullptr) {
+      plan.root_access = RootAccess::kKeyLookup;
+      plan.access_structure_id = key_index->id;
+      plan.eq_key = std::move(key_values);
+    }
+  }
+
+  // 2. Explicit access paths (B*-tree first, then grid).
+  if (plan.root_access != RootAccess::kKeyLookup) {
+    for (const StructureDef* s :
+         access_->catalog().StructuresFor(root_def->id)) {
+      if (s->kind == StructureKind::kBTreeAccessPath && !s->attrs.empty()) {
+        const uint16_t first_attr = s->attrs[0];
+        std::optional<Value> lo, hi;
+        bool lo_incl = true, hi_incl = true;
+        for (const auto& p : preds) {
+          if (p.attr != first_attr || !p.fields.empty()) continue;
+          Value v = p.operand;
+          if (root_def->attrs[first_attr].type.kind ==
+                  access::TypeKind::kReal &&
+              v.kind() == Value::Kind::kInt) {
+            v = Value::Real(static_cast<double>(v.AsInt()));
+          }
+          switch (p.op) {
+            case CompareOp::kEq:
+              lo = v;
+              hi = v;
+              lo_incl = hi_incl = true;
+              break;
+            case CompareOp::kGt:
+              lo = v;
+              lo_incl = false;
+              break;
+            case CompareOp::kGe:
+              lo = v;
+              lo_incl = true;
+              break;
+            case CompareOp::kLt:
+              hi = v;
+              hi_incl = false;
+              break;
+            case CompareOp::kLe:
+              hi = v;
+              hi_incl = true;
+              break;
+            default:
+              break;
+          }
+        }
+        if (lo || hi) {
+          plan.root_access = RootAccess::kAccessPath;
+          plan.access_structure_id = s->id;
+          if (lo) {
+            plan.range.start = std::vector<Value>{*lo};
+            plan.range.start_inclusive = lo_incl;
+          }
+          if (hi) {
+            plan.range.stop = std::vector<Value>{*hi};
+            plan.range.stop_inclusive = hi_incl;
+          }
+          break;
+        }
+      } else if (s->kind == StructureKind::kGridAccessPath) {
+        std::vector<access::GridDimension> dims(s->attrs.size());
+        size_t bounded = 0;
+        for (size_t d = 0; d < s->attrs.size(); ++d) {
+          bool any = false;
+          for (const auto& p : preds) {
+            if (p.attr != s->attrs[d] || !p.fields.empty()) continue;
+            Value v = p.operand;
+            if (root_def->attrs[s->attrs[d]].type.kind ==
+                    access::TypeKind::kReal &&
+                v.kind() == Value::Kind::kInt) {
+              v = Value::Real(static_cast<double>(v.AsInt()));
+            }
+            switch (p.op) {
+              case CompareOp::kEq:
+                dims[d].lo = v;
+                dims[d].hi = v;
+                any = true;
+                break;
+              case CompareOp::kGt:
+                dims[d].lo = v;
+                dims[d].lo_inclusive = false;
+                any = true;
+                break;
+              case CompareOp::kGe:
+                dims[d].lo = v;
+                any = true;
+                break;
+              case CompareOp::kLt:
+                dims[d].hi = v;
+                dims[d].hi_inclusive = false;
+                any = true;
+                break;
+              case CompareOp::kLe:
+                dims[d].hi = v;
+                any = true;
+                break;
+              default:
+                break;
+            }
+          }
+          if (any) ++bounded;
+        }
+        if (bounded >= 2 || (bounded == 1 && s->attrs.size() == 1)) {
+          plan.root_access = RootAccess::kGrid;
+          plan.access_structure_id = s->id;
+          plan.grid_dims = std::move(dims);
+          break;
+        }
+      }
+    }
+  }
+
+  // 3. Fallback: atom-type scan with the predicates as a search argument.
+  if (plan.root_access == RootAccess::kAtomTypeScan) {
+    for (const auto& p : preds) {
+      SimplePredicate sp;
+      sp.attr = p.attr;
+      sp.field_path = p.fields;
+      sp.op = p.op;
+      sp.operand = p.operand;
+      plan.root_sarg.conjuncts.push_back(std::move(sp));
+    }
+  }
+
+  // Cluster fast path: a cluster whose characteristic type is the root and
+  // whose members cover every component type.
+  if (!plan.structure.recursive && plan.structure.NodeCount() > 1) {
+    std::vector<AtomTypeId> needed = plan.structure.AllTypes();
+    needed.erase(needed.begin());
+    const StructureDef* cluster =
+        access_->FindCoveringCluster(plan.structure.root.type, needed);
+    if (cluster != nullptr) {
+      plan.use_cluster = true;
+      plan.cluster_id = cluster->id;
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Root candidates
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Atom>> Executor::RootCandidates(const QueryPlan& plan) {
+  std::vector<Atom> out;
+  switch (plan.root_access) {
+    case RootAccess::kKeyLookup: {
+      stats_.key_lookups++;
+      std::string key;
+      for (const Value& v : plan.eq_key) {
+        PRIMA_RETURN_IF_ERROR(v.EncodeKeyInto(&key));
+      }
+      access::BTree* tree = access_->BTreeFor(plan.access_structure_id);
+      PRIMA_ASSIGN_OR_RETURN(auto found, tree->Get(key));
+      if (found) {
+        util::Slice v(*found);
+        uint64_t packed = 0;
+        util::GetFixed64(&v, &packed);
+        PRIMA_ASSIGN_OR_RETURN(Atom atom, access_->GetAtom(Tid::Unpack(packed)));
+        out.push_back(std::move(atom));
+      }
+      return out;
+    }
+    case RootAccess::kAccessPath: {
+      stats_.access_path_scans++;
+      access::BTreeAccessPathScan scan(access_, plan.access_structure_id,
+                                       plan.range, true, plan.root_sarg);
+      PRIMA_RETURN_IF_ERROR(scan.Open());
+      for (;;) {
+        PRIMA_ASSIGN_OR_RETURN(auto atom, scan.Next());
+        if (!atom) break;
+        out.push_back(std::move(*atom));
+      }
+      return out;
+    }
+    case RootAccess::kGrid: {
+      stats_.grid_scans++;
+      access::GridAccessPathScan scan(access_, plan.access_structure_id,
+                                      plan.grid_dims, {}, plan.root_sarg);
+      PRIMA_RETURN_IF_ERROR(scan.Open());
+      for (;;) {
+        PRIMA_ASSIGN_OR_RETURN(auto atom, scan.Next());
+        if (!atom) break;
+        out.push_back(std::move(*atom));
+      }
+      return out;
+    }
+    case RootAccess::kAtomTypeScan: {
+      stats_.atom_type_scans++;
+      access::AtomTypeScan scan(access_, plan.structure.root.type,
+                                plan.root_sarg);
+      PRIMA_RETURN_IF_ERROR(scan.Open());
+      for (;;) {
+        PRIMA_ASSIGN_OR_RETURN(auto atom, scan.Next());
+        if (!atom) break;
+        out.push_back(std::move(*atom));
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Assembly
+// ---------------------------------------------------------------------------
+
+namespace {
+void InitGroups(const ResolvedNode& node, Molecule* m) {
+  MoleculeGroup g;
+  g.component = node.name;
+  g.type = node.type;
+  m->groups.push_back(std::move(g));
+  for (const auto& c : node.children) InitGroups(c, m);
+}
+}  // namespace
+
+Result<Molecule> Executor::AssembleBfs(const ResolvedStructure& structure,
+                                       const Atom& root) {
+  Molecule m;
+  InitGroups(structure.root, &m);
+  m.groups[0].atoms.push_back(root);
+  stats_.bfs_assemblies++;
+
+  // Pre-order walk filling child groups from parent groups.
+  size_t group_index = 0;
+  struct Frame {
+    const ResolvedNode* node;
+    size_t group;
+  };
+  std::vector<Frame> order;
+  std::function<void(const ResolvedNode&)> collect =
+      [&](const ResolvedNode& node) {
+        order.push_back({&node, group_index++});
+        for (const auto& c : node.children) collect(c);
+      };
+  collect(structure.root);
+
+  // Map node pointer -> its group index for child lookup.
+  for (const Frame& f : order) {
+    size_t child_group = f.group;
+    for (const auto& child : f.node->children) {
+      // The child group is the next pre-order group after the subtrees of
+      // earlier siblings; recompute by searching `order`.
+      ++child_group;
+      for (const Frame& g : order) {
+        if (g.node == &child) {
+          child_group = g.group;
+          break;
+        }
+      }
+      std::set<uint64_t> seen;
+      for (const Atom& parent_atom : m.groups[f.group].atoms) {
+        for (const Tid& t : RefTargets(parent_atom.attrs[child.via_attr])) {
+          if (t.type != child.type) continue;
+          if (!seen.insert(t.Pack()).second) continue;
+          auto atom_or = access_->GetAtom(t);
+          if (!atom_or.ok()) {
+            if (atom_or.status().IsNotFound()) continue;
+            return atom_or.status();
+          }
+          m.groups[child_group].atoms.push_back(std::move(*atom_or));
+        }
+      }
+    }
+  }
+  return m;
+}
+
+Result<Molecule> Executor::AssembleRecursive(const ResolvedStructure& structure,
+                                             const Atom& root) {
+  Molecule m;
+  InitGroups(structure.root, &m);
+  stats_.bfs_assemblies++;
+  std::set<uint64_t> visited;
+  std::vector<Tid> level{root.tid};
+  visited.insert(root.tid.Pack());
+  m.groups[0].atoms.push_back(root);
+  m.levels.push_back(level);
+
+  // Stepwise evaluation "going from one level to the next subordinate
+  // level" (paper §2.2) with cycle protection.
+  while (!level.empty()) {
+    std::vector<Tid> next;
+    for (const Tid& t : level) {
+      const Atom* atom = nullptr;
+      for (const Atom& a : m.groups[0].atoms) {
+        if (a.tid == t) {
+          atom = &a;
+          break;
+        }
+      }
+      if (atom == nullptr) continue;
+      for (const Tid& child : RefTargets(atom->attrs[structure.rec_attr])) {
+        if (!visited.insert(child.Pack()).second) continue;
+        next.push_back(child);
+      }
+    }
+    for (const Tid& t : next) {
+      PRIMA_ASSIGN_OR_RETURN(Atom atom, access_->GetAtom(t));
+      m.groups[0].atoms.push_back(std::move(atom));
+    }
+    if (next.empty()) break;
+    m.levels.push_back(next);
+    stats_.recursion_levels++;
+    level = std::move(next);
+  }
+  return m;
+}
+
+Result<Molecule> Executor::AssembleFromCluster(const QueryPlan& plan,
+                                               const Atom& root) {
+  PRIMA_ASSIGN_OR_RETURN(access::ClusterImage image,
+                         access_->ReadCluster(plan.cluster_id, root.tid));
+  stats_.cluster_assemblies++;
+  Molecule m;
+  InitGroups(plan.structure.root, &m);
+  m.groups[0].atoms.push_back(image.characteristic);
+  for (auto& [type, atoms] : image.groups) {
+    for (auto& g : m.groups) {
+      if (g.type == type && g.component != plan.structure.root.name) {
+        for (const Atom& a : atoms) g.atoms.push_back(a);
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+Result<Molecule> Executor::Assemble(const QueryPlan& plan, const Atom& root) {
+  stats_.molecules_built++;
+  if (plan.structure.recursive) {
+    return AssembleRecursive(plan.structure, root);
+  }
+  if (plan.use_cluster) {
+    return AssembleFromCluster(plan, root);
+  }
+  return AssembleBfs(plan.structure, root);
+}
+
+// ---------------------------------------------------------------------------
+// Predicate evaluation
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Value>> Executor::PathValues(
+    const Molecule& molecule, const AttrPath& path,
+    const std::map<std::string, const Atom*>& bindings,
+    const std::string& default_component) const {
+  // Level-indexed (seed) reference: molecule(level).attr
+  if (path.level >= 0) {
+    std::vector<Value> out;
+    if (static_cast<size_t>(path.level) >= molecule.levels.size()) return out;
+    const MoleculeGroup& g = molecule.groups[0];
+    const AtomTypeDef* def = access_->catalog().GetAtomType(g.type);
+    PRIMA_ASSIGN_OR_RETURN(auto resolved,
+                           ResolveAttrOnType(*def, path.attrs));
+    for (const Tid& t : molecule.levels[path.level]) {
+      for (const Atom& a : g.atoms) {
+        if (a.tid == t) {
+          const Value* v = DescendFields(a.attrs[resolved.first],
+                                         resolved.second);
+          if (v != nullptr) out.push_back(*v);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  // Find the component group (bare attrs bind to the default component,
+  // which is the root unless a qualified projection rescopes them).
+  const MoleculeGroup* group = nullptr;
+  if (path.component.empty()) {
+    group = default_component.empty()
+                ? &molecule.groups[0]
+                : molecule.FindGroup(default_component);
+    if (group == nullptr) group = &molecule.groups[0];
+  } else {
+    group = molecule.FindGroup(path.component);
+    if (group == nullptr) {
+      // `placement.x_coord`: what parsed as a component name is actually a
+      // RECORD attribute of the default component. Rebind.
+      AttrPath rebased;
+      rebased.attrs.reserve(path.attrs.size() + 1);
+      rebased.attrs.push_back(path.component);
+      rebased.attrs.insert(rebased.attrs.end(), path.attrs.begin(),
+                           path.attrs.end());
+      return PathValues(molecule, rebased, bindings, default_component);
+    }
+  }
+  const AtomTypeDef* def = access_->catalog().GetAtomType(group->type);
+  PRIMA_ASSIGN_OR_RETURN(auto resolved, ResolveAttrOnType(*def, path.attrs));
+
+  std::vector<Value> out;
+  // A quantifier binding narrows the component to one atom.
+  auto bound = bindings.find(group->component);
+  if (bound != bindings.end()) {
+    const Value* v =
+        DescendFields(bound->second->attrs[resolved.first], resolved.second);
+    if (v != nullptr) out.push_back(*v);
+    return out;
+  }
+  for (const Atom& a : group->atoms) {
+    const Value* v = DescendFields(a.attrs[resolved.first], resolved.second);
+    if (v != nullptr) out.push_back(*v);
+  }
+  return out;
+}
+
+Result<bool> Executor::Eval(
+    const Molecule& molecule, const Expr& expr,
+    const std::map<std::string, const Atom*>& bindings,
+    const std::string& default_component) const {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd: {
+      for (const auto& c : expr.children) {
+        PRIMA_ASSIGN_OR_RETURN(const bool ok,
+                               Eval(molecule, *c, bindings, default_component));
+        if (!ok) return false;
+      }
+      return true;
+    }
+    case Expr::Kind::kOr: {
+      for (const auto& c : expr.children) {
+        PRIMA_ASSIGN_OR_RETURN(const bool ok,
+                               Eval(molecule, *c, bindings, default_component));
+        if (ok) return true;
+      }
+      return false;
+    }
+    case Expr::Kind::kNot: {
+      PRIMA_ASSIGN_OR_RETURN(
+          const bool ok,
+          Eval(molecule, *expr.children[0], bindings, default_component));
+      return !ok;
+    }
+    case Expr::Kind::kQuantifier: {
+      const MoleculeGroup* group = molecule.FindGroup(expr.quant_component);
+      if (group == nullptr) {
+        return Status::InvalidArgument("unknown component " +
+                                       expr.quant_component +
+                                       " in quantifier");
+      }
+      uint32_t satisfied = 0;
+      for (const Atom& a : group->atoms) {
+        auto scoped = bindings;
+        scoped[group->component] = &a;
+        PRIMA_ASSIGN_OR_RETURN(
+            const bool ok,
+            Eval(molecule, *expr.quant_body, scoped, group->component));
+        if (ok) ++satisfied;
+      }
+      switch (expr.quant) {
+        case Expr::Quant::kExists:
+          return satisfied >= 1;
+        case Expr::Quant::kExistsAtLeast:
+          return satisfied >= expr.quant_count;
+        case Expr::Quant::kForAll:
+          return satisfied == group->atoms.size();
+      }
+      return false;
+    }
+    case Expr::Kind::kCompare: {
+      PRIMA_ASSIGN_OR_RETURN(
+          std::vector<Value> lhs,
+          PathValues(molecule, expr.lhs, bindings, default_component));
+      if (expr.rhs_path.has_value()) {
+        PRIMA_ASSIGN_OR_RETURN(
+            std::vector<Value> rhs,
+            PathValues(molecule, *expr.rhs_path, bindings, default_component));
+        for (const Value& l : lhs) {
+          for (const Value& r : rhs) {
+            if (CompareSatisfied(expr.op, l, r)) return true;
+          }
+        }
+        return false;
+      }
+      // EMPTY tests must also hold for attributes that decode to null, and
+      // an atom whose repeating group is absent counts as empty.
+      for (const Value& l : lhs) {
+        if (CompareSatisfied(expr.op, l, expr.literal)) return true;
+      }
+      if (lhs.empty() && expr.op == CompareOp::kIsEmpty) return true;
+      return false;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Projection
+// ---------------------------------------------------------------------------
+
+Result<Molecule> Executor::Project(const Query& query, const QueryPlan& plan,
+                                   Molecule molecule) {
+  if (query.select.size() == 1 &&
+      query.select[0].kind == ProjItem::Kind::kAll) {
+    return molecule;
+  }
+  struct Directive {
+    bool whole = false;
+    std::set<uint16_t> attrs;
+    const ProjItem* qualified = nullptr;
+  };
+  std::map<std::string, Directive> directives;
+
+  const AtomTypeDef* root_def =
+      access_->catalog().GetAtomType(plan.structure.root.type);
+  for (const ProjItem& item : query.select) {
+    switch (item.kind) {
+      case ProjItem::Kind::kAll:
+        for (const auto& g : molecule.groups) directives[g.component].whole = true;
+        break;
+      case ProjItem::Kind::kComponent: {
+        if (molecule.FindGroup(item.component) != nullptr) {
+          directives[item.component].whole = true;
+        } else {
+          // Bare identifier that is actually a root attribute.
+          PRIMA_ASSIGN_OR_RETURN(
+              auto resolved, ResolveAttrOnType(*root_def, {item.component}));
+          directives[molecule.groups[0].component].attrs.insert(resolved.first);
+        }
+        break;
+      }
+      case ProjItem::Kind::kAttr: {
+        const MoleculeGroup* group =
+            item.path.component.empty()
+                ? &molecule.groups[0]
+                : molecule.FindGroup(item.path.component);
+        if (group == nullptr) {
+          return Status::InvalidArgument("unknown component " +
+                                         item.path.component);
+        }
+        const AtomTypeDef* def = access_->catalog().GetAtomType(group->type);
+        PRIMA_ASSIGN_OR_RETURN(auto resolved,
+                               ResolveAttrOnType(*def, {item.path.attrs[0]}));
+        directives[group->component].attrs.insert(resolved.first);
+        break;
+      }
+      case ProjItem::Kind::kQualified: {
+        if (molecule.FindGroup(item.component) == nullptr) {
+          return Status::InvalidArgument("unknown component " + item.component);
+        }
+        directives[item.component].qualified = &item;
+        break;
+      }
+    }
+  }
+
+  Molecule out;
+  out.levels = molecule.levels;
+  for (MoleculeGroup& g : molecule.groups) {
+    auto it = directives.find(g.component);
+    if (it == directives.end()) continue;
+    const Directive& d = it->second;
+    MoleculeGroup ng;
+    ng.component = g.component;
+    ng.type = g.type;
+    const AtomTypeDef* def = access_->catalog().GetAtomType(g.type);
+    if (d.qualified != nullptr) {
+      // Qualified projection: per-atom qualification + attribute projection.
+      std::set<uint16_t> keep;
+      for (const std::string& attr_name : d.qualified->attrs) {
+        PRIMA_ASSIGN_OR_RETURN(auto resolved,
+                               ResolveAttrOnType(*def, {attr_name}));
+        keep.insert(resolved.first);
+      }
+      for (Atom& a : g.atoms) {
+        if (d.qualified->qualification != nullptr) {
+          std::map<std::string, const Atom*> binding{{g.component, &a}};
+          PRIMA_ASSIGN_OR_RETURN(
+              const bool ok, Eval(molecule, *d.qualified->qualification,
+                                  binding, g.component));
+          if (!ok) continue;
+        }
+        Atom projected = a;
+        if (!keep.empty()) {
+          for (size_t i = 0; i < projected.attrs.size(); ++i) {
+            if (keep.count(static_cast<uint16_t>(i)) == 0 &&
+                i != def->identifier_attr) {
+              projected.attrs[i] = Value::Null();
+            }
+          }
+        }
+        ng.atoms.push_back(std::move(projected));
+      }
+    } else if (d.whole) {
+      ng.atoms = std::move(g.atoms);
+    } else {
+      for (Atom& a : g.atoms) {
+        Atom projected = a;
+        for (size_t i = 0; i < projected.attrs.size(); ++i) {
+          if (d.attrs.count(static_cast<uint16_t>(i)) == 0 &&
+              i != def->identifier_attr) {
+            projected.attrs[i] = Value::Null();
+          }
+        }
+        ng.atoms.push_back(std::move(projected));
+      }
+    }
+    out.groups.push_back(std::move(ng));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+Result<MoleculeSet> Executor::Qualify(const QueryPlan& plan,
+                                      const Expr* where) {
+  MoleculeSet set;
+  PRIMA_ASSIGN_OR_RETURN(std::vector<Atom> roots, RootCandidates(plan));
+  for (const Atom& root : roots) {
+    PRIMA_ASSIGN_OR_RETURN(Molecule molecule, Assemble(plan, root));
+    if (where != nullptr) {
+      PRIMA_ASSIGN_OR_RETURN(const bool ok, Eval(molecule, *where, {}));
+      if (!ok) continue;
+    }
+    set.molecules.push_back(std::move(molecule));
+  }
+  return set;
+}
+
+Result<MoleculeSet> Executor::Run(const Query& query) {
+  stats_.queries++;
+  PRIMA_ASSIGN_OR_RETURN(QueryPlan plan,
+                         Prepare(query.from, query.where.get()));
+  PRIMA_ASSIGN_OR_RETURN(MoleculeSet set, Qualify(plan, query.where.get()));
+  MoleculeSet projected;
+  projected.molecules.reserve(set.molecules.size());
+  for (Molecule& m : set.molecules) {
+    PRIMA_ASSIGN_OR_RETURN(Molecule p, Project(query, plan, std::move(m)));
+    projected.molecules.push_back(std::move(p));
+  }
+  return projected;
+}
+
+}  // namespace prima::mql

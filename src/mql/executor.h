@@ -1,0 +1,147 @@
+#ifndef PRIMA_MQL_EXECUTOR_H_
+#define PRIMA_MQL_EXECUTOR_H_
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "access/access_system.h"
+#include "access/scan.h"
+#include "mql/ast.h"
+#include "mql/molecule.h"
+#include "mql/semantics.h"
+
+namespace prima::mql {
+
+/// Counters of the data system (top of the Fig. 3.1 layer pyramid).
+struct DataStats {
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> molecules_built{0};
+  std::atomic<uint64_t> cluster_assemblies{0};  ///< served from atom clusters
+  std::atomic<uint64_t> bfs_assemblies{0};      ///< assembled by association chasing
+  std::atomic<uint64_t> recursion_levels{0};
+  std::atomic<uint64_t> key_lookups{0};
+  std::atomic<uint64_t> access_path_scans{0};
+  std::atomic<uint64_t> grid_scans{0};
+  std::atomic<uint64_t> atom_type_scans{0};
+
+  void Reset() {
+    queries = molecules_built = cluster_assemblies = bfs_assemblies = 0;
+    recursion_levels = key_lookups = access_path_scans = 0;
+    grid_scans = atom_type_scans = 0;
+  }
+};
+
+/// How the executor reaches the root atoms of the molecule set.
+enum class RootAccess { kKeyLookup, kAccessPath, kGrid, kAtomTypeScan };
+
+/// The prepared execution plan for one query (paper §3.1 "query
+/// preparation"): root access selection with pushed-down qualifications,
+/// the resolved hierarchical structure, and the cluster fast path decision.
+struct QueryPlan {
+  ResolvedStructure structure;
+  RootAccess root_access = RootAccess::kAtomTypeScan;
+  uint32_t access_structure_id = 0;
+  std::vector<access::Value> eq_key;      ///< key lookup values
+  access::KeyRange range;                 ///< access-path scan bounds
+  std::vector<access::GridDimension> grid_dims;
+  access::SearchArgument root_sarg;       ///< pushdown for scans
+  bool use_cluster = false;
+  uint32_t cluster_id = 0;
+};
+
+/// The molecule management of the data system (paper §3.1): derives whole
+/// molecule sets via a molecule-type scan, assembling each molecule either
+/// by association chasing or from a covering atom cluster.
+class Executor {
+ public:
+  explicit Executor(access::AccessSystem* access)
+      : access_(access), analyzer_(&access->catalog()) {}
+
+  /// Plan a query (exposed so tests and benches can inspect decisions).
+  util::Result<QueryPlan> Prepare(const FromClause& from, const Expr* where);
+
+  /// Run a full query.
+  util::Result<MoleculeSet> Run(const Query& query);
+
+  /// Qualification only: resolve + scan + assemble + WHERE filter.
+  util::Result<MoleculeSet> Qualify(const QueryPlan& plan, const Expr* where);
+
+  /// Assemble the molecule rooted at `root` (public: used by DML and the
+  /// semantic-parallelism processor).
+  util::Result<Molecule> Assemble(const QueryPlan& plan,
+                                  const access::Atom& root);
+
+  /// Enumerate root-atom candidates via the plan's chosen access method
+  /// (public: the semantic-parallelism processor decomposes on these).
+  util::Result<std::vector<access::Atom>> Roots(const QueryPlan& plan) {
+    return RootCandidates(plan);
+  }
+
+  /// Apply the SELECT clause to one qualified molecule (public: used by the
+  /// semantic-parallelism processor).
+  util::Result<Molecule> ProjectMolecule(const Query& query,
+                                         const QueryPlan& plan,
+                                         Molecule molecule) {
+    return Project(query, plan, std::move(molecule));
+  }
+
+  /// Evaluate a WHERE expression on a molecule. `default_component`
+  /// rebinds bare attribute names (empty = the root component); qualified
+  /// projections evaluate their conditions in the projected component's
+  /// scope.
+  util::Result<bool> Eval(const Molecule& molecule, const Expr& expr,
+                          const std::map<std::string, const access::Atom*>&
+                              bindings,
+                          const std::string& default_component = "") const;
+
+  DataStats& stats() { return stats_; }
+  access::AccessSystem* access() { return access_; }
+
+ private:
+  struct PathRef {
+    const MoleculeGroup* group = nullptr;
+    uint16_t attr = 0;
+    std::vector<uint16_t> fields;
+    int level = -1;
+  };
+
+  util::Result<PathRef> ResolvePath(const Molecule& molecule,
+                                    const AttrPath& path) const;
+  util::Result<std::vector<access::Value>> PathValues(
+      const Molecule& molecule, const AttrPath& path,
+      const std::map<std::string, const access::Atom*>& bindings,
+      const std::string& default_component) const;
+
+  /// Root-bound simple predicates from the top-level conjunction.
+  struct RootPred {
+    uint16_t attr;
+    std::vector<uint16_t> fields;
+    access::CompareOp op;
+    access::Value operand;
+  };
+  util::Status ExtractRootPreds(const Expr* where,
+                                const ResolvedStructure& structure,
+                                std::vector<RootPred>* out) const;
+
+  util::Result<std::vector<access::Atom>> RootCandidates(const QueryPlan& plan);
+
+  util::Result<Molecule> AssembleBfs(const ResolvedStructure& structure,
+                                     const access::Atom& root);
+  util::Result<Molecule> AssembleRecursive(const ResolvedStructure& structure,
+                                           const access::Atom& root);
+  util::Result<Molecule> AssembleFromCluster(const QueryPlan& plan,
+                                             const access::Atom& root);
+
+  util::Result<Molecule> Project(const Query& query, const QueryPlan& plan,
+                                 Molecule molecule);
+
+  access::AccessSystem* access_;
+  SemanticAnalyzer analyzer_;
+  DataStats stats_;
+};
+
+}  // namespace prima::mql
+
+#endif  // PRIMA_MQL_EXECUTOR_H_

@@ -1,0 +1,161 @@
+#include "mql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace prima::mql {
+
+using util::Result;
+using util::Status;
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+std::string Upper(const std::string& s) {
+  std::string u = s;
+  for (auto& c : u) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return u;
+}
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // (* comment *)
+    if (c == '(' && i + 1 < n && text[i + 1] == '*') {
+      const size_t close = text.find("*)", i + 2);
+      if (close == std::string::npos) {
+        return Status::ParseError("unterminated comment at offset " +
+                                  std::to_string(i));
+      }
+      i = close + 2;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      tok.kind = TokenKind::kIdent;
+      tok.text = text.substr(i, j - i);
+      tok.upper = Upper(tok.text);
+      i = j;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t j = i;
+      bool is_real = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      if (j < n && text[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[j + 1]))) {
+        is_real = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      }
+      if (j < n && (text[j] == 'E' || text[j] == 'e')) {
+        size_t k = j + 1;
+        if (k < n && (text[k] == '+' || text[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(text[k]))) {
+          is_real = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+        }
+      }
+      const std::string num = text.substr(i, j - i);
+      if (is_real) {
+        tok.kind = TokenKind::kReal;
+        tok.real_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInt;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tok.text = num;
+      i = j;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string body;
+      while (j < n && text[j] != '\'') {
+        body.push_back(text[j]);
+        ++j;
+      }
+      if (j >= n) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(i));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(body);
+      i = j + 1;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '@') {
+      // @type:seq surrogate literal
+      size_t j = i + 1;
+      std::string type_part, seq_part;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+        type_part.push_back(text[j]);
+        ++j;
+      }
+      if (j >= n || text[j] != ':' || type_part.empty()) {
+        return Status::ParseError("malformed surrogate literal at offset " +
+                                  std::to_string(i));
+      }
+      ++j;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+        seq_part.push_back(text[j]);
+        ++j;
+      }
+      if (seq_part.empty()) {
+        return Status::ParseError("malformed surrogate literal at offset " +
+                                  std::to_string(i));
+      }
+      tok.kind = TokenKind::kTid;
+      tok.int_value = std::strtoll(type_part.c_str(), nullptr, 10);
+      tok.real_value = static_cast<double>(std::strtoll(seq_part.c_str(), nullptr, 10));
+      tok.text = text.substr(i, j - i);
+      i = j;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char symbols first.
+    auto two = [&](const char* s) {
+      return i + 1 < n && text[i] == s[0] && text[i + 1] == s[1];
+    };
+    tok.kind = TokenKind::kSymbol;
+    if (two(":=") || two("<>") || two("!=") || two("<=") || two(">=")) {
+      tok.text = text.substr(i, 2);
+      i += 2;
+    } else if (std::string("(){}[],;:.-=<>*+/").find(c) != std::string::npos) {
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                "' at offset " + std::to_string(i));
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace prima::mql

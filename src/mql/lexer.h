@@ -1,0 +1,38 @@
+#ifndef PRIMA_MQL_LEXER_H_
+#define PRIMA_MQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prima::mql {
+
+enum class TokenKind {
+  kIdent,      ///< identifiers and keywords (case-insensitive keywords)
+  kInt,
+  kReal,
+  kString,     ///< 'quoted'
+  kTid,        ///< @type:seq literal
+  kSymbol,     ///< punctuation / operators, in `text`
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< identifier (original case), symbol, string body
+  std::string upper;    ///< uppercased identifier for keyword matching
+  int64_t int_value = 0;
+  double real_value = 0;
+  size_t offset = 0;    ///< byte offset (error messages)
+};
+
+/// Tokenize MQL / LDL text. Symbols recognized:
+///   ( ) { } [ ] , ; : . - = <> != < <= > >= := *
+/// Comments: (* ... *) — as in the paper's examples.
+util::Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace prima::mql
+
+#endif  // PRIMA_MQL_LEXER_H_

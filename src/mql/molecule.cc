@@ -1,0 +1,55 @@
+#include "mql/molecule.h"
+
+namespace prima::mql {
+
+namespace {
+void PrintAtom(const access::Atom& atom, const access::AtomTypeDef* def,
+               std::string* out) {
+  *out += "  " + (def != nullptr ? def->name : "?") + atom.tid.ToString() + " {";
+  bool first = true;
+  for (size_t i = 0; i < atom.attrs.size(); ++i) {
+    if (atom.attrs[i].is_null()) continue;
+    if (def != nullptr && i == def->identifier_attr) continue;
+    if (!first) *out += ", ";
+    first = false;
+    if (def != nullptr && i < def->attrs.size()) {
+      *out += def->attrs[i].name + ": ";
+    }
+    *out += atom.attrs[i].ToString();
+  }
+  *out += "}\n";
+}
+}  // namespace
+
+std::string Molecule::ToString(const access::Catalog& catalog) const {
+  std::string out;
+  for (const auto& g : groups) {
+    if (g.atoms.empty()) continue;
+    out += " " + g.component + " (" + std::to_string(g.atoms.size()) + "):\n";
+    const access::AtomTypeDef* def = catalog.GetAtomType(g.type);
+    for (const auto& atom : g.atoms) {
+      PrintAtom(atom, def, &out);
+    }
+  }
+  if (!levels.empty()) {
+    out += " levels:";
+    for (size_t l = 0; l < levels.size(); ++l) {
+      out += " [" + std::to_string(l) + "]=" + std::to_string(levels[l].size());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MoleculeSet::ToString(const access::Catalog& catalog) const {
+  std::string out = "molecule set (" + std::to_string(molecules.size()) +
+                    " molecule" + (molecules.size() == 1 ? "" : "s") + ")\n";
+  size_t idx = 0;
+  for (const auto& m : molecules) {
+    out += "molecule #" + std::to_string(idx++) + ":\n";
+    out += m.ToString(catalog);
+  }
+  return out;
+}
+
+}  // namespace prima::mql

@@ -1,0 +1,63 @@
+#ifndef PRIMA_MQL_MOLECULE_H_
+#define PRIMA_MQL_MOLECULE_H_
+
+#include <string>
+#include <vector>
+
+#include "access/catalog.h"
+#include "access/value.h"
+
+namespace prima::mql {
+
+/// All atoms of one component type within a molecule occurrence.
+struct MoleculeGroup {
+  std::string component;  ///< component name (the atom type name)
+  access::AtomTypeId type = 0;
+  std::vector<access::Atom> atoms;
+};
+
+/// One molecule occurrence: a set of heterogeneous records (atoms),
+/// structured dynamically by the query's FROM clause (paper §2.2). Groups
+/// appear in structure pre-order; groups[0] holds the root atom(s).
+struct Molecule {
+  std::vector<MoleculeGroup> groups;
+  /// For recursive molecules: surrogates per recursion level
+  /// (levels[0] = the seed/root). Empty for non-recursive molecules.
+  std::vector<std::vector<access::Tid>> levels;
+
+  const MoleculeGroup* FindGroup(const std::string& component) const {
+    for (const auto& g : groups) {
+      if (g.component == component) return &g;
+    }
+    return nullptr;
+  }
+  MoleculeGroup* FindGroup(const std::string& component) {
+    for (auto& g : groups) {
+      if (g.component == component) return &g;
+    }
+    return nullptr;
+  }
+
+  size_t AtomCount() const {
+    size_t n = 0;
+    for (const auto& g : groups) n += g.atoms.size();
+    return n;
+  }
+
+  /// Pretty-print with attribute names from the catalog.
+  std::string ToString(const access::Catalog& catalog) const;
+};
+
+/// Query result: the molecule set of the specified molecule type.
+struct MoleculeSet {
+  std::vector<Molecule> molecules;
+
+  size_t size() const { return molecules.size(); }
+  bool empty() const { return molecules.empty(); }
+
+  std::string ToString(const access::Catalog& catalog) const;
+};
+
+}  // namespace prima::mql
+
+#endif  // PRIMA_MQL_MOLECULE_H_

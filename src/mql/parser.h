@@ -1,0 +1,22 @@
+#ifndef PRIMA_MQL_PARSER_H_
+#define PRIMA_MQL_PARSER_H_
+
+#include <string>
+
+#include "mql/ast.h"
+#include "util/result.h"
+
+namespace prima::mql {
+
+/// Parse one MQL statement (the grammar reconstructed from the paper's
+/// Table 2.1 and Fig. 2.3 — every published example parses verbatim; see
+/// README "MQL reference" for the full grammar).
+util::Result<Statement> ParseStatement(const std::string& text);
+
+/// Parse a bare FROM-clause structure (used when resolving stored molecule
+/// type definitions).
+util::Result<FromClause> ParseFromText(const std::string& text);
+
+}  // namespace prima::mql
+
+#endif  // PRIMA_MQL_PARSER_H_

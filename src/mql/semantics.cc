@@ -1,0 +1,221 @@
+#include "mql/semantics.h"
+
+#include <set>
+
+#include "mql/parser.h"
+
+namespace prima::mql {
+
+using access::AtomTypeDef;
+using access::AtomTypeId;
+using util::Result;
+using util::Status;
+
+namespace {
+void CollectTypes(const ResolvedNode& node, std::vector<AtomTypeId>* out) {
+  out->push_back(node.type);
+  for (const auto& c : node.children) CollectTypes(c, out);
+}
+void CollectNames(const ResolvedNode& node, std::vector<std::string>* out) {
+  out->push_back(node.name);
+  for (const auto& c : node.children) CollectNames(c, out);
+}
+const ResolvedNode* FindNodeRec(const ResolvedNode& node,
+                                const std::string& name) {
+  if (node.name == name) return &node;
+  for (const auto& c : node.children) {
+    const ResolvedNode* f = FindNodeRec(c, name);
+    if (f != nullptr) return f;
+  }
+  return nullptr;
+}
+size_t CountNodes(const ResolvedNode& node) {
+  size_t n = 1;
+  for (const auto& c : node.children) n += CountNodes(c);
+  return n;
+}
+/// Component names must be unique so WHERE/SELECT references are
+/// unambiguous; a type reached twice gets a "_k" suffix.
+void DisambiguateNames(ResolvedNode* node, std::set<std::string>* seen) {
+  std::string name = node->name;
+  int k = 2;
+  while (seen->count(name) != 0) {
+    name = node->name + "_" + std::to_string(k++);
+  }
+  node->name = name;
+  seen->insert(name);
+  for (auto& c : node->children) DisambiguateNames(&c, seen);
+}
+}  // namespace
+
+std::vector<AtomTypeId> ResolvedStructure::AllTypes() const {
+  std::vector<AtomTypeId> out;
+  CollectTypes(root, &out);
+  return out;
+}
+
+std::vector<std::string> ResolvedStructure::AllNames() const {
+  std::vector<std::string> out;
+  CollectNames(root, &out);
+  return out;
+}
+
+const ResolvedNode* ResolvedStructure::FindNode(const std::string& name) const {
+  return FindNodeRec(root, name);
+}
+
+size_t ResolvedStructure::NodeCount() const { return CountNodes(root); }
+
+Result<uint16_t> SemanticAnalyzer::LinkAttr(const AtomTypeDef& parent,
+                                            AtomTypeId child,
+                                            const std::string& via) const {
+  if (!via.empty()) {
+    const access::AttributeDef* a = parent.FindAttr(via);
+    if (a == nullptr) {
+      return Status::InvalidArgument("unknown association attribute " +
+                                     parent.name + "." + via);
+    }
+    if (!a->type.IsAssociation()) {
+      return Status::InvalidArgument(parent.name + "." + via +
+                                     " is not a REFERENCE attribute");
+    }
+    const access::TypeDesc* ref = a->type.ReferenceDesc();
+    if (ref->ref_type_id != child) {
+      return Status::InvalidArgument(parent.name + "." + via +
+                                     " does not associate the requested type");
+    }
+    return a->id;
+  }
+  std::vector<uint16_t> candidates;
+  for (const auto& a : parent.attrs) {
+    if (!a.type.IsAssociation()) continue;
+    const access::TypeDesc* ref = a.type.ReferenceDesc();
+    if (ref->ref_type_id == child) candidates.push_back(a.id);
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no association from " + parent.name +
+                                   " to the requested component type");
+  }
+  if (candidates.size() > 1) {
+    return Status::InvalidArgument(
+        "ambiguous association from " + parent.name +
+        "; disambiguate with " + parent.name + ".<attr>");
+  }
+  return candidates[0];
+}
+
+Result<ResolvedNode> SemanticAnalyzer::ResolveChain(
+    const std::vector<StructureNode>& chain, size_t index, int depth,
+    bool* recursive, uint16_t* rec_attr, std::string* molecule_name) const {
+  if (depth > 16) {
+    return Status::InvalidArgument("molecule type nesting too deep");
+  }
+  const StructureNode& sn = chain[index];
+  ResolvedNode node;
+
+  // Component may be a predefined molecule type — splice its structure.
+  const AtomTypeDef* atom_type = catalog_->FindAtomType(sn.name);
+  if (atom_type == nullptr) {
+    const access::MoleculeTypeDef* mol = catalog_->FindMoleculeType(sn.name);
+    if (mol == nullptr) {
+      return Status::InvalidArgument("unknown atom or molecule type " + sn.name);
+    }
+    PRIMA_ASSIGN_OR_RETURN(FromClause sub_from, ParseFromText(mol->from_text));
+    PRIMA_ASSIGN_OR_RETURN(ResolvedStructure sub,
+                           ResolveInternal(sub_from, depth + 1));
+    if (sub.recursive) {
+      if (index != 0 || chain.size() != 1 || !sn.branches.empty()) {
+        return Status::InvalidArgument(
+            "recursive molecule type " + sn.name +
+            " can only be used as the whole FROM clause");
+      }
+      *recursive = true;
+      *rec_attr = sub.rec_attr;
+    }
+    if (index == 0) *molecule_name = sn.name;
+    node = std::move(sub.root);
+  } else {
+    node.type = atom_type->id;
+    node.name = sn.name;
+  }
+
+  const AtomTypeDef* node_type = catalog_->GetAtomType(node.type);
+
+  // Branches fan out from this component.
+  for (const auto& branch : sn.branches) {
+    PRIMA_ASSIGN_OR_RETURN(
+        ResolvedNode child,
+        ResolveChain(branch, 0, depth, recursive, rec_attr, molecule_name));
+    PRIMA_ASSIGN_OR_RETURN(child.via_attr,
+                           LinkAttr(*node_type, child.type, ""));
+    node.children.push_back(std::move(child));
+  }
+
+  // Chain continuation: the next component is a child of this one, linked
+  // via this component's `.attr` notation when present.
+  if (index + 1 < chain.size()) {
+    PRIMA_ASSIGN_OR_RETURN(
+        ResolvedNode child,
+        ResolveChain(chain, index + 1, depth, recursive, rec_attr,
+                     molecule_name));
+    PRIMA_ASSIGN_OR_RETURN(child.via_attr,
+                           LinkAttr(*node_type, child.type, sn.via_attr));
+    node.children.push_back(std::move(child));
+  } else if (!sn.via_attr.empty() && sn.branches.empty() &&
+             chain.size() == 1) {
+    return Status::InvalidArgument("dangling association notation " + sn.name +
+                                   "." + sn.via_attr);
+  }
+  return node;
+}
+
+Result<ResolvedStructure> SemanticAnalyzer::ResolveInternal(
+    const FromClause& from, int depth) const {
+  if (from.chain.empty()) {
+    return Status::InvalidArgument("empty FROM clause");
+  }
+  ResolvedStructure out;
+
+  // Recursive structures: the canonical form is `X.attr - X (recursive)`.
+  if (from.recursive && from.chain.size() == 2 &&
+      catalog_->FindAtomType(from.chain[0].name) != nullptr) {
+    const StructureNode& first = from.chain[0];
+    const StructureNode& second = from.chain[1];
+    if (first.name != second.name) {
+      return Status::InvalidArgument(
+          "recursive structure must relate a type to itself");
+    }
+    const AtomTypeDef* type = catalog_->FindAtomType(first.name);
+    out.root.type = type->id;
+    out.root.name = first.name;
+    out.recursive = true;
+    PRIMA_ASSIGN_OR_RETURN(out.rec_attr,
+                           LinkAttr(*type, type->id, first.via_attr));
+    return out;
+  }
+
+  bool recursive = false;
+  uint16_t rec_attr = 0;
+  std::string molecule_name;
+  PRIMA_ASSIGN_OR_RETURN(
+      out.root,
+      ResolveChain(from.chain, 0, depth, &recursive, &rec_attr, &molecule_name));
+  out.recursive = recursive || from.recursive;
+  out.rec_attr = rec_attr;
+  out.molecule_name = molecule_name;
+  if (out.recursive && out.rec_attr == 0 && from.recursive) {
+    // `X.attr - X (recursive)` handled above; a spliced molecule type
+    // carries its own rec_attr. Anything else is malformed.
+    return Status::InvalidArgument("malformed recursive structure");
+  }
+  std::set<std::string> seen;
+  DisambiguateNames(&out.root, &seen);
+  return out;
+}
+
+Result<ResolvedStructure> SemanticAnalyzer::Resolve(
+    const FromClause& from) const {
+  return ResolveInternal(from, 0);
+}
+
+}  // namespace prima::mql

@@ -1,0 +1,67 @@
+#ifndef PRIMA_MQL_SEMANTICS_H_
+#define PRIMA_MQL_SEMANTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "access/access_system.h"
+#include "mql/ast.h"
+
+namespace prima::mql {
+
+/// A component of the resolved (hierarchical) molecule structure. The
+/// semantic analyzer turns the FROM clause — which may traverse the meshed
+/// (network) schema in any direction — into this directed tree: the paper's
+/// "resolution of a meshed molecule type into an equivalent hierarchical
+/// one which is easier to cope with" (§3.1).
+struct ResolvedNode {
+  access::AtomTypeId type = 0;
+  std::string name;          ///< component name (atom type name)
+  uint16_t via_attr = 0;     ///< association attr on the *parent* leading here
+  std::vector<ResolvedNode> children;
+};
+
+struct ResolvedStructure {
+  ResolvedNode root;
+  bool recursive = false;
+  uint16_t rec_attr = 0;       ///< root-type association driving the recursion
+  std::string molecule_name;   ///< named molecule type, if resolved from one
+
+  /// All component types (pre-order, root first).
+  std::vector<access::AtomTypeId> AllTypes() const;
+  /// All component names (pre-order).
+  std::vector<std::string> AllNames() const;
+  const ResolvedNode* FindNode(const std::string& name) const;
+  /// Number of nodes.
+  size_t NodeCount() const;
+};
+
+/// Query validation & modification (paper §3.1): resolves predefined
+/// molecule types, picks the linking associations between consecutive
+/// components (with `type.attr` disambiguation), and validates recursion.
+class SemanticAnalyzer {
+ public:
+  explicit SemanticAnalyzer(const access::Catalog* catalog)
+      : catalog_(catalog) {}
+
+  util::Result<ResolvedStructure> Resolve(const FromClause& from) const;
+
+ private:
+  util::Result<ResolvedStructure> ResolveInternal(const FromClause& from,
+                                                  int depth) const;
+  util::Result<ResolvedNode> ResolveChain(
+      const std::vector<StructureNode>& chain, size_t index, int depth,
+      bool* recursive, uint16_t* rec_attr, std::string* molecule_name) const;
+
+  /// Find the association attribute on `parent` that leads to type `child`;
+  /// `via` optionally names it (the `parent.attr` notation).
+  util::Result<uint16_t> LinkAttr(const access::AtomTypeDef& parent,
+                                  access::AtomTypeId child,
+                                  const std::string& via) const;
+
+  const access::Catalog* catalog_;
+};
+
+}  // namespace prima::mql
+
+#endif  // PRIMA_MQL_SEMANTICS_H_

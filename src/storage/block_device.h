@@ -1,0 +1,148 @@
+#ifndef PRIMA_STORAGE_BLOCK_DEVICE_H_
+#define PRIMA_STORAGE_BLOCK_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prima::storage {
+
+/// I/O accounting. Chained transfers count as one operation regardless of
+/// the number of blocks moved — this is the measurable benefit the paper
+/// attributes to page sequences ("enabling an optimal transfer of the whole
+/// page sequence, e.g. by chained I/O").
+struct DeviceStats {
+  std::atomic<uint64_t> block_reads{0};
+  std::atomic<uint64_t> block_writes{0};
+  std::atomic<uint64_t> chained_reads{0};
+  std::atomic<uint64_t> chained_writes{0};
+  std::atomic<uint64_t> blocks_read{0};
+  std::atomic<uint64_t> blocks_written{0};
+
+  /// Total device operations (the 1987 cost model: one op ~ one disk seek).
+  uint64_t TotalOps() const {
+    return block_reads + block_writes + chained_reads + chained_writes;
+  }
+  void Reset() {
+    block_reads = block_writes = 0;
+    chained_reads = chained_writes = 0;
+    blocks_read = blocks_written = 0;
+  }
+};
+
+/// The file-manager substrate (substitution for the INCAS OS file manager
+/// [Ne87], see DESIGN.md §3): files of fixed block size, where the block
+/// size menu is exactly the five page sizes, plus chained transfers.
+class BlockDevice {
+ public:
+  using FileId = SegmentId;
+
+  virtual ~BlockDevice() = default;
+
+  /// Create a file of the given block size. Fails if it exists.
+  virtual util::Status Create(FileId file, uint32_t block_size) = 0;
+  /// Remove a file and its blocks.
+  virtual util::Status Remove(FileId file) = 0;
+  virtual bool Exists(FileId file) const = 0;
+  virtual util::Result<uint32_t> BlockSizeOf(FileId file) const = 0;
+  /// All existing files (for database reopen).
+  virtual std::vector<FileId> ListFiles() const = 0;
+
+  /// Read one block into dst (block_size bytes). Reading a block that was
+  /// never written yields zeros.
+  virtual util::Status Read(FileId file, uint64_t block, char* dst) = 0;
+  virtual util::Status Write(FileId file, uint64_t block, const char* src) = 0;
+
+  /// Chained transfer: move all listed blocks with a single device
+  /// operation. dst/src holds blocks.size() * block_size bytes, in order.
+  virtual util::Status ReadChained(FileId file,
+                                   const std::vector<uint64_t>& blocks,
+                                   char* dst) = 0;
+  virtual util::Status WriteChained(FileId file,
+                                    const std::vector<uint64_t>& blocks,
+                                    const char* src) = 0;
+
+  DeviceStats& stats() { return stats_; }
+  const DeviceStats& stats() const { return stats_; }
+
+ protected:
+  DeviceStats stats_;
+};
+
+/// Heap-backed device: the default for tests and benchmarks (deterministic,
+/// no filesystem dependence).
+class MemoryBlockDevice : public BlockDevice {
+ public:
+  util::Status Create(FileId file, uint32_t block_size) override;
+  util::Status Remove(FileId file) override;
+  bool Exists(FileId file) const override;
+  util::Result<uint32_t> BlockSizeOf(FileId file) const override;
+  std::vector<FileId> ListFiles() const override;
+  util::Status Read(FileId file, uint64_t block, char* dst) override;
+  util::Status Write(FileId file, uint64_t block, const char* src) override;
+  util::Status ReadChained(FileId file, const std::vector<uint64_t>& blocks,
+                           char* dst) override;
+  util::Status WriteChained(FileId file, const std::vector<uint64_t>& blocks,
+                            const char* src) override;
+
+ private:
+  struct File {
+    uint32_t block_size = 0;
+    std::vector<std::string> blocks;
+  };
+
+  util::Status ReadLocked(File& f, uint64_t block, char* dst);
+  util::Status WriteLocked(File& f, uint64_t block, const char* src);
+
+  mutable std::mutex mu_;
+  std::map<FileId, File> files_;
+};
+
+/// POSIX file device: one file per segment under a directory. File layout:
+/// a 512-byte device header (magic + block size) followed by the blocks.
+class FileBlockDevice : public BlockDevice {
+ public:
+  /// The directory must exist (or be creatable).
+  explicit FileBlockDevice(std::string directory);
+  ~FileBlockDevice() override;
+
+  util::Status Create(FileId file, uint32_t block_size) override;
+  util::Status Remove(FileId file) override;
+  bool Exists(FileId file) const override;
+  util::Result<uint32_t> BlockSizeOf(FileId file) const override;
+  std::vector<FileId> ListFiles() const override;
+  util::Status Read(FileId file, uint64_t block, char* dst) override;
+  util::Status Write(FileId file, uint64_t block, const char* src) override;
+  util::Status ReadChained(FileId file, const std::vector<uint64_t>& blocks,
+                           char* dst) override;
+  util::Status WriteChained(FileId file, const std::vector<uint64_t>& blocks,
+                            const char* src) override;
+
+  /// fsync every open file (called by StorageSystem::Flush).
+  util::Status Sync();
+
+ private:
+  struct OpenFile {
+    int fd = -1;
+    uint32_t block_size = 0;
+  };
+
+  std::string PathFor(FileId file) const;
+  util::Result<OpenFile*> GetOpen(FileId file);
+
+  mutable std::mutex mu_;
+  std::string directory_;
+  std::map<FileId, OpenFile> open_;
+};
+
+}  // namespace prima::storage
+
+#endif  // PRIMA_STORAGE_BLOCK_DEVICE_H_

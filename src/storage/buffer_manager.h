@@ -1,0 +1,144 @@
+#ifndef PRIMA_STORAGE_BUFFER_MANAGER_H_
+#define PRIMA_STORAGE_BUFFER_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/block_device.h"
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prima::storage {
+
+/// Globally unique page address.
+struct PageId {
+  SegmentId segment = 0;
+  uint32_t page = 0;
+
+  friend bool operator==(const PageId& a, const PageId& b) {
+    return a.segment == b.segment && a.page == b.page;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(id.segment) << 32) |
+                                 id.page);
+  }
+};
+
+/// Replacement policy (paper §3.3). The paper discusses two ways to manage
+/// different page sizes in one buffer: static partitioning ("not very
+/// flexible when reference patterns change") and a modified LRU that handles
+/// multiple sizes directly — the one PRIMA adopts. Both are implemented so
+/// the claim is benchmarkable (experiment E10).
+enum class BufferPolicy {
+  kUnifiedLru,         ///< single LRU chain, byte-budget, size-aware eviction
+  kStaticPartitioned,  ///< one classic LRU pool per page size, fixed budgets
+};
+
+struct BufferStats {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> writebacks{0};
+  std::atomic<uint64_t> prefetched_pages{0};
+
+  double HitRatio() const {
+    const uint64_t h = hits, m = misses;
+    return (h + m) == 0 ? 0.0 : static_cast<double>(h) / (h + m);
+  }
+  void Reset() {
+    hits = misses = evictions = writebacks = prefetched_pages = 0;
+  }
+};
+
+/// One buffered page. Callers access frames only through PageGuard
+/// (storage_system.h); the latch serializes readers/writers of the bytes.
+struct Frame {
+  PageId id;
+  uint32_t size = 0;
+  std::unique_ptr<char[]> data;
+  bool dirty = false;
+  uint32_t pins = 0;
+  std::shared_mutex latch;
+  // Position in the owning LRU list (valid while resident).
+  std::list<Frame*>::iterator lru_pos;
+};
+
+/// The database buffer: holds pages of all five sizes simultaneously.
+/// Thread-safe; page content accesses are serialized by per-frame latches
+/// taken by PageGuard.
+class BufferManager {
+ public:
+  /// budget_bytes is the total data budget across all page sizes.
+  BufferManager(BlockDevice* device, size_t budget_bytes, BufferPolicy policy);
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Pin the page, reading it from the device if absent. `page_size` must be
+  /// the page size of the segment. If `format_new` is true the page is not
+  /// read from the device; the frame starts zeroed (used for freshly
+  /// allocated pages). The returned frame is pinned but not latched.
+  util::Result<Frame*> Fix(PageId id, uint32_t page_size, bool format_new);
+
+  /// Release one pin.
+  void Unfix(Frame* frame);
+
+  /// Mark a pinned frame dirty (caller holds the exclusive latch).
+  void MarkDirty(Frame* frame);
+
+  /// Load all missing pages of the list with a single chained device read
+  /// (the page-sequence fast path, experiment E9). No pins are taken.
+  util::Status Prefetch(SegmentId segment, const std::vector<uint32_t>& pages,
+                        uint32_t page_size);
+
+  /// Write back every dirty page (sealing checksums). Pages stay resident.
+  util::Status FlushAll();
+
+  /// Drop all pages of a segment without write-back (segment drop).
+  /// Fails if any of them is pinned.
+  util::Status Discard(SegmentId segment);
+
+  BufferStats& stats() { return stats_; }
+  size_t resident_bytes() const;
+
+ private:
+  // Size-class index for the partitioned policy.
+  static int SizeClass(uint32_t page_size);
+
+  // Ensure `bytes` fit in the (sub-)pool, evicting unpinned LRU victims.
+  // Caller holds mu_.
+  util::Status MakeRoom(int size_class, uint32_t bytes);
+
+  // Write a dirty frame back to the device. Caller holds mu_; takes the
+  // frame latch shared to copy stable bytes.
+  util::Status WriteBack(Frame* frame);
+
+  BlockDevice* device_;
+  const BufferPolicy policy_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>, PageIdHash> frames_;
+
+  // Unified policy uses chain 0 / budget 0 only; partitioned uses one chain
+  // per size class. Front = least recently used.
+  std::list<Frame*> lru_[5];
+  size_t budget_[5] = {0, 0, 0, 0, 0};
+  size_t used_[5] = {0, 0, 0, 0, 0};
+
+  BufferStats stats_;
+};
+
+}  // namespace prima::storage
+
+#endif  // PRIMA_STORAGE_BUFFER_MANAGER_H_

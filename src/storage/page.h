@@ -1,0 +1,124 @@
+#ifndef PRIMA_STORAGE_PAGE_H_
+#define PRIMA_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+#include "util/coding.h"
+#include "util/crc32.h"
+#include "util/slice.h"
+
+namespace prima::storage {
+
+/// Identifies a segment; doubles as the block-device file id.
+using SegmentId = uint32_t;
+
+/// The five page sizes supported by the storage system (paper §3.3): the
+/// underlying file manager supports exactly these block sizes, so the
+/// block<->page mapping is the identity.
+enum class PageSize : uint8_t {
+  k512 = 0,
+  k1K = 1,
+  k2K = 2,
+  k4K = 3,
+  k8K = 4,
+};
+
+constexpr uint32_t PageSizeBytes(PageSize s) {
+  switch (s) {
+    case PageSize::k512: return 512;
+    case PageSize::k1K: return 1024;
+    case PageSize::k2K: return 2048;
+    case PageSize::k4K: return 4096;
+    case PageSize::k8K: return 8192;
+  }
+  return 0;
+}
+
+constexpr PageSize kAllPageSizes[] = {PageSize::k512, PageSize::k1K,
+                                      PageSize::k2K, PageSize::k4K,
+                                      PageSize::k8K};
+
+/// What a page is used for; stored in the page header so corruption and
+/// misdirected reads are detectable.
+enum class PageType : uint8_t {
+  kFree = 0,
+  kSegmentHeader = 1,
+  kSlotted = 2,       ///< variable-length physical records
+  kSeqHeader = 3,     ///< first page of a page sequence
+  kSeqComponent = 4,  ///< further pages of a page sequence
+  kBTreeInner = 5,
+  kBTreeLeaf = 6,
+  kGridDirectory = 7,
+  kGridBucket = 8,
+  kMeta = 9,          ///< catalog / bookkeeping
+};
+
+/// Common page header (paper: "the usual page header used for
+/// identification, description, and fault tolerance").
+///
+/// Layout (little endian):
+///   [0..4)   crc32 over bytes [4..page_size)
+///   [4..8)   page_no
+///   [8]      page_type
+///   [9]      flags
+///   [10..12) slot_count / type-specific u16
+///   [12..14) free_start / type-specific u16
+///   [14..16) type-specific u16
+///   [16..24) lsn / type-specific u64
+struct PageHeader {
+  static constexpr uint32_t kSize = 24;
+
+  static uint32_t page_no(const char* page) {
+    return util::DecodeFixed32(page + 4);
+  }
+  static void set_page_no(char* page, uint32_t no) {
+    util::EncodeFixed32(page + 4, no);
+  }
+  static PageType type(const char* page) {
+    return static_cast<PageType>(static_cast<unsigned char>(page[8]));
+  }
+  static void set_type(char* page, PageType t) {
+    page[8] = static_cast<char>(t);
+  }
+  static uint8_t flags(const char* page) {
+    return static_cast<uint8_t>(page[9]);
+  }
+  static void set_flags(char* page, uint8_t f) {
+    page[9] = static_cast<char>(f);
+  }
+  static uint16_t u16a(const char* page) { return util::DecodeFixed16(page + 10); }
+  static void set_u16a(char* page, uint16_t v) { util::EncodeFixed16(page + 10, v); }
+  static uint16_t u16b(const char* page) { return util::DecodeFixed16(page + 12); }
+  static void set_u16b(char* page, uint16_t v) { util::EncodeFixed16(page + 12, v); }
+  static uint16_t u16c(const char* page) { return util::DecodeFixed16(page + 14); }
+  static void set_u16c(char* page, uint16_t v) { util::EncodeFixed16(page + 14, v); }
+  static uint64_t u64(const char* page) { return util::DecodeFixed64(page + 16); }
+  static void set_u64(char* page, uint64_t v) { util::EncodeFixed64(page + 16, v); }
+
+  /// Recompute and store the checksum (done by the buffer on write-back).
+  static void Seal(char* page, uint32_t page_size) {
+    util::EncodeFixed32(page, util::Crc32(util::Slice(page + 4, page_size - 4)));
+  }
+  /// Verify the stored checksum (done on every read from the device).
+  static bool Verify(const char* page, uint32_t page_size) {
+    return util::DecodeFixed32(page) ==
+           util::Crc32(util::Slice(page + 4, page_size - 4));
+  }
+
+  /// Initialize a blank page of the given type.
+  static void Format(char* page, uint32_t page_size, uint32_t page_no,
+                     PageType t) {
+    for (uint32_t i = 0; i < page_size; ++i) page[i] = 0;
+    set_page_no(page, page_no);
+    set_type(page, t);
+  }
+};
+
+/// Bytes usable by the layer above, per page.
+constexpr uint32_t PagePayload(uint32_t page_size_bytes) {
+  return page_size_bytes - PageHeader::kSize;
+}
+
+}  // namespace prima::storage
+
+#endif  // PRIMA_STORAGE_PAGE_H_

@@ -1,0 +1,462 @@
+#include "storage/storage_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace prima::storage {
+
+using util::Result;
+using util::Slice;
+using util::Status;
+
+// ---------------------------------------------------------------------------
+// PageGuard
+// ---------------------------------------------------------------------------
+
+PageGuard::PageGuard(BufferManager* buffer, Frame* frame, LatchMode mode)
+    : buffer_(buffer), frame_(frame), mode_(mode) {
+  if (mode_ == LatchMode::kShared) {
+    frame_->latch.lock_shared();
+  } else {
+    frame_->latch.lock();
+  }
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    buffer_ = other.buffer_;
+    frame_ = other.frame_;
+    mode_ = other.mode_;
+    other.buffer_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+char* PageGuard::mutable_data() {
+  assert(mode_ == LatchMode::kExclusive);
+  buffer_->MarkDirty(frame_);
+  return frame_->data.get();
+}
+
+void PageGuard::Release() {
+  if (frame_ == nullptr) return;
+  if (mode_ == LatchMode::kShared) {
+    frame_->latch.unlock_shared();
+  } else {
+    frame_->latch.unlock();
+  }
+  buffer_->Unfix(frame_);
+  frame_ = nullptr;
+  buffer_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// StorageSystem
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr uint32_t kSegmentMagic = 0x5345474Du;  // "SEGM"
+
+// Segment header page payload layout (after the common page header):
+//   [0..4)  magic
+//   [4]     page size code
+//   [5..9)  page_count
+//   [9..13) free list head
+constexpr uint32_t kSegMetaBytes = 13;
+}  // namespace
+
+StorageSystem::StorageSystem(std::unique_ptr<BlockDevice> device,
+                             StorageOptions options)
+    : device_(std::move(device)),
+      buffer_(std::make_unique<BufferManager>(device_.get(),
+                                              options.buffer_bytes,
+                                              options.buffer_policy)) {}
+
+StorageSystem::~StorageSystem() { (void)Flush(); }
+
+Status StorageSystem::Open() {
+  for (SegmentId id : device_->ListFiles()) {
+    PRIMA_RETURN_IF_ERROR(LoadSegmentMeta(id));
+  }
+  return Status::Ok();
+}
+
+Status StorageSystem::LoadSegmentMeta(SegmentId id) {
+  PRIMA_ASSIGN_OR_RETURN(const uint32_t bs, device_->BlockSizeOf(id));
+  PRIMA_ASSIGN_OR_RETURN(Frame* const frame,
+                         buffer_->Fix(PageId{id, 0}, bs, false));
+  const char* payload = frame->data.get() + PageHeader::kSize;
+  SegmentMeta meta;
+  Status st;
+  if (util::DecodeFixed32(payload) != kSegmentMagic) {
+    st = Status::Corruption("segment " + std::to_string(id) +
+                            ": bad segment header magic");
+  } else {
+    meta.page_size = static_cast<PageSize>(payload[4]);
+    meta.page_count = util::DecodeFixed32(payload + 5);
+    meta.free_head = util::DecodeFixed32(payload + 9);
+    meta.dirty = false;
+  }
+  buffer_->Unfix(frame);
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  segments_[id] = meta;
+  return Status::Ok();
+}
+
+Status StorageSystem::PersistSegmentMeta(SegmentId id, SegmentMeta* meta) {
+  const uint32_t bs = PageSizeBytes(meta->page_size);
+  PRIMA_ASSIGN_OR_RETURN(Frame* const frame,
+                         buffer_->Fix(PageId{id, 0}, bs, false));
+  {
+    std::unique_lock<std::shared_mutex> latch(frame->latch);
+    char* page = frame->data.get();
+    PageHeader::set_page_no(page, 0);
+    PageHeader::set_type(page, PageType::kSegmentHeader);
+    char* payload = page + PageHeader::kSize;
+    util::EncodeFixed32(payload, kSegmentMagic);
+    payload[4] = static_cast<char>(meta->page_size);
+    util::EncodeFixed32(payload + 5, meta->page_count);
+    util::EncodeFixed32(payload + 9, meta->free_head);
+    buffer_->MarkDirty(frame);
+  }
+  buffer_->Unfix(frame);
+  meta->dirty = false;
+  return Status::Ok();
+}
+
+Status StorageSystem::CreateSegment(SegmentId id, PageSize size) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (segments_.count(id) != 0) {
+      return Status::AlreadyExists("segment " + std::to_string(id));
+    }
+  }
+  PRIMA_RETURN_IF_ERROR(device_->Create(id, PageSizeBytes(size)));
+  SegmentMeta meta;
+  meta.page_size = size;
+  meta.page_count = 1;
+  meta.free_head = 0;
+  // Materialize page 0 so reopen finds valid metadata even without Flush.
+  PRIMA_ASSIGN_OR_RETURN(Frame* const frame,
+                         buffer_->Fix(PageId{id, 0}, PageSizeBytes(size), true));
+  buffer_->Unfix(frame);
+  PRIMA_RETURN_IF_ERROR(PersistSegmentMeta(id, &meta));
+  std::lock_guard<std::mutex> lock(mu_);
+  segments_[id] = meta;
+  return Status::Ok();
+}
+
+Status StorageSystem::DropSegment(SegmentId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (segments_.erase(id) == 0) {
+      return Status::NotFound("segment " + std::to_string(id));
+    }
+  }
+  PRIMA_RETURN_IF_ERROR(buffer_->Discard(id));
+  return device_->Remove(id);
+}
+
+bool StorageSystem::SegmentExists(SegmentId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.count(id) != 0;
+}
+
+Result<PageSize> StorageSystem::SegmentPageSize(SegmentId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(id);
+  if (it == segments_.end()) {
+    return Status::NotFound("segment " + std::to_string(id));
+  }
+  return it->second.page_size;
+}
+
+std::vector<SegmentId> StorageSystem::ListSegments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SegmentId> out;
+  out.reserve(segments_.size());
+  for (const auto& [id, meta] : segments_) out.push_back(id);
+  return out;
+}
+
+SegmentId StorageSystem::NextFreeSegmentId() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SegmentId id = 1;
+  for (const auto& [existing, meta] : segments_) {
+    if (existing >= id) id = existing + 1;
+  }
+  return id;
+}
+
+Result<PageGuard> StorageSystem::FixPage(SegmentId seg, uint32_t page_no,
+                                         LatchMode mode) {
+  uint32_t bs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = segments_.find(seg);
+    if (it == segments_.end()) {
+      return Status::NotFound("segment " + std::to_string(seg));
+    }
+    if (page_no >= it->second.page_count) {
+      return Status::InvalidArgument("page " + std::to_string(page_no) +
+                                     " beyond segment end");
+    }
+    bs = PageSizeBytes(it->second.page_size);
+  }
+  PRIMA_ASSIGN_OR_RETURN(Frame* const frame,
+                         buffer_->Fix(PageId{seg, page_no}, bs, false));
+  return PageGuard(buffer_.get(), frame, mode);
+}
+
+Result<uint32_t> StorageSystem::AllocatePageLocked(SegmentId seg,
+                                                   SegmentMeta* meta) {
+  meta->dirty = true;
+  if (meta->free_head != 0) {
+    const uint32_t page_no = meta->free_head;
+    // The free page stores the next free page number in its header u64.
+    PRIMA_ASSIGN_OR_RETURN(
+        Frame* const frame,
+        buffer_->Fix(PageId{seg, page_no}, PageSizeBytes(meta->page_size),
+                     false));
+    meta->free_head = static_cast<uint32_t>(PageHeader::u64(frame->data.get()));
+    buffer_->Unfix(frame);
+    return page_no;
+  }
+  return meta->page_count++;
+}
+
+Result<PageGuard> StorageSystem::NewPage(SegmentId seg, PageType type) {
+  uint32_t page_no;
+  uint32_t bs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = segments_.find(seg);
+    if (it == segments_.end()) {
+      return Status::NotFound("segment " + std::to_string(seg));
+    }
+    bs = PageSizeBytes(it->second.page_size);
+    PRIMA_ASSIGN_OR_RETURN(page_no, AllocatePageLocked(seg, &it->second));
+  }
+  PRIMA_ASSIGN_OR_RETURN(Frame* const frame,
+                         buffer_->Fix(PageId{seg, page_no}, bs, true));
+  // A recycled free-list page may still hold stale bytes in its frame.
+  std::memset(frame->data.get(), 0, bs);
+  PageHeader::Format(frame->data.get(), bs, page_no, type);
+  buffer_->MarkDirty(frame);
+  return PageGuard(buffer_.get(), frame, LatchMode::kExclusive);
+}
+
+Status StorageSystem::FreePage(SegmentId seg, uint32_t page_no) {
+  if (page_no == 0) {
+    return Status::InvalidArgument("cannot free the segment header page");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(seg);
+  if (it == segments_.end()) {
+    return Status::NotFound("segment " + std::to_string(seg));
+  }
+  SegmentMeta& meta = it->second;
+  const uint32_t bs = PageSizeBytes(meta.page_size);
+  PRIMA_ASSIGN_OR_RETURN(Frame* const frame,
+                         buffer_->Fix(PageId{seg, page_no}, bs, false));
+  {
+    std::unique_lock<std::shared_mutex> latch(frame->latch);
+    PageHeader::Format(frame->data.get(), bs, page_no, PageType::kFree);
+    PageHeader::set_u64(frame->data.get(), meta.free_head);
+    buffer_->MarkDirty(frame);
+  }
+  buffer_->Unfix(frame);
+  meta.free_head = page_no;
+  meta.dirty = true;
+  return Status::Ok();
+}
+
+Result<uint32_t> StorageSystem::PageCount(SegmentId seg) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(seg);
+  if (it == segments_.end()) {
+    return Status::NotFound("segment " + std::to_string(seg));
+  }
+  return it->second.page_count;
+}
+
+// ---------------------------------------------------------------------------
+// Page sequences
+// ---------------------------------------------------------------------------
+
+namespace {
+// Sequence header payload: u32 total_len, u32 page_count, u32 pages[],
+// or (page_count == 0) the payload inline.
+constexpr uint32_t kSeqHeaderFixed = 8;
+
+uint32_t MaxComponents(uint32_t page_size) {
+  return (PagePayload(page_size) - kSeqHeaderFixed) / 4;
+}
+}  // namespace
+
+Result<uint32_t> StorageSystem::CreateSequence(SegmentId seg, Slice payload) {
+  PRIMA_ASSIGN_OR_RETURN(const PageSize ps, SegmentPageSize(seg));
+  const uint32_t bs = PageSizeBytes(ps);
+  const uint32_t comp_capacity = PagePayload(bs);
+  const uint32_t inline_capacity = PagePayload(bs) - kSeqHeaderFixed;
+
+  PRIMA_ASSIGN_OR_RETURN(PageGuard header, NewPage(seg, PageType::kSeqHeader));
+  char* hp = header.mutable_data() + PageHeader::kSize;
+  util::EncodeFixed32(hp, static_cast<uint32_t>(payload.size()));
+
+  if (payload.size() <= inline_capacity) {
+    util::EncodeFixed32(hp + 4, 0);
+    std::memcpy(hp + kSeqHeaderFixed, payload.data(), payload.size());
+    return header.page_no();
+  }
+
+  const uint32_t n_pages =
+      static_cast<uint32_t>((payload.size() + comp_capacity - 1) / comp_capacity);
+  if (n_pages > MaxComponents(bs)) {
+    return Status::NoSpace("page sequence too long for header page");
+  }
+  util::EncodeFixed32(hp + 4, n_pages);
+  size_t off = 0;
+  for (uint32_t i = 0; i < n_pages; ++i) {
+    PRIMA_ASSIGN_OR_RETURN(PageGuard comp, NewPage(seg, PageType::kSeqComponent));
+    const size_t chunk = std::min<size_t>(comp_capacity, payload.size() - off);
+    std::memcpy(comp.mutable_data() + PageHeader::kSize, payload.data() + off,
+                chunk);
+    util::EncodeFixed32(hp + kSeqHeaderFixed + 4 * i, comp.page_no());
+    off += chunk;
+  }
+  return header.page_no();
+}
+
+Result<std::string> StorageSystem::ReadSequence(SegmentId seg,
+                                                uint32_t header_page) {
+  PRIMA_ASSIGN_OR_RETURN(const PageSize ps, SegmentPageSize(seg));
+  const uint32_t bs = PageSizeBytes(ps);
+  const uint32_t comp_capacity = PagePayload(bs);
+
+  PRIMA_ASSIGN_OR_RETURN(PageGuard header,
+                         FixPage(seg, header_page, LatchMode::kShared));
+  if (PageHeader::type(header.data()) != PageType::kSeqHeader) {
+    return Status::Corruption("page " + std::to_string(header_page) +
+                              " is not a sequence header");
+  }
+  const char* hp = header.data() + PageHeader::kSize;
+  const uint32_t total_len = util::DecodeFixed32(hp);
+  const uint32_t n_pages = util::DecodeFixed32(hp + 4);
+
+  std::string out;
+  out.reserve(total_len);
+  if (n_pages == 0) {
+    out.assign(hp + kSeqHeaderFixed, total_len);
+    return out;
+  }
+
+  std::vector<uint32_t> pages(n_pages);
+  for (uint32_t i = 0; i < n_pages; ++i) {
+    pages[i] = util::DecodeFixed32(hp + kSeqHeaderFixed + 4 * i);
+  }
+  // The paper's "optimal transfer of the whole page sequence": all component
+  // pages missing from the buffer arrive with one chained I/O.
+  PRIMA_RETURN_IF_ERROR(buffer_->Prefetch(seg, pages, bs));
+
+  size_t remaining = total_len;
+  for (uint32_t p : pages) {
+    PRIMA_ASSIGN_OR_RETURN(PageGuard comp, FixPage(seg, p, LatchMode::kShared));
+    const size_t chunk = std::min<size_t>(comp_capacity, remaining);
+    out.append(comp.data() + PageHeader::kSize, chunk);
+    remaining -= chunk;
+  }
+  return out;
+}
+
+Status StorageSystem::RewriteSequence(SegmentId seg, uint32_t header_page,
+                                      Slice payload) {
+  PRIMA_ASSIGN_OR_RETURN(const PageSize ps, SegmentPageSize(seg));
+  const uint32_t bs = PageSizeBytes(ps);
+  const uint32_t comp_capacity = PagePayload(bs);
+  const uint32_t inline_capacity = PagePayload(bs) - kSeqHeaderFixed;
+
+  PRIMA_ASSIGN_OR_RETURN(PageGuard header,
+                         FixPage(seg, header_page, LatchMode::kExclusive));
+  if (PageHeader::type(header.data()) != PageType::kSeqHeader) {
+    return Status::Corruption("page " + std::to_string(header_page) +
+                              " is not a sequence header");
+  }
+  char* hp = header.mutable_data() + PageHeader::kSize;
+  const uint32_t old_n = util::DecodeFixed32(hp + 4);
+  std::vector<uint32_t> old_pages(old_n);
+  for (uint32_t i = 0; i < old_n; ++i) {
+    old_pages[i] = util::DecodeFixed32(hp + kSeqHeaderFixed + 4 * i);
+  }
+
+  util::EncodeFixed32(hp, static_cast<uint32_t>(payload.size()));
+  if (payload.size() <= inline_capacity) {
+    util::EncodeFixed32(hp + 4, 0);
+    std::memcpy(hp + kSeqHeaderFixed, payload.data(), payload.size());
+  } else {
+    const uint32_t n_pages = static_cast<uint32_t>(
+        (payload.size() + comp_capacity - 1) / comp_capacity);
+    if (n_pages > MaxComponents(bs)) {
+      return Status::NoSpace("page sequence too long for header page");
+    }
+    util::EncodeFixed32(hp + 4, n_pages);
+    size_t off = 0;
+    for (uint32_t i = 0; i < n_pages; ++i) {
+      PRIMA_ASSIGN_OR_RETURN(PageGuard comp,
+                             NewPage(seg, PageType::kSeqComponent));
+      const size_t chunk = std::min<size_t>(comp_capacity, payload.size() - off);
+      std::memcpy(comp.mutable_data() + PageHeader::kSize, payload.data() + off,
+                  chunk);
+      util::EncodeFixed32(hp + kSeqHeaderFixed + 4 * i, comp.page_no());
+      off += chunk;
+    }
+  }
+  header.Release();
+  for (uint32_t p : old_pages) {
+    PRIMA_RETURN_IF_ERROR(FreePage(seg, p));
+  }
+  return Status::Ok();
+}
+
+Status StorageSystem::DropSequence(SegmentId seg, uint32_t header_page) {
+  std::vector<uint32_t> pages;
+  {
+    PRIMA_ASSIGN_OR_RETURN(PageGuard header,
+                           FixPage(seg, header_page, LatchMode::kShared));
+    if (PageHeader::type(header.data()) != PageType::kSeqHeader) {
+      return Status::Corruption("page " + std::to_string(header_page) +
+                                " is not a sequence header");
+    }
+    const char* hp = header.data() + PageHeader::kSize;
+    const uint32_t n_pages = util::DecodeFixed32(hp + 4);
+    for (uint32_t i = 0; i < n_pages; ++i) {
+      pages.push_back(util::DecodeFixed32(hp + kSeqHeaderFixed + 4 * i));
+    }
+  }
+  for (uint32_t p : pages) {
+    PRIMA_RETURN_IF_ERROR(FreePage(seg, p));
+  }
+  return FreePage(seg, header_page);
+}
+
+Status StorageSystem::Flush() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, meta] : segments_) {
+      if (meta.dirty) {
+        PRIMA_RETURN_IF_ERROR(PersistSegmentMeta(id, &meta));
+      }
+    }
+  }
+  PRIMA_RETURN_IF_ERROR(buffer_->FlushAll());
+  if (auto* fd = dynamic_cast<FileBlockDevice*>(device_.get())) {
+    PRIMA_RETURN_IF_ERROR(fd->Sync());
+  }
+  return Status::Ok();
+}
+
+}  // namespace prima::storage

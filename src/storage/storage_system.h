@@ -1,0 +1,137 @@
+#ifndef PRIMA_STORAGE_STORAGE_SYSTEM_H_
+#define PRIMA_STORAGE_STORAGE_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/block_device.h"
+#include "storage/buffer_manager.h"
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace prima::storage {
+
+/// How a PageGuard latches the frame's bytes.
+enum class LatchMode { kShared, kExclusive };
+
+/// RAII handle for a pinned, latched page. Obtained from
+/// StorageSystem::FixPage / NewPage; unlatches and unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferManager* buffer, Frame* frame, LatchMode mode);
+  ~PageGuard() { Release(); }
+
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool valid() const { return frame_ != nullptr; }
+  uint32_t page_no() const { return frame_->id.page; }
+  uint32_t page_size() const { return frame_->size; }
+
+  /// Read access to the page bytes.
+  const char* data() const { return frame_->data.get(); }
+
+  /// Write access; requires kExclusive and marks the page dirty.
+  char* mutable_data();
+
+  /// Unlatch + unpin early.
+  void Release();
+
+ private:
+  BufferManager* buffer_ = nullptr;
+  Frame* frame_ = nullptr;
+  LatchMode mode_ = LatchMode::kShared;
+};
+
+struct StorageOptions {
+  /// Total buffer budget in bytes across all page sizes.
+  size_t buffer_bytes = 8u << 20;
+  BufferPolicy buffer_policy = BufferPolicy::kUnifiedLru;
+};
+
+/// The storage system (paper §3.3, bottom layer of Fig. 3.1): maps segments
+/// divided into pages of one of five sizes — plus page sequences as
+/// containers of arbitrary length — onto the blocks of the file manager.
+class StorageSystem {
+ public:
+  StorageSystem(std::unique_ptr<BlockDevice> device, StorageOptions options);
+  ~StorageSystem();
+
+  /// Load segment metadata for every file already present on the device
+  /// (database reopen).
+  util::Status Open();
+
+  // --- segments ------------------------------------------------------------
+
+  util::Status CreateSegment(SegmentId id, PageSize size);
+  util::Status DropSegment(SegmentId id);
+  bool SegmentExists(SegmentId id) const;
+  util::Result<PageSize> SegmentPageSize(SegmentId id) const;
+  std::vector<SegmentId> ListSegments() const;
+  /// Lowest unused segment id (for catalog-driven allocation).
+  SegmentId NextFreeSegmentId() const;
+
+  // --- pages ---------------------------------------------------------------
+
+  /// Pin + latch an existing page.
+  util::Result<PageGuard> FixPage(SegmentId seg, uint32_t page_no,
+                                  LatchMode mode);
+  /// Allocate a fresh page (free list first, then segment growth), formatted
+  /// to `type`, returned exclusively latched and dirty.
+  util::Result<PageGuard> NewPage(SegmentId seg, PageType type);
+  /// Return a page to the segment's free list.
+  util::Status FreePage(SegmentId seg, uint32_t page_no);
+  /// Number of pages ever allocated (including freed ones and the header).
+  util::Result<uint32_t> PageCount(SegmentId seg) const;
+
+  // --- page sequences (paper §3.3, Fig. 3.2c) -------------------------------
+
+  /// Store `payload` as a page sequence; returns the header page number,
+  /// which identifies the sequence from then on.
+  util::Result<uint32_t> CreateSequence(SegmentId seg, util::Slice payload);
+  /// Read the full payload. On a cold buffer this issues one chained device
+  /// read for all component pages (experiment E9).
+  util::Result<std::string> ReadSequence(SegmentId seg, uint32_t header_page);
+  /// Replace the payload, keeping the header page number stable.
+  util::Status RewriteSequence(SegmentId seg, uint32_t header_page,
+                               util::Slice payload);
+  util::Status DropSequence(SegmentId seg, uint32_t header_page);
+
+  // --- maintenance ----------------------------------------------------------
+
+  /// Write back all dirty pages and segment metadata; sync the device.
+  util::Status Flush();
+
+  BufferManager& buffer() { return *buffer_; }
+  BlockDevice& device() { return *device_; }
+
+ private:
+  struct SegmentMeta {
+    PageSize page_size = PageSize::k8K;
+    uint32_t page_count = 1;  // page 0 is the segment header
+    uint32_t free_head = 0;   // 0 = empty free list
+    bool dirty = false;
+  };
+
+  util::Status LoadSegmentMeta(SegmentId id);
+  util::Status PersistSegmentMeta(SegmentId id, SegmentMeta* meta);
+  util::Result<uint32_t> AllocatePageLocked(SegmentId seg, SegmentMeta* meta);
+
+  std::unique_ptr<BlockDevice> device_;
+  std::unique_ptr<BufferManager> buffer_;
+
+  mutable std::mutex mu_;  // guards segments_
+  std::map<SegmentId, SegmentMeta> segments_;
+};
+
+}  // namespace prima::storage
+
+#endif  // PRIMA_STORAGE_STORAGE_SYSTEM_H_

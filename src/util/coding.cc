@@ -1,0 +1,218 @@
+#include "util/coding.h"
+
+#include <cstring>
+
+namespace prima::util {
+
+void EncodeFixed16(char* dst, uint16_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+void EncodeFixed32(char* dst, uint32_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+void EncodeFixed64(char* dst, uint64_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed16(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarsint64(std::string* dst, int64_t value) {
+  const uint64_t zigzag =
+      (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+  PutVarint64(dst, zigzag);
+}
+
+void PutLengthPrefixed(std::string* dst, Slice value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    const auto byte = static_cast<unsigned char>((*input)[0]);
+    input->RemovePrefix(1);
+    if (byte & 0x80) {
+      result |= (static_cast<uint64_t>(byte & 0x7F) << shift);
+    } else {
+      result |= (static_cast<uint64_t>(byte) << shift);
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarsint64(Slice* input, int64_t* value) {
+  uint64_t zigzag;
+  if (!GetVarint64(input, &zigzag)) return false;
+  *value = static_cast<int64_t>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+  return true;
+}
+
+bool GetLengthPrefixed(Slice* input, Slice* value) {
+  uint64_t len;
+  if (!GetVarint64(input, &len)) return false;
+  if (input->size() < len) return false;
+  *value = Slice(input->data(), static_cast<size_t>(len));
+  input->RemovePrefix(static_cast<size_t>(len));
+  return true;
+}
+
+bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < sizeof(uint32_t)) return false;
+  *value = DecodeFixed32(input->data());
+  input->RemovePrefix(sizeof(uint32_t));
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < sizeof(uint64_t)) return false;
+  *value = DecodeFixed64(input->data());
+  input->RemovePrefix(sizeof(uint64_t));
+  return true;
+}
+
+namespace {
+void AppendBigEndian64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(v & 0xFF);
+    v >>= 8;
+  }
+  dst->append(buf, 8);
+}
+
+bool ReadBigEndian64(Slice* input, uint64_t* v) {
+  if (input->size() < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r = (r << 8) | static_cast<unsigned char>((*input)[i]);
+  }
+  input->RemovePrefix(8);
+  *v = r;
+  return true;
+}
+}  // namespace
+
+void PutKeyInt64(std::string* dst, int64_t value) {
+  AppendBigEndian64(dst, static_cast<uint64_t>(value) ^ (1ull << 63));
+}
+
+bool GetKeyInt64(Slice* input, int64_t* value) {
+  uint64_t raw;
+  if (!ReadBigEndian64(input, &raw)) return false;
+  *value = static_cast<int64_t>(raw ^ (1ull << 63));
+  return true;
+}
+
+void PutKeyDouble(std::string* dst, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  // Positive numbers: flip the sign bit. Negative: flip all bits.
+  if (bits & (1ull << 63)) {
+    bits = ~bits;
+  } else {
+    bits ^= (1ull << 63);
+  }
+  AppendBigEndian64(dst, bits);
+}
+
+bool GetKeyDouble(Slice* input, double* value) {
+  uint64_t bits;
+  if (!ReadBigEndian64(input, &bits)) return false;
+  if (bits & (1ull << 63)) {
+    bits ^= (1ull << 63);
+  } else {
+    bits = ~bits;
+  }
+  std::memcpy(value, &bits, sizeof(*value));
+  return true;
+}
+
+void PutKeyString(std::string* dst, Slice value) {
+  for (size_t i = 0; i < value.size(); ++i) {
+    const char c = value[i];
+    if (c == '\x00') {
+      dst->push_back('\x00');
+      dst->push_back('\xFF');
+    } else {
+      dst->push_back(c);
+    }
+  }
+  dst->push_back('\x00');
+  dst->push_back('\x01');
+}
+
+bool GetKeyString(Slice* input, std::string* value) {
+  value->clear();
+  while (input->size() >= 2) {
+    const char c = (*input)[0];
+    if (c == '\x00') {
+      const char next = (*input)[1];
+      input->RemovePrefix(2);
+      if (next == '\x01') return true;       // terminator
+      if (next == '\xFF') {
+        value->push_back('\x00');            // escaped NUL
+        continue;
+      }
+      return false;                          // malformed escape
+    }
+    value->push_back(c);
+    input->RemovePrefix(1);
+  }
+  return false;
+}
+
+void PutKeyBool(std::string* dst, bool value) {
+  dst->push_back(value ? '\x01' : '\x00');
+}
+
+bool GetKeyBool(Slice* input, bool* value) {
+  if (input->empty()) return false;
+  *value = (*input)[0] != '\x00';
+  input->RemovePrefix(1);
+  return true;
+}
+
+}  // namespace prima::util

@@ -1,0 +1,67 @@
+#ifndef PRIMA_UTIL_CODING_H_
+#define PRIMA_UTIL_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace prima::util {
+
+// ---------------------------------------------------------------------------
+// Fixed-width little-endian encodings (page-internal structures).
+// ---------------------------------------------------------------------------
+
+void EncodeFixed16(char* dst, uint16_t value);
+void EncodeFixed32(char* dst, uint32_t value);
+void EncodeFixed64(char* dst, uint64_t value);
+uint16_t DecodeFixed16(const char* src);
+uint32_t DecodeFixed32(const char* src);
+uint64_t DecodeFixed64(const char* src);
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+// ---------------------------------------------------------------------------
+// Varint encodings (record serialization).
+// ---------------------------------------------------------------------------
+
+/// Append value in LEB128 (1..10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+/// Append the zig-zag encoding of a signed value.
+void PutVarsint64(std::string* dst, int64_t value);
+/// Append varint length followed by the raw bytes.
+void PutLengthPrefixed(std::string* dst, Slice value);
+
+/// Consume a varint from the front of *input. False on truncation.
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetVarsint64(Slice* input, int64_t* value);
+bool GetLengthPrefixed(Slice* input, Slice* value);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+// ---------------------------------------------------------------------------
+// Order-preserving key encodings (B*-tree / grid-file composite keys).
+// memcmp() on the encoded form sorts exactly like the typed values.
+// ---------------------------------------------------------------------------
+
+/// Signed integer: bias the sign bit, store big-endian.
+void PutKeyInt64(std::string* dst, int64_t value);
+/// IEEE double with total order (negatives flipped entirely).
+void PutKeyDouble(std::string* dst, double value);
+/// Byte string, terminated with 0x00 0x01 and 0x00 escaped as 0x00 0xFF so
+/// prefixes sort before extensions and embedded NULs stay ordered.
+void PutKeyString(std::string* dst, Slice value);
+/// Booleans as one byte.
+void PutKeyBool(std::string* dst, bool value);
+
+bool GetKeyInt64(Slice* input, int64_t* value);
+bool GetKeyDouble(Slice* input, double* value);
+bool GetKeyString(Slice* input, std::string* value);
+bool GetKeyBool(Slice* input, bool* value);
+
+}  // namespace prima::util
+
+#endif  // PRIMA_UTIL_CODING_H_

@@ -1,0 +1,20 @@
+#ifndef PRIMA_UTIL_CRC32_H_
+#define PRIMA_UTIL_CRC32_H_
+
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace prima::util {
+
+/// CRC-32 (IEEE 802.3 polynomial) over a byte range. Used in page headers
+/// for fault tolerance: a page read whose stored checksum mismatches is
+/// reported as Corruption.
+uint32_t Crc32(Slice data);
+
+/// Incremental form: extend a running checksum.
+uint32_t Crc32Extend(uint32_t crc, Slice data);
+
+}  // namespace prima::util
+
+#endif  // PRIMA_UTIL_CRC32_H_

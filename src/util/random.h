@@ -1,0 +1,67 @@
+#ifndef PRIMA_UTIL_RANDOM_H_
+#define PRIMA_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace prima::util {
+
+/// Deterministic xorshift128+ generator. All workload generators in tests,
+/// examples, and benchmarks seed this explicitly so runs are reproducible
+/// bit-for-bit across machines (the paper reports no absolute numbers; we
+/// reproduce shapes, and determinism keeps the shapes stable).
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s0_ = SplitMix(seed);
+    s1_ = SplitMix(s0_);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-ish skewed pick in [0, n): rank r chosen with weight 1/(r+1).
+  /// Cheap approximation good enough for locality experiments.
+  uint64_t Skewed(uint64_t n) {
+    const double u = NextDouble();
+    const double x = static_cast<double>(n) * u * u;  // quadratic skew
+    const auto r = static_cast<uint64_t>(x);
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace prima::util
+
+#endif  // PRIMA_UTIL_RANDOM_H_

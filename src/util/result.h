@@ -1,0 +1,65 @@
+#ifndef PRIMA_UTIL_RESULT_H_
+#define PRIMA_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace prima::util {
+
+/// A value-or-error pair: either holds a T or a non-ok Status.
+/// The PRIMA analogue of arrow::Result / rocksdb's (Status, out-param) pairs.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error Status. Must not be ok().
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace prima::util
+
+/// Evaluate a Result-returning expression; on error, propagate the Status;
+/// on success, move the value into `lhs` (a declaration or assignable).
+#define PRIMA_ASSIGN_OR_RETURN(lhs, expr)                    \
+  PRIMA_ASSIGN_OR_RETURN_IMPL_(                              \
+      PRIMA_RESULT_CONCAT_(_prima_result_, __LINE__), lhs, expr)
+#define PRIMA_RESULT_CONCAT_INNER_(a, b) a##b
+#define PRIMA_RESULT_CONCAT_(a, b) PRIMA_RESULT_CONCAT_INNER_(a, b)
+#define PRIMA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // PRIMA_UTIL_RESULT_H_

@@ -1,0 +1,35 @@
+#include "util/status.h"
+
+namespace prima::util {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kNotFound: return "NotFound";
+    case Status::Code::kAlreadyExists: return "AlreadyExists";
+    case Status::Code::kInvalidArgument: return "InvalidArgument";
+    case Status::Code::kCorruption: return "Corruption";
+    case Status::Code::kNoSpace: return "NoSpace";
+    case Status::Code::kNotSupported: return "NotSupported";
+    case Status::Code::kConstraint: return "Constraint";
+    case Status::Code::kConflict: return "Conflict";
+    case Status::Code::kParseError: return "ParseError";
+    case Status::Code::kIoError: return "IoError";
+    case Status::Code::kAborted: return "Aborted";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = CodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace prima::util

@@ -1,0 +1,83 @@
+#ifndef PRIMA_UTIL_STATUS_H_
+#define PRIMA_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace prima::util {
+
+/// Outcome of an operation that can fail. PRIMA never throws across module
+/// boundaries; every fallible interface returns a Status (or a Result<T>,
+/// see result.h). Modeled after the error-handling idiom of production
+/// storage engines.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,         ///< addressed object does not exist
+    kAlreadyExists,    ///< unique name / key collision
+    kInvalidArgument,  ///< caller passed something malformed
+    kCorruption,       ///< on-disk structure failed validation (checksum...)
+    kNoSpace,          ///< container exhausted (page, segment, buffer)
+    kNotSupported,     ///< feature intentionally absent
+    kConstraint,       ///< integrity constraint violated (keys, cardinality)
+    kConflict,         ///< lock conflict / serialization failure
+    kParseError,       ///< MQL / LDL text could not be parsed
+    kIoError,          ///< block device failure
+    kAborted,          ///< transaction aborted
+  };
+
+  /// Default: success.
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) { return Status(Code::kNotFound, std::move(m)); }
+  static Status AlreadyExists(std::string m) { return Status(Code::kAlreadyExists, std::move(m)); }
+  static Status InvalidArgument(std::string m) { return Status(Code::kInvalidArgument, std::move(m)); }
+  static Status Corruption(std::string m) { return Status(Code::kCorruption, std::move(m)); }
+  static Status NoSpace(std::string m) { return Status(Code::kNoSpace, std::move(m)); }
+  static Status NotSupported(std::string m) { return Status(Code::kNotSupported, std::move(m)); }
+  static Status Constraint(std::string m) { return Status(Code::kConstraint, std::move(m)); }
+  static Status Conflict(std::string m) { return Status(Code::kConflict, std::move(m)); }
+  static Status ParseError(std::string m) { return Status(Code::kParseError, std::move(m)); }
+  static Status IoError(std::string m) { return Status(Code::kIoError, std::move(m)); }
+  static Status Aborted(std::string m) { return Status(Code::kAborted, std::move(m)); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsConstraint() const { return code_ == Code::kConstraint; }
+  bool IsConflict() const { return code_ == Code::kConflict; }
+  bool IsParseError() const { return code_ == Code::kParseError; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<code>: <message>" rendering.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace prima::util
+
+/// Propagate a non-ok Status to the caller. Usable in any function that
+/// itself returns Status.
+#define PRIMA_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::prima::util::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // PRIMA_UTIL_STATUS_H_

@@ -1,0 +1,47 @@
+#ifndef PRIMA_UTIL_THREAD_POOL_H_
+#define PRIMA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prima::util {
+
+/// Fixed-size worker pool. Substrate for PRIMA's "semantic parallelism":
+/// decomposed units of work (DUs) from a single user operation are
+/// scheduled here and executed concurrently (paper §4, multi-processor
+/// PRIMA emulated with shared-memory threads; see DESIGN.md substitutions).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace prima::util
+
+#endif  // PRIMA_UTIL_THREAD_POOL_H_

@@ -1,0 +1,59 @@
+#ifndef PRIMA_WORKLOADS_BREP_H_
+#define PRIMA_WORKLOADS_BREP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/prima.h"
+
+namespace prima::workloads {
+
+/// The boundary-representation workload of the paper (Fig. 2.1 / 2.3):
+/// 3D solids with their BREP decomposed into faces, edges, and points —
+/// including the meshed n:m topology (edges shared by faces, points shared
+/// by edges) and the recursive solid.sub/super composition.
+class BrepWorkload {
+ public:
+  explicit BrepWorkload(core::Prima* db) : db_(db) {}
+
+  /// Install the schema of Fig. 2.3 verbatim (atom types + the molecule
+  /// types edge_obj / face_obj / brep_obj / piece_list).
+  util::Status CreateSchema();
+
+  /// Tids of one constructed solid.
+  struct Solid {
+    access::Tid solid;
+    access::Tid brep;
+    std::vector<access::Tid> faces;
+    std::vector<access::Tid> edges;
+    std::vector<access::Tid> points;
+  };
+
+  /// Build one tetrahedron: brep + 4 faces + 6 edges + 4 points with the
+  /// full shared topology. `solid_no` keys the solid; `brep_no` the brep.
+  util::Result<Solid> BuildTetrahedron(int64_t solid_no, int64_t brep_no,
+                                       double scale = 1.0);
+
+  /// Build `n` tetrahedra with solid_no = base_no .. base_no+n-1 and
+  /// brep_no = solid_no (convenient for queries).
+  util::Result<std::vector<Solid>> BuildMany(int64_t base_no, int n);
+
+  /// Compose an assembly: `parent` gets the `children` as sub-solids
+  /// (recursive consists-of relationship).
+  util::Status Compose(const access::Tid& parent,
+                       const std::vector<access::Tid>& children);
+
+  /// A full robot-like assembly tree of the given arity/depth; returns the
+  /// root solid tid. Leaves are tetrahedra; solid_no values start at
+  /// base_no (the root takes base_no itself).
+  util::Result<access::Tid> BuildAssembly(int64_t base_no, int arity,
+                                          int depth);
+
+ private:
+  core::Prima* db_;
+  int64_t next_auto_no_ = 1000000;
+};
+
+}  // namespace prima::workloads
+
+#endif  // PRIMA_WORKLOADS_BREP_H_

@@ -1,0 +1,124 @@
+#include "workloads/geo.h"
+
+namespace prima::workloads {
+
+using access::AttrValue;
+using access::Tid;
+using access::Value;
+using util::Result;
+using util::Status;
+
+namespace {
+const char* kSchema[] = {
+    "CREATE ATOM_TYPE map"
+    " ( map_id : IDENTIFIER,"
+    "   map_no : INTEGER,"
+    "   name : CHAR_VAR,"
+    "   regions : SET_OF (REF_TO (region.map)) )"
+    " KEYS_ARE (map_no)",
+
+    "CREATE ATOM_TYPE region"
+    " ( region_id : IDENTIFIER,"
+    "   region_no : INTEGER,"
+    "   population : INTEGER,"
+    "   area : REAL,"
+    "   map : REF_TO (map.regions),"
+    "   borders : SET_OF (REF_TO (border.regions)) )",
+
+    "CREATE ATOM_TYPE border"
+    " ( border_id : IDENTIFIER,"
+    "   border_no : INTEGER,"
+    "   length : REAL,"
+    "   regions : SET_OF (REF_TO (region.borders)) (1,2) )",
+};
+}  // namespace
+
+Status GeoWorkload::CreateSchema() {
+  for (const char* stmt : kSchema) {
+    auto r = db_->Execute(stmt);
+    if (!r.ok()) return r.status();
+  }
+  return Status::Ok();
+}
+
+Result<GeoWorkload::MapData> GeoWorkload::GenerateGrid(int64_t map_no,
+                                                       int rows, int cols,
+                                                       uint64_t seed) {
+  access::AccessSystem& access = db_->access();
+  const access::Catalog& catalog = access.catalog();
+  const auto* map_def = catalog.FindAtomType("map");
+  const auto* region_def = catalog.FindAtomType("region");
+  const auto* border_def = catalog.FindAtomType("border");
+  if (map_def == nullptr || region_def == nullptr || border_def == nullptr) {
+    return Status::InvalidArgument("GEO schema not installed");
+  }
+  util::Random rng(seed);
+  MapData out;
+
+  PRIMA_ASSIGN_OR_RETURN(
+      out.map,
+      access.InsertAtom(
+          map_def->id,
+          {AttrValue{map_def->FindAttr("map_no")->id, Value::Int(map_no)},
+           AttrValue{map_def->FindAttr("name")->id,
+                     Value::String("map" + std::to_string(map_no))}}));
+
+  const uint16_t region_no = region_def->FindAttr("region_no")->id;
+  const uint16_t population = region_def->FindAttr("population")->id;
+  const uint16_t area = region_def->FindAttr("area")->id;
+  const uint16_t region_map = region_def->FindAttr("map")->id;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      PRIMA_ASSIGN_OR_RETURN(
+          const Tid t,
+          access.InsertAtom(
+              region_def->id,
+              {AttrValue{region_no, Value::Int(map_no * 100000 + r * cols + c)},
+               AttrValue{population, Value::Int(rng.Range(100, 1000000))},
+               AttrValue{area, Value::Real(1.0 + rng.NextDouble() * 99.0)},
+               AttrValue{region_map, Value::Ref(out.map)}}));
+      out.regions.push_back(t);
+    }
+  }
+
+  // Interior borders: shared by horizontally / vertically adjacent regions
+  // (the paper's non-disjoint molecules: two solids "glued" at a face).
+  const uint16_t border_no = border_def->FindAttr("border_no")->id;
+  const uint16_t length = border_def->FindAttr("length")->id;
+  const uint16_t border_regions = border_def->FindAttr("regions")->id;
+  int64_t next_border = map_no * 1000000;
+  auto region_at = [&](int r, int c) { return out.regions[r * cols + c]; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Right neighbor.
+      if (c + 1 < cols) {
+        PRIMA_ASSIGN_OR_RETURN(
+            const Tid b,
+            access.InsertAtom(
+                border_def->id,
+                {AttrValue{border_no, Value::Int(next_border++)},
+                 AttrValue{length, Value::Real(1.0 + rng.NextDouble() * 9.0)},
+                 AttrValue{border_regions,
+                           Value::List({Value::Ref(region_at(r, c)),
+                                        Value::Ref(region_at(r, c + 1))})}}));
+        out.borders.push_back(b);
+      }
+      // Bottom neighbor.
+      if (r + 1 < rows) {
+        PRIMA_ASSIGN_OR_RETURN(
+            const Tid b,
+            access.InsertAtom(
+                border_def->id,
+                {AttrValue{border_no, Value::Int(next_border++)},
+                 AttrValue{length, Value::Real(1.0 + rng.NextDouble() * 9.0)},
+                 AttrValue{border_regions,
+                           Value::List({Value::Ref(region_at(r, c)),
+                                        Value::Ref(region_at(r + 1, c))})}}));
+        out.borders.push_back(b);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace prima::workloads

@@ -1,0 +1,39 @@
+#ifndef PRIMA_WORKLOADS_GEO_H_
+#define PRIMA_WORKLOADS_GEO_H_
+
+#include <vector>
+
+#include "core/prima.h"
+#include "util/random.h"
+
+namespace prima::workloads {
+
+/// Map handling for geographic information systems (the third application
+/// area of §1): maps composed of regions, regions bounded by border lines
+/// that are *shared* between adjacent regions — the paper's prime example
+/// of non-disjoint molecules (overlapping n:m decompositions).
+class GeoWorkload {
+ public:
+  explicit GeoWorkload(core::Prima* db) : db_(db) {}
+
+  util::Status CreateSchema();
+
+  struct MapData {
+    access::Tid map;
+    std::vector<access::Tid> regions;
+    std::vector<access::Tid> borders;
+  };
+
+  /// Generate one map as a rows x cols grid of regions; adjacent regions
+  /// share their border atom (n:m sharing: every interior border belongs to
+  /// exactly two regions).
+  util::Result<MapData> GenerateGrid(int64_t map_no, int rows, int cols,
+                                     uint64_t seed);
+
+ private:
+  core::Prima* db_;
+};
+
+}  // namespace prima::workloads
+
+#endif  // PRIMA_WORKLOADS_GEO_H_

@@ -1,0 +1,122 @@
+#include "workloads/vlsi.h"
+
+#include <set>
+
+namespace prima::workloads {
+
+using access::AttrValue;
+using access::Tid;
+using access::Value;
+using util::Result;
+using util::Status;
+
+namespace {
+const char* kSchema[] = {
+    "CREATE ATOM_TYPE cell"
+    " ( cell_id : IDENTIFIER,"
+    "   cell_no : INTEGER,"
+    "   kind : CHAR_VAR,"
+    "   x : INTEGER,"
+    "   y : INTEGER,"
+    "   pins : SET_OF (REF_TO (pin.cell)) )"
+    " KEYS_ARE (cell_no)",
+
+    "CREATE ATOM_TYPE pin"
+    " ( pin_id : IDENTIFIER,"
+    "   pin_no : INTEGER,"
+    "   cell : REF_TO (cell.pins),"
+    "   nets : SET_OF (REF_TO (net.pins)) )",
+
+    "CREATE ATOM_TYPE net"
+    " ( net_id : IDENTIFIER,"
+    "   net_no : INTEGER,"
+    "   signal : CHAR_VAR,"
+    "   pins : SET_OF (REF_TO (pin.nets)) (2,VAR) )"
+    " KEYS_ARE (net_no)",
+};
+
+const char* kCellKinds[] = {"nand", "nor", "inv", "dff", "mux", "buf"};
+}  // namespace
+
+Status VlsiWorkload::CreateSchema() {
+  for (const char* stmt : kSchema) {
+    auto r = db_->Execute(stmt);
+    if (!r.ok()) return r.status();
+  }
+  return Status::Ok();
+}
+
+Result<VlsiWorkload::Circuit> VlsiWorkload::Generate(int n_cells,
+                                                     int pins_per_cell,
+                                                     int n_nets,
+                                                     int64_t die_size,
+                                                     uint64_t seed) {
+  access::AccessSystem& access = db_->access();
+  const access::Catalog& catalog = access.catalog();
+  const auto* cell_def = catalog.FindAtomType("cell");
+  const auto* pin_def = catalog.FindAtomType("pin");
+  const auto* net_def = catalog.FindAtomType("net");
+  if (cell_def == nullptr || pin_def == nullptr || net_def == nullptr) {
+    return Status::InvalidArgument("VLSI schema not installed");
+  }
+  util::Random rng(seed);
+  Circuit out;
+
+  const uint16_t cell_no = cell_def->FindAttr("cell_no")->id;
+  const uint16_t kind = cell_def->FindAttr("kind")->id;
+  const uint16_t x = cell_def->FindAttr("x")->id;
+  const uint16_t y = cell_def->FindAttr("y")->id;
+  for (int c = 0; c < n_cells; ++c) {
+    PRIMA_ASSIGN_OR_RETURN(
+        const Tid t,
+        access.InsertAtom(
+            cell_def->id,
+            {AttrValue{cell_no, Value::Int(c + 1)},
+             AttrValue{kind, Value::String(kCellKinds[rng.Uniform(6)])},
+             AttrValue{x, Value::Int(rng.Range(0, die_size - 1))},
+             AttrValue{y, Value::Int(rng.Range(0, die_size - 1))}}));
+    out.cells.push_back(t);
+  }
+
+  const uint16_t pin_no = pin_def->FindAttr("pin_no")->id;
+  const uint16_t pin_cell = pin_def->FindAttr("cell")->id;
+  int next_pin = 1;
+  for (const Tid& c : out.cells) {
+    for (int p = 0; p < pins_per_cell; ++p) {
+      PRIMA_ASSIGN_OR_RETURN(
+          const Tid t,
+          access.InsertAtom(pin_def->id,
+                            {AttrValue{pin_no, Value::Int(next_pin++)},
+                             AttrValue{pin_cell, Value::Ref(c)}}));
+      out.pins.push_back(t);
+    }
+  }
+
+  const uint16_t net_no = net_def->FindAttr("net_no")->id;
+  const uint16_t signal = net_def->FindAttr("signal")->id;
+  const uint16_t net_pins = net_def->FindAttr("pins")->id;
+  for (int n = 0; n < n_nets; ++n) {
+    const int fanout = static_cast<int>(rng.Range(2, 5));
+    std::vector<Value> pins;
+    std::set<uint64_t> used;
+    for (int f = 0; f < fanout && used.size() < out.pins.size(); ++f) {
+      const Tid p = out.pins[rng.Uniform(out.pins.size())];
+      if (!used.insert(p.Pack()).second) {
+        --f;
+        continue;
+      }
+      pins.push_back(Value::Ref(p));
+    }
+    PRIMA_ASSIGN_OR_RETURN(
+        const Tid t,
+        access.InsertAtom(
+            net_def->id,
+            {AttrValue{net_no, Value::Int(n + 1)},
+             AttrValue{signal, Value::String("sig" + std::to_string(n + 1))},
+             AttrValue{net_pins, Value::List(std::move(pins))}}));
+    out.nets.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace prima::workloads

@@ -1,0 +1,39 @@
+#ifndef PRIMA_WORKLOADS_VLSI_H_
+#define PRIMA_WORKLOADS_VLSI_H_
+
+#include <vector>
+
+#include "core/prima.h"
+#include "util/random.h"
+
+namespace prima::workloads {
+
+/// VLSI circuit design workload (one of the three application areas the
+/// paper evaluated with prototype systems, §1): cells placed on a die,
+/// pins per cell, and nets wiring pins across cells — a heavily meshed n:m
+/// structure, plus 2-D placement suited to the grid-file access path.
+class VlsiWorkload {
+ public:
+  explicit VlsiWorkload(core::Prima* db) : db_(db) {}
+
+  util::Status CreateSchema();
+
+  struct Circuit {
+    std::vector<access::Tid> cells;
+    std::vector<access::Tid> pins;
+    std::vector<access::Tid> nets;
+  };
+
+  /// Deterministically generate `n_cells` cells on a die_size x die_size
+  /// grid, `pins_per_cell` pins each, and `n_nets` nets connecting 2..5
+  /// random pins.
+  util::Result<Circuit> Generate(int n_cells, int pins_per_cell, int n_nets,
+                                 int64_t die_size, uint64_t seed);
+
+ private:
+  core::Prima* db_;
+};
+
+}  // namespace prima::workloads
+
+#endif  // PRIMA_WORKLOADS_VLSI_H_

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "storage/buffer_manager.h"
+
+namespace prima::storage {
+namespace {
+
+class BufferManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_unique<MemoryBlockDevice>();
+    ASSERT_TRUE(device_->Create(1, 512).ok());
+    ASSERT_TRUE(device_->Create(2, 8192).ok());
+  }
+
+  std::unique_ptr<MemoryBlockDevice> device_;
+};
+
+TEST_F(BufferManagerTest, HitAfterMiss) {
+  BufferManager buffer(device_.get(), 1 << 20, BufferPolicy::kUnifiedLru);
+  auto f1 = buffer.Fix(PageId{1, 0}, 512, true);
+  ASSERT_TRUE(f1.ok());
+  buffer.Unfix(*f1);
+  auto f2 = buffer.Fix(PageId{1, 0}, 512, false);
+  ASSERT_TRUE(f2.ok());
+  buffer.Unfix(*f2);
+  EXPECT_EQ(buffer.stats().misses.load(), 1u);
+  EXPECT_EQ(buffer.stats().hits.load(), 1u);
+}
+
+TEST_F(BufferManagerTest, DirtyPageWrittenBackOnEviction) {
+  // Budget: exactly 2 x 512 pages.
+  BufferManager buffer(device_.get(), 1024, BufferPolicy::kUnifiedLru);
+  {
+    auto f = buffer.Fix(PageId{1, 0}, 512, true);
+    ASSERT_TRUE(f.ok());
+    (*f)->data[PageHeader::kSize] = 'D';
+    buffer.MarkDirty(*f);
+    buffer.Unfix(*f);
+  }
+  // Fill the buffer so page 0 is evicted.
+  for (uint32_t p = 1; p <= 2; ++p) {
+    auto f = buffer.Fix(PageId{1, p}, 512, true);
+    ASSERT_TRUE(f.ok());
+    buffer.Unfix(*f);
+  }
+  EXPECT_GE(buffer.stats().evictions.load(), 1u);
+  EXPECT_GE(buffer.stats().writebacks.load(), 1u);
+  // The page must be readable from the device (sealed with checksum).
+  auto f = buffer.Fix(PageId{1, 0}, 512, false);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->data[PageHeader::kSize], 'D');
+  buffer.Unfix(*f);
+}
+
+TEST_F(BufferManagerTest, PinnedPagesAreNotEvicted) {
+  BufferManager buffer(device_.get(), 1024, BufferPolicy::kUnifiedLru);
+  auto pinned = buffer.Fix(PageId{1, 0}, 512, true);
+  ASSERT_TRUE(pinned.ok());
+  // Cycle many other pages through the second frame.
+  for (uint32_t p = 1; p < 20; ++p) {
+    auto f = buffer.Fix(PageId{1, p}, 512, true);
+    ASSERT_TRUE(f.ok());
+    buffer.Unfix(*f);
+  }
+  // The pinned page must still be resident: fixing it again is a hit.
+  const uint64_t misses_before = buffer.stats().misses.load();
+  auto again = buffer.Fix(PageId{1, 0}, 512, false);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(buffer.stats().misses.load(), misses_before);
+  buffer.Unfix(*again);
+  buffer.Unfix(*pinned);
+}
+
+TEST_F(BufferManagerTest, AllPinnedReportsNoSpace) {
+  BufferManager buffer(device_.get(), 1024, BufferPolicy::kUnifiedLru);
+  auto a = buffer.Fix(PageId{1, 0}, 512, true);
+  auto b = buffer.Fix(PageId{1, 1}, 512, true);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = buffer.Fix(PageId{1, 2}, 512, true);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsNoSpace());
+  buffer.Unfix(*a);
+  buffer.Unfix(*b);
+}
+
+TEST_F(BufferManagerTest, SizeAwareEvictionDisplacesManySmallPages) {
+  // Paper §3.3: one buffer manages different page sizes. Budget fits 16
+  // small pages; fixing one 8K page must evict all 16.
+  BufferManager buffer(device_.get(), 8192, BufferPolicy::kUnifiedLru);
+  for (uint32_t p = 0; p < 16; ++p) {
+    auto f = buffer.Fix(PageId{1, p}, 512, true);
+    ASSERT_TRUE(f.ok());
+    buffer.Unfix(*f);
+  }
+  EXPECT_EQ(buffer.resident_bytes(), 16 * 512u);
+  auto big = buffer.Fix(PageId{2, 0}, 8192, true);
+  ASSERT_TRUE(big.ok());
+  buffer.Unfix(*big);
+  EXPECT_EQ(buffer.stats().evictions.load(), 16u);
+  EXPECT_EQ(buffer.resident_bytes(), 8192u);
+}
+
+TEST_F(BufferManagerTest, LruOrderRespected) {
+  // Three-frame buffer; touch page 0 again so page 1 is the LRU victim.
+  BufferManager buffer(device_.get(), 1536, BufferPolicy::kUnifiedLru);
+  for (uint32_t p = 0; p < 3; ++p) {
+    auto f = buffer.Fix(PageId{1, p}, 512, true);
+    ASSERT_TRUE(f.ok());
+    buffer.Unfix(*f);
+  }
+  {
+    auto f = buffer.Fix(PageId{1, 0}, 512, false);  // refresh page 0
+    ASSERT_TRUE(f.ok());
+    buffer.Unfix(*f);
+  }
+  {
+    auto f = buffer.Fix(PageId{1, 3}, 512, true);  // evicts page 1
+    ASSERT_TRUE(f.ok());
+    buffer.Unfix(*f);
+  }
+  const uint64_t misses = buffer.stats().misses.load();
+  auto f0 = buffer.Fix(PageId{1, 0}, 512, false);
+  ASSERT_TRUE(f0.ok());
+  buffer.Unfix(*f0);
+  EXPECT_EQ(buffer.stats().misses.load(), misses);  // page 0 was resident
+  auto f1 = buffer.Fix(PageId{1, 1}, 512, false);
+  ASSERT_TRUE(f1.ok());
+  buffer.Unfix(*f1);
+  EXPECT_EQ(buffer.stats().misses.load(), misses + 1);  // page 1 was evicted
+}
+
+TEST_F(BufferManagerTest, StaticPartitionedPoolsAreIndependent) {
+  // Equal split: each size class gets 1/5 of 10240 bytes = 2048.
+  BufferManager buffer(device_.get(), 10240, BufferPolicy::kStaticPartitioned);
+  // 512-byte class holds 4 frames; the 8K class cannot hold even one page
+  // (2048 < 8192) -> NoSpace, demonstrating the inflexibility the paper
+  // criticizes.
+  for (uint32_t p = 0; p < 4; ++p) {
+    auto f = buffer.Fix(PageId{1, p}, 512, true);
+    ASSERT_TRUE(f.ok());
+    buffer.Unfix(*f);
+  }
+  auto big = buffer.Fix(PageId{2, 0}, 8192, true);
+  EXPECT_TRUE(big.status().IsNoSpace());
+}
+
+TEST_F(BufferManagerTest, PrefetchUsesOneChainedRead) {
+  BufferManager buffer(device_.get(), 1 << 20, BufferPolicy::kUnifiedLru);
+  // Seed four pages on the device.
+  for (uint32_t p = 10; p < 14; ++p) {
+    auto f = buffer.Fix(PageId{1, p}, 512, true);
+    ASSERT_TRUE(f.ok());
+    buffer.MarkDirty(*f);
+    buffer.Unfix(*f);
+  }
+  ASSERT_TRUE(buffer.FlushAll().ok());
+  ASSERT_TRUE(buffer.Discard(1).ok());
+  device_->stats().Reset();
+
+  ASSERT_TRUE(buffer.Prefetch(1, {10, 11, 12, 13}, 512).ok());
+  EXPECT_EQ(device_->stats().chained_reads.load(), 1u);
+  EXPECT_EQ(device_->stats().block_reads.load(), 0u);
+  EXPECT_EQ(buffer.stats().prefetched_pages.load(), 4u);
+  // All four pages are now hits.
+  for (uint32_t p = 10; p < 14; ++p) {
+    auto f = buffer.Fix(PageId{1, p}, 512, false);
+    ASSERT_TRUE(f.ok());
+    buffer.Unfix(*f);
+  }
+  EXPECT_EQ(device_->stats().block_reads.load(), 0u);
+}
+
+TEST_F(BufferManagerTest, ChecksumCorruptionDetected) {
+  BufferManager buffer(device_.get(), 1 << 20, BufferPolicy::kUnifiedLru);
+  {
+    auto f = buffer.Fix(PageId{1, 0}, 512, true);
+    ASSERT_TRUE(f.ok());
+    (*f)->data[30] = 'x';
+    buffer.MarkDirty(*f);
+    buffer.Unfix(*f);
+  }
+  ASSERT_TRUE(buffer.FlushAll().ok());
+  ASSERT_TRUE(buffer.Discard(1).ok());
+  // Corrupt the block behind the buffer's back.
+  std::string raw(512, '\0');
+  ASSERT_TRUE(device_->Read(1, 0, raw.data()).ok());
+  raw[100] ^= 0x5A;
+  ASSERT_TRUE(device_->Write(1, 0, raw.data()).ok());
+  device_->stats().Reset();
+
+  auto f = buffer.Fix(PageId{1, 0}, 512, false);
+  EXPECT_FALSE(f.ok());
+  EXPECT_TRUE(f.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace prima::storage

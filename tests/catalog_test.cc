@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "access/catalog.h"
+
+namespace prima::access {
+namespace {
+
+AtomTypeDef SimpleType(const std::string& name) {
+  AtomTypeDef def;
+  def.name = name;
+  def.attrs.push_back({name + "_id", TypeDesc::Identifier(), 0});
+  def.attrs.push_back({"num", TypeDesc::Integer(), 0});
+  return def;
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  auto id = catalog.AddAtomType(SimpleType("solid"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_NE(catalog.FindAtomType("solid"), nullptr);
+  EXPECT_EQ(catalog.FindAtomType("solid")->id, *id);
+  EXPECT_EQ(catalog.GetAtomType(*id)->name, "solid");
+  EXPECT_EQ(catalog.FindAtomType("nope"), nullptr);
+  EXPECT_TRUE(catalog.AddAtomType(SimpleType("solid")).status().IsAlreadyExists());
+}
+
+TEST(CatalogTest, ExactlyOneIdentifierRequired) {
+  Catalog catalog;
+  AtomTypeDef none;
+  none.name = "none";
+  none.attrs.push_back({"x", TypeDesc::Integer(), 0});
+  EXPECT_TRUE(catalog.AddAtomType(none).status().IsInvalidArgument());
+
+  AtomTypeDef two;
+  two.name = "two";
+  two.attrs.push_back({"a", TypeDesc::Identifier(), 0});
+  two.attrs.push_back({"b", TypeDesc::Identifier(), 0});
+  EXPECT_TRUE(catalog.AddAtomType(two).status().IsInvalidArgument());
+}
+
+TEST(CatalogTest, KeyValidation) {
+  Catalog catalog;
+  AtomTypeDef def = SimpleType("keyed");
+  def.key_attrs = {1};
+  EXPECT_TRUE(catalog.AddAtomType(def).ok());
+
+  AtomTypeDef bad = SimpleType("bad");
+  bad.attrs.push_back({"refs",
+                       TypeDesc::SetOf(TypeDesc::RefTo("keyed", "num")), 0});
+  bad.key_attrs = {2};  // association attr is not scalar
+  EXPECT_TRUE(catalog.AddAtomType(bad).status().IsInvalidArgument());
+}
+
+AtomTypeDef PairedA() {
+  AtomTypeDef a;
+  a.name = "a";
+  a.attrs.push_back({"a_id", TypeDesc::Identifier(), 0});
+  a.attrs.push_back({"to_b", TypeDesc::SetOf(TypeDesc::RefTo("b", "to_a")), 0});
+  return a;
+}
+
+AtomTypeDef PairedB() {
+  AtomTypeDef b;
+  b.name = "b";
+  b.attrs.push_back({"b_id", TypeDesc::Identifier(), 0});
+  b.attrs.push_back({"to_a", TypeDesc::SetOf(TypeDesc::RefTo("a", "to_b")), 0});
+  return b;
+}
+
+TEST(CatalogTest, MutualInverseResolution) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddAtomType(PairedA()).ok());
+  ASSERT_TRUE(catalog.AddAtomType(PairedB()).ok());
+  ASSERT_TRUE(catalog.ResolveReferences().ok());
+  const AtomTypeDef* a = catalog.FindAtomType("a");
+  const TypeDesc* ref = a->attrs[1].type.ReferenceDesc();
+  EXPECT_EQ(ref->ref_type_id, catalog.FindAtomType("b")->id);
+  EXPECT_EQ(ref->ref_attr_id, 1);
+}
+
+TEST(CatalogTest, ForwardReferencesToleratedUntilResolvable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddAtomType(PairedA()).ok());
+  // b not declared yet: resolution succeeds but leaves the link open.
+  EXPECT_TRUE(catalog.ResolveReferences().ok());
+  const AtomTypeDef* a = catalog.FindAtomType("a");
+  EXPECT_EQ(a->attrs[1].type.ReferenceDesc()->ref_type_id, 0);
+}
+
+TEST(CatalogTest, NonMutualInverseRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddAtomType(PairedA()).ok());
+  AtomTypeDef b;
+  b.name = "b";
+  b.attrs.push_back({"b_id", TypeDesc::Identifier(), 0});
+  // Back attr points to a different attribute than the one pointing here.
+  b.attrs.push_back({"to_a", TypeDesc::SetOf(TypeDesc::RefTo("a", "a_id")), 0});
+  ASSERT_TRUE(catalog.AddAtomType(b).ok());
+  EXPECT_TRUE(catalog.ResolveReferences().IsInvalidArgument());
+}
+
+TEST(CatalogTest, BackRefMustBeAssociation) {
+  Catalog catalog;
+  AtomTypeDef a;
+  a.name = "a";
+  a.attrs.push_back({"a_id", TypeDesc::Identifier(), 0});
+  a.attrs.push_back({"to_b", TypeDesc::RefTo("b", "num"), 0});
+  ASSERT_TRUE(catalog.AddAtomType(a).ok());
+  ASSERT_TRUE(catalog.AddAtomType(SimpleType("b")).ok());
+  EXPECT_TRUE(catalog.ResolveReferences().IsInvalidArgument());
+}
+
+TEST(CatalogTest, MoleculeTypes) {
+  Catalog catalog;
+  MoleculeTypeDef def;
+  def.name = "piece_list";
+  def.from_text = "solid.sub - solid (RECURSIVE)";
+  def.recursive = true;
+  ASSERT_TRUE(catalog.DefineMoleculeType(def).ok());
+  EXPECT_TRUE(catalog.DefineMoleculeType(def).IsAlreadyExists());
+  const MoleculeTypeDef* found = catalog.FindMoleculeType("piece_list");
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(found->recursive);
+  ASSERT_TRUE(catalog.DropMoleculeType("piece_list").ok());
+  EXPECT_EQ(catalog.FindMoleculeType("piece_list"), nullptr);
+}
+
+TEST(CatalogTest, Structures) {
+  Catalog catalog;
+  StructureDef s;
+  s.kind = StructureKind::kSortOrder;
+  s.name = "solid_by_no";
+  s.atom_type = 1;
+  s.attrs = {1};
+  s.asc = {true};
+  s.segment = 9;
+  s.root_page = 1;
+  auto id = catalog.AddStructure(s);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(catalog.AddStructure(s).status().IsAlreadyExists());
+  EXPECT_EQ(catalog.FindStructure("solid_by_no")->id, *id);
+  EXPECT_EQ(catalog.StructuresFor(1).size(), 1u);
+  EXPECT_EQ(catalog.StructuresFor(2).size(), 0u);
+  ASSERT_TRUE(catalog.SetStructureRoot(*id, 77).ok());
+  EXPECT_EQ(catalog.GetStructure(*id)->root_page, 77u);
+  ASSERT_TRUE(catalog.DropStructure(*id).ok());
+  EXPECT_EQ(catalog.GetStructure(*id), nullptr);
+}
+
+TEST(CatalogTest, PersistenceRoundTrip) {
+  Catalog catalog;
+  AtomTypeDef keyed = SimpleType("keyed");
+  keyed.key_attrs = {1};
+  ASSERT_TRUE(catalog.AddAtomType(keyed).ok());
+  ASSERT_TRUE(catalog.AddAtomType(PairedA()).ok());
+  ASSERT_TRUE(catalog.AddAtomType(PairedB()).ok());
+  ASSERT_TRUE(catalog.ResolveReferences().ok());
+  MoleculeTypeDef mol;
+  mol.name = "chain";
+  mol.from_text = "a - b";
+  ASSERT_TRUE(catalog.DefineMoleculeType(mol).ok());
+  StructureDef s;
+  s.kind = StructureKind::kBTreeAccessPath;
+  s.name = "keyed_key";
+  s.atom_type = catalog.FindAtomType("keyed")->id;
+  s.attrs = {1};
+  s.unique = true;
+  s.segment = 4;
+  s.root_page = 1;
+  ASSERT_TRUE(catalog.AddStructure(s).ok());
+
+  const std::string blob = catalog.Encode();
+  Catalog back;
+  ASSERT_TRUE(back.DecodeFrom(blob).ok());
+  EXPECT_NE(back.FindAtomType("keyed"), nullptr);
+  EXPECT_EQ(back.FindAtomType("keyed")->key_attrs, std::vector<uint16_t>{1});
+  EXPECT_NE(back.FindMoleculeType("chain"), nullptr);
+  const StructureDef* restored = back.FindStructure("keyed_key");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_TRUE(restored->unique);
+  EXPECT_EQ(restored->segment, 4u);
+  // References re-resolved after decode.
+  const AtomTypeDef* a = back.FindAtomType("a");
+  EXPECT_EQ(a->attrs[1].type.ReferenceDesc()->ref_type_id,
+            back.FindAtomType("b")->id);
+  // New ids continue after the old ones.
+  auto next = back.AddAtomType(SimpleType("later"));
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(*next, back.FindAtomType("b")->id);
+}
+
+TEST(CatalogTest, DecodeRejectsGarbage) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.DecodeFrom(util::Slice("nonsense")).IsCorruption());
+}
+
+}  // namespace
+}  // namespace prima::access

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "access/grid_file.h"
+#include "util/coding.h"
+#include "util/random.h"
+
+namespace prima::access {
+namespace {
+
+using storage::MemoryBlockDevice;
+using storage::PageSize;
+using storage::StorageSystem;
+
+std::string IntKey(int64_t v) {
+  std::string k;
+  util::PutKeyInt64(&k, v);
+  return k;
+}
+
+class GridFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = std::make_unique<StorageSystem>(
+        std::make_unique<MemoryBlockDevice>(), storage::StorageOptions{});
+    ASSERT_TRUE(storage_->CreateSegment(1, PageSize::k512).ok());
+    grid_ = std::make_unique<GridFile>(storage_.get(), 1, 2, 0, nullptr);
+    ASSERT_TRUE(grid_->Open().ok());
+  }
+
+  std::unique_ptr<StorageSystem> storage_;
+  std::unique_ptr<GridFile> grid_;
+};
+
+TEST_F(GridFileTest, InsertAndPointQuery) {
+  ASSERT_TRUE(grid_->Insert({IntKey(10), IntKey(20)}, Tid(1, 1)).ok());
+  ASSERT_TRUE(grid_->Insert({IntKey(10), IntKey(30)}, Tid(1, 2)).ok());
+  std::vector<GridFile::QueryRange> q(2);
+  q[0].lo = q[0].hi = IntKey(10);
+  q[1].lo = q[1].hi = IntKey(20);
+  auto r = grid_->Query(q, {});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].tid, Tid(1, 1));
+}
+
+TEST_F(GridFileTest, DuplicateEntryRejected) {
+  ASSERT_TRUE(grid_->Insert({IntKey(1), IntKey(2)}, Tid(1, 1)).ok());
+  EXPECT_TRUE(
+      grid_->Insert({IntKey(1), IntKey(2)}, Tid(1, 1)).IsAlreadyExists());
+  // Same keys, different surrogate: allowed.
+  EXPECT_TRUE(grid_->Insert({IntKey(1), IntKey(2)}, Tid(1, 2)).ok());
+}
+
+TEST_F(GridFileTest, SplitsExtendScales) {
+  // Enough entries to force multiple bucket splits on 512-byte pages.
+  util::Random rng(5);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(grid_
+                    ->Insert({IntKey(rng.Range(0, 1000)),
+                              IntKey(rng.Range(0, 1000))},
+                             Tid(1, i + 1))
+                    .ok());
+  }
+  const auto cells = grid_->CellCounts();
+  EXPECT_GT(cells[0] * cells[1], 1u);
+  EXPECT_EQ(grid_->entry_count(), 300u);
+}
+
+TEST_F(GridFileTest, DegenerateKeysGrowOverflowChains) {
+  // Every entry identical in both dimensions: splitting is impossible, the
+  // bucket must chain.
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(grid_->Insert({IntKey(7), IntKey(7)}, Tid(1, i + 1)).ok());
+  }
+  std::vector<GridFile::QueryRange> q(2);
+  q[0].lo = q[0].hi = IntKey(7);
+  q[1].lo = q[1].hi = IntKey(7);
+  auto r = grid_->Query(q, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 120u);
+}
+
+TEST_F(GridFileTest, DeleteRemovesEntry) {
+  ASSERT_TRUE(grid_->Insert({IntKey(1), IntKey(1)}, Tid(1, 1)).ok());
+  ASSERT_TRUE(grid_->Delete({IntKey(1), IntKey(1)}, Tid(1, 1)).ok());
+  EXPECT_TRUE(grid_->Delete({IntKey(1), IntKey(1)}, Tid(1, 1)).IsNotFound());
+  EXPECT_EQ(grid_->entry_count(), 0u);
+}
+
+TEST_F(GridFileTest, DirectionsOrderResults) {
+  ASSERT_TRUE(grid_->Insert({IntKey(1), IntKey(9)}, Tid(1, 1)).ok());
+  ASSERT_TRUE(grid_->Insert({IntKey(2), IntKey(8)}, Tid(1, 2)).ok());
+  ASSERT_TRUE(grid_->Insert({IntKey(3), IntKey(7)}, Tid(1, 3)).ok());
+  std::vector<GridFile::QueryRange> q(2);
+  q[0].asc = false;  // dimension 0 descending
+  auto r = grid_->Query(q, {0});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].tid, Tid(1, 3));
+  EXPECT_EQ((*r)[2].tid, Tid(1, 1));
+  // Priority on dimension 1 ascending instead.
+  q[0].asc = true;
+  auto r2 = grid_->Query(q, {1});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)[0].tid, Tid(1, 3));  // smallest dim-1 value (7)
+}
+
+TEST_F(GridFileTest, PersistenceRoundTrip) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(grid_->Insert({IntKey(i), IntKey(i * 3 % 50)}, Tid(1, i + 1)).ok());
+  }
+  ASSERT_TRUE(grid_->Save().ok());
+  const uint32_t meta = grid_->meta_page();
+  ASSERT_NE(meta, 0u);
+
+  GridFile reopened(storage_.get(), 1, 2, meta, nullptr);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.entry_count(), 100u);
+  std::vector<GridFile::QueryRange> q(2);
+  q[0].lo = IntKey(10);
+  q[0].hi = IntKey(20);
+  auto r = reopened.Query(q, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 11u);
+}
+
+struct GridRandomParam {
+  uint64_t seed;
+  int n;
+  size_t dims;
+};
+
+class GridRandomTest : public ::testing::TestWithParam<GridRandomParam> {};
+
+TEST_P(GridRandomTest, RangeQueriesMatchBruteForce) {
+  auto storage = std::make_unique<StorageSystem>(
+      std::make_unique<MemoryBlockDevice>(), storage::StorageOptions{});
+  ASSERT_TRUE(storage->CreateSegment(1, PageSize::k512).ok());
+  const size_t dims = GetParam().dims;
+  GridFile grid(storage.get(), 1, dims, 0, nullptr);
+  ASSERT_TRUE(grid.Open().ok());
+
+  util::Random rng(GetParam().seed);
+  struct Entry {
+    std::vector<int64_t> keys;
+    Tid tid;
+  };
+  std::vector<Entry> entries;
+  for (int i = 0; i < GetParam().n; ++i) {
+    Entry e;
+    e.tid = Tid(1, i + 1);
+    std::vector<std::string> encoded;
+    for (size_t d = 0; d < dims; ++d) {
+      e.keys.push_back(rng.Range(0, 100));
+      encoded.push_back(IntKey(e.keys.back()));
+    }
+    ASSERT_TRUE(grid.Insert(encoded, e.tid).ok());
+    entries.push_back(std::move(e));
+  }
+
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<GridFile::QueryRange> q(dims);
+    std::vector<std::pair<int64_t, int64_t>> bounds(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      int64_t lo = rng.Range(0, 100), hi = rng.Range(0, 100);
+      if (lo > hi) std::swap(lo, hi);
+      bounds[d] = {lo, hi};
+      q[d].lo = IntKey(lo);
+      q[d].hi = IntKey(hi);
+    }
+    auto r = grid.Query(q, {});
+    ASSERT_TRUE(r.ok());
+    size_t expected = 0;
+    for (const Entry& e : entries) {
+      bool in = true;
+      for (size_t d = 0; d < dims; ++d) {
+        if (e.keys[d] < bounds[d].first || e.keys[d] > bounds[d].second) {
+          in = false;
+          break;
+        }
+      }
+      if (in) ++expected;
+    }
+    EXPECT_EQ(r->size(), expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweeps, GridRandomTest,
+                         ::testing::Values(GridRandomParam{1, 400, 2},
+                                           GridRandomParam{2, 400, 2},
+                                           GridRandomParam{3, 250, 3},
+                                           GridRandomParam{4, 150, 1}));
+
+}  // namespace
+}  // namespace prima::access

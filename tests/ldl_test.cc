@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/prima.h"
+#include "workloads/brep.h"
+
+namespace prima::ldl {
+namespace {
+
+class LdlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = core::Prima::Open({});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    workloads::BrepWorkload brep(db_.get());
+    ASSERT_TRUE(brep.CreateSchema().ok());
+    ASSERT_TRUE(brep.BuildMany(1, 4).ok());
+  }
+
+  const access::StructureDef* Find(const std::string& name) {
+    return db_->access().catalog().FindStructure(name);
+  }
+
+  std::unique_ptr<core::Prima> db_;
+};
+
+TEST_F(LdlTest, CreateAccessPath) {
+  auto r = db_->ExecuteLdl("CREATE ACCESS PATH ap ON face (square_dim)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const access::StructureDef* def = Find("ap");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->kind, access::StructureKind::kBTreeAccessPath);
+  EXPECT_FALSE(def->unique);
+  // Backfilled with all existing faces.
+  auto count = db_->access().BTreeFor(def->id)->CountEntries();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 16u);
+}
+
+TEST_F(LdlTest, CreateUniqueAccessPathRejectsDuplicates) {
+  auto r = db_->ExecuteLdl("CREATE ACCESS PATH u ON solid (description) UNIQUE");
+  ASSERT_TRUE(r.ok());
+  // A second solid with an existing description now fails on the unique
+  // access path.
+  auto dup = db_->Execute("INSERT solid (solid_no = 99, description = 'tetra_1')");
+  EXPECT_FALSE(dup.ok());
+}
+
+TEST_F(LdlTest, CreateGridAccessPath) {
+  auto r = db_->ExecuteLdl("CREATE ACCESS PATH g ON face (square_dim) USING GRID");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Find("g")->kind, access::StructureKind::kGridAccessPath);
+  EXPECT_EQ(db_->access().GridFor(Find("g")->id)->entry_count(), 16u);
+}
+
+TEST_F(LdlTest, GridUniqueRejected) {
+  auto r = db_->ExecuteLdl("CREATE ACCESS PATH g ON face (square_dim) UNIQUE USING GRID");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(LdlTest, CreateSortOrderWithDirections) {
+  auto r = db_->ExecuteLdl("CREATE SORT ORDER so ON face (square_dim DESC)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const access::StructureDef* def = Find("so");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->kind, access::StructureKind::kSortOrder);
+  ASSERT_EQ(def->asc.size(), 1u);
+  EXPECT_FALSE(def->asc[0]);
+}
+
+TEST_F(LdlTest, CreatePartition) {
+  auto r = db_->ExecuteLdl("CREATE PARTITION p ON solid (solid_no, description)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Find("p")->attrs.size(), 2u);
+}
+
+TEST_F(LdlTest, CreateAtomCluster) {
+  auto r = db_->ExecuteLdl("CREATE ATOM CLUSTER c ON brep (faces, edges, points)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const access::StructureDef* def = Find("c");
+  EXPECT_EQ(def->kind, access::StructureKind::kAtomCluster);
+  EXPECT_EQ(db_->access().ClusterMemberTypes(*def).size(), 3u);
+}
+
+TEST_F(LdlTest, DropStructure) {
+  ASSERT_TRUE(db_->ExecuteLdl("CREATE PARTITION p ON solid (solid_no)").ok());
+  auto r = db_->ExecuteLdl("DROP STRUCTURE p");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Find("p"), nullptr);
+  EXPECT_FALSE(db_->ExecuteLdl("DROP STRUCTURE p").ok());
+}
+
+TEST_F(LdlTest, TransparencyAtTheMadInterface) {
+  // The same query returns identical molecule sets before and after every
+  // kind of tuning structure (paper §2.3: "not visible to the application").
+  const std::string query =
+      "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 2";
+  auto before = db_->Query(query);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(db_->ExecuteLdl("CREATE ACCESS PATH ap ON brep (brep_no)").ok());
+  ASSERT_TRUE(db_->ExecuteLdl("CREATE SORT ORDER so ON face (square_dim)").ok());
+  ASSERT_TRUE(db_->ExecuteLdl("CREATE PARTITION p ON edge (length)").ok());
+  ASSERT_TRUE(
+      db_->ExecuteLdl("CREATE ATOM CLUSTER c ON brep (faces, edges, points)")
+          .ok());
+  auto after = db_->Query(query);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before->size(), after->size());
+  EXPECT_EQ(before->molecules[0].AtomCount(), after->molecules[0].AtomCount());
+}
+
+TEST_F(LdlTest, Errors) {
+  EXPECT_FALSE(db_->ExecuteLdl("CREATE ACCESS PATH x ON nosuch (a)").ok());
+  EXPECT_FALSE(db_->ExecuteLdl("CREATE ACCESS PATH x ON solid (nosuch)").ok());
+  EXPECT_FALSE(db_->ExecuteLdl("CREATE SORT ORDER x ON solid (sub)").ok())
+      << "association attrs are not sortable";
+  EXPECT_FALSE(db_->ExecuteLdl("CREATE ATOM CLUSTER x ON solid (solid_no)").ok())
+      << "cluster attrs must be references";
+  EXPECT_FALSE(db_->ExecuteLdl("MAKE SOMETHING").ok());
+  ASSERT_TRUE(db_->ExecuteLdl("CREATE ACCESS PATH dup ON solid (solid_no)").ok());
+  EXPECT_FALSE(db_->ExecuteLdl("CREATE ACCESS PATH dup ON solid (solid_no)").ok())
+      << "duplicate names rejected";
+}
+
+}  // namespace
+}  // namespace prima::ldl

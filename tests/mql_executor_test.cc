@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "core/prima.h"
+#include "workloads/brep.h"
+
+namespace prima::mql {
+namespace {
+
+/// End-to-end MQL on the paper's BREP database: 12 tetrahedra with
+/// solid_no/brep_no 1700..1711 plus an assembly rooted at solid_no 4711.
+class MqlExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = core::Prima::Open({});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    workloads::BrepWorkload brep(db_.get());
+    ASSERT_TRUE(brep.CreateSchema().ok());
+    auto solids = brep.BuildMany(1700, 12);
+    ASSERT_TRUE(solids.ok()) << solids.status().ToString();
+    solids_ = std::move(*solids);
+    auto root = brep.BuildAssembly(4711, 2, 2);
+    ASSERT_TRUE(root.ok()) << root.status().ToString();
+    assembly_root_ = *root;
+  }
+
+  MoleculeSet Q(const std::string& text) {
+    auto r = db_->Query(text);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : MoleculeSet{};
+  }
+
+  std::unique_ptr<core::Prima> db_;
+  std::vector<workloads::BrepWorkload::Solid> solids_;
+  access::Tid assembly_root_;
+};
+
+// ---------------------------------------------------------------------------
+// The four Table 2.1 queries, end to end.
+// ---------------------------------------------------------------------------
+
+TEST_F(MqlExecutorTest, Table21a_VerticalAccess) {
+  MoleculeSet set = Q(
+      "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1705");
+  ASSERT_EQ(set.size(), 1u);
+  const Molecule& m = set.molecules[0];
+  // Tetrahedron: 1 brep + 4 faces + 6 edges + 4 points.
+  EXPECT_EQ(m.FindGroup("brep")->atoms.size(), 1u);
+  EXPECT_EQ(m.FindGroup("face")->atoms.size(), 4u);
+  EXPECT_EQ(m.FindGroup("edge")->atoms.size(), 6u);
+  EXPECT_EQ(m.FindGroup("point")->atoms.size(), 4u);
+  EXPECT_EQ(m.AtomCount(), 15u);
+}
+
+TEST_F(MqlExecutorTest, Table21a_UsesKeyLookup) {
+  db_->data().stats().Reset();
+  Q("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1705");
+  EXPECT_EQ(db_->data().stats().key_lookups.load(), 1u);
+  EXPECT_EQ(db_->data().stats().atom_type_scans.load(), 0u);
+}
+
+TEST_F(MqlExecutorTest, Table21b_RecursiveMolecule) {
+  MoleculeSet set =
+      Q("SELECT ALL FROM piece_list WHERE piece_list (0).solid_no = 4711");
+  ASSERT_EQ(set.size(), 1u);
+  const Molecule& m = set.molecules[0];
+  // Binary assembly of depth 2: 1 + 2 + 4 solids.
+  EXPECT_EQ(m.AtomCount(), 7u);
+  ASSERT_EQ(m.levels.size(), 3u);
+  EXPECT_EQ(m.levels[0].size(), 1u);
+  EXPECT_EQ(m.levels[1].size(), 2u);
+  EXPECT_EQ(m.levels[2].size(), 4u);
+  EXPECT_EQ(m.levels[0][0], assembly_root_);
+}
+
+TEST_F(MqlExecutorTest, Table21c_HorizontalAccessWithProjection) {
+  MoleculeSet set =
+      Q("SELECT solid_no, description FROM solid WHERE sub = EMPTY");
+  // All 12 tetrahedra plus the 4 assembly leaves (root and mid nodes have
+  // subs, leaves do not; leaves are tetrahedra built by BuildAssembly).
+  EXPECT_EQ(set.size(), 16u);
+  for (const Molecule& m : set.molecules) {
+    const access::Atom& atom = m.groups[0].atoms[0];
+    EXPECT_FALSE(atom.attrs[1].is_null());  // solid_no kept
+    EXPECT_FALSE(atom.attrs[2].is_null());  // description kept
+    EXPECT_TRUE(atom.attrs[3].is_null());   // sub projected away
+  }
+}
+
+TEST_F(MqlExecutorTest, Table21d_QuantifierAndQualifiedProjection) {
+  MoleculeSet set = Q(
+      "SELECT edge, (point, face := SELECT face_id, square_dim FROM face "
+      "WHERE square_dim > 5.0E0) "
+      "FROM brep-edge (face, point) "
+      "WHERE brep_no = 1704 AND "
+      "EXISTS_AT_LEAST (2) edge: edge.length > 1.0E0");
+  ASSERT_EQ(set.size(), 1u);
+  const Molecule& m = set.molecules[0];
+  // brep itself is not selected.
+  EXPECT_EQ(m.FindGroup("brep"), nullptr);
+  EXPECT_EQ(m.FindGroup("edge")->atoms.size(), 6u);
+  EXPECT_EQ(m.FindGroup("point")->atoms.size(), 4u);
+  // Qualified projection filtered faces by square_dim and kept only
+  // face_id + square_dim.
+  const MoleculeGroup* faces = m.FindGroup("face");
+  ASSERT_NE(faces, nullptr);
+  EXPECT_LT(faces->atoms.size(), 4u);
+  for (const access::Atom& f : faces->atoms) {
+    EXPECT_GT(f.attrs[1].AsReal(), 5.0);  // square_dim qualified
+    EXPECT_TRUE(f.attrs[2].is_null());    // border projected away
+  }
+}
+
+TEST_F(MqlExecutorTest, Table21d_QuantifierCanReject) {
+  // No edge is longer than 1000 -> the quantifier rejects every brep.
+  MoleculeSet set = Q(
+      "SELECT ALL FROM brep-edge "
+      "WHERE EXISTS_AT_LEAST (2) edge: edge.length > 1.0E3");
+  EXPECT_EQ(set.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Further query behaviour
+// ---------------------------------------------------------------------------
+
+TEST_F(MqlExecutorTest, SymmetricTraversalPointToFace) {
+  // The inverse hierarchy of Fig. 2.1: start at a point, climb to faces.
+  // Pick one point of solid 1700's brep.
+  MoleculeSet down = Q("SELECT ALL FROM brep-point WHERE brep_no = 1700");
+  ASSERT_EQ(down.size(), 1u);
+  const access::Atom& point = down.molecules[0].FindGroup("point")->atoms[0];
+  const int64_t pid = static_cast<int64_t>(point.tid.seq);
+  MoleculeSet up = Q("SELECT ALL FROM point-edge-face WHERE point_id = @" +
+                     std::to_string(point.tid.type) + ":" +
+                     std::to_string(pid));
+  ASSERT_EQ(up.size(), 1u);
+  const Molecule& m = up.molecules[0];
+  // A tetrahedron vertex meets 3 edges and 3 faces.
+  EXPECT_EQ(m.FindGroup("edge")->atoms.size(), 3u);
+  EXPECT_EQ(m.FindGroup("face")->atoms.size(), 3u);
+}
+
+TEST_F(MqlExecutorTest, NamedMoleculeTypesResolve) {
+  MoleculeSet set = Q("SELECT ALL FROM brep_obj WHERE brep_no = 1706");
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.molecules[0].AtomCount(), 15u);
+}
+
+TEST_F(MqlExecutorTest, ForAllQuantifier) {
+  MoleculeSet all = Q(
+      "SELECT ALL FROM brep-edge WHERE brep_no = 1700 AND "
+      "FOR_ALL edge: edge.length > 0.0");
+  EXPECT_EQ(all.size(), 1u);
+  MoleculeSet none = Q(
+      "SELECT ALL FROM brep-edge WHERE brep_no = 1700 AND "
+      "FOR_ALL edge: edge.length > 1.5");
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST_F(MqlExecutorTest, RecordFieldAccessInWhere) {
+  // All tetrahedra share a vertex at the origin.
+  MoleculeSet set =
+      Q("SELECT ALL FROM point WHERE placement.x_coord = 0.0 AND "
+        "placement.y_coord = 0.0 AND placement.z_coord = 0.0");
+  EXPECT_GE(set.size(), 12u);
+}
+
+TEST_F(MqlExecutorTest, UnindexedPredicateUsesAtomTypeScan) {
+  db_->data().stats().Reset();
+  MoleculeSet set =
+      Q("SELECT ALL FROM solid WHERE description = 'tetra_1705'");
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(db_->data().stats().atom_type_scans.load(), 1u);
+}
+
+TEST_F(MqlExecutorTest, ImplicitKeyIndexAcceleratesRanges) {
+  // KEYS_ARE creates an implicit access path; even range predicates on the
+  // key avoid the atom-type scan.
+  db_->data().stats().Reset();
+  MoleculeSet set = Q("SELECT ALL FROM solid WHERE solid_no >= 1703 AND "
+                      "solid_no <= 1707");
+  EXPECT_EQ(set.size(), 5u);
+  EXPECT_EQ(db_->data().stats().access_path_scans.load(), 1u);
+  EXPECT_EQ(db_->data().stats().atom_type_scans.load(), 0u);
+}
+
+TEST_F(MqlExecutorTest, AccessPathAcceleratesRange) {
+  auto ldl = db_->ExecuteLdl("CREATE ACCESS PATH solid_no_ap ON solid (solid_no)");
+  ASSERT_TRUE(ldl.ok()) << ldl.status().ToString();
+  db_->data().stats().Reset();
+  MoleculeSet set = Q("SELECT ALL FROM solid WHERE solid_no >= 1703 AND "
+                      "solid_no <= 1707");
+  EXPECT_EQ(set.size(), 5u);
+  EXPECT_EQ(db_->data().stats().access_path_scans.load(), 1u);
+  EXPECT_EQ(db_->data().stats().atom_type_scans.load(), 0u);
+}
+
+TEST_F(MqlExecutorTest, ClusterAcceleratesVerticalAccess) {
+  auto ldl = db_->ExecuteLdl(
+      "CREATE ATOM CLUSTER brep_cl ON brep (faces, edges, points)");
+  ASSERT_TRUE(ldl.ok()) << ldl.status().ToString();
+  db_->data().stats().Reset();
+  MoleculeSet set = Q("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1708");
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.molecules[0].AtomCount(), 15u);
+  EXPECT_EQ(db_->data().stats().cluster_assemblies.load(), 1u);
+  EXPECT_EQ(db_->data().stats().bfs_assemblies.load(), 0u);
+}
+
+TEST_F(MqlExecutorTest, ClusterAndBfsAgree) {
+  MoleculeSet before = Q("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1709");
+  auto ldl = db_->ExecuteLdl(
+      "CREATE ATOM CLUSTER brep_cl ON brep (faces, edges, points)");
+  ASSERT_TRUE(ldl.ok());
+  MoleculeSet after = Q("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1709");
+  ASSERT_EQ(before.size(), after.size());
+  ASSERT_EQ(before.molecules[0].groups.size(), after.molecules[0].groups.size());
+  for (size_t g = 0; g < before.molecules[0].groups.size(); ++g) {
+    auto tids = [](const MoleculeGroup& grp) {
+      std::set<uint64_t> s;
+      for (const auto& a : grp.atoms) s.insert(a.tid.Pack());
+      return s;
+    };
+    EXPECT_EQ(tids(before.molecules[0].groups[g]),
+              tids(after.molecules[0].groups[g]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DML through MQL
+// ---------------------------------------------------------------------------
+
+TEST_F(MqlExecutorTest, InsertStatement) {
+  auto r = db_->Execute("INSERT solid (solid_no = 9001, description = 'fresh')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->kind, ExecResult::Kind::kTid);
+  MoleculeSet set = Q("SELECT ALL FROM solid WHERE solid_no = 9001");
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.molecules[0].groups[0].atoms[0].attrs[2].AsString(), "fresh");
+}
+
+TEST_F(MqlExecutorTest, ModifyStatement) {
+  auto r = db_->Execute(
+      "MODIFY solid SET description = 'renamed' WHERE solid_no = 1702");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->count, 1u);
+  MoleculeSet set = Q("SELECT ALL FROM solid WHERE solid_no = 1702");
+  EXPECT_EQ(set.molecules[0].groups[0].atoms[0].attrs[2].AsString(), "renamed");
+}
+
+TEST_F(MqlExecutorTest, ModifyComponentsOfMolecule) {
+  auto r = db_->Execute(
+      "MODIFY face SET square_dim = 99.5 FROM brep-face WHERE brep_no = 1703");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->count, 4u);
+  MoleculeSet set = Q("SELECT ALL FROM brep-face WHERE brep_no = 1703");
+  for (const access::Atom& f : set.molecules[0].FindGroup("face")->atoms) {
+    EXPECT_DOUBLE_EQ(f.attrs[1].AsReal(), 99.5);
+  }
+}
+
+TEST_F(MqlExecutorTest, DeleteWholeMolecule) {
+  auto r = db_->Execute("DELETE ALL FROM brep-face-edge-point WHERE brep_no = 1711");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->count, 15u);
+  MoleculeSet gone = Q("SELECT ALL FROM brep WHERE brep_no = 1711");
+  EXPECT_EQ(gone.size(), 0u);
+  // The solid survives (not part of the deleted structure) but lost its brep.
+  MoleculeSet solid = Q("SELECT ALL FROM solid WHERE solid_no = 1711");
+  ASSERT_EQ(solid.size(), 1u);
+  EXPECT_TRUE(solid.molecules[0].groups[0].atoms[0].attrs[5].is_null());
+}
+
+TEST_F(MqlExecutorTest, DeleteSelectedComponents) {
+  auto r = db_->Execute("DELETE point FROM brep-point WHERE brep_no = 1710");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->count, 4u);
+  // Edges survive but their boundary sets shrank to empty.
+  MoleculeSet edges = Q("SELECT ALL FROM brep-edge WHERE brep_no = 1710");
+  ASSERT_EQ(edges.size(), 1u);
+  for (const access::Atom& e : edges.molecules[0].FindGroup("edge")->atoms) {
+    EXPECT_TRUE(e.attrs[2].is_null() || e.attrs[2].elems().empty());
+  }
+}
+
+TEST_F(MqlExecutorTest, ConnectDisconnectStatements) {
+  auto s1 = Q("SELECT ALL FROM solid WHERE solid_no = 1700");
+  auto s2 = Q("SELECT ALL FROM solid WHERE solid_no = 1701");
+  const access::Tid t1 = s1.molecules[0].groups[0].atoms[0].tid;
+  const access::Tid t2 = s2.molecules[0].groups[0].atoms[0].tid;
+  auto con = db_->Execute("CONNECT @" + std::to_string(t1.type) + ":" +
+                          std::to_string(t1.seq) + ".sub TO @" +
+                          std::to_string(t2.type) + ":" +
+                          std::to_string(t2.seq));
+  ASSERT_TRUE(con.ok()) << con.status().ToString();
+  MoleculeSet rec = Q("SELECT ALL FROM piece_list WHERE piece_list (0).solid_no = 1700");
+  ASSERT_EQ(rec.size(), 1u);
+  EXPECT_EQ(rec.molecules[0].AtomCount(), 2u);
+  auto dis = db_->Execute("DISCONNECT @" + std::to_string(t1.type) + ":" +
+                          std::to_string(t1.seq) + ".sub FROM @" +
+                          std::to_string(t2.type) + ":" +
+                          std::to_string(t2.seq));
+  ASSERT_TRUE(dis.ok());
+  MoleculeSet rec2 = Q("SELECT ALL FROM piece_list WHERE piece_list (0).solid_no = 1700");
+  EXPECT_EQ(rec2.molecules[0].AtomCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Semantic errors
+// ---------------------------------------------------------------------------
+
+TEST_F(MqlExecutorTest, SemanticErrorsAreReported) {
+  EXPECT_FALSE(db_->Query("SELECT ALL FROM nosuchtype").ok());
+  EXPECT_FALSE(db_->Query("SELECT ALL FROM solid-point").ok())
+      << "no association between solid and point";
+  EXPECT_FALSE(db_->Query("SELECT ALL FROM solid-solid").ok())
+      << "ambiguous association needs .attr disambiguation";
+  EXPECT_FALSE(
+      db_->Query("SELECT ALL FROM brep-face WHERE nosuchattr = 1").ok());
+  EXPECT_FALSE(db_->Execute("INSERT solid (nosuch = 1)").ok());
+  // Duplicate key via MQL insert.
+  EXPECT_TRUE(db_->Execute("INSERT solid (solid_no = 1700)")
+                  .status()
+                  .IsConstraint());
+}
+
+TEST_F(MqlExecutorTest, DisambiguatedSelfAssociationWorks) {
+  // Non-recursive one-hop traversal of the self association; the second
+  // `solid` component is auto-renamed to solid_2 in the result.
+  MoleculeSet set = Q("SELECT ALL FROM solid.sub-solid WHERE solid_no = 4711");
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.molecules[0].AtomCount(), 3u);
+  EXPECT_NE(set.molecules[0].FindGroup("solid_2"), nullptr);
+}
+
+}  // namespace
+}  // namespace prima::mql

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/prima.h"
+#include "util/random.h"
+#include "workloads/brep.h"
+
+namespace prima::core {
+namespace {
+
+using access::AttrValue;
+using access::Tid;
+using access::Value;
+
+/// Property: the MAD symmetry invariant. After ANY sequence of inserts,
+/// connects, disconnects, modifies, and deletes, every association is
+/// mutually inverse: x in y.sub <=> y in x.super, and comp.part = p <=>
+/// comp in p.comps (paper §2.1: back-references usable "in exactly the
+/// same way").
+class SymmetryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SymmetryPropertyTest, RandomMutationsPreserveSymmetry) {
+  auto db_or = Prima::Open({});
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(*db_or);
+  workloads::BrepWorkload brep(db.get());
+  ASSERT_TRUE(brep.CreateSchema().ok());
+  access::AccessSystem& access = db->access();
+  const auto* solid = access.catalog().FindAtomType("solid");
+  const uint16_t kNo = 1, kSub = 3, kSuper = 4;
+
+  util::Random rng(GetParam());
+  std::vector<Tid> live;
+  int64_t next_no = 1;
+
+  for (int op = 0; op < 400; ++op) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 35 || live.size() < 2) {
+      auto tid = access.InsertAtom(
+          solid->id, {AttrValue{kNo, Value::Int(next_no++)}});
+      ASSERT_TRUE(tid.ok());
+      live.push_back(*tid);
+    } else if (dice < 60) {
+      const Tid a = live[rng.Uniform(live.size())];
+      const Tid b = live[rng.Uniform(live.size())];
+      if (a == b) continue;
+      auto st = access.Connect(a, kSub, b);
+      ASSERT_TRUE(st.ok() || st.IsConstraint()) << st.ToString();
+    } else if (dice < 75) {
+      const Tid a = live[rng.Uniform(live.size())];
+      auto atom = access.GetAtom(a);
+      ASSERT_TRUE(atom.ok());
+      if (atom->attrs[kSub].kind() == Value::Kind::kList &&
+          !atom->attrs[kSub].elems().empty()) {
+        const Tid b = atom->attrs[kSub].elems()[0].AsTid();
+        ASSERT_TRUE(access.Disconnect(a, kSub, b).ok());
+      }
+    } else if (dice < 90) {
+      const Tid a = live[rng.Uniform(live.size())];
+      ASSERT_TRUE(access
+                      .ModifyAtom(a, {AttrValue{2, Value::String(
+                                                     "d" + std::to_string(op))}})
+                      .ok());
+    } else {
+      const size_t idx = rng.Uniform(live.size());
+      ASSERT_TRUE(access.DeleteAtom(live[idx]).ok());
+      live.erase(live.begin() + idx);
+    }
+  }
+
+  // Verify the symmetry invariant over the whole database.
+  std::map<uint64_t, access::Atom> atoms;
+  for (const Tid& t : access.AllAtoms(solid->id)) {
+    auto atom = access.GetAtom(t);
+    ASSERT_TRUE(atom.ok());
+    atoms[t.Pack()] = std::move(*atom);
+  }
+  EXPECT_EQ(atoms.size(), live.size());
+  for (const auto& [packed, atom] : atoms) {
+    const Tid self = Tid::Unpack(packed);
+    if (atom.attrs[kSub].kind() == Value::Kind::kList) {
+      for (const Value& ref : atom.attrs[kSub].elems()) {
+        auto it = atoms.find(ref.AsTid().Pack());
+        ASSERT_NE(it, atoms.end()) << "dangling sub reference";
+        EXPECT_TRUE(it->second.attrs[kSuper].Contains(Value::Ref(self)))
+            << "asymmetric: " << self.ToString() << ".sub contains "
+            << ref.AsTid().ToString() << " but not vice versa";
+      }
+    }
+    if (atom.attrs[kSuper].kind() == Value::Kind::kList) {
+      for (const Value& ref : atom.attrs[kSuper].elems()) {
+        auto it = atoms.find(ref.AsTid().Pack());
+        ASSERT_NE(it, atoms.end()) << "dangling super reference";
+        EXPECT_TRUE(it->second.attrs[kSub].Contains(Value::Ref(self)));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymmetryPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+/// Property: redundant structures converge to the base state after any
+/// mutation sequence plus a drain — sort orders list exactly the live
+/// atoms, partitions serve exactly the base values.
+class RedundancyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RedundancyPropertyTest, StructuresConvergeAfterDrain) {
+  auto db_or = Prima::Open({});
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(*db_or);
+  workloads::BrepWorkload brep(db.get());
+  ASSERT_TRUE(brep.CreateSchema().ok());
+  ASSERT_TRUE(db->ExecuteLdl("CREATE SORT ORDER so ON solid (solid_no)").ok());
+  ASSERT_TRUE(
+      db->ExecuteLdl("CREATE PARTITION pd ON solid (description)").ok());
+  access::AccessSystem& access = db->access();
+  const auto* solid = access.catalog().FindAtomType("solid");
+
+  util::Random rng(GetParam());
+  std::map<int64_t, Tid> model;  // solid_no -> tid
+  int64_t next_no = 1;
+  for (int op = 0; op < 300; ++op) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 45 || model.empty()) {
+      auto tid = access.InsertAtom(
+          solid->id, {AttrValue{1, Value::Int(next_no)},
+                      AttrValue{2, Value::String("v0")}});
+      ASSERT_TRUE(tid.ok());
+      model[next_no] = *tid;
+      ++next_no;
+    } else if (dice < 70) {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      // Change the sort key itself (the hard case for deferred updates).
+      const int64_t new_no = next_no++;
+      ASSERT_TRUE(access
+                      .ModifyAtom(it->second,
+                                  {AttrValue{1, Value::Int(new_no)},
+                                   AttrValue{2, Value::String(
+                                                  "v" + std::to_string(op))}})
+                      .ok());
+      model[new_no] = it->second;
+      model.erase(it);
+    } else {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE(access.DeleteAtom(it->second).ok());
+      model.erase(it);
+    }
+  }
+  ASSERT_TRUE(access.DrainAll().ok());
+
+  // Sort order: exactly the model's keys in ascending order.
+  access::BTree* tree =
+      access.BTreeFor(access.catalog().FindStructure("so")->id);
+  auto it = tree->NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  auto expect = model.begin();
+  size_t n = 0;
+  while (it.Valid()) {
+    ASSERT_NE(expect, model.end());
+    util::Slice bytes(it.value());
+    auto atom = access.DecodeAtom(solid->id, bytes);
+    ASSERT_TRUE(atom.ok());
+    EXPECT_EQ(atom->attrs[1].AsInt(), expect->first);
+    EXPECT_EQ(atom->tid, expect->second);
+    ++n;
+    ++expect;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(n, model.size());
+
+  // Partition: serves current description for every live atom.
+  for (const auto& [no, tid] : model) {
+    auto base = access.GetAtom(tid);
+    ASSERT_TRUE(base.ok());
+    auto via_partition = access.GetAtom(tid, {2});
+    ASSERT_TRUE(via_partition.ok());
+    EXPECT_TRUE(via_partition->attrs[2].Equals(base->attrs[2]));
+  }
+  EXPECT_GT(access.stats().partition_reads.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedundancyPropertyTest,
+                         ::testing::Values(7, 77, 777));
+
+/// Property: key access paths answer exactly like a full scan under random
+/// mutations (the implicit KEYS_ARE index never goes stale).
+class KeyIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KeyIndexPropertyTest, KeyLookupMatchesScan) {
+  auto db_or = Prima::Open({});
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(*db_or);
+  workloads::BrepWorkload brep(db.get());
+  ASSERT_TRUE(brep.CreateSchema().ok());
+  access::AccessSystem& access = db->access();
+  const auto* solid = access.catalog().FindAtomType("solid");
+
+  util::Random rng(GetParam());
+  std::set<int64_t> keys;
+  for (int op = 0; op < 250; ++op) {
+    const int64_t no = rng.Range(1, 60);
+    if (rng.Bernoulli(0.6)) {
+      auto tid = access.InsertAtom(solid->id, {AttrValue{1, Value::Int(no)}});
+      if (keys.count(no) != 0) {
+        EXPECT_TRUE(tid.status().IsConstraint());
+      } else {
+        ASSERT_TRUE(tid.ok());
+        keys.insert(no);
+      }
+    } else if (!keys.empty()) {
+      auto set = db->Query("SELECT ALL FROM solid WHERE solid_no = " +
+                           std::to_string(no));
+      ASSERT_TRUE(set.ok());
+      if (set->size() == 1) {
+        const Tid tid = set->molecules[0].groups[0].atoms[0].tid;
+        ASSERT_TRUE(access.DeleteAtom(tid).ok());
+        keys.erase(no);
+      }
+    }
+  }
+  // Every key lookup agrees with membership in the model.
+  for (int64_t no = 1; no <= 60; ++no) {
+    auto set = db->Query("SELECT ALL FROM solid WHERE solid_no = " +
+                         std::to_string(no));
+    ASSERT_TRUE(set.ok());
+    EXPECT_EQ(set->size(), keys.count(no)) << "solid_no " << no;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyIndexPropertyTest,
+                         ::testing::Values(5, 50, 500));
+
+}  // namespace
+}  // namespace prima::core

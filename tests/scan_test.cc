@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include "access/scan.h"
+
+namespace prima::access {
+namespace {
+
+using storage::MemoryBlockDevice;
+using storage::StorageSystem;
+
+/// Fixture with a single `item` atom type carrying scalar attributes and a
+/// `box` characteristic type for cluster scans.
+class ScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = std::make_unique<StorageSystem>(
+        std::make_unique<MemoryBlockDevice>(), storage::StorageOptions{});
+    access_ = std::make_unique<AccessSystem>(storage_.get(), AccessOptions{});
+    ASSERT_TRUE(access_->Open().ok());
+
+    AtomTypeDef item;
+    item.attrs.push_back({"item_id", TypeDesc::Identifier(), 0});
+    item.attrs.push_back({"num", TypeDesc::Integer(), 0});
+    item.attrs.push_back({"weight", TypeDesc::Real(), 0});
+    item.attrs.push_back({"label", TypeDesc::CharVar(), 0});
+    item.attrs.push_back({"box", TypeDesc::RefTo("box", "items"), 0});
+    auto id = access_->CreateAtomType("item", item.attrs, {"num"});
+    ASSERT_TRUE(id.ok());
+    item_ = *id;
+
+    AtomTypeDef box;
+    box.attrs.push_back({"box_id", TypeDesc::Identifier(), 0});
+    box.attrs.push_back({"box_no", TypeDesc::Integer(), 0});
+    box.attrs.push_back(
+        {"items", TypeDesc::SetOf(TypeDesc::RefTo("item", "box")), 0});
+    auto bid = access_->CreateAtomType("box", box.attrs, {"box_no"});
+    ASSERT_TRUE(bid.ok());
+    box_ = *bid;
+  }
+
+  Tid AddItem(int64_t num, double weight, const std::string& label,
+              Tid box = kNullTid) {
+    std::vector<AttrValue> values = {AttrValue{1, Value::Int(num)},
+                                     AttrValue{2, Value::Real(weight)},
+                                     AttrValue{3, Value::String(label)}};
+    if (!box.IsNull()) values.push_back(AttrValue{4, Value::Ref(box)});
+    auto tid = access_->InsertAtom(item_, values);
+    EXPECT_TRUE(tid.ok());
+    return *tid;
+  }
+
+  std::unique_ptr<StorageSystem> storage_;
+  std::unique_ptr<AccessSystem> access_;
+  AtomTypeId item_ = 0;
+  AtomTypeId box_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Atom-type scan
+// ---------------------------------------------------------------------------
+
+TEST_F(ScanTest, AtomTypeScanVisitsAll) {
+  for (int i = 0; i < 25; ++i) AddItem(i, i * 0.5, "x");
+  AtomTypeScan scan(access_.get(), item_);
+  ASSERT_TRUE(scan.Open().ok());
+  int n = 0;
+  for (;;) {
+    auto atom = scan.Next();
+    ASSERT_TRUE(atom.ok());
+    if (!atom->has_value()) break;
+    ++n;
+  }
+  EXPECT_EQ(n, 25);
+}
+
+TEST_F(ScanTest, AtomTypeScanSearchArgument) {
+  for (int i = 0; i < 20; ++i) AddItem(i, i, i % 2 ? "odd" : "even");
+  SearchArgument sarg;
+  sarg.conjuncts.push_back({3, {}, CompareOp::kEq, Value::String("odd")});
+  sarg.conjuncts.push_back({1, {}, CompareOp::kGe, Value::Int(10)});
+  AtomTypeScan scan(access_.get(), item_, sarg);
+  ASSERT_TRUE(scan.Open().ok());
+  int n = 0;
+  for (;;) {
+    auto atom = scan.Next();
+    ASSERT_TRUE(atom.ok());
+    if (!atom->has_value()) break;
+    EXPECT_GE((*atom)->attrs[1].AsInt(), 10);
+    EXPECT_EQ((*atom)->attrs[3].AsString(), "odd");
+    ++n;
+  }
+  EXPECT_EQ(n, 5);  // 11, 13, 15, 17, 19
+}
+
+TEST_F(ScanTest, AtomTypeScanNextPriorSymmetric) {
+  for (int i = 0; i < 10; ++i) AddItem(i, 0, "x");
+  AtomTypeScan scan(access_.get(), item_);
+  ASSERT_TRUE(scan.Open().ok());
+  auto a1 = scan.Next();  // pos 0
+  auto a2 = scan.Next();  // pos 1
+  auto a3 = scan.Next();  // pos 2
+  ASSERT_TRUE(a3.ok());
+  auto back = scan.Prior();  // pos 1 again
+  ASSERT_TRUE(back.ok());
+  ASSERT_TRUE(back->has_value());
+  EXPECT_EQ((*back)->tid, (*a2)->tid);
+  auto b1 = scan.Prior();  // pos 0
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b1->has_value());
+  EXPECT_EQ((*b1)->tid, (*a1)->tid);
+  auto none = scan.Prior();  // before first
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Sort scan: the paper's three-way fallback
+// ---------------------------------------------------------------------------
+
+TEST_F(ScanTest, SortScanEngagesKeyAccessPath) {
+  AddItem(5, 0, "c");
+  AddItem(1, 0, "a");
+  AddItem(3, 0, "b");
+  // `num` is the key -> the implicit key index is an ascending access path.
+  SortScan scan(access_.get(), item_, {1}, {true});
+  ASSERT_TRUE(scan.Open().ok());
+  EXPECT_EQ(scan.mode(), SortScan::Mode::kAccessPath);
+  std::vector<int64_t> order;
+  for (;;) {
+    auto atom = scan.Next();
+    ASSERT_TRUE(atom.ok());
+    if (!atom->has_value()) break;
+    order.push_back((*atom)->attrs[1].AsInt());
+  }
+  EXPECT_EQ(order, (std::vector<int64_t>{1, 3, 5}));
+}
+
+TEST_F(ScanTest, SortScanUsesSortOrderWhenInstalled) {
+  for (int i : {5, 1, 4, 2, 3}) AddItem(i, 10.0 - i, "x");
+  auto sid = access_->CreateSortOrder("by_weight", "item", {"weight"});
+  ASSERT_TRUE(sid.ok());
+  SortScan scan(access_.get(), item_, {2}, {true});
+  ASSERT_TRUE(scan.Open().ok());
+  EXPECT_EQ(scan.mode(), SortScan::Mode::kSortOrder);
+  double prev = -1e18;
+  int n = 0;
+  for (;;) {
+    auto atom = scan.Next();
+    ASSERT_TRUE(atom.ok());
+    if (!atom->has_value()) break;
+    EXPECT_GE((*atom)->attrs[2].AsReal(), prev);
+    prev = (*atom)->attrs[2].AsReal();
+    ++n;
+  }
+  EXPECT_EQ(n, 5);
+}
+
+TEST_F(ScanTest, SortScanExplicitFallbackOrdersCorrectly) {
+  for (int i : {5, 1, 4, 2, 3}) AddItem(i, 0, "l" + std::to_string(i));
+  // label has no supporting structure -> temporary (explicit) sort.
+  SortScan scan(access_.get(), item_, {3}, {true});
+  ASSERT_TRUE(scan.Open().ok());
+  EXPECT_EQ(scan.mode(), SortScan::Mode::kExplicitSort);
+  std::string prev;
+  int n = 0;
+  for (;;) {
+    auto atom = scan.Next();
+    ASSERT_TRUE(atom.ok());
+    if (!atom->has_value()) break;
+    EXPECT_GE((*atom)->attrs[3].AsString(), prev);
+    prev = (*atom)->attrs[3].AsString();
+    ++n;
+  }
+  EXPECT_EQ(n, 5);
+}
+
+TEST_F(ScanTest, SortScanDescendingAndStartStop) {
+  for (int i = 0; i < 10; ++i) AddItem(i, i, "x");
+  auto sid =
+      access_->CreateSortOrder("by_weight_desc", "item", {"weight"}, {false});
+  ASSERT_TRUE(sid.ok());
+  SortBound start{{Value::Real(7.0)}, true};  // weight <= 7 (descending!)
+  SortBound stop{{Value::Real(3.0)}, true};   // down to weight >= 3
+  SortScan scan(access_.get(), item_, {2}, {false}, {}, start, stop);
+  ASSERT_TRUE(scan.Open().ok());
+  EXPECT_EQ(scan.mode(), SortScan::Mode::kSortOrder);
+  std::vector<double> seen;
+  for (;;) {
+    auto atom = scan.Next();
+    ASSERT_TRUE(atom.ok());
+    if (!atom->has_value()) break;
+    seen.push_back((*atom)->attrs[2].AsReal());
+  }
+  EXPECT_EQ(seen, (std::vector<double>{7, 6, 5, 4, 3}));
+}
+
+TEST_F(ScanTest, SortScanSeesDeferredUpdates) {
+  auto t = AddItem(1, 1.0, "x");
+  auto sid = access_->CreateSortOrder("by_weight", "item", {"weight"});
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE(access_->ModifyAtom(t, {AttrValue{2, Value::Real(9.0)}}).ok());
+  SortScan scan(access_.get(), item_, {2}, {true});
+  ASSERT_TRUE(scan.Open().ok());  // drains the pending upsert
+  auto atom = scan.Next();
+  ASSERT_TRUE(atom.ok());
+  ASSERT_TRUE(atom->has_value());
+  EXPECT_DOUBLE_EQ((*atom)->attrs[2].AsReal(), 9.0);
+  auto end = scan.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());  // exactly one entry (no stale copy)
+}
+
+// ---------------------------------------------------------------------------
+// Access-path scans
+// ---------------------------------------------------------------------------
+
+TEST_F(ScanTest, BTreeAccessPathRangeScan) {
+  for (int i = 0; i < 30; ++i) AddItem(i, i, "x");
+  auto sid = access_->CreateBTreeAccessPath("by_weight", "item", {"weight"});
+  ASSERT_TRUE(sid.ok());
+  KeyRange range;
+  range.start = std::vector<Value>{Value::Real(10.0)};
+  range.stop = std::vector<Value>{Value::Real(20.0)};
+  range.stop_inclusive = false;
+  BTreeAccessPathScan scan(access_.get(), *sid, range);
+  ASSERT_TRUE(scan.Open().ok());
+  std::vector<int64_t> nums;
+  for (;;) {
+    auto atom = scan.Next();
+    ASSERT_TRUE(atom.ok());
+    if (!atom->has_value()) break;
+    nums.push_back((*atom)->attrs[1].AsInt());
+  }
+  ASSERT_EQ(nums.size(), 10u);
+  EXPECT_EQ(nums.front(), 10);
+  EXPECT_EQ(nums.back(), 19);
+}
+
+TEST_F(ScanTest, BTreeAccessPathBackwardScan) {
+  for (int i = 0; i < 10; ++i) AddItem(i, i, "x");
+  auto sid = access_->CreateBTreeAccessPath("by_weight", "item", {"weight"});
+  ASSERT_TRUE(sid.ok());
+  KeyRange range;
+  range.start = std::vector<Value>{Value::Real(3.0)};
+  range.stop = std::vector<Value>{Value::Real(7.0)};
+  BTreeAccessPathScan scan(access_.get(), *sid, range, /*forward=*/false);
+  ASSERT_TRUE(scan.Open().ok());
+  std::vector<int64_t> nums;
+  for (;;) {
+    auto atom = scan.Next();
+    ASSERT_TRUE(atom.ok());
+    if (!atom->has_value()) break;
+    nums.push_back((*atom)->attrs[1].AsInt());
+  }
+  EXPECT_EQ(nums, (std::vector<int64_t>{7, 6, 5, 4, 3}));
+}
+
+TEST_F(ScanTest, BTreeAccessPathExclusiveStart) {
+  for (int i = 0; i < 10; ++i) AddItem(i, i, "x");
+  auto sid = access_->CreateBTreeAccessPath("by_weight", "item", {"weight"});
+  ASSERT_TRUE(sid.ok());
+  KeyRange range;
+  range.start = std::vector<Value>{Value::Real(3.0)};
+  range.start_inclusive = false;
+  range.stop = std::vector<Value>{Value::Real(5.0)};
+  BTreeAccessPathScan scan(access_.get(), *sid, range);
+  ASSERT_TRUE(scan.Open().ok());
+  std::vector<int64_t> nums;
+  for (;;) {
+    auto atom = scan.Next();
+    ASSERT_TRUE(atom.ok());
+    if (!atom->has_value()) break;
+    nums.push_back((*atom)->attrs[1].AsInt());
+  }
+  EXPECT_EQ(nums, (std::vector<int64_t>{4, 5}));
+}
+
+TEST_F(ScanTest, GridAccessPathPerDimensionConditions) {
+  // Place items on a 2-D plane via (num, weight).
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      AddItem(x * 100 + y, x * 10 + y, "x");
+    }
+  }
+  auto sid = access_->CreateGridAccessPath("plane", "item", {"num", "weight"});
+  ASSERT_TRUE(sid.ok()) << sid.status().ToString();
+  std::vector<GridDimension> dims(2);
+  dims[0].lo = Value::Int(200);
+  dims[0].hi = Value::Int(404);
+  dims[1].lo = Value::Real(25.0);
+  dims[1].asc = false;  // descending on weight
+  GridAccessPathScan scan(access_.get(), *sid, dims, {1});
+  ASSERT_TRUE(scan.Open().ok());
+  double prev = 1e18;
+  int n = 0;
+  for (;;) {
+    auto atom = scan.Next();
+    ASSERT_TRUE(atom.ok());
+    if (!atom->has_value()) break;
+    const int64_t num = (*atom)->attrs[1].AsInt();
+    const double w = (*atom)->attrs[2].AsReal();
+    EXPECT_GE(num, 200);
+    EXPECT_LE(num, 404);
+    EXPECT_GE(w, 25.0);
+    EXPECT_LE(w, prev);  // descending by priority dimension
+    prev = w;
+    ++n;
+  }
+  EXPECT_GT(n, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster scans
+// ---------------------------------------------------------------------------
+
+TEST_F(ScanTest, AtomClusterTypeScanIteratesClusters) {
+  std::vector<Tid> boxes;
+  for (int b = 0; b < 3; ++b) {
+    auto box = access_->InsertAtom(box_, {AttrValue{1, Value::Int(b + 1)}});
+    ASSERT_TRUE(box.ok());
+    boxes.push_back(*box);
+    for (int i = 0; i < 4; ++i) {
+      AddItem(b * 10 + i + 100, i, "x", *box);
+    }
+  }
+  auto cid = access_->CreateAtomClusterType("box_cluster", "box", {"items"});
+  ASSERT_TRUE(cid.ok());
+  SearchArgument sarg;
+  sarg.conjuncts.push_back({1, {}, CompareOp::kGe, Value::Int(2)});
+  AtomClusterTypeScan scan(access_.get(), *cid, sarg);
+  ASSERT_TRUE(scan.Open().ok());
+  int n = 0;
+  for (;;) {
+    auto image = scan.Next();
+    ASSERT_TRUE(image.ok());
+    if (!image->has_value()) break;
+    EXPECT_GE((*image)->characteristic.attrs[1].AsInt(), 2);
+    EXPECT_EQ((*image)->groups[0].second.size(), 4u);
+    ++n;
+  }
+  EXPECT_EQ(n, 2);
+}
+
+TEST_F(ScanTest, AtomClusterScanWithinOneCluster) {
+  auto box = access_->InsertAtom(box_, {AttrValue{1, Value::Int(1)}});
+  ASSERT_TRUE(box.ok());
+  for (int i = 0; i < 6; ++i) AddItem(i, i, "x", *box);
+  auto cid = access_->CreateAtomClusterType("box_cluster", "box", {"items"});
+  ASSERT_TRUE(cid.ok());
+  SearchArgument sarg;
+  sarg.conjuncts.push_back({1, {}, CompareOp::kLt, Value::Int(3)});
+  AtomClusterScan scan(access_.get(), *cid, *box, item_, sarg);
+  ASSERT_TRUE(scan.Open().ok());
+  int n = 0;
+  for (;;) {
+    auto atom = scan.Next();
+    ASSERT_TRUE(atom.ok());
+    if (!atom->has_value()) break;
+    EXPECT_LT((*atom)->attrs[1].AsInt(), 3);
+    ++n;
+  }
+  EXPECT_EQ(n, 3);
+  // PRIOR walks back from the end position.
+  auto back = scan.Prior();
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->has_value());
+}
+
+TEST_F(ScanTest, ClusterColdReadIsChained) {
+  auto box = access_->InsertAtom(box_, {AttrValue{1, Value::Int(1)}});
+  ASSERT_TRUE(box.ok());
+  for (int i = 0; i < 40; ++i) {
+    AddItem(i, i, std::string(200, 'p'), *box);  // fat atoms -> many pages
+  }
+  auto cid = access_->CreateAtomClusterType("box_cluster", "box", {"items"});
+  ASSERT_TRUE(cid.ok());
+  ASSERT_TRUE(access_->Flush().ok());
+  const StructureDef* def = access_->catalog().GetStructure(*cid);
+  ASSERT_TRUE(storage_->buffer().Discard(def->segment).ok());
+  storage_->device().stats().Reset();
+
+  auto image = access_->ReadCluster(*cid, *box);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->groups[0].second.size(), 40u);
+  EXPECT_EQ(storage_->device().stats().chained_reads.load(), 1u);
+}
+
+}  // namespace
+}  // namespace prima::access

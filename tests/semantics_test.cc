@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/prima.h"
+#include "mql/parser.h"
+#include "mql/semantics.h"
+#include "workloads/brep.h"
+
+namespace prima::mql {
+namespace {
+
+/// Structure resolution against the Fig. 2.3 BREP schema.
+class SemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = core::Prima::Open({});
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    workloads::BrepWorkload brep(db_.get());
+    ASSERT_TRUE(brep.CreateSchema().ok());
+    analyzer_ = std::make_unique<SemanticAnalyzer>(&db_->access().catalog());
+  }
+
+  util::Result<ResolvedStructure> Resolve(const std::string& text) {
+    auto from = ParseFromText(text);
+    if (!from.ok()) return from.status();
+    return analyzer_->Resolve(*from);
+  }
+
+  access::AtomTypeId TypeId(const std::string& name) {
+    return db_->access().catalog().FindAtomType(name)->id;
+  }
+
+  std::unique_ptr<core::Prima> db_;
+  std::unique_ptr<SemanticAnalyzer> analyzer_;
+};
+
+TEST_F(SemanticsTest, SingleComponent) {
+  auto s = Resolve("solid");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->root.type, TypeId("solid"));
+  EXPECT_EQ(s->NodeCount(), 1u);
+  EXPECT_FALSE(s->recursive);
+}
+
+TEST_F(SemanticsTest, ChainResolvesUniqueAssociations) {
+  auto s = Resolve("brep-face-edge-point");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->NodeCount(), 4u);
+  // Chain nests: brep -> face -> edge -> point.
+  const ResolvedNode* face = &s->root.children[0];
+  EXPECT_EQ(face->type, TypeId("face"));
+  const ResolvedNode* edge = &face->children[0];
+  EXPECT_EQ(edge->type, TypeId("edge"));
+  const ResolvedNode* point = &edge->children[0];
+  EXPECT_EQ(point->type, TypeId("point"));
+  // via_attr on face's child edge must be face.border.
+  const auto* face_def = db_->access().catalog().FindAtomType("face");
+  EXPECT_EQ(edge->via_attr, face_def->FindAttr("border")->id);
+}
+
+TEST_F(SemanticsTest, InverseDirectionResolvesToo) {
+  // The symmetric traversal of Fig. 2.1: point-edge-face.
+  auto s = Resolve("point-edge-face");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->root.type, TypeId("point"));
+  const auto* point_def = db_->access().catalog().FindAtomType("point");
+  EXPECT_EQ(s->root.children[0].via_attr, point_def->FindAttr("line")->id);
+}
+
+TEST_F(SemanticsTest, BranchingFansOut) {
+  auto s = Resolve("brep-edge (face, point)");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->NodeCount(), 4u);
+  const ResolvedNode& edge = s->root.children[0];
+  ASSERT_EQ(edge.children.size(), 2u);
+  EXPECT_EQ(edge.children[0].type, TypeId("face"));
+  EXPECT_EQ(edge.children[1].type, TypeId("point"));
+}
+
+TEST_F(SemanticsTest, MoleculeTypeSplicing) {
+  // brep_obj = brep - face_obj = brep - face - edge_obj = ... -> 4 nodes.
+  auto s = Resolve("brep_obj");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->NodeCount(), 4u);
+  EXPECT_EQ(s->molecule_name, "brep_obj");
+  std::vector<access::AtomTypeId> types = s->AllTypes();
+  EXPECT_EQ(types[0], TypeId("brep"));
+  EXPECT_EQ(types[3], TypeId("point"));
+}
+
+TEST_F(SemanticsTest, SplicedTypeAsComponent) {
+  auto s = Resolve("brep - face_obj");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->NodeCount(), 4u);
+}
+
+TEST_F(SemanticsTest, RecursiveStructure) {
+  auto s = Resolve("solid.sub - solid (RECURSIVE)");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_TRUE(s->recursive);
+  EXPECT_EQ(s->root.type, TypeId("solid"));
+  const auto* solid_def = db_->access().catalog().FindAtomType("solid");
+  EXPECT_EQ(s->rec_attr, solid_def->FindAttr("sub")->id);
+}
+
+TEST_F(SemanticsTest, RecursiveMoleculeTypeResolves) {
+  auto s = Resolve("piece_list");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_TRUE(s->recursive);
+  EXPECT_EQ(s->molecule_name, "piece_list");
+}
+
+TEST_F(SemanticsTest, RecursionViaSuperIsDistinct) {
+  // The inverse recursion (where-used instead of consists-of).
+  auto s = Resolve("solid.super - solid (RECURSIVE)");
+  ASSERT_TRUE(s.ok());
+  const auto* solid_def = db_->access().catalog().FindAtomType("solid");
+  EXPECT_EQ(s->rec_attr, solid_def->FindAttr("super")->id);
+}
+
+TEST_F(SemanticsTest, DuplicateTypeNamesDisambiguated) {
+  auto s = Resolve("solid.sub - solid");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_FALSE(s->recursive);  // no marker -> plain one-hop self join
+  auto names = s->AllNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "solid");
+  EXPECT_EQ(names[1], "solid_2");
+}
+
+TEST_F(SemanticsTest, Errors) {
+  EXPECT_FALSE(Resolve("nosuchtype").ok());
+  EXPECT_FALSE(Resolve("solid-point").ok()) << "no association";
+  EXPECT_FALSE(Resolve("solid-solid").ok()) << "ambiguous (sub vs super)";
+  EXPECT_FALSE(Resolve("solid.brep-face").ok())
+      << "via attr targets the wrong type";
+  EXPECT_FALSE(Resolve("solid.description-solid").ok())
+      << "via attr is not an association";
+  EXPECT_FALSE(Resolve("brep - piece_list").ok())
+      << "recursive molecule types only stand alone";
+}
+
+TEST_F(SemanticsTest, FindNodeAndAllTypes) {
+  auto s = Resolve("brep-edge (face, point)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_NE(s->FindNode("point"), nullptr);
+  EXPECT_EQ(s->FindNode("solid"), nullptr);
+  EXPECT_EQ(s->AllTypes().size(), 4u);
+  EXPECT_EQ(s->AllNames().size(), 4u);
+}
+
+}  // namespace
+}  // namespace prima::mql
