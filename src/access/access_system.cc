@@ -4,6 +4,7 @@
 #include <cassert>
 #include <set>
 
+#include "recovery/wal_writer.h"
 #include "util/coding.h"
 
 namespace prima::access {
@@ -46,6 +47,46 @@ std::string PackedTidValue(const Tid& tid) {
 AccessSystem::AccessSystem(storage::StorageSystem* storage,
                            AccessOptions options)
     : storage_(storage), options_(options) {}
+
+// ---------------------------------------------------------------------------
+// Write-ahead logging of atom operations
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Top-level transaction id the current thread's writes belong to.
+/// Thread-local so concurrent transactions never mislabel each other's
+/// records; 0 means system / auto-commit work (never undone at restart).
+thread_local uint64_t tls_wal_txn = 0;
+
+recovery::AtomOp ToAtomOp(AccessSystem::UndoRecord::Kind kind) {
+  switch (kind) {
+    case AccessSystem::UndoRecord::Kind::kInsert:
+      return recovery::AtomOp::kInsert;
+    case AccessSystem::UndoRecord::Kind::kModify:
+      return recovery::AtomOp::kModify;
+    case AccessSystem::UndoRecord::Kind::kDelete:
+      return recovery::AtomOp::kDelete;
+  }
+  return recovery::AtomOp::kModify;
+}
+}  // namespace
+
+void AccessSystem::SetWalTxn(uint64_t txn_id) { tls_wal_txn = txn_id; }
+
+uint64_t AccessSystem::LogAtomOp(UndoRecord::Kind kind, const Tid& tid,
+                                 const Atom* before, bool clr) {
+  if (wal_ == nullptr) return 0;
+  recovery::LogRecord rec;
+  rec.type = recovery::LogRecordType::kAtomUndo;
+  rec.txn_id = tls_wal_txn;
+  rec.op = ToAtomOp(kind);
+  rec.clr = clr;
+  rec.tid = tid.Pack();
+  auto rid_or = addresses_.Lookup(tid, kBaseStructure);
+  rec.rid = rid_or.ok() ? *rid_or : 0;
+  if (before != nullptr) before->EncodeInto(&rec.before);
+  return wal_->Append(rec);
+}
 
 AccessSystem::~AccessSystem() { (void)Flush(); }
 
@@ -577,8 +618,12 @@ Status AccessSystem::AddBackRef(const Tid& atom_tid, uint16_t attr,
   }
   PRIMA_RETURN_IF_ERROR(WriteBaseAtom(atom_tid, atom, /*is_new=*/false));
   stats_.backref_maintenance++;
-  if (undo_hook_) {
-    undo_hook_(UndoRecord{UndoRecord::Kind::kModify, atom_tid, old_atom});
+  {
+    const uint64_t lsn =
+        LogAtomOp(UndoRecord::Kind::kModify, atom_tid, &old_atom, /*clr=*/false);
+    if (undo_hook_) {
+      undo_hook_(UndoRecord{UndoRecord::Kind::kModify, atom_tid, old_atom, lsn});
+    }
   }
   PRIMA_RETURN_IF_ERROR(EnqueueRedundancy(*def, &old_atom, &atom, atom_tid));
   return EnqueueClusterMaintenance(*def, &old_atom, &atom, atom_tid);
@@ -612,8 +657,12 @@ Status AccessSystem::RemoveBackRef(const Tid& atom_tid, uint16_t attr,
   }
   PRIMA_RETURN_IF_ERROR(WriteBaseAtom(atom_tid, atom, /*is_new=*/false));
   stats_.backref_maintenance++;
-  if (undo_hook_) {
-    undo_hook_(UndoRecord{UndoRecord::Kind::kModify, atom_tid, old_atom});
+  {
+    const uint64_t lsn =
+        LogAtomOp(UndoRecord::Kind::kModify, atom_tid, &old_atom, /*clr=*/false);
+    if (undo_hook_) {
+      undo_hook_(UndoRecord{UndoRecord::Kind::kModify, atom_tid, old_atom, lsn});
+    }
   }
   PRIMA_RETURN_IF_ERROR(EnqueueRedundancy(*def, &old_atom, &atom, atom_tid));
   return EnqueueClusterMaintenance(*def, &old_atom, &atom, atom_tid);
@@ -727,8 +776,12 @@ Result<Tid> AccessSystem::InsertAtom(AtomTypeId type,
   PRIMA_RETURN_IF_ERROR(EnqueueRedundancy(*def, nullptr, &atom, tid));
   PRIMA_RETURN_IF_ERROR(EnqueueClusterMaintenance(*def, nullptr, &atom, tid));
   stats_.atoms_inserted++;
-  if (undo_hook_) {
-    undo_hook_(UndoRecord{UndoRecord::Kind::kInsert, tid, Atom{}});
+  {
+    const uint64_t lsn =
+        LogAtomOp(UndoRecord::Kind::kInsert, tid, nullptr, /*clr=*/false);
+    if (undo_hook_) {
+      undo_hook_(UndoRecord{UndoRecord::Kind::kInsert, tid, Atom{}, lsn});
+    }
   }
   return tid;
 }
@@ -862,8 +915,12 @@ Status AccessSystem::ModifyAtom(const Tid& tid, std::vector<AttrValue> changes) 
   PRIMA_RETURN_IF_ERROR(
       EnqueueClusterMaintenance(*def, &old_atom, &atom, tid));
   stats_.atoms_modified++;
-  if (undo_hook_) {
-    undo_hook_(UndoRecord{UndoRecord::Kind::kModify, tid, old_atom});
+  {
+    const uint64_t lsn =
+        LogAtomOp(UndoRecord::Kind::kModify, tid, &old_atom, /*clr=*/false);
+    if (undo_hook_) {
+      undo_hook_(UndoRecord{UndoRecord::Kind::kModify, tid, old_atom, lsn});
+    }
   }
   return Status::Ok();
 }
@@ -897,11 +954,15 @@ Status AccessSystem::DeleteAtom(const Tid& tid) {
       base_files_.at(tid.type)->Delete(RecordId::Unpack(rid)));
   PRIMA_RETURN_IF_ERROR(addresses_.Remove(tid));
   stats_.atoms_deleted++;
-  if (undo_hook_) {
-    // At this point every association has been disconnected (and logged);
-    // the before image recorded here restores the record + redundancy, and
-    // the logged back-reference writes restore symmetry.
-    undo_hook_(UndoRecord{UndoRecord::Kind::kDelete, tid, atom});
+  {
+    const uint64_t lsn =
+        LogAtomOp(UndoRecord::Kind::kDelete, tid, &atom, /*clr=*/false);
+    if (undo_hook_) {
+      // At this point every association has been disconnected (and logged);
+      // the before image recorded here restores the record + redundancy, and
+      // the logged back-reference writes restore symmetry.
+      undo_hook_(UndoRecord{UndoRecord::Kind::kDelete, tid, atom, lsn});
+    }
   }
   return Status::Ok();
 }
@@ -1392,7 +1453,9 @@ Status AccessSystem::RawDeleteAtom(const Tid& tid) {
   PRIMA_ASSIGN_OR_RETURN(const uint64_t rid,
                          addresses_.Lookup(tid, kBaseStructure));
   PRIMA_RETURN_IF_ERROR(base_files_.at(tid.type)->Delete(RecordId::Unpack(rid)));
-  return addresses_.Remove(tid);
+  PRIMA_RETURN_IF_ERROR(addresses_.Remove(tid));
+  LogAtomOp(UndoRecord::Kind::kDelete, tid, &old_atom, /*clr=*/true);
+  return Status::Ok();
 }
 
 Status AccessSystem::RawRestoreAtom(const Atom& atom) {
@@ -1405,7 +1468,9 @@ Status AccessSystem::RawRestoreAtom(const Atom& atom) {
   PRIMA_RETURN_IF_ERROR(WriteBaseAtom(atom.tid, atom, /*is_new=*/true));
   PRIMA_RETURN_IF_ERROR(MaintainAccessPaths(*def, nullptr, &atom, atom.tid));
   PRIMA_RETURN_IF_ERROR(EnqueueRedundancy(*def, nullptr, &atom, atom.tid));
-  return EnqueueClusterMaintenance(*def, nullptr, &atom, atom.tid);
+  PRIMA_RETURN_IF_ERROR(EnqueueClusterMaintenance(*def, nullptr, &atom, atom.tid));
+  LogAtomOp(UndoRecord::Kind::kInsert, atom.tid, nullptr, /*clr=*/true);
+  return Status::Ok();
 }
 
 Status AccessSystem::RawOverwriteAtom(const Atom& before) {
@@ -1416,7 +1481,56 @@ Status AccessSystem::RawOverwriteAtom(const Atom& before) {
   PRIMA_RETURN_IF_ERROR(WriteBaseAtom(before.tid, before, /*is_new=*/false));
   PRIMA_RETURN_IF_ERROR(MaintainAccessPaths(*def, &current, &before, before.tid));
   PRIMA_RETURN_IF_ERROR(EnqueueRedundancy(*def, &current, &before, before.tid));
-  return EnqueueClusterMaintenance(*def, &current, &before, before.tid);
+  PRIMA_RETURN_IF_ERROR(EnqueueClusterMaintenance(*def, &current, &before, before.tid));
+  LogAtomOp(UndoRecord::Kind::kModify, before.tid, &current, /*clr=*/true);
+  return Status::Ok();
+}
+
+Status AccessSystem::RecoverAtomFixup(recovery::AtomOp op, const Tid& tid,
+                                      uint64_t rid) {
+  // Repeating history for the memory-resident address table: the page-level
+  // redo pass already restored the record bytes; this reinstates (or
+  // removes) the tid -> rid mapping the crash wiped out. Every branch is
+  // idempotent — fixups replay from before the checkpoint and recovery
+  // itself may crash and rerun.
+  switch (op) {
+    case recovery::AtomOp::kInsert:
+    case recovery::AtomOp::kModify: {
+      auto existing = addresses_.Lookup(tid, kBaseStructure);
+      if (existing.ok()) {
+        if (*existing != rid) {
+          PRIMA_RETURN_IF_ERROR(
+              addresses_.UpdateEntry(tid, kBaseStructure, rid));
+        }
+        return Status::Ok();
+      }
+      return addresses_.Register(tid, kBaseStructure, rid);
+    }
+    case recovery::AtomOp::kDelete: {
+      const Status st = addresses_.Remove(tid);
+      return st.IsNotFound() ? Status::Ok() : st;
+    }
+  }
+  return Status::Ok();
+}
+
+Status AccessSystem::RecoverRedundancy(const Tid& tid,
+                                       const Atom* ckpt_before) {
+  const AtomTypeDef* def = catalog_.GetAtomType(tid.type);
+  if (def == nullptr) return Status::Ok();  // type dropped since
+  auto current_or = ReadBaseAtom(tid);
+  if (current_or.ok()) {
+    // Atom survived (committed work, or a loser change already rolled
+    // back): refresh every redundant structure. The checkpoint image keys
+    // the removal of stale sort-order entries.
+    PRIMA_RETURN_IF_ERROR(
+        EnqueueRedundancy(*def, ckpt_before, &*current_or, tid));
+    return EnqueueClusterMaintenance(*def, ckpt_before, &*current_or, tid);
+  }
+  if (!current_or.status().IsNotFound()) return current_or.status();
+  if (ckpt_before == nullptr) return Status::Ok();  // never checkpointed
+  PRIMA_RETURN_IF_ERROR(EnqueueRedundancy(*def, ckpt_before, nullptr, tid));
+  return EnqueueClusterMaintenance(*def, ckpt_before, nullptr, tid);
 }
 
 // ---------------------------------------------------------------------------

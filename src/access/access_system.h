@@ -22,6 +22,11 @@
 #include "access/value.h"
 #include "storage/storage_system.h"
 
+namespace prima::recovery {
+class WalWriter;
+enum class AtomOp : uint8_t;
+}  // namespace prima::recovery
+
 namespace prima::access {
 
 /// Operation counters of the access system (experiment E8 reads the layer
@@ -168,6 +173,11 @@ class AccessSystem {
     Kind kind = Kind::kModify;
     Tid tid;
     Atom before;  ///< valid for kModify / kDelete
+    /// WAL LSN of the matching kAtomUndo log record (0 when unlogged).
+    /// Identifies exactly which log entries a subtree abort compensated —
+    /// a plain count would miss parent operations interleaved with an
+    /// active child's.
+    uint64_t lsn = 0;
   };
   using UndoHook = std::function<void(const UndoRecord&)>;
 
@@ -181,6 +191,33 @@ class AccessSystem {
   util::Status RawDeleteAtom(const Tid& tid);
   util::Status RawRestoreAtom(const Atom& atom);
   util::Status RawOverwriteAtom(const Atom& before);
+
+  // --- write-ahead logging / restart recovery --------------------------------
+
+  /// Attach (or detach) the WAL. Every base-atom mutation then also appends
+  /// an atom-level undo record (op, tid, rid, before image) next to the
+  /// in-memory undo the hook collects; Raw* compensations append
+  /// redo-only (CLR) records.
+  void SetWal(recovery::WalWriter* wal) { wal_ = wal; }
+  recovery::WalWriter* wal() const { return wal_; }
+
+  /// Tag this thread's subsequent atom log records with the given top-level
+  /// transaction id (0 = system/auto-commit). Thread-local: concurrent
+  /// transactions on other threads are unaffected.
+  static void SetWalTxn(uint64_t txn_id);
+
+  /// Restart fixup, applied in log order after the redo pass: reinstall the
+  /// address-table side of one logged atom operation (the page bytes were
+  /// already repeated by redo; this repeats the memory-resident mapping).
+  /// Tolerant of re-application — recovery may crash and rerun.
+  util::Status RecoverAtomFixup(recovery::AtomOp op, const Tid& tid,
+                                uint64_t rid);
+
+  /// Restart fixup for the deferred redundancy an atom lost in the crash:
+  /// re-enqueue sort-order / partition / cluster maintenance. `ckpt_before`
+  /// is the atom's image at the last checkpoint (nullptr when it did not
+  /// exist then); the current base record decides liveness.
+  util::Status RecoverRedundancy(const Tid& tid, const Atom* ckpt_before);
 
   // --- deferred update (paper §3.2) ------------------------------------------
 
@@ -269,6 +306,13 @@ class AccessSystem {
 
   util::Status PersistMetadata();
 
+  /// Append an atom-level log record mirroring one base-atom mutation (the
+  /// same sites that fire the undo hook). `clr` marks compensation writes,
+  /// which redo but are never undone. Returns the record's LSN (0 when no
+  /// WAL is attached).
+  uint64_t LogAtomOp(UndoRecord::Kind kind, const Tid& tid, const Atom* before,
+                     bool clr);
+
   storage::StorageSystem* storage_;
   AccessOptions options_;
   Catalog catalog_;
@@ -284,6 +328,7 @@ class AccessSystem {
   std::deque<Pending> pending_;
 
   UndoHook undo_hook_;
+  recovery::WalWriter* wal_ = nullptr;
 
   // Serializes multi-structure mutations (atom writes). Reads are lock-free
   // at this level (page latches + structure mutexes below).

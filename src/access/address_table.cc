@@ -26,6 +26,11 @@ Status AddressTable::Register(const Tid& tid, uint32_t structure,
     }
   }
   list.push_back(AddressEntry{structure, rid});
+  // Keep the surrogate generator ahead of every registered surrogate —
+  // crash recovery re-registers atoms whose NewTid call was lost with the
+  // in-memory counters, and a reissued tid would corrupt the address space.
+  uint64_t& next = next_seq_[tid.type];
+  if (tid.seq > next) next = tid.seq;
   return Status::Ok();
 }
 

@@ -7,9 +7,51 @@ namespace prima::core {
 using util::Result;
 using util::Status;
 
+namespace {
+/// Adapts a shared device to the StorageSystem's unique-ownership API
+/// (crash-injection tests hand the same underlying device to several
+/// database incarnations in turn).
+class ForwardingBlockDevice : public storage::BlockDevice {
+ public:
+  explicit ForwardingBlockDevice(std::shared_ptr<storage::BlockDevice> inner)
+      : inner_(std::move(inner)) {}
+  util::Status Create(FileId file, uint32_t block_size) override {
+    return inner_->Create(file, block_size);
+  }
+  util::Status Remove(FileId file) override { return inner_->Remove(file); }
+  bool Exists(FileId file) const override { return inner_->Exists(file); }
+  util::Result<uint32_t> BlockSizeOf(FileId file) const override {
+    return inner_->BlockSizeOf(file);
+  }
+  std::vector<FileId> ListFiles() const override {
+    return inner_->ListFiles();
+  }
+  util::Status Read(FileId file, uint64_t block, char* dst) override {
+    return inner_->Read(file, block, dst);
+  }
+  util::Status Write(FileId file, uint64_t block, const char* src) override {
+    return inner_->Write(file, block, src);
+  }
+  util::Status ReadChained(FileId file, const std::vector<uint64_t>& blocks,
+                           char* dst) override {
+    return inner_->ReadChained(file, blocks, dst);
+  }
+  util::Status WriteChained(FileId file, const std::vector<uint64_t>& blocks,
+                            const char* src) override {
+    return inner_->WriteChained(file, blocks, src);
+  }
+  util::Status Sync() override { return inner_->Sync(); }
+
+ private:
+  std::shared_ptr<storage::BlockDevice> inner_;
+};
+}  // namespace
+
 Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
   std::unique_ptr<storage::BlockDevice> device;
-  if (options.in_memory) {
+  if (options.device != nullptr) {
+    device = std::make_unique<ForwardingBlockDevice>(options.device);
+  } else if (options.in_memory) {
     device = std::make_unique<storage::MemoryBlockDevice>();
   } else {
     if (options.path.empty()) {
@@ -18,15 +60,37 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
     device = std::make_unique<storage::FileBlockDevice>(options.path);
   }
   auto db = std::unique_ptr<Prima>(new Prima());
+  db->shared_device_ = options.device;
   db->storage_ = std::make_unique<storage::StorageSystem>(std::move(device),
                                                           options.storage);
   PRIMA_RETURN_IF_ERROR(db->storage_->Open());
+
+  if (options.wal) {
+    // Restart protocol: repeat history on pages before the access layer
+    // reads its metadata blobs from them, then roll losers back through it.
+    db->wal_ = std::make_unique<recovery::WalWriter>(&db->storage_->device());
+    PRIMA_RETURN_IF_ERROR(db->wal_->Open());
+    db->recovery_ = std::make_unique<recovery::RecoveryManager>(
+        db->storage_.get(), db->wal_.get());
+    PRIMA_RETURN_IF_ERROR(db->recovery_->AnalyzeAndRedo());
+    db->storage_->SetWal(db->wal_.get());
+  }
+
   db->access_ =
       std::make_unique<access::AccessSystem>(db->storage_.get(), options.access);
+  if (db->wal_ != nullptr) db->access_->SetWal(db->wal_.get());
   PRIMA_RETURN_IF_ERROR(db->access_->Open());
+  if (db->recovery_ != nullptr) {
+    PRIMA_RETURN_IF_ERROR(db->recovery_->UndoAndFixup(db->access_.get()));
+  }
+
   db->data_ = std::make_unique<mql::DataSystem>(db->access_.get());
   db->ldl_ = std::make_unique<ldl::LoadDefinition>(db->access_.get());
   db->txns_ = std::make_unique<TransactionManager>(db->access_.get());
+  if (db->wal_ != nullptr) {
+    db->txns_->SetWal(db->wal_.get());
+    db->txns_->SeedNextId(db->recovery_->next_txn_id());
+  }
   size_t workers = options.parallel_workers;
   if (workers == 0) {
     workers = std::max(2u, std::thread::hardware_concurrency());
@@ -35,11 +99,29 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
   db->parallel_ = std::make_unique<ParallelQueryProcessor>(db->data_.get(),
                                                            db->pool_.get());
   db->object_buffer_ = std::make_unique<ObjectBuffer>(db->data_.get());
+
+  if (db->recovery_ != nullptr && db->recovery_->recovered()) {
+    // Make the recovered state durable and shorten the next restart.
+    PRIMA_RETURN_IF_ERROR(db->recovery_->Checkpoint(db->access_.get()));
+  }
+  db->fully_open_ = true;
   return db;
 }
 
 Prima::~Prima() {
-  if (access_ != nullptr) (void)access_->Flush();
+  if (access_ != nullptr && fully_open_) {
+    if (recovery_ != nullptr) {
+      (void)recovery_->Checkpoint(access_.get());
+    } else {
+      (void)access_->Flush();
+    }
+  }
+  // Detach the WAL before members destruct (destructor-order flushes must
+  // not reach a dead log; everything is already durable from the
+  // checkpoint above).
+  if (storage_ != nullptr) storage_->SetWal(nullptr);
+  if (access_ != nullptr) access_->SetWal(nullptr);
+  if (txns_ != nullptr) txns_->SetWal(nullptr);
 }
 
 Result<mql::ExecResult> Prima::Execute(const std::string& mql) {
@@ -59,6 +141,9 @@ Result<std::string> Prima::ExecuteLdl(const std::string& ldl) {
   return ldl_->Execute(ldl);
 }
 
-Status Prima::Flush() { return access_->Flush(); }
+Status Prima::Flush() {
+  if (recovery_ != nullptr) return recovery_->Checkpoint(access_.get());
+  return access_->Flush();
+}
 
 }  // namespace prima::core

@@ -10,6 +10,8 @@
 #include "core/transaction.h"
 #include "ldl/ldl.h"
 #include "mql/data_system.h"
+#include "recovery/recovery_manager.h"
+#include "recovery/wal_writer.h"
 #include "storage/storage_system.h"
 #include "util/thread_pool.h"
 
@@ -20,6 +22,15 @@ struct PrimaOptions {
   /// In-memory block device (default) or a directory of segment files.
   bool in_memory = true;
   std::string path;
+
+  /// Custom block device (crash-injection tests, shared devices). Overrides
+  /// in_memory/path when set; the database holds a reference for its
+  /// lifetime.
+  std::shared_ptr<storage::BlockDevice> device;
+
+  /// Write-ahead logging with restart recovery (on by default). When off
+  /// the system behaves like the pre-WAL kernel: durability only at Flush.
+  bool wal = true;
 
   storage::StorageOptions storage;
   access::AccessOptions access;
@@ -64,7 +75,10 @@ class Prima {
 
   // --- maintenance ----------------------------------------------------------------
 
-  /// Drain deferred updates and write everything to the device.
+  /// Drain deferred updates and write everything to the device. With WAL
+  /// enabled this is a fuzzy checkpoint: the flush is bracketed by
+  /// checkpoint log records and committed via the log's master record, so
+  /// the next restart scans only from here.
   util::Status Flush();
 
   // --- subsystem access -------------------------------------------------------------
@@ -75,11 +89,23 @@ class Prima {
   TransactionManager& transactions() { return *txns_; }
   ObjectBuffer& object_buffer() { return *object_buffer_; }
   util::ThreadPool& pool() { return *pool_; }
+  /// Null when options.wal is false.
+  recovery::WalWriter* wal() { return wal_.get(); }
+  recovery::RecoveryManager* recovery() { return recovery_.get(); }
 
  private:
   Prima() = default;
 
+  /// Set once Open() fully succeeded. A half-open instance (recovery
+  /// failed partway) must NOT checkpoint on destruction: writing a new
+  /// master record would truncate the restart scan window and orphan the
+  /// loser rollbacks that never ran.
+  bool fully_open_ = false;
+
+  std::shared_ptr<storage::BlockDevice> shared_device_;  ///< keep-alive only
   std::unique_ptr<storage::StorageSystem> storage_;
+  std::unique_ptr<recovery::WalWriter> wal_;
+  std::unique_ptr<recovery::RecoveryManager> recovery_;
   std::unique_ptr<access::AccessSystem> access_;
   std::unique_ptr<mql::DataSystem> data_;
   std::unique_ptr<ldl::LoadDefinition> ldl_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "recovery/wal_writer.h"
+
 namespace prima::core {
 
 using access::AccessSystem;
@@ -38,7 +40,20 @@ Result<Transaction*> TransactionManager::Begin() {
   Transaction* raw = txn.get();
   top_level_.push_back(std::move(txn));
   stats_.begun++;
+  if (wal_ != nullptr) {
+    wal_->Append(recovery::LogRecord::Begin(raw->id()));
+  }
   return raw;
+}
+
+uint64_t TransactionManager::RootId(const Transaction* txn) {
+  while (txn->parent() != nullptr) txn = txn->parent();
+  return txn->id();
+}
+
+void TransactionManager::SeedNextId(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > next_id_) next_id_ = id;
 }
 
 bool TransactionManager::IsAncestorOf(const Transaction* maybe_ancestor,
@@ -226,6 +241,19 @@ Status Transaction::Commit() {
     return Status::InvalidArgument(
         "cannot commit with active subtransactions");
   }
+  if (parent_ == nullptr && mgr_->wal_ != nullptr) {
+    // Durability at commit: the commit record — and with it every earlier
+    // record of this transaction — must be on the device before locks
+    // drop. One force covers every committer queued behind it (group
+    // commit). On a force failure the transaction stays active (locks
+    // held, undo intact) so the caller can retry or abort; note the abort
+    // record then follows the buffered commit record, and restart treats
+    // the transaction as finished either way — consistent with the CLRs
+    // the abort writes.
+    const uint64_t commit_lsn =
+        mgr_->wal_->Append(recovery::LogRecord::Commit(id_));
+    PRIMA_RETURN_IF_ERROR(mgr_->wal_->ForceUpTo(commit_lsn));
+  }
   state_ = State::kCommitted;
   if (parent_ != nullptr) {
     mgr_->InheritToParent(this);
@@ -245,23 +273,39 @@ Status Transaction::Abort() {
     return Status::InvalidArgument("cannot abort with active subtransactions");
   }
   // Selective in-transaction recovery: compensate this subtree only, in
-  // reverse chronological order.
+  // reverse chronological order. The compensating writes are CLR-logged
+  // under the root transaction; the kCompensation record afterwards tells
+  // restart undo that these entries are already rolled back.
   Status first_error;
-  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
-    Status st;
-    switch (it->kind) {
-      case AccessSystem::UndoRecord::Kind::kInsert:
-        st = mgr_->access_->RawDeleteAtom(it->tid);
-        break;
-      case AccessSystem::UndoRecord::Kind::kModify:
-        st = mgr_->access_->RawOverwriteAtom(it->before);
-        break;
-      case AccessSystem::UndoRecord::Kind::kDelete:
-        st = mgr_->access_->RawRestoreAtom(it->before);
-        break;
+  {
+    std::lock_guard<std::mutex> hook_lock(mgr_->hook_mu_);
+    AccessSystem::SetWalTxn(TransactionManager::RootId(this));
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+      Status st;
+      switch (it->kind) {
+        case AccessSystem::UndoRecord::Kind::kInsert:
+          st = mgr_->access_->RawDeleteAtom(it->tid);
+          break;
+        case AccessSystem::UndoRecord::Kind::kModify:
+          st = mgr_->access_->RawOverwriteAtom(it->before);
+          break;
+        case AccessSystem::UndoRecord::Kind::kDelete:
+          st = mgr_->access_->RawRestoreAtom(it->before);
+          break;
+      }
+      mgr_->stats_.undo_applied++;
+      if (!st.ok() && first_error.ok()) first_error = st;
     }
-    mgr_->stats_.undo_applied++;
-    if (!st.ok() && first_error.ok()) first_error = st;
+    AccessSystem::SetWalTxn(0);
+  }
+  if (mgr_->wal_ != nullptr && !undo_.empty()) {
+    std::vector<uint64_t> compensated;
+    compensated.reserve(undo_.size());
+    for (const auto& rec : undo_) {
+      if (rec.lsn != 0) compensated.push_back(rec.lsn);
+    }
+    mgr_->wal_->Append(recovery::LogRecord::Compensation(
+        TransactionManager::RootId(this), std::move(compensated)));
   }
   undo_.clear();
   state_ = State::kAborted;
@@ -269,6 +313,10 @@ Status Transaction::Abort() {
   if (parent_ != nullptr) {
     std::lock_guard<std::mutex> lock(mgr_->mu_);
     --parent_->active_children_;
+  } else if (mgr_->wal_ != nullptr) {
+    // No force needed: losing this record merely repeats the (idempotent)
+    // rollback at restart.
+    mgr_->wal_->Append(recovery::LogRecord::Abort(id_));
   }
   mgr_->stats_.aborted++;
   return first_error;

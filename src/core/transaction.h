@@ -10,6 +10,10 @@
 
 #include "access/access_system.h"
 
+namespace prima::recovery {
+class WalWriter;
+}  // namespace prima::recovery
+
 namespace prima::core {
 
 enum class LockMode : uint8_t { kRead, kWrite };
@@ -99,6 +103,18 @@ class TransactionManager {
   /// Start a top-level transaction (owned by the manager until finished).
   util::Result<Transaction*> Begin();
 
+  /// Attach (or detach) the write-ahead log. Top-level transactions then
+  /// write begin/commit/abort records, a top-level Commit() forces the log
+  /// (group commit — durability at commit, not at the next flush), and
+  /// Abort() brackets its compensations with a kCompensation record.
+  void SetWal(recovery::WalWriter* wal) { wal_ = wal; }
+
+  /// Raise the id generator to at least `id`. Restart recovery calls this
+  /// with one past the highest transaction id in the log's scan window:
+  /// reusing an id still visible there would let the old id's commit
+  /// record mark a new crashed transaction as finished.
+  void SeedNextId(uint64_t id);
+
   TransactionStats& stats() { return stats_; }
   access::AccessSystem& access() { return *access_; }
 
@@ -114,15 +130,22 @@ class TransactionManager {
   void ReleaseAll(Transaction* txn);
   void InheritToParent(Transaction* child);
 
-  /// Run `op` with the undo hook routed into `txn`'s log. Serializes
-  /// transactional writes.
+  /// Top-level ancestor of `txn` — the transaction the WAL knows about
+  /// (subtransaction structure is volatile; their records share the root id).
+  static uint64_t RootId(const Transaction* txn);
+
+  /// Run `op` with the undo hook routed into `txn`'s log and the thread's
+  /// WAL records tagged with the root transaction. Serializes transactional
+  /// writes.
   template <typename Fn>
   auto WithUndoHook(Transaction* txn, Fn&& op) {
     std::lock_guard<std::mutex> lock(hook_mu_);
     access_->SetUndoHook([txn](const access::AccessSystem::UndoRecord& rec) {
       txn->undo_.push_back(rec);
     });
+    access::AccessSystem::SetWalTxn(RootId(txn));
     auto result = op();
+    access::AccessSystem::SetWalTxn(0);
     access_->SetUndoHook(nullptr);
     return result;
   }
@@ -131,6 +154,7 @@ class TransactionManager {
                            const Transaction* txn);
 
   access::AccessSystem* access_;
+  recovery::WalWriter* wal_ = nullptr;
   TransactionStats stats_;
 
   mutable std::mutex mu_;  // lock table + registry

@@ -1,0 +1,44 @@
+#include "recovery/crash_device.h"
+
+#include <algorithm>
+
+namespace prima::recovery {
+
+using util::Status;
+
+bool CrashingBlockDevice::Consume(uint64_t n) {
+  for (;;) {
+    uint64_t have = budget_.load();
+    if (have == std::numeric_limits<uint64_t>::max()) return true;  // unlimited
+    if (have < n) {
+      dropped_ += n;
+      budget_ = 0;
+      return false;
+    }
+    if (budget_.compare_exchange_weak(have, have - n)) return true;
+  }
+}
+
+Status CrashingBlockDevice::WriteChained(FileId file,
+                                         const std::vector<uint64_t>& blocks,
+                                         const char* src) {
+  stats_.chained_writes++;
+  // Consume the budget block by block so a chained transfer can tear in the
+  // middle: the prefix lands, the suffix is lost.
+  uint64_t have = budget_.load();
+  size_t landed = blocks.size();
+  if (have != std::numeric_limits<uint64_t>::max()) {
+    landed = static_cast<size_t>(std::min<uint64_t>(have, blocks.size()));
+    budget_ = have - landed;
+    dropped_ += blocks.size() - landed;
+  }
+  if (landed == 0) return Status::Ok();
+  stats_.blocks_written += landed;
+  if (landed == blocks.size()) {
+    return inner_->WriteChained(file, blocks, src);
+  }
+  const std::vector<uint64_t> prefix(blocks.begin(), blocks.begin() + landed);
+  return inner_->WriteChained(file, prefix, src);
+}
+
+}  // namespace prima::recovery

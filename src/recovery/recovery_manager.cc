@@ -1,0 +1,271 @@
+#include "recovery/recovery_manager.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "access/tid.h"
+#include "util/slice.h"
+
+namespace prima::recovery {
+
+using access::Tid;
+using util::Result;
+using util::Slice;
+using util::Status;
+
+Status RecoveryManager::AnalyzeAndRedo() {
+  ckpt_lsn_ = wal_->checkpoint_lsn();
+
+  // Pass A: the checkpoint-begin record names the undo floor — the oldest
+  // begin-LSN among transactions that were still active at the checkpoint.
+  uint64_t scan_start = ckpt_lsn_;
+  if (ckpt_lsn_ != 0) {
+    const Status st = wal_->Scan(ckpt_lsn_, [&](const LogRecord& rec) {
+      if (rec.type == LogRecordType::kCheckpointBegin) {
+        scan_start = std::min(scan_start, rec.undo_low_lsn);
+      }
+      return Status::Aborted("first record only");  // stop the scan
+    });
+    if (!st.ok() && !st.IsAborted()) return st;
+  }
+
+  // Pass B: repeat history. Page redo is LSN-gated per page, so records
+  // older than the on-device state (including everything before the
+  // checkpoint when the undo floor reaches back further) skip harmlessly.
+  const Status scan_st = wal_->Scan(scan_start, [this](const LogRecord& rec) {
+    stats_.records_scanned++;
+    max_txn_id_ = std::max(max_txn_id_, rec.txn_id);
+    switch (rec.type) {
+      case LogRecordType::kBegin: {
+        TxnState st;
+        st.first_lsn = rec.lsn;
+        txns_.emplace(rec.txn_id, st);
+        break;
+      }
+      case LogRecordType::kCommit:
+      case LogRecordType::kAbort:
+        txns_[rec.txn_id].finished = true;
+        break;
+      case LogRecordType::kPageRedo: {
+        std::vector<std::pair<uint32_t, Slice>> ranges;
+        ranges.reserve(rec.ranges.size());
+        for (const auto& r : rec.ranges) {
+          ranges.emplace_back(r.offset, Slice(r.bytes));
+        }
+        PRIMA_ASSIGN_OR_RETURN(
+            const storage::StorageSystem::RedoOutcome outcome,
+            storage_->RecoverApplyPageRedo(rec.segment, rec.page,
+                                           rec.page_size, rec.lsn, ranges));
+        switch (outcome) {
+          case storage::StorageSystem::RedoOutcome::kApplied:
+            stats_.redo_applied++;
+            // A successful apply (full image included) heals a previously
+            // torn page.
+            torn_pages_.erase({rec.segment, rec.page});
+            break;
+          case storage::StorageSystem::RedoOutcome::kSkipped:
+            stats_.redo_skipped++;
+            break;
+          case storage::StorageSystem::RedoOutcome::kTornAwaitingFullImage:
+            // Deltas predating the page's post-checkpoint full image (the
+            // scan can reach back to the undo floor of long transactions).
+            torn_pages_.insert({rec.segment, rec.page});
+            break;
+        }
+        break;
+      }
+      case LogRecordType::kSegMeta:
+        // Pre-checkpoint bookkeeping is already captured by the segment
+        // headers the checkpoint flushed; replay only from the checkpoint
+        // on, in order (last record wins).
+        if (rec.lsn >= ckpt_lsn_) {
+          PRIMA_RETURN_IF_ERROR(storage_->RecoverSegmentMeta(
+              rec.segment, static_cast<storage::PageSize>(rec.page_size_code),
+              rec.page_count, rec.free_head));
+          stats_.segmeta_applied++;
+        }
+        break;
+      case LogRecordType::kAtomUndo: {
+        atom_recs_.push_back(rec);
+        if (!rec.clr && rec.txn_id != 0) {
+          txns_[rec.txn_id].undo_stack.push_back(atom_recs_.size() - 1);
+        }
+        break;
+      }
+      case LogRecordType::kCompensation: {
+        // An aborted subtree already compensated these undo entries; drop
+        // exactly them (they need not be the stream's tail — a parent may
+        // have worked while the child was active).
+        auto& stack = txns_[rec.txn_id].undo_stack;
+        const std::set<uint64_t> done(rec.comp_lsns.begin(),
+                                      rec.comp_lsns.end());
+        stack.erase(std::remove_if(stack.begin(), stack.end(),
+                                   [&](size_t idx) {
+                                     return done.count(atom_recs_[idx].lsn) >
+                                            0;
+                                   }),
+                    stack.end());
+        break;
+      }
+      case LogRecordType::kCheckpointBegin:
+        for (const auto& [id, first_lsn] : rec.active_txns) {
+          TxnState st;
+          st.first_lsn = first_lsn;
+          txns_.emplace(id, st);
+        }
+        break;
+      case LogRecordType::kCheckpointEnd:
+        break;
+    }
+    return Status::Ok();
+  });
+  PRIMA_RETURN_IF_ERROR(scan_st);
+  if (!torn_pages_.empty()) {
+    const auto& [seg, page] = *torn_pages_.begin();
+    return Status::Corruption(
+        std::to_string(torn_pages_.size()) +
+        " torn page(s) with no full-image record in the log (first: segment " +
+        std::to_string(seg) + " page " + std::to_string(page) +
+        ") — media recovery needed");
+  }
+  return Status::Ok();
+}
+
+Status RecoveryManager::UndoAndFixup(access::AccessSystem* access) {
+  // --- address-table fixups, in log order ---------------------------------
+  for (const LogRecord& rec : atom_recs_) {
+    PRIMA_RETURN_IF_ERROR(access->RecoverAtomFixup(
+        rec.op, Tid::Unpack(rec.tid), rec.rid));
+    stats_.fixups_applied++;
+  }
+
+  // --- undo losers --------------------------------------------------------
+  // Write locks are held to top-level end, so losers' write sets are
+  // disjoint and per-transaction reverse order equals global reverse order
+  // where it matters.
+  for (auto& [txn_id, st] : txns_) {
+    if (st.finished || txn_id == 0 || st.undo_stack.empty()) {
+      if (!st.finished && txn_id != 0) {
+        // Loser with nothing to undo still needs its abort on record.
+        wal_->Append(LogRecord::Abort(txn_id));
+        stats_.loser_txns++;
+      }
+      continue;
+    }
+    stats_.loser_txns++;
+    access::AccessSystem::SetWalTxn(txn_id);
+    std::vector<uint64_t> undone;
+    undone.reserve(st.undo_stack.size());
+    for (auto it = st.undo_stack.rbegin(); it != st.undo_stack.rend(); ++it) {
+      const LogRecord& rec = atom_recs_[*it];
+      const Tid tid = Tid::Unpack(rec.tid);
+      Status s;
+      switch (rec.op) {
+        case AtomOp::kInsert:
+          s = access->RawDeleteAtom(tid);
+          break;
+        case AtomOp::kModify: {
+          auto before_or = access->DecodeAtom(tid.type, Slice(rec.before));
+          if (!before_or.ok()) {
+            s = before_or.status();
+            break;
+          }
+          s = access->RawOverwriteAtom(*before_or);
+          break;
+        }
+        case AtomOp::kDelete: {
+          auto before_or = access->DecodeAtom(tid.type, Slice(rec.before));
+          if (!before_or.ok()) {
+            s = before_or.status();
+            break;
+          }
+          s = access->RawRestoreAtom(*before_or);
+          break;
+        }
+      }
+      // Idempotence across repeated restarts: the state may already be
+      // rolled back (abort raced the crash, or recovery itself reran).
+      if (!s.ok() && !s.IsNotFound() && !s.IsAlreadyExists()) {
+        access::AccessSystem::SetWalTxn(0);
+        return s;
+      }
+      undone.push_back(rec.lsn);
+      stats_.undo_applied++;
+    }
+    wal_->Append(LogRecord::Compensation(txn_id, std::move(undone)));
+    wal_->Append(LogRecord::Abort(txn_id));
+    access::AccessSystem::SetWalTxn(0);
+  }
+
+  // --- re-enqueue lost deferred redundancy --------------------------------
+  // The pending queue died with the process; reconstruct per-atom outcomes
+  // from the post-checkpoint records (structures were drained at the
+  // checkpoint, so its image is what they still hold).
+  struct AtomOutcome {
+    bool saw_insert = false;
+    bool has_before = false;
+    std::string first_before;
+    bool touched = false;
+  };
+  std::unordered_map<uint64_t, AtomOutcome> outcomes;
+  for (const LogRecord& rec : atom_recs_) {
+    if (rec.lsn < ckpt_lsn_) continue;
+    AtomOutcome& o = outcomes[rec.tid];
+    if (!o.touched) {
+      o.touched = true;
+      if (rec.op == AtomOp::kInsert) {
+        o.saw_insert = true;
+      } else {
+        o.has_before = true;
+        o.first_before = rec.before;
+      }
+    }
+  }
+  for (const auto& [packed, o] : outcomes) {
+    const Tid tid = Tid::Unpack(packed);
+    access::Atom before;
+    const access::Atom* before_ptr = nullptr;
+    if (o.has_before && !o.saw_insert) {
+      auto before_or = access->DecodeAtom(tid.type, Slice(o.first_before));
+      if (before_or.ok()) {
+        before = std::move(*before_or);
+        before_ptr = &before;
+      }
+    }
+    PRIMA_RETURN_IF_ERROR(access->RecoverRedundancy(tid, before_ptr));
+  }
+  return wal_->ForceAll();
+}
+
+Status RecoveryManager::Checkpoint(access::AccessSystem* access) {
+  LogRecord begin;
+  begin.type = LogRecordType::kCheckpointBegin;
+  begin.active_txns = wal_->ActiveTxns();
+  begin.undo_low_lsn = wal_->append_lsn();
+  for (const auto& [id, first_lsn] : begin.active_txns) {
+    begin.undo_low_lsn = std::min(begin.undo_low_lsn, first_lsn);
+  }
+  const uint64_t begin_lsn = wal_->Append(begin);
+
+  // The fuzzy window: drain deferred updates, persist catalog + address
+  // table, write back every dirty page (each write-back forces the log
+  // first per the WAL rule).
+  if (access != nullptr) {
+    PRIMA_RETURN_IF_ERROR(access->Flush());
+  } else {
+    PRIMA_RETURN_IF_ERROR(storage_->Flush());
+  }
+
+  LogRecord end;
+  end.type = LogRecordType::kCheckpointEnd;
+  wal_->Append(end);
+  PRIMA_RETURN_IF_ERROR(wal_->ForceAll());
+  // The master write is the checkpoint's commit point: a crash anywhere
+  // before it leaves the previous checkpoint in charge.
+  PRIMA_RETURN_IF_ERROR(wal_->WriteMaster(begin_lsn));
+  stats_.checkpoints++;
+  return Status::Ok();
+}
+
+}  // namespace prima::recovery

@@ -1,0 +1,101 @@
+#ifndef PRIMA_RECOVERY_RECOVERY_MANAGER_H_
+#define PRIMA_RECOVERY_RECOVERY_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "access/access_system.h"
+#include "recovery/log_record.h"
+#include "recovery/wal_writer.h"
+#include "storage/storage_system.h"
+#include "util/status.h"
+
+namespace prima::recovery {
+
+/// ARIES-style restart recovery over the PRIMA stack, adapted to its split
+/// of state: page-resident data (record files, B-trees, grids, blobs) is
+/// repeated by physiological redo, while the memory-resident address table
+/// and the deferred-update queue are repeated by atom-level fixups.
+///
+/// Restart protocol (driven by Prima::Open, or manually in tests):
+///   1. StorageSystem::Open()   — load last-flushed segment metadata
+///   2. WalWriter::Open()       — master record, find end of log
+///   3. AnalyzeAndRedo()        — one scan: txn table + repeat history on
+///                                pages and segment metadata
+///   4. AccessSystem::Open()    — load catalog/address blobs (now redone)
+///   5. UndoAndFixup(access)    — address-table fixups in log order, then
+///                                roll back losers (CLR-logged), then
+///                                re-enqueue lost deferred redundancy
+///   6. Checkpoint(access)      — make the recovered state durable
+class RecoveryManager {
+ public:
+  struct Stats {
+    uint64_t records_scanned = 0;
+    uint64_t redo_applied = 0;
+    uint64_t redo_skipped = 0;   ///< page-LSN already current
+    uint64_t segmeta_applied = 0;
+    uint64_t fixups_applied = 0;
+    uint64_t loser_txns = 0;
+    uint64_t undo_applied = 0;
+    uint64_t checkpoints = 0;
+  };
+
+  RecoveryManager(storage::StorageSystem* storage, WalWriter* wal)
+      : storage_(storage), wal_(wal) {}
+
+  /// Phases 1+2: scan from the undo floor of the last checkpoint, building
+  /// the transaction table and applying every page/segment-metadata redo
+  /// record whose target is older than the record (repeating history).
+  util::Status AnalyzeAndRedo();
+
+  /// Phase 3: replay address-table fixups in log order, undo every loser
+  /// transaction via the access layer (writing compensation records), and
+  /// re-enqueue the deferred redundancy the crash dropped.
+  util::Status UndoAndFixup(access::AccessSystem* access);
+
+  /// One past the highest transaction id seen in the scan window. New
+  /// transaction ids must start here — a reused id would collide with
+  /// same-id records still inside the window at the next restart.
+  uint64_t next_txn_id() const { return max_txn_id_ + 1; }
+
+  /// True when AnalyzeAndRedo/UndoAndFixup changed anything — callers use
+  /// it to decide whether a post-recovery checkpoint is worth taking.
+  bool recovered() const {
+    return stats_.redo_applied > 0 || stats_.segmeta_applied > 0 ||
+           stats_.loser_txns > 0;
+  }
+
+  /// Fuzzy checkpoint: bracket a full flush (deferred-update drain,
+  /// metadata persist, dirty-page write-back — each write-back forcing the
+  /// log per the WAL rule) with checkpoint records, then commit it via the
+  /// master record. Shortens the next restart's scan to this point.
+  util::Status Checkpoint(access::AccessSystem* access);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct TxnState {
+    uint64_t first_lsn = 0;
+    bool finished = false;             ///< saw kCommit or kAbort
+    std::vector<size_t> undo_stack;    ///< indexes into atom_recs_
+  };
+
+  storage::StorageSystem* storage_;
+  WalWriter* wal_;
+
+  uint64_t ckpt_lsn_ = 0;
+  uint64_t max_txn_id_ = 0;
+  /// Pages whose on-device image is torn and whose full-image record has
+  /// not been reached yet. Non-empty after the scan = unrecoverable.
+  std::set<std::pair<uint32_t, uint32_t>> torn_pages_;
+  std::vector<LogRecord> atom_recs_;   ///< every kAtomUndo, in scan order
+  std::map<uint64_t, TxnState> txns_;
+  Stats stats_;
+};
+
+}  // namespace prima::recovery
+
+#endif  // PRIMA_RECOVERY_RECOVERY_MANAGER_H_

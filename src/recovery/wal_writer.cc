@@ -1,0 +1,311 @@
+#include "recovery/wal_writer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32.h"
+#include "util/slice.h"
+
+namespace prima::recovery {
+
+using util::Result;
+using util::Slice;
+using util::Status;
+
+WalWriter::WalWriter(storage::BlockDevice* device, storage::SegmentId file)
+    : device_(device), file_(file) {}
+
+Status WalWriter::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!device_->Exists(file_)) {
+    PRIMA_RETURN_IF_ERROR(device_->Create(file_, kBlockSize));
+    append_lsn_ = durable_lsn_ = 0;
+    checkpoint_lsn_ = 0;
+    return Status::Ok();
+  }
+
+  // Master record: [magic][version][checkpoint_lsn][crc over bytes 0..16).
+  char master[kBlockSize];
+  PRIMA_RETURN_IF_ERROR(device_->Read(file_, 0, master));
+  checkpoint_lsn_ = 0;
+  if (util::DecodeFixed32(master) == kMasterMagic &&
+      util::DecodeFixed32(master + 16) == util::Crc32(Slice(master, 16))) {
+    checkpoint_lsn_ = util::DecodeFixed64(master + 8);
+  }
+
+  // Locate the durable end of log: scan from the checkpoint (or 0) until
+  // the first invalid fragment.
+  uint64_t end = checkpoint_lsn_;
+  PRIMA_RETURN_IF_ERROR(Scan(
+      checkpoint_lsn_, [](const LogRecord&) { return Status::Ok(); }, &end));
+
+  append_lsn_ = durable_lsn_ = end;
+  // Preload the partial tail block so future appends rewrite it correctly.
+  pending_.clear();
+  pending_base_ = (end / kBlockSize) * kBlockSize;
+  if (OffsetIn(end) != 0) {
+    char block[kBlockSize];
+    PRIMA_RETURN_IF_ERROR(device_->Read(file_, BlockOf(end), block));
+    pending_.assign(block, OffsetIn(end));
+  }
+  return Status::Ok();
+}
+
+uint64_t WalWriter::AppendPayloadLocked(const std::string& payload) {
+  // Pad the current block if a fragment header no longer fits.
+  auto in_block = [this] {
+    return static_cast<uint32_t>((pending_base_ + pending_.size()) % kBlockSize);
+  };
+  if (kBlockSize - in_block() < kFragHeader) {
+    pending_.append(kBlockSize - in_block(), '\0');
+  }
+  const uint64_t lsn = pending_base_ + pending_.size();
+
+  size_t off = 0;
+  bool first = true;
+  do {
+    const uint32_t room = kBlockSize - in_block() - kFragHeader;
+    const size_t chunk = std::min<size_t>(room, payload.size() - off);
+    const bool last = off + chunk == payload.size();
+    const uint8_t kind = first ? (last ? kFull : kFirst)
+                               : (last ? kLast : kMiddle);
+    char head[kFragHeader];
+    util::EncodeFixed16(head + 4, static_cast<uint16_t>(chunk));
+    head[6] = static_cast<char>(kind);
+    // CRC over kind + payload chunk: catches torn writes and misframed
+    // garbage alike.
+    uint32_t crc = util::Crc32(Slice(head + 6, 1));
+    crc = util::Crc32Extend(crc, Slice(payload.data() + off, chunk));
+    util::EncodeFixed32(head, crc);
+    pending_.append(head, kFragHeader);
+    pending_.append(payload.data() + off, chunk);
+    off += chunk;
+    first = false;
+    if (!last && kBlockSize - in_block() < kFragHeader) {
+      pending_.append(kBlockSize - in_block(), '\0');
+    }
+  } while (off < payload.size());
+
+  append_lsn_ = pending_base_ + pending_.size();
+  pending_records_++;
+  stats_.records_appended++;
+  stats_.bytes_appended += payload.size();
+  return lsn;
+}
+
+uint64_t WalWriter::Append(const LogRecord& rec) {
+  std::string payload;
+  rec.EncodeInto(&payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t lsn = AppendPayloadLocked(payload);
+  switch (rec.type) {
+    case LogRecordType::kBegin:
+      active_txns_.emplace(rec.txn_id, lsn);
+      break;
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+      active_txns_.erase(rec.txn_id);
+      break;
+    case LogRecordType::kCheckpointBegin:
+      // New epoch: every page's next change is logged as a full image, so
+      // redo from this checkpoint can rebuild pages torn on the device.
+      epoch_++;
+      break;
+    default:
+      break;
+  }
+  return lsn;
+}
+
+uint64_t WalWriter::LogPageDelta(storage::SegmentId segment, uint32_t page,
+                                 uint32_t page_size, const char* before,
+                                 const char* after) {
+  LogRecord rec;
+  rec.type = LogRecordType::kPageRedo;
+  rec.segment = segment;
+  rec.page = page;
+  rec.page_size = page_size;
+  rec.ranges = DiffPageImages(before, after, page_size);
+  if (rec.ranges.empty()) return 0;
+  return Append(rec);
+}
+
+uint64_t WalWriter::LogFullPage(storage::SegmentId segment, uint32_t page,
+                                uint32_t page_size, const char* after) {
+  LogRecord rec;
+  rec.type = LogRecordType::kPageRedo;
+  rec.segment = segment;
+  rec.page = page;
+  rec.page_size = page_size;
+  // Full image minus the excluded header fields ([0,4) checksum, [24,32)
+  // page-LSN): redo overwrites the whole page, whatever it held before.
+  LogRecord::ByteRange head;
+  head.offset = 4;
+  head.bytes.assign(after + 4, 20);
+  LogRecord::ByteRange body;
+  body.offset = 32;
+  body.bytes.assign(after + 32, page_size - 32);
+  rec.ranges.push_back(std::move(head));
+  rec.ranges.push_back(std::move(body));
+  return Append(rec);
+}
+
+uint64_t WalWriter::LogSegmentMeta(storage::SegmentId segment,
+                                   uint8_t page_size_code, uint32_t page_count,
+                                   uint32_t free_head) {
+  return Append(
+      LogRecord::SegMeta(segment, page_size_code, page_count, free_head));
+}
+
+Status WalWriter::FlushBufferLocked() {
+  if (pending_.empty() || pending_base_ + pending_.size() == durable_lsn_) {
+    return Status::Ok();
+  }
+  // Seal the trailing partial block with an explicit pad fragment so the
+  // next force starts on a fresh block: durable bytes are write-once, and
+  // a torn write can only ever hit bytes that were never acknowledged.
+  const uint32_t tail = static_cast<uint32_t>(pending_.size() % kBlockSize);
+  if (tail != 0) {
+    const uint32_t room = kBlockSize - tail;
+    if (room >= kFragHeader) {
+      const uint32_t len = room - kFragHeader;
+      std::string zeros(len, '\0');
+      char head[kFragHeader];
+      util::EncodeFixed16(head + 4, static_cast<uint16_t>(len));
+      head[6] = static_cast<char>(kPad);
+      uint32_t crc = util::Crc32(Slice(head + 6, 1));
+      crc = util::Crc32Extend(crc, Slice(zeros));
+      util::EncodeFixed32(head, crc);
+      pending_.append(head, kFragHeader);
+      pending_.append(zeros);
+    } else {
+      pending_.append(room, '\0');
+    }
+  }
+
+  const size_t n_blocks = pending_.size() / kBlockSize;
+  std::vector<uint64_t> blocks(n_blocks);
+  for (size_t i = 0; i < n_blocks; ++i) {
+    blocks[i] = BlockOf(pending_base_) + i;
+  }
+  // One chained device write regardless of how many committers queued up —
+  // the group-commit batch.
+  PRIMA_RETURN_IF_ERROR(device_->WriteChained(file_, blocks, pending_.data()));
+  PRIMA_RETURN_IF_ERROR(SyncDevice());
+  durable_lsn_ = pending_base_ + pending_.size();
+  append_lsn_ = durable_lsn_.load();
+  stats_.forces++;
+  stats_.blocks_forced += n_blocks;
+  stats_.records_forced += pending_records_;
+  pending_records_ = 0;
+
+  pending_base_ += pending_.size();
+  pending_.clear();
+  return Status::Ok();
+}
+
+Status WalWriter::SyncDevice() { return device_->Sync(); }
+
+Status WalWriter::ForceUpTo(uint64_t lsn) {
+  if (lsn <= durable_lsn_.load()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushBufferLocked();
+}
+
+Status WalWriter::ForceAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushBufferLocked();
+}
+
+Status WalWriter::WriteMaster(uint64_t checkpoint_begin_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  char master[kBlockSize];
+  std::memset(master, 0, sizeof(master));
+  util::EncodeFixed32(master, kMasterMagic);
+  util::EncodeFixed32(master + 4, 1);  // version
+  util::EncodeFixed64(master + 8, checkpoint_begin_lsn);
+  util::EncodeFixed32(master + 16, util::Crc32(Slice(master, 16)));
+  PRIMA_RETURN_IF_ERROR(device_->Write(file_, 0, master));
+  PRIMA_RETURN_IF_ERROR(SyncDevice());
+  checkpoint_lsn_ = checkpoint_begin_lsn;
+  return Status::Ok();
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> WalWriter::ActiveTxns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {active_txns_.begin(), active_txns_.end()};
+}
+
+Status WalWriter::Scan(uint64_t from,
+                       const std::function<Status(const LogRecord&)>& fn,
+                       uint64_t* end_lsn) const {
+  uint64_t cursor = from;
+  uint64_t end = from;
+  std::string assembled;
+  uint64_t record_lsn = 0;
+  bool in_record = false;
+  char block[kBlockSize];
+  uint64_t loaded_block = 0;
+  bool block_valid = false;
+
+  for (;;) {
+    // Hop over tails too short for a header.
+    if (kBlockSize - OffsetIn(cursor) < kFragHeader && OffsetIn(cursor) != 0) {
+      cursor += kBlockSize - OffsetIn(cursor);
+    }
+    const uint64_t blk = BlockOf(cursor);
+    if (!block_valid || blk != loaded_block) {
+      if (!device_->Read(file_, blk, block).ok()) break;
+      loaded_block = blk;
+      block_valid = true;
+    }
+    const uint32_t off = OffsetIn(cursor);
+    const uint32_t stored_crc = util::DecodeFixed32(block + off);
+    const uint16_t len = util::DecodeFixed16(block + off + 4);
+    const uint8_t kind = static_cast<uint8_t>(block[off + 6]);
+
+    if (stored_crc == 0 && len == 0 && kind == 0) {
+      // Zero header: the unwritten end of log (forced blocks are sealed
+      // with pad fragments, so zeros only appear past the durable end).
+      break;
+    }
+    if (kind < kFull || kind > kPad ||
+        len > kBlockSize - off - kFragHeader) {
+      break;  // torn or garbage tail
+    }
+    uint32_t crc = util::Crc32(Slice(block + off + 6, 1));
+    crc = util::Crc32Extend(crc, Slice(block + off + kFragHeader, len));
+    if (crc != stored_crc) break;  // torn write detected
+
+    if (kind == kPad) {
+      if (in_record) break;  // pad inside a record: torn tail
+      cursor += kFragHeader + len;
+      end = cursor;  // the seal is durable ground — resume appending after
+      continue;
+    }
+    if (kind == kFull || kind == kFirst) {
+      if (in_record) break;  // dangling unfinished record: treat as tail
+      record_lsn = cursor;
+      assembled.clear();
+      in_record = true;
+    } else if (!in_record) {
+      break;  // continuation without a start
+    }
+    assembled.append(block + off + kFragHeader, len);
+    cursor += kFragHeader + len;
+
+    if (kind == kFull || kind == kLast) {
+      auto rec_or = LogRecord::Decode(Slice(assembled));
+      if (!rec_or.ok()) break;  // undecodable: stop at last good record
+      rec_or->lsn = record_lsn;
+      in_record = false;
+      end = cursor;
+      PRIMA_RETURN_IF_ERROR(fn(*rec_or));
+    }
+  }
+  if (end_lsn != nullptr) *end_lsn = end;
+  return Status::Ok();
+}
+
+}  // namespace prima::recovery

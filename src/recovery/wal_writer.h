@@ -1,0 +1,162 @@
+#ifndef PRIMA_RECOVERY_WAL_WRITER_H_
+#define PRIMA_RECOVERY_WAL_WRITER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "recovery/log_record.h"
+#include "storage/block_device.h"
+#include "storage/wal.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prima::recovery {
+
+struct WalStats {
+  std::atomic<uint64_t> records_appended{0};
+  std::atomic<uint64_t> bytes_appended{0};
+  std::atomic<uint64_t> forces{0};        ///< device write batches
+  std::atomic<uint64_t> blocks_forced{0};
+  std::atomic<uint64_t> records_forced{0};  ///< records made durable by forces
+
+  /// Records per force > 1 means group commit is batching.
+  double GroupCommitFactor() const {
+    const uint64_t f = forces;
+    return f == 0 ? 0.0 : static_cast<double>(records_forced) / f;
+  }
+};
+
+/// The write-ahead log: an append-only stream of CRC32-framed LogRecords
+/// stored in a dedicated block-device file (kWalSegmentId).
+///
+/// Layout: block 0 is the master record (magic, version, LSN of the last
+/// completed checkpoint's begin record). Blocks 1.. hold the log stream.
+/// An LSN is a byte offset into that stream. Within a block, records are
+/// packed as fragments `[crc32][len:u16][kind:u8][payload]`, where kind
+/// distinguishes full / first / middle / last so records may span blocks
+/// (a fragment never does). Block tails shorter than a fragment header are
+/// zero-padded; a zeroed header mid-block marks the recovered end of log.
+/// Torn tails — from a crash mid-force — fail the CRC and cleanly terminate
+/// the scan, which is exactly the atomicity the log needs.
+///
+/// Appends go to an in-memory group-commit buffer. ForceUpTo(lsn) writes
+/// every buffered block with one chained device write (and fsync on file
+/// devices), so concurrent committers share a single force.
+class WalWriter : public storage::WriteAheadLog {
+ public:
+  static constexpr uint32_t kBlockSize = 4096;
+
+  explicit WalWriter(storage::BlockDevice* device,
+                     storage::SegmentId file = storage::kWalSegmentId);
+
+  /// Create the log file if absent; otherwise read the master record and
+  /// scan forward from the checkpoint to locate the durable end of log
+  /// (where appending resumes).
+  util::Status Open();
+
+  // --- appending -----------------------------------------------------------
+
+  /// Append a record to the group-commit buffer; returns its LSN. The
+  /// record is durable only after a force reaches it.
+  uint64_t Append(const LogRecord& rec);
+
+  // storage::WriteAheadLog (the storage layer's view):
+  uint64_t LogPageDelta(storage::SegmentId segment, uint32_t page,
+                        uint32_t page_size, const char* before,
+                        const char* after) override;
+  uint64_t LogFullPage(storage::SegmentId segment, uint32_t page,
+                       uint32_t page_size, const char* after) override;
+  uint64_t LogSegmentMeta(storage::SegmentId segment, uint8_t page_size_code,
+                          uint32_t page_count, uint32_t free_head) override;
+  util::Status ForceUpTo(uint64_t lsn) override;
+  uint64_t durable_lsn() const override { return durable_lsn_.load(); }
+  uint64_t epoch() const override { return epoch_.load(); }
+
+  /// Force everything appended so far.
+  util::Status ForceAll();
+
+  /// Next LSN to be assigned (current end of stream).
+  uint64_t append_lsn() const { return append_lsn_.load(); }
+
+  // --- checkpoint plumbing -------------------------------------------------
+
+  /// LSN of the last completed checkpoint's kCheckpointBegin record
+  /// (0 = never checkpointed).
+  uint64_t checkpoint_lsn() const { return checkpoint_lsn_; }
+
+  /// Persist the master record pointing at `checkpoint_begin_lsn`. Called
+  /// after kCheckpointEnd is forced; the master write is the checkpoint's
+  /// commit point.
+  util::Status WriteMaster(uint64_t checkpoint_begin_lsn);
+
+  /// Transactions with a kBegin but no kCommit/kAbort yet, with the LSN of
+  /// their begin record (the undo floor for fuzzy checkpoints).
+  std::vector<std::pair<uint64_t, uint64_t>> ActiveTxns() const;
+
+  // --- reading -------------------------------------------------------------
+
+  /// Invoke `fn` for every durable record from LSN `from` (which must be a
+  /// record start, e.g. 0 or a checkpoint LSN) to the recovered end of log.
+  /// A CRC failure or zeroed tail terminates the scan normally; a non-OK
+  /// status from `fn` aborts it. When `end_lsn` is non-null it receives the
+  /// stream offset just past the last complete record — the safe append
+  /// resume point (dangling fragments of a torn record are overwritten).
+  util::Status Scan(uint64_t from,
+                    const std::function<util::Status(const LogRecord&)>& fn,
+                    uint64_t* end_lsn = nullptr) const;
+
+  WalStats& stats() { return stats_; }
+
+ private:
+  // Fragment kinds (leveldb-style record fragmentation). kPad seals the
+  // rest of a block on force so a later force never rewrites durable bytes
+  // in place — a torn rewrite would otherwise corrupt already-acknowledged
+  // commits.
+  enum FragKind : uint8_t { kFull = 1, kFirst = 2, kMiddle = 3, kLast = 4,
+                            kPad = 5 };
+  static constexpr uint32_t kFragHeader = 7;  // crc32 + len:u16 + kind:u8
+  static constexpr uint32_t kMasterMagic = 0x5057414Cu;  // "PWAL"
+
+  // Stream offset -> device block / in-block offset.
+  static uint64_t BlockOf(uint64_t lsn) { return 1 + lsn / kBlockSize; }
+  static uint32_t OffsetIn(uint64_t lsn) {
+    return static_cast<uint32_t>(lsn % kBlockSize);
+  }
+
+  // Append raw serialized record bytes as fragments. Caller holds mu_.
+  uint64_t AppendPayloadLocked(const std::string& payload);
+  // Write all buffered blocks to the device. Caller holds mu_.
+  util::Status FlushBufferLocked();
+  util::Status SyncDevice();
+
+  storage::BlockDevice* device_;
+  const storage::SegmentId file_;
+
+  mutable std::mutex mu_;
+  // Unforced stream bytes from stream offset pending_base_ (block-aligned;
+  // the first block may already be partially durable and is rewritten whole).
+  std::string pending_;
+  uint64_t pending_base_ = 0;
+  uint64_t pending_records_ = 0;
+  std::atomic<uint64_t> append_lsn_{0};
+  std::atomic<uint64_t> durable_lsn_{0};
+  // Starts above any frame's wal_epoch (0) so the first logged change of
+  // every page ships a full image.
+  std::atomic<uint64_t> epoch_{1};
+  uint64_t checkpoint_lsn_ = 0;
+
+  // txn id -> LSN of its begin record, maintained on append.
+  std::map<uint64_t, uint64_t> active_txns_;
+
+  WalStats stats_;
+};
+
+}  // namespace prima::recovery
+
+#endif  // PRIMA_RECOVERY_WAL_WRITER_H_

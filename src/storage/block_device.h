@@ -70,6 +70,11 @@ class BlockDevice {
                                     const std::vector<uint64_t>& blocks,
                                     const char* src) = 0;
 
+  /// Make every completed write durable (fsync on file devices; a no-op on
+  /// memory devices). Wrappers MUST forward this — the WAL's durability
+  /// guarantee rides on it.
+  virtual util::Status Sync() { return util::Status::Ok(); }
+
   DeviceStats& stats() { return stats_; }
   const DeviceStats& stats() const { return stats_; }
 
@@ -126,8 +131,8 @@ class FileBlockDevice : public BlockDevice {
   util::Status WriteChained(FileId file, const std::vector<uint64_t>& blocks,
                             const char* src) override;
 
-  /// fsync every open file (called by StorageSystem::Flush).
-  util::Status Sync();
+  /// fsync every open file (called by StorageSystem::Flush and the WAL).
+  util::Status Sync() override;
 
  private:
   struct OpenFile {

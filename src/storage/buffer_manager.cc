@@ -47,6 +47,17 @@ int BufferManager::SizeClass(uint32_t page_size) {
 }
 
 Status BufferManager::WriteBack(Frame* frame) {
+  std::shared_lock<std::shared_mutex> latch(frame->latch);
+  if (wal_ != nullptr) {
+    // The WAL rule: the log record describing the page's newest change must
+    // reach the device before the page does, or a crash between the two
+    // writes leaves an update that can neither be redone nor undone.
+    const uint64_t page_lsn = PageHeader::lsn(frame->data.get());
+    if (page_lsn > wal_->durable_lsn()) {
+      PRIMA_RETURN_IF_ERROR(wal_->ForceUpTo(page_lsn));
+    }
+    assert(PageHeader::lsn(frame->data.get()) <= wal_->durable_lsn());
+  }
   PageHeader::Seal(frame->data.get(), frame->size);
   PRIMA_RETURN_IF_ERROR(
       device_->Write(frame->id.segment, frame->id.page, frame->data.get()));
@@ -135,10 +146,7 @@ void BufferManager::Unfix(Frame* frame) {
   frame->pins--;
 }
 
-void BufferManager::MarkDirty(Frame* frame) {
-  std::lock_guard<std::mutex> lock(mu_);
-  frame->dirty = true;
-}
+void BufferManager::MarkDirty(Frame* frame) { frame->dirty = true; }
 
 Status BufferManager::Prefetch(SegmentId segment,
                                const std::vector<uint32_t>& pages,
@@ -181,13 +189,30 @@ Status BufferManager::Prefetch(SegmentId segment,
 }
 
 Status BufferManager::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [id, frame] : frames_) {
-    if (frame->dirty) {
-      PRIMA_RETURN_IF_ERROR(WriteBack(frame.get()));
+  // Two phases: pin the dirty frames under mu_, then write them back with
+  // mu_ released. Write-back waits on each frame's latch, and a latch
+  // holder may itself need mu_ (fixing further pages mid-operation) — so
+  // the flusher must not hold it while waiting.
+  std::vector<Frame*> dirty;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, frame] : frames_) {
+      if (frame->dirty) {
+        frame->pins++;
+        dirty.push_back(frame.get());
+      }
     }
   }
-  return Status::Ok();
+  Status first_error;
+  for (Frame* frame : dirty) {
+    const Status st = WriteBack(frame);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Frame* frame : dirty) frame->pins--;
+  }
+  return first_error;
 }
 
 Status BufferManager::Discard(SegmentId segment) {

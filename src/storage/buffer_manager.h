@@ -12,6 +12,7 @@
 
 #include "storage/block_device.h"
 #include "storage/page.h"
+#include "storage/wal.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -66,9 +67,16 @@ struct Frame {
   PageId id;
   uint32_t size = 0;
   std::unique_ptr<char[]> data;
-  bool dirty = false;
+  // Atomic so MarkDirty stays lock-free: guard holders set it while
+  // latched, and taking the pool mutex there would deadlock against a
+  // flusher that holds the mutex while waiting for the latch.
+  std::atomic<bool> dirty{false};
   uint32_t pins = 0;
   std::shared_mutex latch;
+  // Last checkpoint epoch in which this frame's changes were logged; a
+  // mismatch with the WAL's current epoch makes the next logged change a
+  // full-page image (torn-page protection). Guarded by the frame latch.
+  uint64_t wal_epoch = 0;
   // Position in the owning LRU list (valid while resident).
   std::list<Frame*>::iterator lru_pos;
 };
@@ -109,6 +117,13 @@ class BufferManager {
   /// Fails if any of them is pinned.
   util::Status Discard(SegmentId segment);
 
+  /// Attach (or detach, with nullptr) the write-ahead log. While attached,
+  /// the WAL rule is enforced on every write-back: a dirty page whose
+  /// page-LSN exceeds the durable LSN forces the log first, and PageGuard
+  /// logs physiological redo for every page it mutates.
+  void SetWal(WriteAheadLog* wal) { wal_ = wal; }
+  WriteAheadLog* wal() const { return wal_; }
+
   BufferStats& stats() { return stats_; }
   size_t resident_bytes() const;
 
@@ -120,12 +135,17 @@ class BufferManager {
   // Caller holds mu_.
   util::Status MakeRoom(int size_class, uint32_t bytes);
 
-  // Write a dirty frame back to the device. Caller holds mu_; takes the
-  // frame latch shared to copy stable bytes.
+  // Write a dirty frame back to the device; takes the frame latch shared
+  // so it never captures a half-mutated page (or one whose redo record is
+  // not yet appended). Called from MakeRoom with mu_ held — safe, because
+  // eviction victims are unpinned and latched frames are always pinned —
+  // and from FlushAll WITHOUT mu_ (a latch holder may need mu_ to fix
+  // further pages, e.g. a B-tree split).
   util::Status WriteBack(Frame* frame);
 
   BlockDevice* device_;
   const BufferPolicy policy_;
+  WriteAheadLog* wal_ = nullptr;
 
   mutable std::mutex mu_;
   std::unordered_map<PageId, std::unique_ptr<Frame>, PageIdHash> frames_;

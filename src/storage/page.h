@@ -38,6 +38,18 @@ constexpr PageSize kAllPageSizes[] = {PageSize::k512, PageSize::k1K,
                                       PageSize::k2K, PageSize::k4K,
                                       PageSize::k8K};
 
+/// Inverse of PageSizeBytes (input must be one of the five sizes).
+constexpr PageSize PageSizeFromBytes(uint32_t bytes) {
+  switch (bytes) {
+    case 512: return PageSize::k512;
+    case 1024: return PageSize::k1K;
+    case 2048: return PageSize::k2K;
+    case 4096: return PageSize::k4K;
+    case 8192: return PageSize::k8K;
+  }
+  return PageSize::k8K;
+}
+
 /// What a page is used for; stored in the page header so corruption and
 /// misdirected reads are detectable.
 enum class PageType : uint8_t {
@@ -64,9 +76,10 @@ enum class PageType : uint8_t {
 ///   [10..12) slot_count / type-specific u16
 ///   [12..14) free_start / type-specific u16
 ///   [14..16) type-specific u16
-///   [16..24) lsn / type-specific u64
+///   [16..24) type-specific u64 (free-list chain, B-tree sibling links, ...)
+///   [24..32) page-LSN: LSN of the newest log record describing this page
 struct PageHeader {
-  static constexpr uint32_t kSize = 24;
+  static constexpr uint32_t kSize = 32;
 
   static uint32_t page_no(const char* page) {
     return util::DecodeFixed32(page + 4);
@@ -94,6 +107,10 @@ struct PageHeader {
   static void set_u16c(char* page, uint16_t v) { util::EncodeFixed16(page + 14, v); }
   static uint64_t u64(const char* page) { return util::DecodeFixed64(page + 16); }
   static void set_u64(char* page, uint64_t v) { util::EncodeFixed64(page + 16, v); }
+  /// Page-LSN (ARIES): the LSN of the newest redo record applied to this
+  /// page. Gates both the WAL rule on write-back and redo idempotence.
+  static uint64_t lsn(const char* page) { return util::DecodeFixed64(page + 24); }
+  static void set_lsn(char* page, uint64_t v) { util::EncodeFixed64(page + 24, v); }
 
   /// Recompute and store the checksum (done by the buffer on write-back).
   static void Seal(char* page, uint32_t page_size) {

@@ -29,20 +29,51 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
     buffer_ = other.buffer_;
     frame_ = other.frame_;
     mode_ = other.mode_;
+    before_ = std::move(other.before_);
+    fresh_format_ = other.fresh_format_;
     other.buffer_ = nullptr;
     other.frame_ = nullptr;
+    other.fresh_format_ = false;
   }
   return *this;
 }
 
 char* PageGuard::mutable_data() {
   assert(mode_ == LatchMode::kExclusive);
+  if (before_ == nullptr && buffer_->wal() != nullptr) {
+    // Physiological logging: remember the pre-image so Release() can append
+    // a redo record for exactly the bytes this guard changed.
+    before_ = std::make_unique<char[]>(frame_->size);
+    std::memcpy(before_.get(), frame_->data.get(), frame_->size);
+  }
   buffer_->MarkDirty(frame_);
   return frame_->data.get();
 }
 
 void PageGuard::Release() {
   if (frame_ == nullptr) return;
+  WriteAheadLog* wal = buffer_->wal();
+  if (wal != nullptr && (before_ != nullptr || fresh_format_)) {
+    // Still under the exclusive latch: append the redo record and stamp its
+    // LSN before anyone (including the buffer's write-back path) can see
+    // the new bytes. The first logged change of an epoch ships the full
+    // image — restart redo starts at the checkpoint, and a page torn on
+    // the device is only reconstructible from complete contents.
+    const uint64_t epoch = wal->epoch();
+    const bool full = fresh_format_ || frame_->wal_epoch != epoch;
+    const uint64_t lsn =
+        full ? wal->LogFullPage(frame_->id.segment, frame_->id.page,
+                                frame_->size, frame_->data.get())
+             : wal->LogPageDelta(frame_->id.segment, frame_->id.page,
+                                 frame_->size, before_.get(),
+                                 frame_->data.get());
+    if (lsn != 0) {
+      PageHeader::set_lsn(frame_->data.get(), lsn);
+      frame_->wal_epoch = epoch;
+    }
+  }
+  before_.reset();
+  fresh_format_ = false;
   if (mode_ == LatchMode::kShared) {
     frame_->latch.unlock_shared();
   } else {
@@ -79,9 +110,21 @@ StorageSystem::~StorageSystem() { (void)Flush(); }
 
 Status StorageSystem::Open() {
   for (SegmentId id : device_->ListFiles()) {
+    if (id == kWalSegmentId) continue;  // the log is not a data segment
     PRIMA_RETURN_IF_ERROR(LoadSegmentMeta(id));
   }
   return Status::Ok();
+}
+
+void StorageSystem::SetWal(WriteAheadLog* wal) {
+  wal_ = wal;
+  buffer_->SetWal(wal);
+}
+
+void StorageSystem::LogSegMeta(SegmentId seg, const SegmentMeta& meta) {
+  if (wal_ == nullptr) return;
+  wal_->LogSegmentMeta(seg, static_cast<uint8_t>(meta.page_size),
+                       meta.page_count, meta.free_head);
 }
 
 Status StorageSystem::LoadSegmentMeta(SegmentId id) {
@@ -112,8 +155,10 @@ Status StorageSystem::PersistSegmentMeta(SegmentId id, SegmentMeta* meta) {
   PRIMA_ASSIGN_OR_RETURN(Frame* const frame,
                          buffer_->Fix(PageId{id, 0}, bs, false));
   {
-    std::unique_lock<std::shared_mutex> latch(frame->latch);
-    char* page = frame->data.get();
+    // Routed through PageGuard so the header write is WAL-logged like any
+    // other page mutation.
+    PageGuard guard(buffer_.get(), frame, LatchMode::kExclusive);
+    char* page = guard.mutable_data();
     PageHeader::set_page_no(page, 0);
     PageHeader::set_type(page, PageType::kSegmentHeader);
     char* payload = page + PageHeader::kSize;
@@ -121,9 +166,7 @@ Status StorageSystem::PersistSegmentMeta(SegmentId id, SegmentMeta* meta) {
     payload[4] = static_cast<char>(meta->page_size);
     util::EncodeFixed32(payload + 5, meta->page_count);
     util::EncodeFixed32(payload + 9, meta->free_head);
-    buffer_->MarkDirty(frame);
-  }
-  buffer_->Unfix(frame);
+  }  // guard unlatches + unpins
   meta->dirty = false;
   return Status::Ok();
 }
@@ -145,6 +188,7 @@ Status StorageSystem::CreateSegment(SegmentId id, PageSize size) {
                          buffer_->Fix(PageId{id, 0}, PageSizeBytes(size), true));
   buffer_->Unfix(frame);
   PRIMA_RETURN_IF_ERROR(PersistSegmentMeta(id, &meta));
+  LogSegMeta(id, meta);
   std::lock_guard<std::mutex> lock(mu_);
   segments_[id] = meta;
   return Status::Ok();
@@ -240,14 +284,19 @@ Result<PageGuard> StorageSystem::NewPage(SegmentId seg, PageType type) {
     }
     bs = PageSizeBytes(it->second.page_size);
     PRIMA_ASSIGN_OR_RETURN(page_no, AllocatePageLocked(seg, &it->second));
+    LogSegMeta(seg, it->second);
   }
   PRIMA_ASSIGN_OR_RETURN(Frame* const frame,
                          buffer_->Fix(PageId{seg, page_no}, bs, true));
-  // A recycled free-list page may still hold stale bytes in its frame.
-  std::memset(frame->data.get(), 0, bs);
-  PageHeader::Format(frame->data.get(), bs, page_no, type);
-  buffer_->MarkDirty(frame);
-  return PageGuard(buffer_.get(), frame, LatchMode::kExclusive);
+  PageGuard guard(buffer_.get(), frame, LatchMode::kExclusive);
+  // A recycled free-list page may still hold stale bytes in its frame (and
+  // unknown bytes on the device) — format from scratch and log the full
+  // image rather than a delta.
+  guard.MarkFreshlyFormatted();
+  char* page = guard.mutable_data();
+  std::memset(page, 0, bs);
+  PageHeader::Format(page, bs, page_no, type);
+  return guard;
 }
 
 Status StorageSystem::FreePage(SegmentId seg, uint32_t page_no) {
@@ -264,14 +313,15 @@ Status StorageSystem::FreePage(SegmentId seg, uint32_t page_no) {
   PRIMA_ASSIGN_OR_RETURN(Frame* const frame,
                          buffer_->Fix(PageId{seg, page_no}, bs, false));
   {
-    std::unique_lock<std::shared_mutex> latch(frame->latch);
-    PageHeader::Format(frame->data.get(), bs, page_no, PageType::kFree);
-    PageHeader::set_u64(frame->data.get(), meta.free_head);
-    buffer_->MarkDirty(frame);
+    PageGuard guard(buffer_.get(), frame, LatchMode::kExclusive);
+    guard.MarkFreshlyFormatted();
+    char* page = guard.mutable_data();
+    PageHeader::Format(page, bs, page_no, PageType::kFree);
+    PageHeader::set_u64(page, meta.free_head);
   }
-  buffer_->Unfix(frame);
   meta.free_head = page_no;
   meta.dirty = true;
+  LogSegMeta(seg, meta);
   return Status::Ok();
 }
 
@@ -453,9 +503,93 @@ Status StorageSystem::Flush() {
     }
   }
   PRIMA_RETURN_IF_ERROR(buffer_->FlushAll());
-  if (auto* fd = dynamic_cast<FileBlockDevice*>(device_.get())) {
-    PRIMA_RETURN_IF_ERROR(fd->Sync());
+  PRIMA_RETURN_IF_ERROR(device_->Sync());
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Restart recovery
+// ---------------------------------------------------------------------------
+
+Result<StorageSystem::RedoOutcome> StorageSystem::RecoverApplyPageRedo(
+    SegmentId seg, uint32_t page, uint32_t page_size, uint64_t lsn,
+    const std::vector<std::pair<uint32_t, Slice>>& ranges) {
+  // The segment may postdate the last persisted metadata — recreate the
+  // device file and grow the bookkeeping so the page is addressable.
+  if (!device_->Exists(seg)) {
+    PRIMA_RETURN_IF_ERROR(device_->Create(seg, page_size));
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = segments_.find(seg);
+    if (it == segments_.end()) {
+      SegmentMeta fresh;
+      fresh.page_size = PageSizeFromBytes(page_size);
+      fresh.dirty = true;
+      it = segments_.emplace(seg, fresh).first;
+    }
+    if (it->second.page_count <= page) {
+      it->second.page_count = page + 1;
+      it->second.dirty = true;
+    }
+  }
+
+  auto frame_or = buffer_->Fix(PageId{seg, page}, page_size, false);
+  Frame* frame = nullptr;
+  bool torn = false;
+  if (frame_or.ok()) {
+    frame = *frame_or;
+  } else if (frame_or.status().IsCorruption()) {
+    // Torn page (detected by the page CRC). It can only be rebuilt from a
+    // record that carries the complete image — the first post-checkpoint
+    // change of every page is logged that way. A delta onto a zeroed base
+    // would silently destroy the rest of the page, so report it and let
+    // the caller wait for the full image (or fail if none arrives).
+    const bool full_image =
+        ranges.size() == 2 && ranges[0].first == 4 &&
+        ranges[0].second.size() == PageHeader::kSize - 12 &&
+        ranges[1].first == PageHeader::kSize &&
+        ranges[1].second.size() == page_size - PageHeader::kSize;
+    if (!full_image) {
+      return RedoOutcome::kTornAwaitingFullImage;
+    }
+    PRIMA_ASSIGN_OR_RETURN(frame, buffer_->Fix(PageId{seg, page}, page_size,
+                                               /*format_new=*/true));
+    torn = true;
+  } else {
+    return frame_or.status();
+  }
+
+  RedoOutcome outcome = RedoOutcome::kSkipped;
+  {
+    std::unique_lock<std::shared_mutex> latch(frame->latch);
+    char* data = frame->data.get();
+    // Redo idempotence (ARIES): apply iff the page is older than the record.
+    if (torn || PageHeader::lsn(data) < lsn) {
+      for (const auto& [offset, bytes] : ranges) {
+        std::memcpy(data + offset, bytes.data(), bytes.size());
+      }
+      PageHeader::set_lsn(data, lsn);
+      buffer_->MarkDirty(frame);
+      outcome = RedoOutcome::kApplied;
+    }
+  }
+  buffer_->Unfix(frame);
+  return outcome;
+}
+
+Status StorageSystem::RecoverSegmentMeta(SegmentId seg, PageSize size,
+                                         uint32_t page_count,
+                                         uint32_t free_head) {
+  if (!device_->Exists(seg)) {
+    PRIMA_RETURN_IF_ERROR(device_->Create(seg, PageSizeBytes(size)));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  SegmentMeta& meta = segments_[seg];
+  meta.page_size = size;
+  meta.page_count = std::max(meta.page_count, page_count);
+  meta.free_head = free_head;
+  meta.dirty = true;
   return Status::Ok();
 }
 

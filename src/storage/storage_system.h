@@ -21,6 +21,12 @@ enum class LatchMode { kShared, kExclusive };
 
 /// RAII handle for a pinned, latched page. Obtained from
 /// StorageSystem::FixPage / NewPage; unlatches and unpins on destruction.
+///
+/// When a WAL is attached to the buffer, an exclusive guard is also the
+/// unit of physiological logging: the first mutable_data() call snapshots
+/// the page, and Release() appends a redo record for the changed bytes and
+/// stamps the record's LSN into the page header — all before the latch
+/// drops, so the page can never reach the device ahead of its log record.
 class PageGuard {
  public:
   PageGuard() = default;
@@ -42,6 +48,11 @@ class PageGuard {
   /// Write access; requires kExclusive and marks the page dirty.
   char* mutable_data();
 
+  /// Mark the page as freshly formatted: Release() logs the complete image
+  /// instead of a delta, because the on-device bytes (a recycled free-list
+  /// page, say) may not match the in-memory before image.
+  void MarkFreshlyFormatted() { fresh_format_ = true; }
+
   /// Unlatch + unpin early.
   void Release();
 
@@ -49,6 +60,8 @@ class PageGuard {
   BufferManager* buffer_ = nullptr;
   Frame* frame_ = nullptr;
   LatchMode mode_ = LatchMode::kShared;
+  std::unique_ptr<char[]> before_;  ///< pre-image for physiological logging
+  bool fresh_format_ = false;
 };
 
 struct StorageOptions {
@@ -108,7 +121,40 @@ class StorageSystem {
   // --- maintenance ----------------------------------------------------------
 
   /// Write back all dirty pages and segment metadata; sync the device.
+  /// With a WAL attached this participates in checkpointing: every
+  /// write-back forces the log first (WAL rule), so after Flush() returns,
+  /// log and data are consistent up to the flush point.
   util::Status Flush();
+
+  /// Attach (or detach) the write-ahead log. Segment bookkeeping changes
+  /// and every page mutation are logged from then on.
+  void SetWal(WriteAheadLog* wal);
+  WriteAheadLog* wal() const { return wal_; }
+
+  // --- restart recovery (RecoveryManager only) -------------------------------
+
+  enum class RedoOutcome {
+    kApplied,
+    kSkipped,                ///< page-LSN already current (redo idempotence)
+    kTornAwaitingFullImage,  ///< page CRC broken; this delta cannot repair
+                             ///< it — a later full-image record must
+  };
+
+  /// Apply one physiological redo record: ensure the segment exists and is
+  /// large enough, then — iff the page-LSN is older than `lsn` — overwrite
+  /// the given byte ranges and stamp `lsn`. A page torn on the device is
+  /// rebuilt only by a full-image record (the epoch rule logs one as the
+  /// page's first post-checkpoint change); deltas for it report
+  /// kTornAwaitingFullImage so the caller can fail loudly if no full image
+  /// ever arrives.
+  util::Result<RedoOutcome> RecoverApplyPageRedo(
+      SegmentId seg, uint32_t page, uint32_t page_size, uint64_t lsn,
+      const std::vector<std::pair<uint32_t, util::Slice>>& ranges);
+
+  /// Reinstall segment bookkeeping from a kSegMeta record (repeating the
+  /// history of allocations and frees that never reached the device).
+  util::Status RecoverSegmentMeta(SegmentId seg, PageSize size,
+                                  uint32_t page_count, uint32_t free_head);
 
   BufferManager& buffer() { return *buffer_; }
   BlockDevice& device() { return *device_; }
@@ -124,9 +170,12 @@ class StorageSystem {
   util::Status LoadSegmentMeta(SegmentId id);
   util::Status PersistSegmentMeta(SegmentId id, SegmentMeta* meta);
   util::Result<uint32_t> AllocatePageLocked(SegmentId seg, SegmentMeta* meta);
+  // Log a kSegMeta record for the segment's current bookkeeping.
+  void LogSegMeta(SegmentId seg, const SegmentMeta& meta);
 
   std::unique_ptr<BlockDevice> device_;
   std::unique_ptr<BufferManager> buffer_;
+  WriteAheadLog* wal_ = nullptr;
 
   mutable std::mutex mu_;  // guards segments_
   std::map<SegmentId, SegmentMeta> segments_;

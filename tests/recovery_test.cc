@@ -1,0 +1,565 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/prima.h"
+#include "recovery/crash_device.h"
+#include "recovery/log_record.h"
+#include "recovery/recovery_manager.h"
+#include "recovery/wal_writer.h"
+#include "storage/block_device.h"
+#include "storage/page.h"
+#include "storage/storage_system.h"
+#include "workloads/brep.h"
+
+namespace prima::recovery {
+namespace {
+
+using access::AttrValue;
+using access::Tid;
+using access::Value;
+using storage::MemoryBlockDevice;
+using storage::PageHeader;
+using util::Slice;
+using util::Status;
+
+// ---------------------------------------------------------------------------
+// LogRecord framing
+// ---------------------------------------------------------------------------
+
+TEST(LogRecordTest, RoundTripAllTypes) {
+  std::vector<LogRecord> records;
+  records.push_back(LogRecord::Begin(7));
+  records.push_back(LogRecord::Commit(7));
+  records.push_back(LogRecord::Abort(9));
+  {
+    LogRecord r;
+    r.type = LogRecordType::kPageRedo;
+    r.txn_id = 3;
+    r.segment = 12;
+    r.page = 34;
+    r.page_size = 4096;
+    r.ranges.push_back({40, "hello"});
+    r.ranges.push_back({200, std::string(300, 'x')});
+    records.push_back(r);
+  }
+  records.push_back(LogRecord::SegMeta(5, 3, 17, 4));
+  {
+    LogRecord r;
+    r.type = LogRecordType::kAtomUndo;
+    r.txn_id = 11;
+    r.op = AtomOp::kModify;
+    r.clr = true;
+    r.tid = Tid(2, 99).Pack();
+    r.rid = 0xDEADBEEF;
+    r.before = "before-image-bytes";
+    records.push_back(r);
+  }
+  records.push_back(LogRecord::Compensation(11, {100, 180, 260, 300}));
+  {
+    LogRecord r;
+    r.type = LogRecordType::kCheckpointBegin;
+    r.active_txns = {{3, 100}, {4, 220}};
+    r.undo_low_lsn = 100;
+    records.push_back(r);
+  }
+  {
+    LogRecord r;
+    r.type = LogRecordType::kCheckpointEnd;
+    records.push_back(r);
+  }
+
+  for (const LogRecord& rec : records) {
+    std::string bytes;
+    rec.EncodeInto(&bytes);
+    auto back = LogRecord::Decode(Slice(bytes));
+    ASSERT_TRUE(back.ok()) << bytes.size();
+    EXPECT_EQ(back->type, rec.type);
+    EXPECT_EQ(back->txn_id, rec.txn_id);
+    EXPECT_EQ(back->segment, rec.segment);
+    EXPECT_EQ(back->page, rec.page);
+    EXPECT_EQ(back->ranges.size(), rec.ranges.size());
+    EXPECT_EQ(back->op, rec.op);
+    EXPECT_EQ(back->clr, rec.clr);
+    EXPECT_EQ(back->tid, rec.tid);
+    EXPECT_EQ(back->rid, rec.rid);
+    EXPECT_EQ(back->before, rec.before);
+    EXPECT_EQ(back->undo_count, rec.undo_count);
+    EXPECT_EQ(back->comp_lsns, rec.comp_lsns);
+    EXPECT_EQ(back->active_txns, rec.active_txns);
+    EXPECT_EQ(back->undo_low_lsn, rec.undo_low_lsn);
+  }
+}
+
+TEST(LogRecordTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(LogRecord::Decode(Slice("")).ok());
+  EXPECT_FALSE(LogRecord::Decode(Slice("\xFFgarbage")).ok());
+  std::string truncated;
+  LogRecord::SegMeta(5, 3, 17, 4).EncodeInto(&truncated);
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(LogRecord::Decode(Slice(truncated)).ok());
+}
+
+TEST(LogRecordTest, DiffPageImagesSkipsChecksumAndLsn) {
+  std::string before(512, 'a');
+  std::string after = before;
+  // Changes in the excluded fields only: no ranges.
+  after[0] = 'z';                     // checksum field
+  after[25] = 'z';                    // page-LSN field
+  EXPECT_TRUE(DiffPageImages(before.data(), after.data(), 512).empty());
+
+  after[100] = 'b';
+  after[101] = 'c';
+  after[400] = 'd';
+  auto ranges = DiffPageImages(before.data(), after.data(), 512);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].offset, 100u);
+  EXPECT_EQ(ranges[0].bytes, "bc");
+  EXPECT_EQ(ranges[1].offset, 400u);
+  EXPECT_EQ(ranges[1].bytes, "d");
+}
+
+TEST(LogRecordTest, DiffPageImagesCoalescesNearbyRuns) {
+  std::string before(512, 'a');
+  std::string after = before;
+  after[100] = 'x';
+  after[104] = 'y';  // 3 unchanged bytes between: cheaper as one range
+  auto ranges = DiffPageImages(before.data(), after.data(), 512);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].offset, 100u);
+  EXPECT_EQ(ranges[0].bytes.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter: append / force / scan / reopen
+// ---------------------------------------------------------------------------
+
+TEST(WalWriterTest, AppendForceScanRoundTrip) {
+  auto device = std::make_shared<MemoryBlockDevice>();
+  WalWriter wal(device.get());
+  ASSERT_TRUE(wal.Open().ok());
+
+  std::vector<uint64_t> lsns;
+  for (uint64_t t = 1; t <= 5; ++t) {
+    lsns.push_back(wal.Append(LogRecord::Begin(t)));
+  }
+  EXPECT_EQ(wal.durable_lsn(), 0u);  // nothing forced yet
+  ASSERT_TRUE(wal.ForceUpTo(lsns.back()).ok());
+  EXPECT_GE(wal.durable_lsn(), lsns.back());
+  // Group commit: five records, one force batch.
+  EXPECT_EQ(wal.stats().forces.load(), 1u);
+  EXPECT_EQ(wal.stats().records_forced.load(), 5u);
+  EXPECT_GT(wal.stats().GroupCommitFactor(), 4.0);
+
+  // A second writer on the same device recovers the same stream.
+  WalWriter reader(device.get());
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.append_lsn(), wal.append_lsn());
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(reader
+                  .Scan(0,
+                        [&](const LogRecord& rec) {
+                          EXPECT_EQ(rec.type, LogRecordType::kBegin);
+                          seen.push_back(rec.txn_id);
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_EQ(seen, std::vector<uint64_t>({1, 2, 3, 4, 5}));
+}
+
+TEST(WalWriterTest, RecordsSpanBlocks) {
+  auto device = std::make_shared<MemoryBlockDevice>();
+  WalWriter wal(device.get());
+  ASSERT_TRUE(wal.Open().ok());
+
+  // One record much larger than a log block.
+  LogRecord big;
+  big.type = LogRecordType::kAtomUndo;
+  big.txn_id = 1;
+  big.tid = 42;
+  big.before = std::string(3 * WalWriter::kBlockSize, 'q');
+  wal.Append(big);
+  wal.Append(LogRecord::Commit(1));
+  ASSERT_TRUE(wal.ForceAll().ok());
+
+  WalWriter reader(device.get());
+  ASSERT_TRUE(reader.Open().ok());
+  int count = 0;
+  ASSERT_TRUE(reader
+                  .Scan(0,
+                        [&](const LogRecord& rec) {
+                          ++count;
+                          if (rec.type == LogRecordType::kAtomUndo) {
+                            EXPECT_EQ(rec.before, big.before);
+                          }
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(WalWriterTest, TornForceTruncatesAtLastCompleteRecord) {
+  auto base = std::make_shared<MemoryBlockDevice>();
+  auto crash = std::make_shared<CrashingBlockDevice>(base);
+  WalWriter wal(crash.get());
+  ASSERT_TRUE(wal.Open().ok());
+
+  for (uint64_t t = 1; t <= 3; ++t) wal.Append(LogRecord::Begin(t));
+  ASSERT_TRUE(wal.ForceAll().ok());
+  const uint64_t durable_end = wal.append_lsn();
+
+  LogRecord big;
+  big.type = LogRecordType::kAtomUndo;
+  big.txn_id = 4;
+  big.before = std::string(3 * WalWriter::kBlockSize, 'q');
+  wal.Append(big);
+  crash->SetWriteBudget(1);  // the chained force tears after one block
+  ASSERT_TRUE(wal.ForceAll().ok());  // the device lies, as crashed disks do
+  EXPECT_GT(crash->dropped_blocks(), 0u);
+
+  // Reopen on the underlying bytes: the torn record fails its CRC framing
+  // and the log ends at the last complete record.
+  WalWriter reader(base.get());
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.append_lsn(), durable_end);
+  int count = 0;
+  ASSERT_TRUE(reader
+                  .Scan(0,
+                        [&](const LogRecord&) {
+                          ++count;
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_EQ(count, 3);
+}
+
+TEST(WalWriterTest, MasterRecordSurvivesReopen) {
+  auto device = std::make_shared<MemoryBlockDevice>();
+  WalWriter wal(device.get());
+  ASSERT_TRUE(wal.Open().ok());
+  const uint64_t lsn = wal.Append(LogRecord::Begin(1));
+  ASSERT_TRUE(wal.ForceAll().ok());
+  ASSERT_TRUE(wal.WriteMaster(lsn).ok());
+
+  WalWriter reader(device.get());
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.checkpoint_lsn(), lsn);
+}
+
+// ---------------------------------------------------------------------------
+// Storage integration: page-LSN stamping and the WAL rule
+// ---------------------------------------------------------------------------
+
+TEST(WalRuleTest, PageWritesAreLoggedAndForcedBeforeWriteback) {
+  auto base = std::make_shared<MemoryBlockDevice>();
+  auto storage = std::make_unique<storage::StorageSystem>(
+      std::make_unique<CrashingBlockDevice>(base), storage::StorageOptions{});
+  ASSERT_TRUE(storage->Open().ok());
+  WalWriter wal(&storage->device());
+  ASSERT_TRUE(wal.Open().ok());
+  storage->SetWal(&wal);
+
+  ASSERT_TRUE(storage->CreateSegment(1, storage::PageSize::k4K).ok());
+  uint64_t page_lsn = 0;
+  {
+    auto guard = storage->NewPage(1, storage::PageType::kSlotted);
+    ASSERT_TRUE(guard.ok());
+    char* data = guard->mutable_data();
+    data[100] = 'x';
+  }
+  {
+    auto guard = storage->FixPage(1, 1, storage::LatchMode::kShared);
+    ASSERT_TRUE(guard.ok());
+    page_lsn = PageHeader::lsn(guard->data());
+  }
+  EXPECT_GT(page_lsn, 0u) << "exclusive guard must stamp the page-LSN";
+  EXPECT_GT(page_lsn, wal.durable_lsn()) << "log should still be buffered";
+
+  // Write-back (flush) must force the log first — afterwards the durable
+  // LSN covers the page-LSN of everything on the device.
+  ASSERT_TRUE(storage->Flush().ok());
+  EXPECT_GE(wal.durable_lsn(), page_lsn);
+
+  storage->SetWal(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Full-stack crash / recovery via Prima
+// ---------------------------------------------------------------------------
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { base_ = std::make_shared<MemoryBlockDevice>(); }
+
+  /// Open a database incarnation over the shared device bytes.
+  std::unique_ptr<core::Prima> OpenDb() {
+    core::PrimaOptions options;
+    crash_ = std::make_shared<CrashingBlockDevice>(base_);
+    options.device = crash_;
+    auto db = core::Prima::Open(std::move(options));
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return std::move(*db);
+  }
+
+  /// Pull the plug: every write from now on (including destructor flushes)
+  /// is silently dropped.
+  void Crash(std::unique_ptr<core::Prima>* db) {
+    crash_->CrashNow();
+    db->reset();
+  }
+
+  util::Result<Tid> InsertSolid(core::Transaction* txn,
+                                const access::AtomTypeDef* def, int64_t no) {
+    return txn->InsertAtom(
+        def->id, {AttrValue{def->FindAttr("solid_no")->id, Value::Int(no)},
+                  AttrValue{def->FindAttr("description")->id,
+                            Value::String("s" + std::to_string(no))}});
+  }
+
+  std::shared_ptr<MemoryBlockDevice> base_;
+  std::shared_ptr<CrashingBlockDevice> crash_;
+};
+
+TEST_F(CrashRecoveryTest, CommittedTransactionsSurviveCrash) {
+  auto db = OpenDb();
+  workloads::BrepWorkload brep(db.get());
+  ASSERT_TRUE(brep.CreateSchema().ok());
+  ASSERT_TRUE(db->Flush().ok());  // checkpoint: DDL durable
+  const auto* solid = db->access().catalog().FindAtomType("solid");
+  ASSERT_NE(solid, nullptr);
+
+  std::vector<Tid> tids;
+  auto txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+  for (int64_t i = 1; i <= 3; ++i) {
+    auto tid = InsertSolid(*txn, solid, i);
+    ASSERT_TRUE(tid.ok()) << tid.status().ToString();
+    tids.push_back(*tid);
+  }
+  ASSERT_TRUE((*txn)->Commit().ok());
+
+  auto txn2 = db->Begin();
+  ASSERT_TRUE(
+      (*txn2)
+          ->ModifyAtom(tids[0], {AttrValue{solid->FindAttr("description")->id,
+                                           Value::String("updated")}})
+          .ok());
+  ASSERT_TRUE((*txn2)->Commit().ok());
+
+  Crash(&db);
+
+  auto db2 = OpenDb();
+  ASSERT_NE(db2, nullptr);
+  const auto* solid2 = db2->access().catalog().FindAtomType("solid");
+  ASSERT_NE(solid2, nullptr);
+  EXPECT_EQ(db2->access().AtomCount(solid2->id), 3u);
+  for (const Tid& tid : tids) {
+    auto atom = db2->access().GetAtom(tid);
+    ASSERT_TRUE(atom.ok()) << atom.status().ToString();
+  }
+  auto updated = db2->access().GetAtom(tids[0]);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->attrs[solid2->FindAttr("description")->id].AsString(),
+            "updated");
+  // The recovered database accepts new work.
+  auto set = db2->Query("SELECT ALL FROM solid");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 3u);
+}
+
+TEST_F(CrashRecoveryTest, UncommittedTransactionRolledBackOnRecovery) {
+  auto db = OpenDb();
+  workloads::BrepWorkload brep(db.get());
+  ASSERT_TRUE(brep.CreateSchema().ok());
+  ASSERT_TRUE(db->Flush().ok());
+  const auto* solid = db->access().catalog().FindAtomType("solid");
+
+  auto committed = db->Begin();
+  auto keep = InsertSolid(*committed, solid, 1);
+  ASSERT_TRUE(keep.ok());
+  ASSERT_TRUE((*committed)->Commit().ok());
+
+  // The loser: inserts and modifies, never commits. Force its log records
+  // onto the device so recovery actually has something to undo (a purely
+  // buffered loser simply evaporates).
+  auto loser = db->Begin();
+  auto lost = InsertSolid(*loser, solid, 2);
+  ASSERT_TRUE(lost.ok());
+  ASSERT_TRUE((*loser)
+                  ->ModifyAtom(*keep, {AttrValue{solid->FindAttr("description")->id,
+                                                 Value::String("dirty")}})
+                  .ok());
+  ASSERT_TRUE(db->wal()->ForceAll().ok());
+  // Some of the loser's pages may even reach the device: flush storage
+  // directly (bypassing the checkpoint) to simulate eviction pressure.
+  ASSERT_TRUE(db->storage().Flush().ok());
+
+  Crash(&db);
+
+  auto db2 = OpenDb();
+  ASSERT_NE(db2, nullptr);
+  EXPECT_GE(db2->recovery()->stats().loser_txns, 1u);
+  const auto* solid2 = db2->access().catalog().FindAtomType("solid");
+  EXPECT_EQ(db2->access().AtomCount(solid2->id), 1u);
+  EXPECT_FALSE(db2->access().AtomExists(*lost));
+  auto kept = db2->access().GetAtom(*keep);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->attrs[solid2->FindAttr("description")->id].AsString(), "s1")
+      << "loser's modify must be rolled back";
+}
+
+TEST_F(CrashRecoveryTest, SurvivesTornFlush) {
+  auto db = OpenDb();
+  workloads::BrepWorkload brep(db.get());
+  ASSERT_TRUE(brep.CreateSchema().ok());
+  ASSERT_TRUE(db->Flush().ok());
+  const auto* solid = db->access().catalog().FindAtomType("solid");
+
+  std::vector<Tid> tids;
+  for (int64_t i = 1; i <= 8; ++i) {
+    auto txn = db->Begin();
+    auto tid = InsertSolid(*txn, solid, i);
+    ASSERT_TRUE(tid.ok());
+    tids.push_back(*tid);
+    ASSERT_TRUE((*txn)->Commit().ok());
+  }
+
+  // The flush dies a few blocks in: some pages land, some don't, the
+  // checkpoint's master record never commits. Exactly the torn multi-page
+  // state WAL recovery exists for.
+  crash_->SetWriteBudget(3);
+  (void)db->Flush();  // reports success; the device dropped most of it
+  Crash(&db);
+
+  auto db2 = OpenDb();
+  ASSERT_NE(db2, nullptr);
+  const auto* solid2 = db2->access().catalog().FindAtomType("solid");
+  EXPECT_EQ(db2->access().AtomCount(solid2->id), 8u);
+  for (size_t i = 0; i < tids.size(); ++i) {
+    auto atom = db2->access().GetAtom(tids[i]);
+    ASSERT_TRUE(atom.ok()) << "solid " << i << ": " << atom.status().ToString();
+    EXPECT_EQ(atom->attrs[solid2->FindAttr("solid_no")->id].AsInt(),
+              static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST_F(CrashRecoveryTest, RuntimeAbortStaysAbortedAfterCrash) {
+  auto db = OpenDb();
+  workloads::BrepWorkload brep(db.get());
+  ASSERT_TRUE(brep.CreateSchema().ok());
+  ASSERT_TRUE(db->Flush().ok());
+  const auto* solid = db->access().catalog().FindAtomType("solid");
+
+  auto txn = db->Begin();
+  auto tid = InsertSolid(*txn, solid, 1);
+  ASSERT_TRUE(tid.ok());
+  ASSERT_TRUE((*txn)->Abort().ok());  // compensated + CLR-logged
+  ASSERT_TRUE(db->wal()->ForceAll().ok());
+
+  Crash(&db);
+
+  auto db2 = OpenDb();
+  ASSERT_NE(db2, nullptr);
+  const auto* solid2 = db2->access().catalog().FindAtomType("solid");
+  EXPECT_EQ(db2->access().AtomCount(solid2->id), 0u);
+  EXPECT_FALSE(db2->access().AtomExists(*tid));
+}
+
+TEST_F(CrashRecoveryTest, RecoveryIsIdempotentAcrossRestarts) {
+  auto db = OpenDb();
+  workloads::BrepWorkload brep(db.get());
+  ASSERT_TRUE(brep.CreateSchema().ok());
+  ASSERT_TRUE(db->Flush().ok());
+  const auto* solid = db->access().catalog().FindAtomType("solid");
+  auto txn = db->Begin();
+  ASSERT_TRUE(InsertSolid(*txn, solid, 1).ok());
+  ASSERT_TRUE((*txn)->Commit().ok());
+  Crash(&db);
+
+  // First recovery, then crash again immediately (its post-recovery
+  // checkpoint dropped), then recover once more.
+  auto db2 = OpenDb();
+  ASSERT_NE(db2, nullptr);
+  Crash(&db2);
+  auto db3 = OpenDb();
+  ASSERT_NE(db3, nullptr);
+  const auto* solid3 = db3->access().catalog().FindAtomType("solid");
+  EXPECT_EQ(db3->access().AtomCount(solid3->id), 1u);
+}
+
+TEST_F(CrashRecoveryTest, InterleavedChildAbortCompensatesExactRecords) {
+  // Parent works while a child is active, the child aborts, the parent
+  // never commits, the process crashes. Restart must undo the PARENT's
+  // operation but not re-wind the child's (already compensated) — the
+  // compensation record names exact LSNs, not a count off the tail.
+  auto db = OpenDb();
+  workloads::BrepWorkload brep(db.get());
+  ASSERT_TRUE(brep.CreateSchema().ok());
+  ASSERT_TRUE(db->Flush().ok());
+  const auto* solid = db->access().catalog().FindAtomType("solid");
+
+  auto setup = db->Begin();
+  auto base = InsertSolid(*setup, solid, 1);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE((*setup)->Commit().ok());
+
+  auto parent = db->Begin();
+  auto child_or = (*parent)->BeginChild();
+  ASSERT_TRUE(child_or.ok());
+  auto child_tid = InsertSolid(*child_or, solid, 2);  // child op C1
+  ASSERT_TRUE(child_tid.ok());
+  ASSERT_TRUE((*parent)
+                  ->ModifyAtom(*base, {AttrValue{solid->FindAttr("description")->id,
+                                                 Value::String("parent-dirty")}})
+                  .ok());  // parent op P1, interleaved
+  ASSERT_TRUE((*child_or)->Abort().ok());  // compensates C1 only
+  ASSERT_TRUE(db->wal()->ForceAll().ok());
+
+  Crash(&db);  // parent never committed -> loser
+
+  auto db2 = OpenDb();
+  ASSERT_NE(db2, nullptr);
+  const auto* solid2 = db2->access().catalog().FindAtomType("solid");
+  EXPECT_EQ(db2->access().AtomCount(solid2->id), 1u);
+  EXPECT_FALSE(db2->access().AtomExists(*child_tid));
+  auto kept = db2->access().GetAtom(*base);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->attrs[solid2->FindAttr("description")->id].AsString(), "s1")
+      << "parent's interleaved modify must be undone at restart";
+}
+
+TEST_F(CrashRecoveryTest, CheckpointShortensRedo) {
+  auto run = [this](bool mid_checkpoint) -> uint64_t {
+    base_ = std::make_shared<MemoryBlockDevice>();  // fresh database
+    auto db = OpenDb();
+    workloads::BrepWorkload brep(db.get());
+    EXPECT_TRUE(brep.CreateSchema().ok());
+    EXPECT_TRUE(db->Flush().ok());
+    const auto* solid = db->access().catalog().FindAtomType("solid");
+    for (int64_t i = 1; i <= 10; ++i) {
+      auto txn = db->Begin();
+      EXPECT_TRUE(InsertSolid(*txn, solid, i).ok());
+      EXPECT_TRUE((*txn)->Commit().ok());
+      if (mid_checkpoint && i == 8) {
+        EXPECT_TRUE(db->Flush().ok());  // fuzzy checkpoint
+      }
+    }
+    Crash(&db);
+    auto db2 = OpenDb();
+    EXPECT_NE(db2, nullptr);
+    const auto* solid2 = db2->access().catalog().FindAtomType("solid");
+    EXPECT_EQ(db2->access().AtomCount(solid2->id), 10u);
+    return db2->recovery()->stats().records_scanned;
+  };
+
+  const uint64_t without_ckpt = run(false);
+  const uint64_t with_ckpt = run(true);
+  EXPECT_GT(without_ckpt, 0u);
+  EXPECT_LT(with_ckpt, without_ckpt)
+      << "a checkpoint must shorten the restart scan";
+}
+
+}  // namespace
+}  // namespace prima::recovery
