@@ -88,7 +88,9 @@ uint64_t AccessSystem::LogAtomOp(UndoRecord::Kind kind, const Tid& tid,
   return wal_->Append(rec);
 }
 
-AccessSystem::~AccessSystem() { (void)Flush(); }
+AccessSystem::~AccessSystem() {
+  if (flush_on_close_) (void)Flush();
+}
 
 // ---------------------------------------------------------------------------
 // Open / Flush / persistence
@@ -1514,10 +1516,42 @@ Status AccessSystem::RecoverAtomFixup(recovery::AtomOp op, const Tid& tid,
   return Status::Ok();
 }
 
+Status AccessSystem::ReattachPartitionCopies(const AtomTypeDef& def,
+                                             const Tid& tid) {
+  // A partition upsert drained before the crash inserted the copy into the
+  // partition record file (page-resident, repeated by redo) but its
+  // address-table registration was memory-resident and died with the
+  // process. Re-draining the re-enqueued upsert would then miss the
+  // existing copy and insert a second one — an orphan record the file
+  // carries forever. Recover the mapping first: the copy's image starts
+  // with its packed tid, so a physical scan of the partition file finds it.
+  for (const StructureDef* s : catalog_.StructuresFor(def.id)) {
+    if (s->kind != StructureKind::kPartition) continue;
+    if (addresses_.Lookup(tid, s->id).ok()) continue;  // already registered
+    RecordFile* file = PartitionFile(s->id);
+    if (file == nullptr) continue;
+    PRIMA_ASSIGN_OR_RETURN(std::optional<RecordId> rid, file->First());
+    while (rid.has_value()) {
+      PRIMA_ASSIGN_OR_RETURN(const std::string bytes, file->Read(*rid));
+      if (bytes.size() >= 8 && util::DecodeFixed64(bytes.data()) == tid.Pack()) {
+        PRIMA_RETURN_IF_ERROR(addresses_.Register(tid, s->id, rid->Pack()));
+        break;
+      }
+      PRIMA_ASSIGN_OR_RETURN(rid, file->Next(*rid));
+    }
+  }
+  return Status::Ok();
+}
+
 Status AccessSystem::RecoverRedundancy(const Tid& tid,
                                        const Atom* ckpt_before) {
   const AtomTypeDef* def = catalog_.GetAtomType(tid.type);
   if (def == nullptr) return Status::Ok();  // type dropped since
+  // Dedupe the re-enqueued work against copies that were already
+  // materialized before the crash (drained but unregistered): reattaching
+  // the mapping turns the coming upsert into an in-place update — and lets
+  // a removal find the record at all — instead of leaking an orphan.
+  PRIMA_RETURN_IF_ERROR(ReattachPartitionCopies(*def, tid));
   auto current_or = ReadBaseAtom(tid);
   if (current_or.ok()) {
     // Atom survived (committed work, or a loser change already rolled

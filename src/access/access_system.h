@@ -219,6 +219,23 @@ class AccessSystem {
   /// exist then); the current base record decides liveness.
   util::Status RecoverRedundancy(const Tid& tid, const Atom* ckpt_before);
 
+  /// Re-register partition copies of `tid` that were materialized (drained)
+  /// before the crash but whose memory-resident address-table entry was
+  /// lost: scans the partition file for a record carrying the tid and
+  /// reattaches the mapping, so the re-enqueued maintenance updates it in
+  /// place instead of inserting an orphan duplicate.
+  util::Status ReattachPartitionCopies(const AtomTypeDef& def, const Tid& tid);
+
+  /// Disable the destructor's best-effort Flush(). With a WAL attached the
+  /// owner (Prima) checkpoints explicitly before teardown; a destructor
+  /// flush would then rewrite the metadata blobs UNLOGGED after the
+  /// checkpoint's master record committed — page-LSNs get wiped and the
+  /// component pages reshuffle, so the next restart's redo (which replays
+  /// the checkpoint window over the device state) reassembles a corrupt
+  /// blob. Standalone (no-WAL) use keeps the destructor flush: it is the
+  /// only durability point there.
+  void set_flush_on_close(bool v) { flush_on_close_ = v; }
+
   // --- deferred update (paper §3.2) ------------------------------------------
 
   /// Apply every pending propagation for one structure (scans call this on
@@ -329,6 +346,7 @@ class AccessSystem {
 
   UndoHook undo_hook_;
   recovery::WalWriter* wal_ = nullptr;
+  bool flush_on_close_ = true;
 
   // Serializes multi-structure mutations (atom writes). Reads are lock-free
   // at this level (page latches + structure mutexes below).

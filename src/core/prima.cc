@@ -68,7 +68,11 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
   if (options.wal) {
     // Restart protocol: repeat history on pages before the access layer
     // reads its metadata blobs from them, then roll losers back through it.
-    db->wal_ = std::make_unique<recovery::WalWriter>(&db->storage_->device());
+    recovery::WalOptions wal_options;
+    wal_options.commit_delay_us = options.commit_delay_us;
+    wal_options.max_bytes = options.wal_max_bytes;
+    db->wal_ = std::make_unique<recovery::WalWriter>(&db->storage_->device(),
+                                                     wal_options);
     PRIMA_RETURN_IF_ERROR(db->wal_->Open());
     db->recovery_ = std::make_unique<recovery::RecoveryManager>(
         db->storage_.get(), db->wal_.get());
@@ -116,9 +120,23 @@ Prima::~Prima() {
       (void)access_->Flush();
     }
   }
-  // Detach the WAL before members destruct (destructor-order flushes must
-  // not reach a dead log; everything is already durable from the
-  // checkpoint above).
+  if (wal_ != nullptr) {
+    // With a WAL the checkpoint above is the ONLY legitimate shutdown
+    // flush. The members' destructor flushes must be suppressed, not just
+    // detached from the log: an unlogged PersistMetadata would rewrite the
+    // metadata blobs (reshuffling their component pages and wiping
+    // page-LSNs) AFTER the checkpoint's master record committed, so the
+    // next restart's redo — replaying the checkpoint window over those
+    // pages — would reassemble a corrupt blob and silently lose the
+    // database. (Found by a crash-recover-reopen drive; needs a multi-page
+    // blob, i.e. a few hundred atoms.) If the checkpoint failed, skipping
+    // the flushes is equally right: commits are durable in the log, and
+    // restart recovery replays them onto the last consistent state.
+    if (access_ != nullptr) access_->set_flush_on_close(false);
+    if (storage_ != nullptr) storage_->set_flush_on_close(false);
+  }
+  // Detach the WAL before members destruct (a stray flush must not reach a
+  // dead log).
   if (storage_ != nullptr) storage_->SetWal(nullptr);
   if (access_ != nullptr) access_->SetWal(nullptr);
   if (txns_ != nullptr) txns_->SetWal(nullptr);
@@ -144,6 +162,10 @@ Result<std::string> Prima::ExecuteLdl(const std::string& ldl) {
 Status Prima::Flush() {
   if (recovery_ != nullptr) return recovery_->Checkpoint(access_.get());
   return access_->Flush();
+}
+
+recovery::WalStatsSnapshot Prima::wal_stats() const {
+  return wal_ == nullptr ? recovery::WalStatsSnapshot{} : wal_->StatsSnapshot();
 }
 
 }  // namespace prima::core

@@ -32,6 +32,21 @@ struct PrimaOptions {
   /// the system behaves like the pre-WAL kernel: durability only at Flush.
   bool wal = true;
 
+  /// Group-commit delay window: a top-level Commit() waits up to this long
+  /// for concurrent committers to append their commit records, so one log
+  /// force (device write + fsync) covers the whole group. 0 = force
+  /// immediately (solo commits pay no extra latency; concurrent committers
+  /// still share forces naturally while one is in flight).
+  uint64_t commit_delay_us = 0;
+
+  /// Cap on the WAL file size (0 = unbounded, the log only grows). With a
+  /// cap the log becomes circular: each checkpoint (Flush()) retires the
+  /// blocks below its undo floor and appends wrap onto them. A workload
+  /// that outruns its checkpoints sees commits fail with NoSpace until the
+  /// next Flush() truncates. Recorded in the log's master record at
+  /// creation — reopening an existing log keeps its original geometry.
+  uint64_t wal_max_bytes = 0;
+
   storage::StorageOptions storage;
   access::AccessOptions access;
 
@@ -82,6 +97,10 @@ class Prima {
   util::Status Flush();
 
   // --- subsystem access -------------------------------------------------------------
+
+  /// Log counters + footprint (records-per-force, commits-per-force, live
+  /// and on-device bytes). All zero when options.wal is false.
+  recovery::WalStatsSnapshot wal_stats() const;
 
   storage::StorageSystem& storage() { return *storage_; }
   access::AccessSystem& access() { return *access_; }

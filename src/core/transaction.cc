@@ -244,15 +244,19 @@ Status Transaction::Commit() {
   if (parent_ == nullptr && mgr_->wal_ != nullptr) {
     // Durability at commit: the commit record — and with it every earlier
     // record of this transaction — must be on the device before locks
-    // drop. One force covers every committer queued behind it (group
-    // commit). On a force failure the transaction stays active (locks
-    // held, undo intact) so the caller can retry or abort; note the abort
-    // record then follows the buffered commit record, and restart treats
-    // the transaction as finished either way — consistent with the CLRs
-    // the abort writes.
+    // drop. CommitForce publishes the commit LSN and holds the force open
+    // for up to PrimaOptions::commit_delay_us so concurrent committers
+    // share one device write + fsync (group commit); the write itself runs
+    // with the log buffer unlocked, so other transactions keep appending
+    // during it. On a force failure (device error, or a bounded WAL that
+    // needs a checkpoint to recycle space) the transaction stays active
+    // (locks held, undo intact) so the caller can retry or abort; note the
+    // abort record then follows the buffered commit record, and restart
+    // treats the transaction as finished either way — consistent with the
+    // CLRs the abort writes.
     const uint64_t commit_lsn =
         mgr_->wal_->Append(recovery::LogRecord::Commit(id_));
-    PRIMA_RETURN_IF_ERROR(mgr_->wal_->ForceUpTo(commit_lsn));
+    PRIMA_RETURN_IF_ERROR(mgr_->wal_->CommitForce(commit_lsn));
   }
   state_ = State::kCommitted;
   if (parent_ != nullptr) {

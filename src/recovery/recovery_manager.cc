@@ -235,35 +235,53 @@ Status RecoveryManager::UndoAndFixup(access::AccessSystem* access) {
     }
     PRIMA_RETURN_IF_ERROR(access->RecoverRedundancy(tid, before_ptr));
   }
-  return wal_->ForceAll();
+  // Restart recovery is upstream of the checkpoint that will truncate a
+  // full circular log — its own force must not be refused for headroom.
+  wal_->SetCheckpointWindow(true);
+  const Status force_st = wal_->ForceAll();
+  wal_->SetCheckpointWindow(false);
+  return force_st;
 }
 
 Status RecoveryManager::Checkpoint(access::AccessSystem* access) {
   LogRecord begin;
   begin.type = LogRecordType::kCheckpointBegin;
-  begin.active_txns = wal_->ActiveTxns();
+  // Order matters: snapshot append_lsn BEFORE the active-txn table. A
+  // transaction beginning between the two reads then appears in
+  // active_txns with begin_lsn >= the snapshot and cannot lower the
+  // floor; the reverse order would let it slip past both reads, and the
+  // truncation this floor authorizes would recycle a live transaction's
+  // begin/undo records.
   begin.undo_low_lsn = wal_->append_lsn();
+  begin.active_txns = wal_->ActiveTxns();
   for (const auto& [id, first_lsn] : begin.active_txns) {
     begin.undo_low_lsn = std::min(begin.undo_low_lsn, first_lsn);
   }
   const uint64_t begin_lsn = wal_->Append(begin);
 
-  // The fuzzy window: drain deferred updates, persist catalog + address
-  // table, write back every dirty page (each write-back forces the log
-  // first per the WAL rule).
-  if (access != nullptr) {
-    PRIMA_RETURN_IF_ERROR(access->Flush());
-  } else {
-    PRIMA_RETURN_IF_ERROR(storage_->Flush());
-  }
+  // The checkpoint's own log traffic may consume the circular log's
+  // headroom reserve: when commits are already refused with NoSpace, this
+  // is the path that frees the space, so it must always get through.
+  wal_->SetCheckpointWindow(true);
 
-  LogRecord end;
-  end.type = LogRecordType::kCheckpointEnd;
-  wal_->Append(end);
-  PRIMA_RETURN_IF_ERROR(wal_->ForceAll());
-  // The master write is the checkpoint's commit point: a crash anywhere
-  // before it leaves the previous checkpoint in charge.
-  PRIMA_RETURN_IF_ERROR(wal_->WriteMaster(begin_lsn));
+  // The fuzzy window: drain deferred updates, persist catalog + address
+  // table, write back every dirty page (one force up front covers them
+  // all, then each write-back re-checks the WAL rule).
+  Status flush_st = access != nullptr ? access->Flush() : storage_->Flush();
+  if (flush_st.ok()) {
+    LogRecord end;
+    end.type = LogRecordType::kCheckpointEnd;
+    wal_->Append(end);
+    flush_st = wal_->ForceAll();
+  }
+  wal_->SetCheckpointWindow(false);
+  PRIMA_RETURN_IF_ERROR(flush_st);
+
+  // The master write is the checkpoint's commit point — and, in circular
+  // mode, the truncation's: log blocks below the undo floor become
+  // recyclable in the same atomic step, so a crash anywhere before this
+  // write leaves the previous checkpoint and its floor in charge.
+  PRIMA_RETURN_IF_ERROR(wal_->WriteMaster(begin_lsn, begin.undo_low_lsn));
   stats_.checkpoints++;
   return Status::Ok();
 }

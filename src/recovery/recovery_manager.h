@@ -71,7 +71,9 @@ class RecoveryManager {
   /// Fuzzy checkpoint: bracket a full flush (deferred-update drain,
   /// metadata persist, dirty-page write-back — each write-back forcing the
   /// log per the WAL rule) with checkpoint records, then commit it via the
-  /// master record. Shortens the next restart's scan to this point.
+  /// master record. Shortens the next restart's scan to this point, and —
+  /// with a bounded WAL — atomically retires every log block below the
+  /// checkpoint's undo floor for recycling (circular log truncation).
   util::Status Checkpoint(access::AccessSystem* access);
 
   const Stats& stats() const { return stats_; }

@@ -1,6 +1,7 @@
 #include "recovery/wal_writer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "util/coding.h"
@@ -13,25 +14,74 @@ using util::Result;
 using util::Slice;
 using util::Status;
 
+namespace {
+uint32_t RingBlocksFor(uint64_t max_bytes, uint32_t block_size,
+                       uint32_t master_slots, uint32_t min_blocks) {
+  if (max_bytes == 0) return 0;
+  const uint64_t total = max_bytes / block_size;
+  const uint64_t data_blocks = total > master_slots ? total - master_slots : 0;
+  return static_cast<uint32_t>(std::max<uint64_t>(min_blocks, data_blocks));
+}
+}  // namespace
+
 WalWriter::WalWriter(storage::BlockDevice* device, storage::SegmentId file)
-    : device_(device), file_(file) {}
+    : WalWriter(device, WalOptions{}, file) {}
+
+WalWriter::WalWriter(storage::BlockDevice* device, WalOptions options,
+                     storage::SegmentId file)
+    : device_(device), options_(options), file_(file) {}
+
+uint32_t WalWriter::FragCrc(uint64_t frag_lsn, uint8_t kind,
+                            const char* payload, size_t len) {
+  // Seed with the fragment's absolute stream offset: a recycled ring block
+  // still holds CRC-consistent fragments from a previous lap, but they were
+  // sealed under a smaller offset, so they fail here and terminate the scan.
+  char seed[9];
+  util::EncodeFixed64(seed, frag_lsn);
+  seed[8] = static_cast<char>(kind);
+  uint32_t crc = util::Crc32(Slice(seed, sizeof(seed)));
+  return util::Crc32Extend(crc, Slice(payload, len));
+}
 
 Status WalWriter::Open() {
   std::lock_guard<std::mutex> lock(mu_);
+  ring_blocks_ = RingBlocksFor(options_.max_bytes, kBlockSize, kMasterSlots,
+                               kMinRingBlocks);
   if (!device_->Exists(file_)) {
     PRIMA_RETURN_IF_ERROR(device_->Create(file_, kBlockSize));
     append_lsn_ = durable_lsn_ = 0;
-    checkpoint_lsn_ = 0;
+    checkpoint_lsn_ = truncate_lsn_ = 0;
+    // Persist the geometry immediately: the LSN -> block mapping must be
+    // identical on every reopen, whatever options the next run passes.
+    PRIMA_RETURN_IF_ERROR(WriteMasterSlot(0, 0, 0, 1));
+    master_seq_ = 1;
+    master_slot_ = 1;
     return Status::Ok();
   }
 
-  // Master record: [magic][version][checkpoint_lsn][crc over bytes 0..16).
-  char master[kBlockSize];
-  PRIMA_RETURN_IF_ERROR(device_->Read(file_, 0, master));
-  checkpoint_lsn_ = 0;
-  if (util::DecodeFixed32(master) == kMasterMagic &&
-      util::DecodeFixed32(master + 16) == util::Crc32(Slice(master, 16))) {
+  // Read both master slots and adopt the valid one with the higher seq:
+  // a checkpoint torn mid master-write destroys at most the slot it was
+  // rewriting, never the previous checkpoint's.
+  checkpoint_lsn_ = truncate_lsn_ = 0;
+  master_seq_ = 0;
+  master_slot_ = 0;
+  for (uint32_t slot = 0; slot < kMasterSlots; ++slot) {
+    char master[kBlockSize];
+    PRIMA_RETURN_IF_ERROR(device_->Read(file_, slot, master));
+    if (util::DecodeFixed32(master) != kMasterMagic ||
+        util::DecodeFixed32(master + 4) != kFormatVersion ||
+        util::DecodeFixed32(master + 40) != util::Crc32(Slice(master, 40))) {
+      continue;
+    }
+    const uint64_t seq = util::DecodeFixed64(master + 32);
+    if (seq <= master_seq_) continue;
+    master_seq_ = seq;
+    master_slot_ = 1 - slot;  // alternate: the next write goes elsewhere
     checkpoint_lsn_ = util::DecodeFixed64(master + 8);
+    truncate_lsn_ = util::DecodeFixed64(master + 16);
+    // The stored geometry is authoritative for an existing log.
+    ring_blocks_ =
+        static_cast<uint32_t>(util::DecodeFixed64(master + 24) / kBlockSize);
   }
 
   // Locate the durable end of log: scan from the checkpoint (or 0) until
@@ -41,7 +91,9 @@ Status WalWriter::Open() {
       checkpoint_lsn_, [](const LogRecord&) { return Status::Ok(); }, &end));
 
   append_lsn_ = durable_lsn_ = end;
-  // Preload the partial tail block so future appends rewrite it correctly.
+  // Preload the partial tail block so future appends rewrite it correctly
+  // (only a torn force leaves a non-aligned end; those bytes were never
+  // acknowledged).
   pending_.clear();
   pending_base_ = (end / kBlockSize) * kBlockSize;
   if (OffsetIn(end) != 0) {
@@ -73,11 +125,8 @@ uint64_t WalWriter::AppendPayloadLocked(const std::string& payload) {
     char head[kFragHeader];
     util::EncodeFixed16(head + 4, static_cast<uint16_t>(chunk));
     head[6] = static_cast<char>(kind);
-    // CRC over kind + payload chunk: catches torn writes and misframed
-    // garbage alike.
-    uint32_t crc = util::Crc32(Slice(head + 6, 1));
-    crc = util::Crc32Extend(crc, Slice(payload.data() + off, chunk));
-    util::EncodeFixed32(head, crc);
+    util::EncodeFixed32(head, FragCrc(pending_base_ + pending_.size(), kind,
+                                      payload.data() + off, chunk));
     pending_.append(head, kFragHeader);
     pending_.append(payload.data() + off, chunk);
     off += chunk;
@@ -104,6 +153,9 @@ uint64_t WalWriter::Append(const LogRecord& rec) {
       active_txns_.emplace(rec.txn_id, lsn);
       break;
     case LogRecordType::kCommit:
+      pending_commits_++;
+      active_txns_.erase(rec.txn_id);
+      break;
     case LogRecordType::kAbort:
       active_txns_.erase(rec.txn_id);
       break;
@@ -132,7 +184,7 @@ uint64_t WalWriter::LogPageDelta(storage::SegmentId segment, uint32_t page,
 }
 
 uint64_t WalWriter::LogFullPage(storage::SegmentId segment, uint32_t page,
-                                uint32_t page_size, const char* after) {
+                               uint32_t page_size, const char* after) {
   LogRecord rec;
   rec.type = LogRecordType::kPageRedo;
   rec.segment = segment;
@@ -158,83 +210,224 @@ uint64_t WalWriter::LogSegmentMeta(storage::SegmentId segment,
       LogRecord::SegMeta(segment, page_size_code, page_count, free_head));
 }
 
-Status WalWriter::FlushBufferLocked() {
-  if (pending_.empty() || pending_base_ + pending_.size() == durable_lsn_) {
-    return Status::Ok();
-  }
+void WalWriter::SealTailLocked() {
+  const uint32_t tail = static_cast<uint32_t>(pending_.size() % kBlockSize);
+  if (tail == 0) return;
   // Seal the trailing partial block with an explicit pad fragment so the
   // next force starts on a fresh block: durable bytes are write-once, and
   // a torn write can only ever hit bytes that were never acknowledged.
-  const uint32_t tail = static_cast<uint32_t>(pending_.size() % kBlockSize);
-  if (tail != 0) {
-    const uint32_t room = kBlockSize - tail;
-    if (room >= kFragHeader) {
-      const uint32_t len = room - kFragHeader;
-      std::string zeros(len, '\0');
-      char head[kFragHeader];
-      util::EncodeFixed16(head + 4, static_cast<uint16_t>(len));
-      head[6] = static_cast<char>(kPad);
-      uint32_t crc = util::Crc32(Slice(head + 6, 1));
-      crc = util::Crc32Extend(crc, Slice(zeros));
-      util::EncodeFixed32(head, crc);
-      pending_.append(head, kFragHeader);
-      pending_.append(zeros);
-    } else {
-      pending_.append(room, '\0');
+  const uint32_t room = kBlockSize - tail;
+  if (room >= kFragHeader) {
+    const uint32_t len = room - kFragHeader;
+    std::string zeros(len, '\0');
+    char head[kFragHeader];
+    util::EncodeFixed16(head + 4, static_cast<uint16_t>(len));
+    head[6] = static_cast<char>(kPad);
+    util::EncodeFixed32(
+        head, FragCrc(pending_base_ + pending_.size(), kPad, zeros.data(),
+                      zeros.size()));
+    pending_.append(head, kFragHeader);
+    pending_.append(zeros);
+  } else {
+    pending_.append(room, '\0');
+  }
+  append_lsn_ = pending_base_ + pending_.size();
+}
+
+Status WalWriter::FlushAsLeaderLocked(std::unique_lock<std::mutex>& lk) {
+  if (pending_.empty() || pending_base_ + pending_.size() == durable_lsn_) {
+    return Status::Ok();
+  }
+
+  if (ring_blocks_ != 0) {
+    // The live window (truncation floor .. batch end, rounded up to the
+    // seal's block boundary) must fit in the ring — overwriting a live
+    // block would eat log bytes restart still needs. Checked BEFORE
+    // sealing so a refused force is side-effect free: retry loops must not
+    // burn a pad block of stream space per NoSpace. Non-checkpoint forces
+    // additionally keep a headroom reserve so the checkpoint that will
+    // free space can always complete; the bypass is per-thread (set via
+    // SetCheckpointWindow) so concurrent committers cannot drain the
+    // reserve mid-checkpoint.
+    const uint64_t sealed_end =
+        ((pending_base_ + pending_.size() + kBlockSize - 1) / kBlockSize) *
+        kBlockSize;
+    const uint64_t first_live = truncate_lsn_ / kBlockSize;
+    const uint64_t last = (sealed_end - 1) / kBlockSize;
+    const uint64_t needed = last - first_live + 1;
+    const uint64_t reserve = std::this_thread::get_id() == ckpt_thread_
+                                 ? 0
+                                 : std::max<uint64_t>(8, ring_blocks_ / 4);
+    if (needed + reserve > ring_blocks_) {
+      return Status::NoSpace(
+          "WAL ring full (" + std::to_string(needed) + " of " +
+          std::to_string(ring_blocks_) +
+          " blocks live) - checkpoint required to recycle log space");
     }
   }
+  SealTailLocked();
+  const uint64_t batch_end = pending_base_ + pending_.size();
 
-  const size_t n_blocks = pending_.size() / kBlockSize;
+  // Swap the batch out and let appenders continue into a fresh buffer while
+  // the device write runs without the lock.
+  std::string batch;
+  batch.swap(pending_);
+  const uint64_t batch_base = pending_base_;
+  const uint64_t batch_records = pending_records_;
+  const uint64_t batch_commits = pending_commits_;
+  pending_records_ = 0;
+  pending_commits_ = 0;
+  pending_base_ = batch_base + batch.size();
+
+  const size_t n_blocks = batch.size() / kBlockSize;
   std::vector<uint64_t> blocks(n_blocks);
   for (size_t i = 0; i < n_blocks; ++i) {
-    blocks[i] = BlockOf(pending_base_) + i;
+    blocks[i] = BlockAt(batch_base / kBlockSize + i);
   }
-  // One chained device write regardless of how many committers queued up —
-  // the group-commit batch.
-  PRIMA_RETURN_IF_ERROR(device_->WriteChained(file_, blocks, pending_.data()));
-  PRIMA_RETURN_IF_ERROR(SyncDevice());
-  durable_lsn_ = pending_base_ + pending_.size();
-  append_lsn_ = durable_lsn_.load();
-  stats_.forces++;
-  stats_.blocks_forced += n_blocks;
-  stats_.records_forced += pending_records_;
-  pending_records_ = 0;
 
-  pending_base_ += pending_.size();
-  pending_.clear();
-  return Status::Ok();
+  flushing_ = true;
+  lk.unlock();
+  // One chained device write regardless of how many committers queued up —
+  // the group-commit batch — then one fsync for the whole group.
+  Status st = device_->WriteChained(file_, blocks, batch.data());
+  if (st.ok()) st = SyncDevice();
+  lk.lock();
+  flushing_ = false;
+
+  if (st.ok()) {
+    durable_lsn_ = batch_end;
+    stats_.forces++;
+    stats_.blocks_forced += n_blocks;
+    stats_.records_forced += batch_records;
+    stats_.commits_forced += batch_commits;
+  } else {
+    // Put the batch back in front of whatever was appended during the
+    // failed write: stream offsets are unchanged, so the buffer is simply
+    // contiguous again and a later force (or retry) covers everything.
+    batch.append(pending_);
+    pending_.swap(batch);
+    pending_base_ = batch_base;
+    pending_records_ += batch_records;
+    pending_commits_ += batch_commits;
+  }
+  cv_.notify_all();
+  return st;
+}
+
+Status WalWriter::ForceLocked(std::unique_lock<std::mutex>& lk, uint64_t lsn) {
+  for (;;) {
+    if (durable_lsn_.load() >= lsn) return Status::Ok();
+    if (!flushing_) break;
+    // A leader is writing; its batch may already cover our LSN — and if
+    // not, we lead the next (accumulated) batch ourselves.
+    cv_.wait(lk);
+  }
+  return FlushAsLeaderLocked(lk);
 }
 
 Status WalWriter::SyncDevice() { return device_->Sync(); }
 
 Status WalWriter::ForceUpTo(uint64_t lsn) {
   if (lsn <= durable_lsn_.load()) return Status::Ok();
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushBufferLocked();
+  std::unique_lock<std::mutex> lk(mu_);
+  return ForceLocked(lk, lsn);
+}
+
+Status WalWriter::CommitForce(uint64_t lsn) {
+  if (lsn <= durable_lsn_.load()) return Status::Ok();
+  std::unique_lock<std::mutex> lk(mu_);
+  if (options_.commit_delay_us > 0 && !flushing_ &&
+      durable_lsn_.load() < lsn) {
+    // Bounded delay window: hold the force open so concurrent committers
+    // can append their records and share it. A force completed by anyone
+    // else meanwhile ends the wait early. (With a force already in flight
+    // the wait in ForceLocked plays that role — no extra delay.)
+    stats_.commit_delay_waits++;
+    cv_.wait_for(lk, std::chrono::microseconds(options_.commit_delay_us),
+                 [&] { return durable_lsn_.load() >= lsn; });
+  }
+  return ForceLocked(lk, lsn);
 }
 
 Status WalWriter::ForceAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushBufferLocked();
+  std::unique_lock<std::mutex> lk(mu_);
+  return ForceLocked(lk, append_lsn_.load());
 }
 
-Status WalWriter::WriteMaster(uint64_t checkpoint_begin_lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
+Status WalWriter::WriteMasterSlot(uint32_t slot, uint64_t checkpoint_begin_lsn,
+                                  uint64_t truncate_lsn, uint64_t seq) {
   char master[kBlockSize];
   std::memset(master, 0, sizeof(master));
   util::EncodeFixed32(master, kMasterMagic);
-  util::EncodeFixed32(master + 4, 1);  // version
+  util::EncodeFixed32(master + 4, kFormatVersion);
   util::EncodeFixed64(master + 8, checkpoint_begin_lsn);
-  util::EncodeFixed32(master + 16, util::Crc32(Slice(master, 16)));
-  PRIMA_RETURN_IF_ERROR(device_->Write(file_, 0, master));
-  PRIMA_RETURN_IF_ERROR(SyncDevice());
+  util::EncodeFixed64(master + 16, truncate_lsn);
+  util::EncodeFixed64(master + 24,
+                      static_cast<uint64_t>(ring_blocks_) * kBlockSize);
+  util::EncodeFixed64(master + 32, seq);
+  util::EncodeFixed32(master + 40, util::Crc32(Slice(master, 40)));
+  PRIMA_RETURN_IF_ERROR(device_->Write(file_, slot, master));
+  return SyncDevice();
+}
+
+Status WalWriter::WriteMaster(uint64_t checkpoint_begin_lsn,
+                              uint64_t truncate_up_to) {
+  // Serialize master writers, but do NOT hold mu_ across the device write
+  // + fsync: appenders and committers keep running during it (checkpoints
+  // are frequent on a bounded log, and stalling the whole commit pipeline
+  // for the master fsync would undo the group-commit win).
+  std::lock_guard<std::mutex> master_lock(master_mu_);
+  uint64_t new_floor, seq;
+  uint32_t slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    new_floor = std::max(truncate_lsn_, truncate_up_to);
+    seq = master_seq_ + 1;
+    slot = master_slot_;
+  }
+  PRIMA_RETURN_IF_ERROR(
+      WriteMasterSlot(slot, checkpoint_begin_lsn, new_floor, seq));
+  // Only after the master is durable do the recycled blocks actually become
+  // writable — a crash before this line leaves the old floor in charge.
+  std::lock_guard<std::mutex> lock(mu_);
   checkpoint_lsn_ = checkpoint_begin_lsn;
+  truncate_lsn_ = new_floor;
+  master_seq_ = seq;
+  master_slot_ = 1 - slot;
   return Status::Ok();
+}
+
+void WalWriter::SetCheckpointWindow(bool active) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ckpt_thread_ = active ? std::this_thread::get_id() : std::thread::id{};
 }
 
 std::vector<std::pair<uint64_t, uint64_t>> WalWriter::ActiveTxns() const {
   std::lock_guard<std::mutex> lock(mu_);
   return {active_txns_.begin(), active_txns_.end()};
+}
+
+WalStatsSnapshot WalWriter::StatsSnapshot() const {
+  WalStatsSnapshot s;
+  s.records_appended = stats_.records_appended;
+  s.bytes_appended = stats_.bytes_appended;
+  s.forces = stats_.forces;
+  s.blocks_forced = stats_.blocks_forced;
+  s.records_forced = stats_.records_forced;
+  s.commits_forced = stats_.commits_forced;
+  s.commit_delay_waits = stats_.commit_delay_waits;
+  s.records_per_force = stats_.GroupCommitFactor();
+  s.commits_per_force = stats_.CommitsPerForce();
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t durable = durable_lsn_.load();
+  s.live_bytes = append_lsn_.load() - truncate_lsn_;
+  s.capacity_bytes = static_cast<uint64_t>(ring_blocks_) * kBlockSize;
+  uint64_t data_blocks = (durable + kBlockSize - 1) / kBlockSize;
+  if (ring_blocks_ != 0) {
+    data_blocks = std::min<uint64_t>(data_blocks, ring_blocks_);
+  }
+  s.footprint_bytes = (kMasterSlots + data_blocks) * kBlockSize;
+  return s;
 }
 
 Status WalWriter::Scan(uint64_t from,
@@ -266,7 +459,7 @@ Status WalWriter::Scan(uint64_t from,
     const uint8_t kind = static_cast<uint8_t>(block[off + 6]);
 
     if (stored_crc == 0 && len == 0 && kind == 0) {
-      // Zero header: the unwritten end of log (forced blocks are sealed
+      // Zero header: the never-written end of log (forced blocks are sealed
       // with pad fragments, so zeros only appear past the durable end).
       break;
     }
@@ -274,9 +467,11 @@ Status WalWriter::Scan(uint64_t from,
         len > kBlockSize - off - kFragHeader) {
       break;  // torn or garbage tail
     }
-    uint32_t crc = util::Crc32(Slice(block + off + 6, 1));
-    crc = util::Crc32Extend(crc, Slice(block + off + kFragHeader, len));
-    if (crc != stored_crc) break;  // torn write detected
+    // Offset-seeded CRC: fails on torn writes AND on stale fragments left
+    // from a previous lap of the circular log.
+    if (FragCrc(cursor, kind, block + off + kFragHeader, len) != stored_crc) {
+      break;
+    }
 
     if (kind == kPad) {
       if (in_record) break;  // pad inside a record: torn tail

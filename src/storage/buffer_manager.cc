@@ -32,7 +32,9 @@ BufferManager::~BufferManager() {
   // Best effort: callers are expected to FlushAll before destruction;
   // remaining dirty pages are written back here so tests that forget an
   // explicit flush still observe durable data with the file device.
-  (void)FlushAll();
+  // Disabled via set_flush_on_close when a WAL owns durability — see
+  // StorageSystem::set_flush_on_close.
+  if (flush_on_close_) (void)FlushAll();
 }
 
 int BufferManager::SizeClass(uint32_t page_size) {
@@ -203,8 +205,15 @@ Status BufferManager::FlushAll() {
       }
     }
   }
+  // Checkpoint fast path: one force covering everything logged so far turns
+  // the per-page WAL-rule forces inside WriteBack into no-ops. Without
+  // this, a flush of N dirty pages can issue up to N small log writes.
   Status first_error;
+  if (wal_ != nullptr && !dirty.empty()) {
+    first_error = wal_->ForceUpTo(wal_->append_lsn());
+  }
   for (Frame* frame : dirty) {
+    if (!first_error.ok()) break;  // a full WAL fails every write-back too
     const Status st = WriteBack(frame);
     if (!st.ok() && first_error.ok()) first_error = st;
   }

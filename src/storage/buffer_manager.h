@@ -124,6 +124,11 @@ class BufferManager {
   void SetWal(WriteAheadLog* wal) { wal_ = wal; }
   WriteAheadLog* wal() const { return wal_; }
 
+  /// Disable the destructor's best-effort FlushAll (WAL-owned durability:
+  /// unlogged destructor write-backs would diverge the device from the
+  /// last checkpoint's redo basis).
+  void set_flush_on_close(bool v) { flush_on_close_ = v; }
+
   BufferStats& stats() { return stats_; }
   size_t resident_bytes() const;
 
@@ -146,6 +151,7 @@ class BufferManager {
   BlockDevice* device_;
   const BufferPolicy policy_;
   WriteAheadLog* wal_ = nullptr;
+  bool flush_on_close_ = true;
 
   mutable std::mutex mu_;
   std::unordered_map<PageId, std::unique_ptr<Frame>, PageIdHash> frames_;

@@ -106,7 +106,14 @@ StorageSystem::StorageSystem(std::unique_ptr<BlockDevice> device,
                                               options.buffer_bytes,
                                               options.buffer_policy)) {}
 
-StorageSystem::~StorageSystem() { (void)Flush(); }
+StorageSystem::~StorageSystem() {
+  if (flush_on_close_) (void)Flush();
+}
+
+void StorageSystem::set_flush_on_close(bool v) {
+  flush_on_close_ = v;
+  buffer_->set_flush_on_close(v);
+}
 
 Status StorageSystem::Open() {
   for (SegmentId id : device_->ListFiles()) {

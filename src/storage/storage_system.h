@@ -131,6 +131,12 @@ class StorageSystem {
   void SetWal(WriteAheadLog* wal);
   WriteAheadLog* wal() const { return wal_; }
 
+  /// Disable the destructor's best-effort Flush (and the buffer's): when a
+  /// WAL owns durability the owner checkpoints explicitly, and any later
+  /// unlogged destructor writes would invalidate that checkpoint's redo
+  /// basis on the device.
+  void set_flush_on_close(bool v);
+
   // --- restart recovery (RecoveryManager only) -------------------------------
 
   enum class RedoOutcome {
@@ -176,6 +182,7 @@ class StorageSystem {
   std::unique_ptr<BlockDevice> device_;
   std::unique_ptr<BufferManager> buffer_;
   WriteAheadLog* wal_ = nullptr;
+  bool flush_on_close_ = true;
 
   mutable std::mutex mu_;  // guards segments_
   std::map<SegmentId, SegmentMeta> segments_;

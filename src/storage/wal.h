@@ -46,12 +46,20 @@ class WriteAheadLog {
                                   uint32_t page_count, uint32_t free_head) = 0;
 
   /// Make the log durable up to and including `lsn` (group commit: one
-  /// device write covers every record buffered so far).
+  /// device write covers every record buffered so far). This is the
+  /// WAL-rule force used on the write-back path — it never waits out a
+  /// commit-delay window (that is the commit path's own entry point).
   virtual util::Status ForceUpTo(uint64_t lsn) = 0;
 
   /// Highest LSN guaranteed on the device. The WAL rule: a dirty page may
   /// be written back only once its page-LSN <= durable_lsn().
   virtual uint64_t durable_lsn() const = 0;
+
+  /// Next LSN to be assigned (current end of the stream). A checkpoint
+  /// flush forces up to here once, in front of the write-back loop, so the
+  /// per-page WAL-rule forces all turn into no-ops (one big device write
+  /// instead of one per dirty page).
+  virtual uint64_t append_lsn() const = 0;
 
   /// Checkpoint epoch, bumped on every checkpoint-begin record. A page's
   /// FIRST mutation in a new epoch is logged as a full image (not a delta):

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/prima.h"
@@ -235,6 +241,274 @@ TEST(WalWriterTest, TornForceTruncatesAtLastCompleteRecord) {
   EXPECT_EQ(count, 3);
 }
 
+TEST(WalWriterTest, CommitForceSharesOneForceAcrossCommitters) {
+  auto device = std::make_shared<MemoryBlockDevice>();
+  WalOptions opts;
+  opts.commit_delay_us = 200000;  // generous window: scheduling-proof
+  WalWriter wal(device.get(), opts);
+  ASSERT_TRUE(wal.Open().ok());
+
+  // Both commit records are appended before either committer forces: any
+  // interleaving of the two CommitForce calls must share one device write.
+  const uint64_t lsn1 = wal.Append(LogRecord::Commit(1));
+  const uint64_t lsn2 = wal.Append(LogRecord::Commit(2));
+  Status st1, st2;
+  std::thread t1([&] { st1 = wal.CommitForce(lsn1); });
+  std::thread t2([&] { st2 = wal.CommitForce(lsn2); });
+  t1.join();
+  t2.join();
+  ASSERT_TRUE(st1.ok());
+  ASSERT_TRUE(st2.ok());
+  EXPECT_EQ(wal.stats().forces.load(), 1u);
+  EXPECT_EQ(wal.stats().commits_forced.load(), 2u);
+  EXPECT_DOUBLE_EQ(wal.stats().CommitsPerForce(), 2.0);
+  EXPECT_GE(wal.stats().commit_delay_waits.load(), 1u);
+  EXPECT_GE(wal.durable_lsn(), lsn2);
+}
+
+/// MemoryBlockDevice whose fsync can be held open, to prove the force's
+/// device I/O happens with the log mutex released.
+class BlockingSyncDevice : public MemoryBlockDevice {
+ public:
+  util::Status Sync() override {
+    std::unique_lock<std::mutex> lk(m_);
+    if (!armed_) return util::Status::Ok();
+    in_sync_ = true;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return released_; });
+    return util::Status::Ok();
+  }
+  void Arm() {
+    std::lock_guard<std::mutex> lk(m_);
+    armed_ = true;
+  }
+  void WaitUntilInSync() {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] { return in_sync_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lk(m_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool armed_ = false;
+  bool in_sync_ = false;
+  bool released_ = false;
+};
+
+TEST(WalWriterTest, AppendersNeverBlockOnAnInFlightForce) {
+  auto device = std::make_shared<BlockingSyncDevice>();
+  WalWriter wal(device.get());
+  ASSERT_TRUE(wal.Open().ok());
+
+  const uint64_t lsn1 = wal.Append(LogRecord::Begin(1));
+  device->Arm();
+  Status force_st;
+  std::thread forcer([&] { force_st = wal.ForceAll(); });
+  device->WaitUntilInSync();  // the force is now stuck inside fsync ...
+
+  // ... and appends must still go through (with the old ForceUpTo holding
+  // mu_ across the device write, this line deadlocks the test).
+  const uint64_t lsn2 = wal.Append(LogRecord::Begin(2));
+  EXPECT_GT(lsn2, lsn1);
+
+  device->Release();
+  forcer.join();
+  ASSERT_TRUE(force_st.ok());
+  EXPECT_GE(wal.durable_lsn(), lsn1);
+  EXPECT_LT(wal.durable_lsn(), wal.append_lsn())
+      << "record 2 arrived after the batch";
+  ASSERT_TRUE(wal.ForceAll().ok());
+  EXPECT_GE(wal.durable_lsn(), lsn2);
+}
+
+namespace {
+/// ~1000-byte filler record: with the force seal, one append+force cycle
+/// consumes exactly one log block.
+LogRecord FillerRecord(uint64_t id) {
+  LogRecord r;
+  r.type = LogRecordType::kAtomUndo;
+  r.txn_id = id;
+  r.tid = id;
+  r.before = std::string(1000, 'x');
+  return r;
+}
+}  // namespace
+
+TEST(WalWriterTest, CircularLogWrapsAndScansAfterReopen) {
+  auto device = std::make_shared<MemoryBlockDevice>();
+  WalOptions opts;
+  opts.max_bytes = 18 * WalWriter::kBlockSize;  // ring of 16 data blocks
+  WalWriter wal(device.get(), opts);
+  ASSERT_TRUE(wal.Open().ok());
+  EXPECT_EQ(wal.capacity_bytes(), 16 * WalWriter::kBlockSize);
+
+  // Append four rings' worth of records, checkpointing (master write +
+  // truncation) every few blocks so the wrapped appends always land on
+  // recycled blocks.
+  uint64_t last_ckpt = 0;
+  int records_since_ckpt = 0;
+  for (uint64_t i = 0; i < 64; ++i) {
+    const uint64_t lsn = wal.Append(FillerRecord(i));
+    ASSERT_TRUE(wal.ForceAll().ok()) << "i=" << i;
+    records_since_ckpt++;
+    if (i % 4 == 3) {
+      ASSERT_TRUE(wal.WriteMaster(lsn, lsn).ok());
+      last_ckpt = lsn;
+      records_since_ckpt = 1;  // the checkpointed record itself stays live
+    }
+  }
+  EXPECT_GE(wal.append_lsn(), 4 * wal.capacity_bytes()) << "log wrapped";
+  EXPECT_LE(wal.StatsSnapshot().footprint_bytes, opts.max_bytes)
+      << "circular log must not outgrow wal_max_bytes";
+
+  // Reopen: geometry comes from the master record; the scan starts at the
+  // checkpoint, sees exactly the live tail, and stops at the durable end
+  // (stale previous-lap fragments fail their offset-seeded CRCs).
+  WalWriter reader(device.get(), opts);
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.checkpoint_lsn(), last_ckpt);
+  EXPECT_EQ(reader.append_lsn(), wal.append_lsn());
+  int count = 0;
+  ASSERT_TRUE(reader
+                  .Scan(reader.checkpoint_lsn(),
+                        [&](const LogRecord&) {
+                          ++count;
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_EQ(count, records_since_ckpt);
+
+  // The reopened log keeps appending (and wrapping) where the old one left.
+  const uint64_t lsn = reader.Append(FillerRecord(99));
+  ASSERT_TRUE(reader.ForceAll().ok());
+  EXPECT_GT(reader.durable_lsn(), lsn);
+}
+
+TEST(WalWriterTest, FullRingRefusesForcesUntilCheckpointTruncates) {
+  auto device = std::make_shared<MemoryBlockDevice>();
+  WalOptions opts;
+  opts.max_bytes = 18 * WalWriter::kBlockSize;  // ring 16, reserve 8
+  WalWriter wal(device.get(), opts);
+  ASSERT_TRUE(wal.Open().ok());
+
+  // Never checkpointing: the non-checkpoint force path must hit NoSpace
+  // once the live window reaches ring - reserve blocks.
+  uint64_t last_lsn = 0;
+  Status st;
+  int i = 0;
+  for (; i < 20; ++i) {
+    last_lsn = wal.Append(FillerRecord(i));
+    st = wal.ForceAll();
+    if (!st.ok()) break;
+  }
+  ASSERT_TRUE(st.IsNoSpace()) << st.ToString();
+  EXPECT_LE(i, 9) << "the checkpoint reserve must be held back";
+
+  // The checkpoint path gets the reserve, truncates, and unblocks commits.
+  wal.SetCheckpointWindow(true);
+  ASSERT_TRUE(wal.ForceAll().ok());
+  wal.SetCheckpointWindow(false);
+  ASSERT_TRUE(wal.WriteMaster(last_lsn, last_lsn).ok());
+  wal.Append(FillerRecord(100));
+  ASSERT_TRUE(wal.ForceAll().ok());
+}
+
+TEST(WalWriterTest, CrashMidWraparoundWriteTruncatesAtLastRecord) {
+  auto base = std::make_shared<MemoryBlockDevice>();
+  auto crash = std::make_shared<CrashingBlockDevice>(base);
+  WalOptions opts;
+  opts.max_bytes = 18 * WalWriter::kBlockSize;  // ring 16
+  WalWriter wal(crash.get(), opts);
+  ASSERT_TRUE(wal.Open().ok());
+
+  // Fill 14 of the 16 ring blocks, truncating along the way so the wrap
+  // stays legal.
+  uint64_t ckpt_lsn = 0;
+  for (uint64_t i = 0; i < 14; ++i) {
+    const uint64_t lsn = wal.Append(FillerRecord(i));
+    ASSERT_TRUE(wal.ForceAll().ok()) << "i=" << i;
+    if (i % 4 == 3) {  // keep the live window under ring - reserve
+      ASSERT_TRUE(wal.WriteMaster(lsn, lsn).ok());
+      ckpt_lsn = lsn;
+    }
+  }
+  const uint64_t durable_end = wal.durable_lsn();
+
+  // A record spanning four blocks: its chained force wraps from the last
+  // two ring blocks onto two recycled ones — and tears after two blocks,
+  // exactly at the wrap point.
+  LogRecord big;
+  big.type = LogRecordType::kAtomUndo;
+  big.txn_id = 50;
+  big.before = std::string(3 * WalWriter::kBlockSize + 2000, 'q');
+  wal.Append(big);
+  crash->SetWriteBudget(2);
+  ASSERT_TRUE(wal.ForceAll().ok());  // the device lies, as crashed disks do
+  EXPECT_GT(crash->dropped_blocks(), 0u);
+
+  // Reopen on the underlying bytes: the half-written record's continuation
+  // landed on recycled blocks that still hold stale previous-lap data, so
+  // the scan must stop exactly at the pre-force durable end.
+  WalWriter reader(base.get(), opts);
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.append_lsn(), durable_end);
+  int count = 0;
+  ASSERT_TRUE(reader
+                  .Scan(ckpt_lsn,
+                        [&](const LogRecord& rec) {
+                          EXPECT_EQ(rec.type, LogRecordType::kAtomUndo);
+                          ++count;
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_EQ(count, 3);  // records 11, 12, 13 — the torn one is gone
+
+  // Appending resumes over the torn bytes.
+  reader.Append(FillerRecord(60));
+  ASSERT_TRUE(reader.ForceAll().ok());
+  EXPECT_GT(reader.durable_lsn(), durable_end);
+}
+
+TEST(WalWriterTest, TornMasterWriteFallsBackToPreviousSlot) {
+  // Master writes alternate between two slots; destroying the newest slot
+  // (a checkpoint torn mid master-write) must fall back to the previous
+  // checkpoint, not silently discard the log.
+  auto device = std::make_shared<MemoryBlockDevice>();
+  WalWriter wal(device.get());
+  ASSERT_TRUE(wal.Open().ok());
+  const uint64_t lsn_a = wal.Append(LogRecord::Begin(1));
+  ASSERT_TRUE(wal.ForceAll().ok());
+  ASSERT_TRUE(wal.WriteMaster(lsn_a, lsn_a).ok());
+  const uint64_t lsn_b = wal.Append(LogRecord::Begin(2));
+  ASSERT_TRUE(wal.ForceAll().ok());
+  ASSERT_TRUE(wal.WriteMaster(lsn_b, lsn_b).ok());
+
+  // Creation wrote slot 0, the checkpoints wrote slots 1 then 0 — the
+  // newest master (checkpoint at lsn_b) lives in slot 0. Tear it.
+  char junk[WalWriter::kBlockSize];
+  std::memset(junk, 0xAB, sizeof(junk));
+  ASSERT_TRUE(device->Write(storage::kWalSegmentId, 0, junk).ok());
+
+  WalWriter reader(device.get());
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.checkpoint_lsn(), lsn_a) << "previous slot takes over";
+  EXPECT_EQ(reader.append_lsn(), wal.append_lsn());
+  int count = 0;
+  ASSERT_TRUE(reader
+                  .Scan(reader.checkpoint_lsn(),
+                        [&](const LogRecord&) {
+                          ++count;
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_EQ(count, 2) << "both records remain reachable from the fallback";
+}
+
 TEST(WalWriterTest, MasterRecordSurvivesReopen) {
   auto device = std::make_shared<MemoryBlockDevice>();
   WalWriter wal(device.get());
@@ -294,13 +568,38 @@ class CrashRecoveryTest : public ::testing::Test {
   void SetUp() override { base_ = std::make_shared<MemoryBlockDevice>(); }
 
   /// Open a database incarnation over the shared device bytes.
-  std::unique_ptr<core::Prima> OpenDb() {
+  std::unique_ptr<core::Prima> OpenDb(uint64_t wal_max_bytes = 0,
+                                      uint64_t commit_delay_us = 0) {
     core::PrimaOptions options;
     crash_ = std::make_shared<CrashingBlockDevice>(base_);
     options.device = crash_;
+    options.wal_max_bytes = wal_max_bytes;
+    options.commit_delay_us = commit_delay_us;
     auto db = core::Prima::Open(std::move(options));
     EXPECT_TRUE(db.ok()) << db.status().ToString();
     return std::move(*db);
+  }
+
+  /// Minimal schema for the bounded-WAL tests (BREP would flood a small
+  /// ring with schema pages).
+  static void CreateItemType(core::Prima* db) {
+    ASSERT_TRUE(db->Execute("CREATE ATOM_TYPE item"
+                            " ( item_id : IDENTIFIER,"
+                            "   num : INTEGER,"
+                            "   name : CHAR_VAR )"
+                            " KEYS_ARE (num)")
+                    .ok());
+  }
+
+  util::Result<Tid> InsertItem(core::Prima* db, int64_t num) {
+    const auto* item = db->access().catalog().FindAtomType("item");
+    PRIMA_ASSIGN_OR_RETURN(core::Transaction * txn, db->Begin());
+    auto tid = txn->InsertAtom(
+        item->id, {AttrValue{1, Value::Int(num)},
+                   AttrValue{2, Value::String("n" + std::to_string(num))}});
+    if (!tid.ok()) return tid.status();
+    PRIMA_RETURN_IF_ERROR(txn->Commit());
+    return tid;
   }
 
   /// Pull the plug: every write from now on (including destructor flushes)
@@ -559,6 +858,198 @@ TEST_F(CrashRecoveryTest, CheckpointShortensRedo) {
   EXPECT_GT(without_ckpt, 0u);
   EXPECT_LT(with_ckpt, without_ckpt)
       << "a checkpoint must shorten the restart scan";
+}
+
+// ---------------------------------------------------------------------------
+// Circular WAL: truncation / wraparound under crashes, via Prima
+// ---------------------------------------------------------------------------
+
+TEST_F(CrashRecoveryTest, BoundedWalSurvivesCrashAfterCheckpointCommit) {
+  static constexpr uint64_t kWalCap = 1u << 20;  // 1 MiB ring
+  auto db = OpenDb(kWalCap);
+  CreateItemType(db.get());
+  ASSERT_TRUE(db->Flush().ok());
+
+  // Sustained checkpointed workload: run until the log has wrapped at
+  // least twice, checkpointing every few commits so truncation keeps up.
+  int inserted = 0;
+  while (db->wal()->append_lsn() < 3 * db->wal()->capacity_bytes()) {
+    ASSERT_LT(inserted, 5000) << "log never wrapped - ring far too large?";
+    auto tid = InsertItem(db.get(), ++inserted);
+    ASSERT_TRUE(tid.ok()) << tid.status().ToString();
+    if (inserted % 10 == 0) {
+      ASSERT_TRUE(db->Flush().ok());
+    }
+  }
+  EXPECT_LE(db->wal_stats().footprint_bytes, kWalCap)
+      << "the WAL file must stay bounded by wal_max_bytes";
+
+  // Crash in the exact window between the checkpoint's master-record
+  // commit (inside Flush) and any append that would reuse recycled blocks.
+  ASSERT_TRUE(db->Flush().ok());
+  Crash(&db);
+
+  auto db2 = OpenDb(kWalCap);
+  ASSERT_NE(db2, nullptr);
+  const auto* item = db2->access().catalog().FindAtomType("item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(db2->access().AtomCount(item->id),
+            static_cast<size_t>(inserted));
+  // The recovered ring keeps rotating.
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(InsertItem(db2.get(), 10000 + i).ok());
+    if (i % 10 == 9) {
+      ASSERT_TRUE(db2->Flush().ok());
+    }
+  }
+  ASSERT_TRUE(db2->Flush().ok());
+  EXPECT_EQ(db2->access().AtomCount(item->id),
+            static_cast<size_t>(inserted) + 25);
+  EXPECT_LE(db2->wal_stats().footprint_bytes, kWalCap);
+}
+
+TEST_F(CrashRecoveryTest, DoubleCrashRecoveryWithWrappedLog) {
+  static constexpr uint64_t kWalCap = 1u << 20;
+  auto db = OpenDb(kWalCap);
+  CreateItemType(db.get());
+  ASSERT_TRUE(db->Flush().ok());
+
+  int inserted = 0;
+  while (db->wal()->append_lsn() < 2 * db->wal()->capacity_bytes()) {
+    ASSERT_LT(inserted, 5000) << "log never wrapped - ring far too large?";
+    ASSERT_TRUE(InsertItem(db.get(), ++inserted).ok());
+    if (inserted % 10 == 0) {
+      ASSERT_TRUE(db->Flush().ok());
+    }
+  }
+  // A few more commits AFTER the last checkpoint so recovery has live
+  // wrapped log to redo, then crash mid-interval.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(InsertItem(db.get(), ++inserted).ok());
+  }
+  Crash(&db);
+
+  // Recover, then crash again before the post-recovery checkpoint's work
+  // is extended — recovery over the wrapped ring must be idempotent.
+  auto db2 = OpenDb(kWalCap);
+  ASSERT_NE(db2, nullptr);
+  Crash(&db2);
+  auto db3 = OpenDb(kWalCap);
+  ASSERT_NE(db3, nullptr);
+  const auto* item = db3->access().catalog().FindAtomType("item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(db3->access().AtomCount(item->id), static_cast<size_t>(inserted));
+  auto set = db3->Query("SELECT ALL FROM item");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), static_cast<size_t>(inserted));
+}
+
+TEST_F(CrashRecoveryTest, RecoveredPartitionCopyIsNotDuplicated) {
+  // A partition copy that was drained (materialized in the partition file,
+  // pages WAL-logged) but whose address-table registration died with the
+  // process: the restart re-enqueue must update that copy in place, not
+  // insert an orphan duplicate.
+  auto db = OpenDb();
+  CreateItemType(db.get());
+  ASSERT_TRUE(db->ExecuteLdl("CREATE PARTITION pnum ON item (num)").ok());
+  ASSERT_TRUE(db->Flush().ok());  // DDL + empty partition durable
+
+  auto tid = InsertItem(db.get(), 1);
+  ASSERT_TRUE(tid.ok());
+  // Drain: the copy lands in the partition record file and is registered
+  // in the (memory-resident) address table.
+  ASSERT_TRUE(db->access().DrainAll().ok());
+  ASSERT_TRUE(db->wal()->ForceAll().ok());  // its pages are on the device
+  Crash(&db);  // ... but the registration is not
+
+  auto db2 = OpenDb();
+  ASSERT_NE(db2, nullptr);
+  ASSERT_TRUE(db2->access().DrainAll().ok());
+  const auto* part = db2->access().catalog().FindStructure("pnum");
+  ASSERT_NE(part, nullptr);
+  auto* file = db2->access().PartitionFile(part->id);
+  ASSERT_NE(file, nullptr);
+  EXPECT_EQ(file->record_count(), 1u)
+      << "re-enqueued upsert must reuse the recovered copy";
+  // And the mapping actually points at the surviving record.
+  auto rid = db2->access().addresses().Lookup(*tid, part->id);
+  EXPECT_TRUE(rid.ok());
+}
+
+TEST_F(CrashRecoveryTest, CleanReopenAfterRecoveryKeepsMultiPageBlob) {
+  // Regression (latent since PR 1): ~Prima checkpointed, detached the WAL,
+  // and then ~AccessSystem re-persisted the metadata blobs UNLOGGED —
+  // RewriteSequence reshuffles the blob's component pages and Format wipes
+  // their page-LSNs, so the NEXT restart's redo (replaying the committed
+  // checkpoint window over the device) reassembled a corrupt address blob
+  // and silently emptied the database. Needs a blob larger than one page
+  // (several hundred atoms); the shutdown flushes are now suppressed
+  // whenever a WAL owns durability.
+  auto db = OpenDb();
+  CreateItemType(db.get());
+  ASSERT_TRUE(db->Flush().ok());
+  const int kAtoms = 700;  // ~13KB address blob: needs component pages
+  for (int i = 0; i < kAtoms; ++i) {
+    ASSERT_TRUE(InsertItem(db.get(), i).ok());
+    if (i % 100 == 99) {
+      ASSERT_TRUE(db->Flush().ok());
+    }
+  }
+  Crash(&db);  // crash with post-checkpoint commits to redo
+
+  auto db2 = OpenDb();  // recovery pass
+  ASSERT_NE(db2, nullptr);
+  const auto* item2 = db2->access().catalog().FindAtomType("item");
+  ASSERT_EQ(db2->access().AtomCount(item2->id), size_t{kAtoms});
+  db2.reset();  // CLEAN shutdown: exit checkpoint, then destructors
+
+  auto db3 = OpenDb();
+  ASSERT_NE(db3, nullptr);
+  const auto* item3 = db3->access().catalog().FindAtomType("item");
+  ASSERT_NE(item3, nullptr);
+  EXPECT_EQ(db3->access().AtomCount(item3->id), size_t{kAtoms})
+      << "clean reopen after recovery must not lose the address blob";
+  db3.reset();
+  auto db4 = OpenDb();  // and once more, for the ping-pong page sets
+  const auto* item4 = db4->access().catalog().FindAtomType("item");
+  EXPECT_EQ(db4->access().AtomCount(item4->id), size_t{kAtoms});
+}
+
+TEST_F(CrashRecoveryTest, ConcurrentCommittersShareForcesAndSurviveCrash) {
+  static constexpr int kThreads = 8;
+  static constexpr int kCommitsPerThread = 8;
+  auto db = OpenDb(/*wal_max_bytes=*/0, /*commit_delay_us=*/2000);
+  CreateItemType(db.get());
+  ASSERT_TRUE(db->Flush().ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> committers;
+  committers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    committers.emplace_back([&, t] {
+      for (int i = 0; i < kCommitsPerThread; ++i) {
+        auto tid = InsertItem(db.get(), t * 1000 + i);
+        if (!tid.ok()) failures++;
+      }
+    });
+  }
+  for (auto& th : committers) th.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  const auto stats = db->wal_stats();
+  EXPECT_EQ(stats.commits_forced, uint64_t{kThreads * kCommitsPerThread});
+  EXPECT_GT(stats.records_per_force, 1.0);
+  EXPECT_GT(stats.commits_per_force, 1.0)
+      << "the delay window must batch concurrent committers";
+
+  Crash(&db);
+  auto db2 = OpenDb();
+  ASSERT_NE(db2, nullptr);
+  const auto* item = db2->access().catalog().FindAtomType("item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(db2->access().AtomCount(item->id),
+            size_t{kThreads * kCommitsPerThread})
+      << "every acknowledged commit must survive the crash";
 }
 
 }  // namespace
