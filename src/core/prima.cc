@@ -63,6 +63,22 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
   db->shared_device_ = options.device;
   db->storage_ = std::make_unique<storage::StorageSystem>(std::move(device),
                                                           options.storage);
+
+  // Media recovery phase 1 runs at DEVICE level, before the storage system
+  // reads any segment metadata: wipe the untrusted data files and rewrite
+  // them from the fuzzy dump. Phase 2 (replaying history from the dump's
+  // start point) takes AnalyzeAndRedo's slot below.
+  uint64_t media_start_lsn = 0;
+  if (options.restore_from_backup) {
+    if (!options.wal) {
+      return Status::InvalidArgument(
+          "media recovery replays the log - it requires options.wal");
+    }
+    PRIMA_ASSIGN_OR_RETURN(
+        const recovery::BackupInfo restored,
+        recovery::BackupManager::Restore(&db->storage_->device()));
+    media_start_lsn = restored.start_lsn;
+  }
   PRIMA_RETURN_IF_ERROR(db->storage_->Open());
 
   if (options.wal) {
@@ -71,12 +87,17 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
     recovery::WalOptions wal_options;
     wal_options.commit_delay_us = options.commit_delay_us;
     wal_options.max_bytes = options.wal_max_bytes;
+    wal_options.archive = options.wal_archive;
     db->wal_ = std::make_unique<recovery::WalWriter>(&db->storage_->device(),
                                                      wal_options);
     PRIMA_RETURN_IF_ERROR(db->wal_->Open());
     db->recovery_ = std::make_unique<recovery::RecoveryManager>(
         db->storage_.get(), db->wal_.get());
-    PRIMA_RETURN_IF_ERROR(db->recovery_->AnalyzeAndRedo());
+    if (options.restore_from_backup) {
+      PRIMA_RETURN_IF_ERROR(db->recovery_->MediaRecover(media_start_lsn));
+    } else {
+      PRIMA_RETURN_IF_ERROR(db->recovery_->AnalyzeAndRedo());
+    }
     db->storage_->SetWal(db->wal_.get());
   }
 
@@ -109,10 +130,37 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
     PRIMA_RETURN_IF_ERROR(db->recovery_->Checkpoint(db->access_.get()));
   }
   db->fully_open_ = true;
+
+  // The checkpoint daemon starts LAST: it checkpoints through the fully
+  // assembled stack, and a half-open database must never checkpoint (see
+  // fully_open_).
+  if (db->wal_ != nullptr && db->wal_->capacity_bytes() > 0 &&
+      options.checkpoint_ring_fraction > 0.0) {
+    recovery::CheckpointDaemon::Options daemon_options;
+    daemon_options.ring_fraction = options.checkpoint_ring_fraction;
+    daemon_options.poll_ms = options.checkpoint_poll_ms;
+    db->daemon_ = std::make_unique<recovery::CheckpointDaemon>(
+        db->recovery_.get(), db->wal_.get(), db->access_.get(),
+        daemon_options);
+    db->daemon_->Start();
+    db->txns_->SetCheckpointDaemon(db->daemon_.get());
+  }
   return db;
 }
 
 Prima::~Prima() {
+  // Shutdown ordering with a live daemon thread: stop it BEFORE the exit
+  // checkpoint and before any member starts destructing — a daemon
+  // checkpoint racing the teardown would walk freed subsystems. As
+  // everywhere in ~Prima (WAL detach, member teardown), application
+  // threads must have finished their transactions before destruction; a
+  // committer already waiting inside RequestCheckpoint is woken by Stop()
+  // and fails with Aborted, but destruction concurrent with NEW commits
+  // is outside the contract.
+  if (daemon_ != nullptr) {
+    if (txns_ != nullptr) txns_->SetCheckpointDaemon(nullptr);
+    daemon_->Stop();
+  }
   if (access_ != nullptr && fully_open_) {
     if (recovery_ != nullptr) {
       (void)recovery_->Checkpoint(access_.get());
@@ -162,6 +210,25 @@ Result<std::string> Prima::ExecuteLdl(const std::string& ldl) {
 Status Prima::Flush() {
   if (recovery_ != nullptr) return recovery_->Checkpoint(access_.get());
   return access_->Flush();
+}
+
+Result<recovery::BackupInfo> Prima::Backup() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "a restorable backup needs the log - open with options.wal");
+  }
+  if (wal_->capacity_bytes() > 0 && wal_->archiver() == nullptr) {
+    // Refuse now rather than at disaster time: the very next truncation of
+    // a circular log would recycle blocks the dump's replay depends on,
+    // turning a "successful" backup unrestorable.
+    return Status::InvalidArgument(
+        "a bounded WAL recycles log blocks - enable options.wal_archive so "
+        "the dump stays replayable");
+  }
+  // Checkpoint first: it shortens the eventual replay and archives the
+  // pre-floor blocks, and the dump's start point becomes this checkpoint.
+  PRIMA_RETURN_IF_ERROR(recovery_->Checkpoint(access_.get()));
+  return recovery::BackupManager::TakeBackup(storage_.get(), wal_.get());
 }
 
 recovery::WalStatsSnapshot Prima::wal_stats() const {

@@ -10,6 +10,8 @@
 #include "core/transaction.h"
 #include "ldl/ldl.h"
 #include "mql/data_system.h"
+#include "recovery/backup.h"
+#include "recovery/checkpoint_daemon.h"
 #include "recovery/recovery_manager.h"
 #include "recovery/wal_writer.h"
 #include "storage/storage_system.h"
@@ -41,11 +43,47 @@ struct PrimaOptions {
 
   /// Cap on the WAL file size (0 = unbounded, the log only grows). With a
   /// cap the log becomes circular: each checkpoint (Flush()) retires the
-  /// blocks below its undo floor and appends wrap onto them. A workload
-  /// that outruns its checkpoints sees commits fail with NoSpace until the
-  /// next Flush() truncates. Recorded in the log's master record at
-  /// creation — reopening an existing log keeps its original geometry.
+  /// blocks below its undo floor and appends wrap onto them. Recorded in
+  /// the log's master record at creation — reopening an existing log keeps
+  /// its original geometry. The checkpoint daemon (below) keeps a
+  /// well-behaved workload from ever hitting the ring's NoSpace point;
+  /// with the daemon disabled, commits fail with NoSpace until the next
+  /// Flush() truncates.
   uint64_t wal_max_bytes = 0;
+
+  /// Background checkpoint daemon (active when wal && wal_max_bytes > 0
+  /// && checkpoint_ring_fraction > 0): a daemon thread owned by the
+  /// database watches the live log window and takes a fuzzy checkpoint
+  /// whenever live_bytes exceeds this fraction of the ring, so truncation
+  /// recycles log space before commits need it — no manual Flush() calls
+  /// required. The default 0.5 fires well before the ring's reserve-backed
+  /// refusal point (75% of capacity on large rings). A committer that
+  /// still catches the ring full pokes the daemon and retries once after
+  /// the checkpoint completes, so only a genuinely wedged ring (e.g. a
+  /// long-running transaction pinning the undo floor — watch
+  /// WalStatsSnapshot::oldest_active_lsn) surfaces NoSpace. 0 disables
+  /// the daemon (PR-2 behavior: checkpoint scheduling is the caller's
+  /// problem).
+  double checkpoint_ring_fraction = 0.5;
+  /// Daemon poll interval between threshold checks (explicit pokes bypass
+  /// it).
+  uint64_t checkpoint_poll_ms = 5;
+
+  /// Archive WAL blocks into an append-only archive file before circular
+  /// truncation recycles them. Keeps the complete log history readable —
+  /// the replay source media recovery needs beyond the live ring. Once an
+  /// archive exists it stays active on every reopen regardless of this
+  /// flag (a gap would silently break media recovery). Meaningless
+  /// without wal_max_bytes (an unbounded log never recycles anything).
+  bool wal_archive = false;
+
+  /// MEDIA RECOVERY: before opening, wipe every data segment and rebuild
+  /// the database from the last fuzzy backup (Prima::Backup) by replaying
+  /// the archived log + live WAL from the dump's start point. Use when the
+  /// data device is lost or corrupt beyond what restart recovery repairs;
+  /// requires wal and a committed backup dump on the device. The WAL,
+  /// archive, and backup files are the surviving "separate media".
+  bool restore_from_backup = false;
 
   storage::StorageOptions storage;
   access::AccessOptions access;
@@ -96,6 +134,13 @@ class Prima {
   /// the next restart scans only from here.
   util::Status Flush();
 
+  /// Take a fuzzy online backup: checkpoint, then dump every data segment
+  /// into the backup file WITHOUT quiescing writers. Restoring the dump
+  /// and replaying the archived log + live WAL from its start point
+  /// (PrimaOptions::restore_from_backup) rebuilds the database after total
+  /// data-device loss. Requires WAL.
+  util::Result<recovery::BackupInfo> Backup();
+
   // --- subsystem access -------------------------------------------------------------
 
   /// Log counters + footprint (records-per-force, commits-per-force, live
@@ -111,6 +156,8 @@ class Prima {
   /// Null when options.wal is false.
   recovery::WalWriter* wal() { return wal_.get(); }
   recovery::RecoveryManager* recovery() { return recovery_.get(); }
+  /// Null unless the daemon is active (wal + wal_max_bytes + fraction).
+  recovery::CheckpointDaemon* checkpoint_daemon() { return daemon_.get(); }
 
  private:
   Prima() = default;
@@ -132,6 +179,10 @@ class Prima {
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<ParallelQueryProcessor> parallel_;
   std::unique_ptr<ObjectBuffer> object_buffer_;
+  /// Declared last, and explicitly Stop()ped first in ~Prima: the daemon
+  /// thread checkpoints through recovery_/access_/wal_ and must be gone
+  /// before any of them shuts down.
+  std::unique_ptr<recovery::CheckpointDaemon> daemon_;
 };
 
 }  // namespace prima::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "recovery/checkpoint_daemon.h"
 #include "recovery/wal_writer.h"
 
 namespace prima::core {
@@ -256,7 +257,19 @@ Status Transaction::Commit() {
     // CLRs the abort writes.
     const uint64_t commit_lsn =
         mgr_->wal_->Append(recovery::LogRecord::Commit(id_));
-    PRIMA_RETURN_IF_ERROR(mgr_->wal_->CommitForce(commit_lsn));
+    Status force_st = mgr_->wal_->CommitForce(commit_lsn);
+    if (force_st.IsNoSpace() && mgr_->ckpt_daemon_ != nullptr) {
+      // The ring caught up with us between the daemon's polls. A refused
+      // force is side-effect free and the commit record is still buffered,
+      // so: poke the daemon, wait for a full checkpoint to truncate, and
+      // force once more. Only a ring that a checkpoint cannot free (e.g. a
+      // long-running transaction pinning the undo floor) still surfaces
+      // NoSpace here.
+      if (mgr_->ckpt_daemon_->RequestCheckpoint().ok()) {
+        force_st = mgr_->wal_->CommitForce(commit_lsn);
+      }
+    }
+    PRIMA_RETURN_IF_ERROR(force_st);
   }
   state_ = State::kCommitted;
   if (parent_ != nullptr) {

@@ -11,6 +11,7 @@
 #include "access/access_system.h"
 
 namespace prima::recovery {
+class CheckpointDaemon;
 class WalWriter;
 }  // namespace prima::recovery
 
@@ -109,6 +110,14 @@ class TransactionManager {
   /// Abort() brackets its compensations with a kCompensation record.
   void SetWal(recovery::WalWriter* wal) { wal_ = wal; }
 
+  /// Attach (or detach) the background checkpoint daemon. A top-level
+  /// Commit() whose log force is refused with NoSpace (circular WAL full)
+  /// then pokes the daemon and retries the force once after the checkpoint
+  /// completes, instead of bubbling NoSpace to a well-behaved committer.
+  void SetCheckpointDaemon(recovery::CheckpointDaemon* daemon) {
+    ckpt_daemon_ = daemon;
+  }
+
   /// Raise the id generator to at least `id`. Restart recovery calls this
   /// with one past the highest transaction id in the log's scan window:
   /// reusing an id still visible there would let the old id's commit
@@ -155,6 +164,7 @@ class TransactionManager {
 
   access::AccessSystem* access_;
   recovery::WalWriter* wal_ = nullptr;
+  recovery::CheckpointDaemon* ckpt_daemon_ = nullptr;
   TransactionStats stats_;
 
   mutable std::mutex mu_;  // lock table + registry

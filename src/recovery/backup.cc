@@ -1,0 +1,275 @@
+#include "recovery/backup.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/wal.h"
+#include "util/coding.h"
+#include "util/crc32.h"
+#include "util/slice.h"
+
+namespace prima::recovery {
+
+using util::Result;
+using util::Slice;
+using util::Status;
+
+namespace {
+
+constexpr uint32_t kDumpBlockSize = 4096;
+
+/// Streams the payload byte sequence into consecutive dump blocks
+/// (starting at block 1), extending the payload CRC as it goes. Keeps one
+/// block of state — the database is never materialized in memory.
+class StreamWriter {
+ public:
+  StreamWriter(storage::BlockDevice* device, storage::SegmentId file)
+      : device_(device), file_(file) {}
+
+  Status Append(const char* data, size_t n) {
+    crc_ = util::Crc32Extend(crc_, Slice(data, n));
+    bytes_ += n;
+    while (n > 0) {
+      const size_t room = kDumpBlockSize - fill_;
+      const size_t chunk = std::min(n, room);
+      std::memcpy(block_ + fill_, data, chunk);
+      fill_ += chunk;
+      data += chunk;
+      n -= chunk;
+      if (fill_ == kDumpBlockSize) {
+        PRIMA_RETURN_IF_ERROR(FlushBlock());
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status Finish() {
+    if (fill_ > 0) {
+      std::memset(block_ + fill_, 0, kDumpBlockSize - fill_);
+      fill_ = kDumpBlockSize;
+      PRIMA_RETURN_IF_ERROR(FlushBlock());
+    }
+    return Status::Ok();
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  uint32_t crc() const { return crc_; }
+
+ private:
+  Status FlushBlock() {
+    PRIMA_RETURN_IF_ERROR(device_->Write(file_, next_block_++, block_));
+    fill_ = 0;
+    return Status::Ok();
+  }
+
+  storage::BlockDevice* device_;
+  const storage::SegmentId file_;
+  uint64_t next_block_ = 1;
+  uint64_t bytes_ = 0;
+  uint32_t crc_ = 0;
+  char block_[kDumpBlockSize];
+  size_t fill_ = 0;
+};
+
+/// Sequential byte reader over the payload blocks of a dump slot.
+class StreamReader {
+ public:
+  StreamReader(storage::BlockDevice* device, storage::SegmentId file,
+               uint64_t total_bytes)
+      : device_(device), file_(file), remaining_(total_bytes) {}
+
+  uint64_t remaining() const { return remaining_; }
+
+  Status Read(char* dst, size_t n) {
+    if (n > remaining_) {
+      return Status::Corruption("backup stream truncated");
+    }
+    remaining_ -= n;
+    while (n > 0) {
+      if (fill_ == 0) {
+        PRIMA_RETURN_IF_ERROR(device_->Read(file_, next_block_++, block_));
+        fill_ = kDumpBlockSize;
+      }
+      const size_t chunk = std::min(n, fill_);
+      std::memcpy(dst, block_ + (kDumpBlockSize - fill_), chunk);
+      dst += chunk;
+      fill_ -= chunk;
+      n -= chunk;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  storage::BlockDevice* device_;
+  const storage::SegmentId file_;
+  uint64_t remaining_;
+  uint64_t next_block_ = 1;
+  char block_[kDumpBlockSize];
+  size_t fill_ = 0;  ///< unconsumed bytes at the tail of block_
+};
+
+}  // namespace
+
+Result<BackupManager::SlotHeader> BackupManager::ReadHeader(
+    storage::BlockDevice* device, storage::SegmentId file) {
+  if (!device->Exists(file)) {
+    return Status::NotFound("no backup dump in this slot");
+  }
+  char block[kDumpBlockSize];
+  PRIMA_RETURN_IF_ERROR(device->Read(file, 0, block));
+  if (util::DecodeFixed32(block) != kMagic ||
+      util::DecodeFixed32(block + 4) != kFormatVersion ||
+      util::DecodeFixed32(block + 40) != util::Crc32(Slice(block, 40))) {
+    return Status::Corruption(
+        "backup header is damaged (dump incomplete or torn)");
+  }
+  SlotHeader slot;
+  slot.info.start_lsn = util::DecodeFixed64(block + 8);
+  slot.info.bytes = util::DecodeFixed64(block + 16);
+  slot.info.segments = util::DecodeFixed32(block + 24);
+  slot.seq = util::DecodeFixed64(block + 32);
+  slot.file = file;
+  return slot;
+}
+
+Result<BackupManager::SlotHeader> BackupManager::FindLive(
+    storage::BlockDevice* device) {
+  Result<SlotHeader> best =
+      Status::NotFound("no committed backup dump on the device");
+  for (storage::SegmentId file :
+       {storage::kBackupSegmentId, storage::kBackupAltSegmentId}) {
+    auto slot = ReadHeader(device, file);
+    if (slot.ok() && (!best.ok() || slot->seq > best->seq)) {
+      best = std::move(slot);
+    }
+  }
+  return best;
+}
+
+Result<BackupInfo> BackupManager::TakeBackup(storage::StorageSystem* storage,
+                                             WalWriter* wal) {
+  storage::BlockDevice& device = storage->device();
+
+  // Snapshot the replay point FIRST: every page image read from here on
+  // reflects at least this checkpoint's flush (see BackupInfo::start_lsn).
+  BackupInfo info;
+  info.start_lsn = wal->checkpoint_lsn();
+
+  // Alternate slots: overwrite the slot NOT holding the newest committed
+  // dump, so the last good backup survives a crash mid-dump.
+  uint64_t seq = 1;
+  storage::SegmentId target = storage::kBackupSegmentId;
+  if (auto live = FindLive(&device); live.ok()) {
+    seq = live->seq + 1;
+    target = live->file == storage::kBackupSegmentId
+                 ? storage::kBackupAltSegmentId
+                 : storage::kBackupSegmentId;
+  }
+  if (device.Exists(target)) {
+    PRIMA_RETURN_IF_ERROR(device.Remove(target));
+  }
+  PRIMA_RETURN_IF_ERROR(device.Create(target, kDumpBlockSize));
+
+  // Stream the dump: per segment a descriptor + the raw device blocks.
+  // Writers keep running; per-block device reads are atomic, anything
+  // fuzzier is repaired by the replay.
+  StreamWriter out(&device, target);
+  std::string page;
+  for (storage::SegmentId seg : storage->ListSegments()) {
+    PRIMA_ASSIGN_OR_RETURN(const storage::PageSize ps,
+                           storage->SegmentPageSize(seg));
+    PRIMA_ASSIGN_OR_RETURN(const uint32_t pages, storage->PageCount(seg));
+    const uint32_t bs = storage::PageSizeBytes(ps);
+    char desc[12];
+    util::EncodeFixed32(desc, seg);
+    util::EncodeFixed32(desc + 4, bs);
+    util::EncodeFixed32(desc + 8, pages);
+    PRIMA_RETURN_IF_ERROR(out.Append(desc, sizeof(desc)));
+    page.resize(bs);
+    for (uint32_t p = 0; p < pages; ++p) {
+      PRIMA_RETURN_IF_ERROR(device.Read(seg, p, page.data()));
+      PRIMA_RETURN_IF_ERROR(out.Append(page.data(), bs));
+    }
+    info.segments++;
+  }
+  PRIMA_RETURN_IF_ERROR(out.Finish());
+  info.bytes = out.bytes();
+  PRIMA_RETURN_IF_ERROR(device.Sync());
+
+  // Header last: its CRC (and seq) is the dump's commit point.
+  char header[kDumpBlockSize];
+  std::memset(header, 0, sizeof(header));
+  util::EncodeFixed32(header, kMagic);
+  util::EncodeFixed32(header + 4, kFormatVersion);
+  util::EncodeFixed64(header + 8, info.start_lsn);
+  util::EncodeFixed64(header + 16, info.bytes);
+  util::EncodeFixed32(header + 24, info.segments);
+  util::EncodeFixed32(header + 28, out.crc());
+  util::EncodeFixed64(header + 32, seq);
+  util::EncodeFixed32(header + 40, util::Crc32(Slice(header, 40)));
+  PRIMA_RETURN_IF_ERROR(device.Write(target, 0, header));
+  PRIMA_RETURN_IF_ERROR(device.Sync());
+  return info;
+}
+
+Result<BackupInfo> BackupManager::Restore(storage::BlockDevice* device) {
+  PRIMA_ASSIGN_OR_RETURN(const SlotHeader slot, FindLive(device));
+
+  // Pass 1: verify the whole payload stream against the header's CRC
+  // before touching the device, so a bit-rotten dump fails without side
+  // effects. One block of memory, incremental CRC.
+  {
+    char block[kDumpBlockSize];
+    uint32_t crc = 0;
+    uint64_t left = slot.info.bytes;
+    for (uint64_t b = 1; left > 0; ++b) {
+      PRIMA_RETURN_IF_ERROR(device->Read(slot.file, b, block));
+      const size_t chunk =
+          static_cast<size_t>(std::min<uint64_t>(kDumpBlockSize, left));
+      crc = util::Crc32Extend(crc, Slice(block, chunk));
+      left -= chunk;
+    }
+    char header[kDumpBlockSize];
+    PRIMA_RETURN_IF_ERROR(device->Read(slot.file, 0, header));
+    if (crc != util::DecodeFixed32(header + 28)) {
+      return Status::Corruption("backup payload fails its checksum");
+    }
+  }
+
+  // The device was lost: every residual data file is untrusted (zeroed,
+  // partial, or stale) and goes away before the dump is written back.
+  // Segments created after the dump are rebuilt entirely by the replay
+  // (their first formatting logged full page images).
+  for (storage::SegmentId id : device->ListFiles()) {
+    if (storage::IsReservedFileId(id)) continue;
+    PRIMA_RETURN_IF_ERROR(device->Remove(id));
+  }
+
+  // Pass 2: stream the segments back onto the device.
+  StreamReader in(device, slot.file, slot.info.bytes);
+  std::string page;
+  for (uint32_t s = 0; s < slot.info.segments; ++s) {
+    char desc[12];
+    PRIMA_RETURN_IF_ERROR(in.Read(desc, sizeof(desc)));
+    const uint32_t seg = util::DecodeFixed32(desc);
+    const uint32_t bs = util::DecodeFixed32(desc + 4);
+    const uint32_t pages = util::DecodeFixed32(desc + 8);
+    if (bs == 0 || static_cast<uint64_t>(pages) * bs > in.remaining()) {
+      return Status::Corruption("backup stream truncated in segment " +
+                                std::to_string(seg));
+    }
+    PRIMA_RETURN_IF_ERROR(device->Create(seg, bs));
+    page.resize(bs);
+    for (uint32_t p = 0; p < pages; ++p) {
+      PRIMA_RETURN_IF_ERROR(in.Read(page.data(), bs));
+      PRIMA_RETURN_IF_ERROR(device->Write(seg, p, page.data()));
+    }
+  }
+  PRIMA_RETURN_IF_ERROR(device->Sync());
+  return slot.info;
+}
+
+}  // namespace prima::recovery

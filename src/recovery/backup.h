@@ -1,0 +1,99 @@
+#ifndef PRIMA_RECOVERY_BACKUP_H_
+#define PRIMA_RECOVERY_BACKUP_H_
+
+#include <cstdint>
+
+#include "recovery/wal_writer.h"
+#include "storage/block_device.h"
+#include "storage/storage_system.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prima::recovery {
+
+/// Summary of a dump on the device (returned by TakeBackup and Restore).
+struct BackupInfo {
+  /// LSN of the last completed checkpoint when the dump STARTED. Replaying
+  /// the log from here onto the restored pages reconstructs the crash
+  /// state: every device page image the dump can have read reflects at
+  /// least that checkpoint's flush (the checkpoint wrote back every page
+  /// dirty before it), so the only updates a dumped page can be missing
+  /// were logged at or after this LSN — and LSN-gated redo skips the ones
+  /// it already has. 0 = the log was never checkpointed; replay from 0.
+  uint64_t start_lsn = 0;
+  uint32_t segments = 0;
+  uint64_t bytes = 0;  ///< dump payload bytes (excluding framing)
+};
+
+/// Fuzzy segment-level backup (Härder's "dump" in the checkpoint/restart
+/// design): an online copy of every data segment taken WITHOUT quiescing
+/// writers, plus the device-level restore that media recovery starts from.
+///
+/// The dump is fuzzy on two axes and correct despite both:
+///  - pages keep changing while they are copied: a page image that is
+///    "too new" is skipped by LSN-gated redo, one that is "too old" (its
+///    write-back had not happened) is repaired by replay from start_lsn;
+///  - a racing write-back can even tear a page mid-copy: the epoch rule
+///    guarantees that any page modified since the last checkpoint has a
+///    full-image record in the replayed window, which is exactly how
+///    restart rebuilds pages torn on the real device.
+///
+/// On-disk layout (two alternating dump slots, kBackupSegmentId and
+/// kBackupAltSegmentId, 4096-byte blocks)
+/// ---------------------------------------------------------------------
+/// Each slot: block 0 is the dump header, written LAST (its CRC commits
+/// the dump; a crash mid-dump leaves that slot unreadable, never
+/// half-trusted). A new dump targets the slot NOT holding the newest
+/// committed header, so the previous good backup survives until the new
+/// one commits — Restore adopts the valid slot with the higher seq.
+///
+///   [0,4)   magic "PBAK"
+///   [4,8)   format version (1)
+///   [8,16)  start_lsn (see BackupInfo)
+///   [16,24) payload byte length
+///   [24,28) segment count
+///   [28,32) CRC32 over the whole payload stream
+///   [32,40) seq — monotonically increasing dump counter
+///   [40,44) CRC32 over header bytes [0,40)
+///
+/// Blocks 1.. — the payload stream, packed back to back: per segment
+///   [seg_id:u32][block_size:u32][block_count:u32] followed by block_count
+///   raw device blocks. Both TakeBackup and Restore stream it block by
+///   block (incremental CRC) — the database is never materialized in
+///   memory.
+class BackupManager {
+ public:
+  /// Take a fuzzy dump of every data segment into the non-live backup
+  /// slot on the same device (modeling separate backup media). Writers
+  /// may keep running throughout.
+  static util::Result<BackupInfo> TakeBackup(storage::StorageSystem* storage,
+                                             WalWriter* wal);
+
+  /// Media recovery, phase 1: destroy every residual data segment (their
+  /// content is untrusted — the device was lost) and rewrite them from the
+  /// dump. Runs at device level BEFORE StorageSystem::Open; the caller
+  /// then replays the log from the returned start_lsn
+  /// (RecoveryManager::MediaRecover) to roll the restored pages forward.
+  static util::Result<BackupInfo> Restore(storage::BlockDevice* device);
+
+ private:
+  static constexpr uint32_t kMagic = 0x5042414Bu;  // "PBAK"
+  static constexpr uint32_t kFormatVersion = 1;
+
+  struct SlotHeader {
+    BackupInfo info;
+    uint64_t seq = 0;
+    storage::SegmentId file = 0;
+  };
+
+  /// Read and validate one slot's header. NotFound/Corruption when the
+  /// slot holds no committed dump.
+  static util::Result<SlotHeader> ReadHeader(storage::BlockDevice* device,
+                                             storage::SegmentId file);
+  /// The newest committed dump across both slots.
+  static util::Result<SlotHeader> FindLive(storage::BlockDevice* device);
+};
+
+}  // namespace prima::recovery
+
+#endif  // PRIMA_RECOVERY_BACKUP_H_

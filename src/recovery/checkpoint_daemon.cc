@@ -1,0 +1,100 @@
+#include "recovery/checkpoint_daemon.h"
+
+#include <chrono>
+
+namespace prima::recovery {
+
+using util::Status;
+
+CheckpointDaemon::CheckpointDaemon(RecoveryManager* recovery, WalWriter* wal,
+                                   access::AccessSystem* access,
+                                   Options options)
+    : recovery_(recovery), wal_(wal), access_(access), options_(options) {}
+
+CheckpointDaemon::~CheckpointDaemon() { Stop(); }
+
+void CheckpointDaemon::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void CheckpointDaemon::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  done_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool CheckpointDaemon::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_ && !stop_;
+}
+
+bool CheckpointDaemon::OverThreshold() const {
+  const uint64_t capacity = wal_->capacity_bytes();
+  if (capacity == 0 || options_.ring_fraction <= 0.0) return false;
+  const uint64_t live = wal_->append_lsn() - wal_->truncate_lsn();
+  return static_cast<double>(live) >
+         options_.ring_fraction * static_cast<double>(capacity);
+}
+
+Status CheckpointDaemon::RequestCheckpoint() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!running_ || stop_) {
+    return Status::Aborted("checkpoint daemon is not running");
+  }
+  const uint64_t my_seq = ++request_seq_;
+  wake_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return stop_ || served_seq_ >= my_seq; });
+  if (served_seq_ < my_seq) {
+    return Status::Aborted("checkpoint daemon stopped before serving");
+  }
+  return last_status_;
+}
+
+void CheckpointDaemon::RunLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    wake_cv_.wait_for(lk, std::chrono::milliseconds(options_.poll_ms),
+                      [&] { return stop_ || request_seq_ > served_seq_; });
+    if (stop_) break;
+    const uint64_t serving = request_seq_;  // requests this run will cover
+    const bool requested = serving > served_seq_;
+    if (!requested && !OverThreshold()) continue;
+
+    lk.unlock();
+    const Status st = recovery_->Checkpoint(access_);
+    lk.lock();
+
+    last_status_ = st;
+    if (!st.ok()) {
+      stats_.failed_checkpoints++;
+    } else if (requested) {
+      stats_.requested_checkpoints++;
+    } else {
+      wal_->stats().auto_checkpoints++;
+    }
+    // Even a failed checkpoint serves its requests: the waiter retries its
+    // force once and surfaces NoSpace itself if space really is gone —
+    // blocking it forever on a wedged ring (long-running transaction pins
+    // the floor) would turn an error into a hang.
+    served_seq_ = serving;
+    done_cv_.notify_all();
+  }
+}
+
+CheckpointDaemon::Stats CheckpointDaemon::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace prima::recovery

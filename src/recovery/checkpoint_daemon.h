@@ -1,0 +1,104 @@
+#ifndef PRIMA_RECOVERY_CHECKPOINT_DAEMON_H_
+#define PRIMA_RECOVERY_CHECKPOINT_DAEMON_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "recovery/recovery_manager.h"
+#include "recovery/wal_writer.h"
+#include "util/status.h"
+
+namespace prima::recovery {
+
+/// Background checkpoint scheduling for a bounded (circular) WAL: a daemon
+/// thread watches the live log window and takes a fuzzy checkpoint whenever
+/// it passes a ring-fraction threshold, so a well-behaved workload never
+/// has to call Flush() itself and never runs the ring into NoSpace — the
+/// checkpoint's truncation recycles log space before commits need it.
+///
+/// The daemon also serves explicit requests: a committer whose force was
+/// refused with NoSpace pokes it via RequestCheckpoint() and retries once
+/// the checkpoint completes (see Transaction::Commit). Requests are served
+/// by a FULL checkpoint that starts after the request — one already in
+/// flight when the poke arrives does not count, since it may have snapshot
+/// its undo floor before the caller's records existed.
+///
+/// What the daemon cannot fix: a long-running transaction pins the undo
+/// floor, so checkpoints stop freeing space and a small ring wedges until
+/// it finishes. WalStatsSnapshot::oldest_active_lsn makes that visible.
+class CheckpointDaemon {
+ public:
+  struct Options {
+    /// Trigger threshold: checkpoint when live_bytes exceeds this fraction
+    /// of the ring capacity. Half the ring is a good default — early
+    /// enough that truncation lands before the reserve-backed NoSpace
+    /// point (at 1 - reserve/ring, i.e. 75% for large rings), late enough
+    /// not to burn checkpoints on an idle log.
+    double ring_fraction = 0.5;
+    /// Poll interval between threshold evaluations; explicit requests
+    /// bypass it via the condition variable.
+    uint64_t poll_ms = 5;
+  };
+
+  /// Threshold-triggered checkpoints are counted once, in
+  /// WalStats::auto_checkpoints (surfaced through Prima::wal_stats()).
+  struct Stats {
+    uint64_t requested_checkpoints = 0;  ///< RequestCheckpoint-triggered
+    uint64_t failed_checkpoints = 0;
+  };
+
+  /// `access` may be null (storage-only checkpoints, unit tests).
+  CheckpointDaemon(RecoveryManager* recovery, WalWriter* wal,
+                   access::AccessSystem* access, Options options);
+  ~CheckpointDaemon();  // Stop()s
+
+  CheckpointDaemon(const CheckpointDaemon&) = delete;
+  CheckpointDaemon& operator=(const CheckpointDaemon&) = delete;
+
+  /// Start the daemon thread. No-op when already running.
+  void Start();
+
+  /// Stop and join the daemon thread. Wakes any RequestCheckpoint waiters
+  /// (they fail with Aborted). Safe to call repeatedly; the owner MUST
+  /// call this before tearing down the recovery manager / WAL / access
+  /// system the daemon works on.
+  void Stop();
+
+  bool running() const;
+
+  /// Synchronous checkpoint request: wake the daemon, wait until a
+  /// checkpoint that STARTED after this call completes, and return its
+  /// status (Aborted if the daemon stops first). The NoSpace-retry hook
+  /// for committers.
+  util::Status RequestCheckpoint();
+
+  Stats stats() const;
+
+ private:
+  void RunLoop();
+  /// Threshold check against the current live window (lock-free reads of
+  /// the WAL's atomics plus one brief mutex hop for the floor).
+  bool OverThreshold() const;
+
+  RecoveryManager* const recovery_;
+  WalWriter* const wal_;
+  access::AccessSystem* const access_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_cv_;  ///< requests + stop
+  std::condition_variable done_cv_;  ///< checkpoint completions
+  bool running_ = false;
+  bool stop_ = false;
+  uint64_t request_seq_ = 0;   ///< bumped by RequestCheckpoint
+  uint64_t served_seq_ = 0;    ///< requests covered by a finished checkpoint
+  util::Status last_status_;   ///< outcome of the most recent checkpoint
+  Stats stats_;
+  std::thread thread_;
+};
+
+}  // namespace prima::recovery
+
+#endif  // PRIMA_RECOVERY_CHECKPOINT_DAEMON_H_

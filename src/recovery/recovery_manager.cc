@@ -15,7 +15,35 @@ using util::Slice;
 using util::Status;
 
 Status RecoveryManager::AnalyzeAndRedo() {
-  ckpt_lsn_ = wal_->checkpoint_lsn();
+  return AnalyzeAndRedoFrom(wal_->checkpoint_lsn());
+}
+
+Status RecoveryManager::MediaRecover(uint64_t dump_start_lsn) {
+  // The replay has to reach all the way back to the dump's start point —
+  // a gap (blocks recycled before archiving began, or no archive at all on
+  // a wrapped ring) would silently truncate history and under-recover.
+  if (dump_start_lsn < wal_->ScanFloor()) {
+    return Status::Corruption(
+        "media recovery needs the log from LSN " +
+        std::to_string(dump_start_lsn) + ", but archive + live WAL only "
+        "reach back to " + std::to_string(wal_->ScanFloor()));
+  }
+  // ... and forward to at least the dump's start: that checkpoint record
+  // was in the log when the dump was taken, so a log ending below it is
+  // not the log the dump depends on (the WAL file was lost or replaced).
+  // Without this check an EMPTY fresh log would pass every other guard and
+  // "recover" the raw fuzzy dump pages with zero replay.
+  if (wal_->durable_lsn() < dump_start_lsn) {
+    return Status::Corruption(
+        "the live WAL ends at LSN " + std::to_string(wal_->durable_lsn()) +
+        ", before the dump's start LSN " + std::to_string(dump_start_lsn) +
+        " - the log the dump depends on is missing");
+  }
+  return AnalyzeAndRedoFrom(dump_start_lsn);
+}
+
+Status RecoveryManager::AnalyzeAndRedoFrom(uint64_t ckpt_lsn) {
+  ckpt_lsn_ = ckpt_lsn;
 
   // Pass A: the checkpoint-begin record names the undo floor — the oldest
   // begin-LSN among transactions that were still active at the checkpoint.
@@ -29,10 +57,20 @@ Status RecoveryManager::AnalyzeAndRedo() {
     });
     if (!st.ok() && !st.IsAborted()) return st;
   }
+  // A transaction still active at the scan start can push the floor below
+  // it — make sure the log actually reaches that far back (on a normal
+  // restart it always does: truncation never passes the undo floor).
+  if (scan_start < wal_->ScanFloor()) {
+    return Status::Corruption(
+        "undo floor " + std::to_string(scan_start) +
+        " lies below the oldest readable log byte " +
+        std::to_string(wal_->ScanFloor()));
+  }
 
   // Pass B: repeat history. Page redo is LSN-gated per page, so records
   // older than the on-device state (including everything before the
   // checkpoint when the undo floor reaches back further) skip harmlessly.
+  uint64_t scan_end = scan_start;
   const Status scan_st = wal_->Scan(scan_start, [this](const LogRecord& rec) {
     stats_.records_scanned++;
     max_txn_id_ = std::max(max_txn_id_, rec.txn_id);
@@ -119,8 +157,19 @@ Status RecoveryManager::AnalyzeAndRedo() {
         break;
     }
     return Status::Ok();
-  });
+  }, &scan_end);
   PRIMA_RETURN_IF_ERROR(scan_st);
+  // The scan ending early is normal ONLY at the log's real tail (a torn
+  // last force). Stopping short of the durable end the log's own open
+  // found means a bad block inside the replayed HISTORY — in practice a
+  // damaged archived block during media recovery — and silently treating
+  // it as end-of-log would "recover" an ancient state.
+  if (scan_end < wal_->durable_lsn()) {
+    return Status::Corruption(
+        "log replay stopped at LSN " + std::to_string(scan_end) +
+        ", short of the durable end " + std::to_string(wal_->durable_lsn()) +
+        " - the archived history is damaged");
+  }
   if (!torn_pages_.empty()) {
     const auto& [seg, page] = *torn_pages_.begin();
     return Status::Corruption(
@@ -244,6 +293,10 @@ Status RecoveryManager::UndoAndFixup(access::AccessSystem* access) {
 }
 
 Status RecoveryManager::Checkpoint(access::AccessSystem* access) {
+  // One checkpoint at a time: the daemon, Flush() callers, and NoSpace
+  // retries may all request one concurrently, and the per-thread
+  // checkpoint-window registration must not be clobbered mid-flush.
+  std::lock_guard<std::mutex> ckpt_lock(ckpt_mu_);
   LogRecord begin;
   begin.type = LogRecordType::kCheckpointBegin;
   // Order matters: snapshot append_lsn BEFORE the active-txn table. A

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <utility>
 #include <vector>
@@ -51,6 +52,18 @@ class RecoveryManager {
   /// record whose target is older than the record (repeating history).
   util::Status AnalyzeAndRedo();
 
+  /// Media recovery: replay history from a FUZZY BACKUP's start point
+  /// instead of the last checkpoint. Runs in AnalyzeAndRedo's slot of the
+  /// restart protocol, after BackupManager::Restore rewrote the destroyed
+  /// data device from the dump (and before AccessSystem::Open); the
+  /// remaining phases (UndoAndFixup, post-recovery Checkpoint) are
+  /// unchanged. `dump_start_lsn` is the dump's recorded start LSN — the
+  /// checkpoint the dumped page images are guaranteed to reflect; the scan
+  /// reaches from its undo floor through the archived log into the live
+  /// WAL. Fails with Corruption if the archive + live WAL no longer cover
+  /// that far back (the dump predates the archive base).
+  util::Status MediaRecover(uint64_t dump_start_lsn);
+
   /// Phase 3: replay address-table fixups in log order, undo every loser
   /// transaction via the access layer (writing compensation records), and
   /// re-enqueue the deferred redundancy the crash dropped.
@@ -85,8 +98,17 @@ class RecoveryManager {
     std::vector<size_t> undo_stack;    ///< indexes into atom_recs_
   };
 
+  /// Shared body of AnalyzeAndRedo (ckpt = the log's last checkpoint) and
+  /// MediaRecover (ckpt = the dump's recorded start point).
+  util::Status AnalyzeAndRedoFrom(uint64_t ckpt_lsn);
+
   storage::StorageSystem* storage_;
   WalWriter* wal_;
+
+  /// Serializes Checkpoint(): the daemon, foreground Flush() callers, and
+  /// the NoSpace-retry path may all ask for one concurrently, and the
+  /// checkpoint window (SetCheckpointWindow) is one-at-a-time state.
+  std::mutex ckpt_mu_;
 
   uint64_t ckpt_lsn_ = 0;
   uint64_t max_txn_id_ = 0;

@@ -48,6 +48,18 @@ Status WalWriter::Open() {
   ring_blocks_ = RingBlocksFor(options_.max_bytes, kBlockSize, kMasterSlots,
                                kMinRingBlocks);
   if (!device_->Exists(file_)) {
+    if (device_->Exists(storage::kArchiveSegmentId)) {
+      // An archive with no log to go with it means the WAL file was lost
+      // (or the database deleted around its archive). Initializing a fresh
+      // log here would destroy the only surviving history — refuse, and
+      // let the operator decide (restore the WAL, or remove the archive to
+      // really start over). Checked BEFORE creating anything: a fresh WAL
+      // left behind by a refused attempt would make the retry take the
+      // existing-log path and quietly rebase the archive away.
+      return Status::Corruption(
+          "a log archive exists but the log itself is missing - refusing "
+          "to initialize a fresh log over surviving history");
+    }
     PRIMA_RETURN_IF_ERROR(device_->Create(file_, kBlockSize));
     append_lsn_ = durable_lsn_ = 0;
     checkpoint_lsn_ = truncate_lsn_ = 0;
@@ -56,6 +68,10 @@ Status WalWriter::Open() {
     PRIMA_RETURN_IF_ERROR(WriteMasterSlot(0, 0, 0, 1));
     master_seq_ = 1;
     master_slot_ = 1;
+    if (options_.archive) {
+      archiver_ = std::make_unique<LogArchiver>(device_);
+      PRIMA_RETURN_IF_ERROR(archiver_->Open(0, 0));
+    }
     return Status::Ok();
   }
 
@@ -82,6 +98,22 @@ Status WalWriter::Open() {
     // The stored geometry is authoritative for an existing log.
     ring_blocks_ =
         static_cast<uint32_t>(util::DecodeFixed64(master + 24) / kBlockSize);
+  }
+
+  // An existing archive is honored regardless of options: letting a run
+  // with the flag off recycle unarchived blocks would punch a silent hole
+  // in the history that media recovery relies on. The truncation floor
+  // bounds the archive's committed end (archive-before-retire: copies are
+  // synced before the master write that retires their source blocks).
+  if (options_.archive || device_->Exists(storage::kArchiveSegmentId)) {
+    archiver_ = std::make_unique<LogArchiver>(device_);
+    const uint64_t floor_start = (truncate_lsn_ / kBlockSize) * kBlockSize;
+    PRIMA_RETURN_IF_ERROR(archiver_->Open(floor_start, floor_start));
+    if (archiver_->base_lsn() > floor_start) {
+      // An archive claiming to start above the floor cannot belong to this
+      // log's history — restart it at the floor.
+      PRIMA_RETURN_IF_ERROR(archiver_->Rebase(floor_start));
+    }
   }
 
   // Locate the durable end of log: scan from the checkpoint (or 0) until
@@ -377,13 +409,21 @@ Status WalWriter::WriteMaster(uint64_t checkpoint_begin_lsn,
   // are frequent on a bounded log, and stalling the whole commit pipeline
   // for the master fsync would undo the group-commit win).
   std::lock_guard<std::mutex> master_lock(master_mu_);
-  uint64_t new_floor, seq;
+  uint64_t new_floor, old_floor, seq;
   uint32_t slot;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    new_floor = std::max(truncate_lsn_, truncate_up_to);
+    old_floor = truncate_lsn_.load();
+    new_floor = std::max(old_floor, truncate_up_to);
     seq = master_seq_ + 1;
     slot = master_slot_;
+  }
+  if (archiver_ != nullptr && new_floor > old_floor) {
+    // Archive-before-retire: the blocks this master write is about to
+    // recycle must be durably copied first, or media recovery loses them.
+    // A failure leaves the old floor in charge (the checkpoint fails, no
+    // block is recycled, nothing is lost).
+    PRIMA_RETURN_IF_ERROR(ArchiveUpTo(new_floor));
   }
   PRIMA_RETURN_IF_ERROR(
       WriteMasterSlot(slot, checkpoint_begin_lsn, new_floor, seq));
@@ -395,6 +435,39 @@ Status WalWriter::WriteMaster(uint64_t checkpoint_begin_lsn,
   master_seq_ = seq;
   master_slot_ = 1 - slot;
   return Status::Ok();
+}
+
+Status WalWriter::ArchiveUpTo(uint64_t new_floor) {
+  if (ring_blocks_ == 0) return Status::Ok();  // nothing is ever recycled
+  // Only whole blocks strictly below the floor's block are retired; the
+  // floor block itself stays live and is archived by a later checkpoint.
+  const uint64_t target = (new_floor / kBlockSize) * kBlockSize;
+  // Every block in [next, target) is durable (below the forced checkpoint's
+  // undo floor) and write-once (sealed by its force), so reading it off the
+  // device without the log mutex is safe.
+  char block[kBlockSize];
+  for (uint64_t next = archiver_->archived_lsn(); next < target;
+       next += kBlockSize) {
+    PRIMA_RETURN_IF_ERROR(device_->Read(file_, BlockOf(next), block));
+    PRIMA_RETURN_IF_ERROR(archiver_->AppendBlock(next, block));
+    stats_.archived_bytes += kBlockSize;
+  }
+  // The copies must be durable BEFORE the master write commits the
+  // recycling — from then on the archive is the only home of those bytes.
+  // Synced even when nothing was copied NOW: a previous checkpoint may
+  // have appended these blocks and then failed in ITS Sync, leaving them
+  // in the page cache with archived_lsn() already advanced.
+  return archiver_->Sync();
+}
+
+uint64_t WalWriter::ScanFloor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_blocks_ == 0) return 0;  // the device still holds every block
+  const uint64_t floor_start = (truncate_lsn_ / kBlockSize) * kBlockSize;
+  if (archiver_ != nullptr && archiver_->archived_lsn() >= floor_start) {
+    return archiver_->base_lsn();
+  }
+  return floor_start;
 }
 
 void WalWriter::SetCheckpointWindow(bool active) {
@@ -416,9 +489,19 @@ WalStatsSnapshot WalWriter::StatsSnapshot() const {
   s.records_forced = stats_.records_forced;
   s.commits_forced = stats_.commits_forced;
   s.commit_delay_waits = stats_.commit_delay_waits;
+  s.auto_checkpoints = stats_.auto_checkpoints;
+  s.archived_bytes = stats_.archived_bytes;
   s.records_per_force = stats_.GroupCommitFactor();
   s.commits_per_force = stats_.CommitsPerForce();
   std::lock_guard<std::mutex> lock(mu_);
+  s.active_txns = active_txns_.size();
+  bool first_txn = true;
+  for (const auto& [id, first_lsn] : active_txns_) {
+    if (first_txn || first_lsn < s.oldest_active_lsn) {
+      s.oldest_active_lsn = first_lsn;
+      first_txn = false;
+    }
+  }
   const uint64_t durable = durable_lsn_.load();
   s.live_bytes = append_lsn_.load() - truncate_lsn_;
   s.capacity_bytes = static_cast<uint64_t>(ring_blocks_) * kBlockSize;
@@ -439,7 +522,7 @@ Status WalWriter::Scan(uint64_t from,
   uint64_t record_lsn = 0;
   bool in_record = false;
   char block[kBlockSize];
-  uint64_t loaded_block = 0;
+  uint64_t loaded_logical = 0;
   bool block_valid = false;
 
   for (;;) {
@@ -447,10 +530,19 @@ Status WalWriter::Scan(uint64_t from,
     if (kBlockSize - OffsetIn(cursor) < kFragHeader && OffsetIn(cursor) != 0) {
       cursor += kBlockSize - OffsetIn(cursor);
     }
-    const uint64_t blk = BlockOf(cursor);
-    if (!block_valid || blk != loaded_block) {
-      if (!device_->Read(file_, blk, block).ok()) break;
-      loaded_block = blk;
+    // Cache by LOGICAL block: in circular mode several laps share a device
+    // block, and a block below the truncation floor lives in the archive
+    // now — its device slot was recycled for a later lap.
+    const uint64_t logical = cursor / kBlockSize;
+    if (!block_valid || logical != loaded_logical) {
+      const bool recycled = ring_blocks_ != 0 && archiver_ != nullptr &&
+                            logical < truncate_lsn_ / kBlockSize;
+      if (recycled) {
+        if (!archiver_->ReadBlock(logical * kBlockSize, block).ok()) break;
+      } else if (!device_->Read(file_, BlockAt(logical), block).ok()) {
+        break;
+      }
+      loaded_logical = logical;
       block_valid = true;
     }
     const uint32_t off = OffsetIn(cursor);

@@ -12,6 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
+#include "recovery/log_archiver.h"
 #include "recovery/log_record.h"
 #include "storage/block_device.h"
 #include "storage/wal.h"
@@ -29,6 +32,10 @@ struct WalStats {
   std::atomic<uint64_t> commits_forced{0};  ///< kCommit records among them
   std::atomic<uint64_t> commit_delay_waits{0};  ///< committers that opened a
                                                 ///< delay window
+  std::atomic<uint64_t> auto_checkpoints{0};  ///< checkpoints the daemon took
+                                              ///< on its ring-fraction trigger
+  std::atomic<uint64_t> archived_bytes{0};  ///< WAL bytes copied to the archive
+                                            ///< before truncation recycled them
 
   /// Records per force > 1 means group commit is batching.
   double GroupCommitFactor() const {
@@ -53,11 +60,22 @@ struct WalStatsSnapshot {
   uint64_t records_forced = 0;
   uint64_t commits_forced = 0;
   uint64_t commit_delay_waits = 0;
+  uint64_t auto_checkpoints = 0;
+  uint64_t archived_bytes = 0;
   double records_per_force = 0.0;
   double commits_per_force = 0.0;
   uint64_t live_bytes = 0;       ///< append_lsn - truncate_lsn
   uint64_t footprint_bytes = 0;  ///< device bytes the log occupies
   uint64_t capacity_bytes = 0;   ///< ring capacity (0 = unbounded)
+  /// Transactions with a begin but no commit/abort yet, and the begin-LSN
+  /// of the oldest of them (meaningful only when active_txns > 0 — LSN 0
+  /// is a legitimate begin position on a fresh log). The undo floor can
+  /// never pass that LSN: a long-running transaction pinning it far back
+  /// stops truncation from freeing ring space, and a small ring wedges
+  /// (checkpoints stop helping) until it finishes — watch this when
+  /// NoSpace appears despite automatic checkpoints.
+  uint64_t active_txns = 0;
+  uint64_t oldest_active_lsn = 0;
 };
 
 /// WalWriter tuning knobs (plumbed from PrimaOptions).
@@ -79,6 +97,17 @@ struct WalOptions {
   /// a headroom reserve is kept back so the checkpoint itself can always
   /// log and force its way through (see SetCheckpointWindow).
   uint64_t max_bytes = 0;
+
+  /// Archive WAL blocks before truncation recycles them: every checkpoint's
+  /// master write first copies the blocks it is about to retire into the
+  /// append-only archive file (kArchiveSegmentId, CRC-framed with absolute
+  /// stream offsets), keeping the whole log history readable for media
+  /// recovery. Scans below the truncation floor then read transparently
+  /// from the archive. Once an archive file exists it is honored on every
+  /// reopen regardless of this flag, so coverage never silently gaps;
+  /// enabling it on a log whose truncation already recycled blocks starts
+  /// the archive at the current floor.
+  bool archive = false;
 };
 
 /// The write-ahead log: a stream of CRC32-framed LogRecords stored in a
@@ -182,12 +211,14 @@ class WalWriter : public storage::WriteAheadLog {
   // --- checkpoint plumbing -------------------------------------------------
 
   /// LSN of the last completed checkpoint's kCheckpointBegin record
-  /// (0 = never checkpointed).
-  uint64_t checkpoint_lsn() const { return checkpoint_lsn_; }
+  /// (0 = never checkpointed). Atomic: BackupManager snapshots it from the
+  /// dumping thread while the checkpoint daemon's WriteMaster advances it.
+  uint64_t checkpoint_lsn() const { return checkpoint_lsn_.load(); }
 
   /// Oldest live LSN: log bytes below it are recyclable (circular mode)
-  /// and are never scanned again.
-  uint64_t truncate_lsn() const { return truncate_lsn_; }
+  /// and are never scanned again. Atomic: the checkpoint daemon polls it
+  /// against append_lsn() while WriteMaster advances it.
+  uint64_t truncate_lsn() const { return truncate_lsn_.load(); }
 
   /// Persist the master record pointing at `checkpoint_begin_lsn`, and
   /// advance the truncation floor to `truncate_up_to` (the checkpoint's
@@ -234,6 +265,19 @@ class WalWriter : public storage::WriteAheadLog {
     return static_cast<uint64_t>(ring_blocks_) * kBlockSize;
   }
 
+  // --- archiving -----------------------------------------------------------
+
+  /// The log archive, when archiving is active (WalOptions::archive, or an
+  /// archive file already on the device). Null otherwise.
+  LogArchiver* archiver() const { return archiver_.get(); }
+
+  /// Lowest stream offset from which Scan can read contiguously through to
+  /// the durable end of log: the archive base when the archive extends the
+  /// recycled prefix, otherwise the truncation floor's block start (0 for
+  /// an unbounded log, whose blocks are never recycled). Media recovery
+  /// must not replay from below this.
+  uint64_t ScanFloor() const;
+
  private:
   // Fragment kinds (leveldb-style record fragmentation). kPad seals the
   // rest of a block on force so a later force never rewrites durable bytes
@@ -273,6 +317,10 @@ class WalWriter : public storage::WriteAheadLog {
   // Seal the trailing partial block of pending_ with a pad fragment.
   // Caller holds mu_.
   void SealTailLocked();
+  // Copy every not-yet-archived block below `new_floor`'s block into the
+  // archive and sync it. Caller holds master_mu_ (never mu_ — the copies
+  // read durable, write-once blocks straight off the device).
+  util::Status ArchiveUpTo(uint64_t new_floor);
   // Wait out any in-flight force, then lead one if `lsn` is still not
   // durable. `lk` owns mu_ on entry and exit.
   util::Status ForceLocked(std::unique_lock<std::mutex>& lk, uint64_t lsn);
@@ -286,6 +334,7 @@ class WalWriter : public storage::WriteAheadLog {
   storage::BlockDevice* device_;
   const WalOptions options_;
   const storage::SegmentId file_;
+  std::unique_ptr<LogArchiver> archiver_;  ///< null = archiving off
 
   mutable std::mutex mu_;
   std::condition_variable cv_;  ///< force completion + delay window
@@ -306,8 +355,11 @@ class WalWriter : public storage::WriteAheadLog {
   // Starts above any frame's wal_epoch (0) so the first logged change of
   // every page ships a full image.
   std::atomic<uint64_t> epoch_{1};
-  uint64_t checkpoint_lsn_ = 0;
-  uint64_t truncate_lsn_ = 0;
+  // Both atomic so lock-free readers stay clean against the checkpoint
+  // daemon (threshold polls read truncate_lsn_, backup snapshots read
+  // checkpoint_lsn_); every write still happens under mu_.
+  std::atomic<uint64_t> checkpoint_lsn_{0};
+  std::atomic<uint64_t> truncate_lsn_{0};
   uint64_t master_seq_ = 0;    ///< seq of the live master slot
   uint32_t master_slot_ = 0;   ///< slot the NEXT master write targets
   uint32_t ring_blocks_ = 0;  ///< data blocks in the ring; 0 = unbounded

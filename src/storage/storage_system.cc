@@ -117,7 +117,7 @@ void StorageSystem::set_flush_on_close(bool v) {
 
 Status StorageSystem::Open() {
   for (SegmentId id : device_->ListFiles()) {
-    if (id == kWalSegmentId) continue;  // the log is not a data segment
+    if (IsReservedFileId(id)) continue;  // WAL / archive / backup files
     PRIMA_RETURN_IF_ERROR(LoadSegmentMeta(id));
   }
   return Status::Ok();

@@ -12,6 +12,26 @@ namespace prima::storage {
 /// StorageSystem::Open skips it and it never appears in ListSegments().
 inline constexpr SegmentId kWalSegmentId = 0xFFFFFFFFu;
 
+/// The append-only log archive: WAL blocks are copied here before circular
+/// truncation recycles them, so the full log history stays readable for
+/// media recovery (recovery::LogArchiver owns the format).
+inline constexpr SegmentId kArchiveSegmentId = 0xFFFFFFFEu;
+
+/// The fuzzy-backup dump files (recovery::BackupManager owns the format).
+/// Two alternating slots, like the WAL's dual master slots: a new dump is
+/// written into the slot NOT holding the newest committed dump, so a crash
+/// mid-backup can never destroy the last good one. They model separate
+/// backup media: destroying every data segment while these (plus WAL +
+/// archive) survive is the media-recovery scenario.
+inline constexpr SegmentId kBackupSegmentId = 0xFFFFFFFDu;
+inline constexpr SegmentId kBackupAltSegmentId = 0xFFFFFFFCu;
+
+/// Files the storage layer must never treat as data segments (the WAL, the
+/// log archive, and the backup dumps live at the top of the id space).
+inline constexpr bool IsReservedFileId(SegmentId id) {
+  return id >= kBackupAltSegmentId;
+}
+
 /// The storage layer's view of the write-ahead log (implemented by
 /// recovery::WalWriter). Kept abstract here so storage/ does not depend on
 /// recovery/ headers: the buffer manager only needs the WAL rule primitives

@@ -1,17 +1,26 @@
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/prima.h"
+#include "recovery/backup.h"
+#include "recovery/checkpoint_daemon.h"
 #include "recovery/crash_device.h"
+#include "recovery/log_archiver.h"
 #include "recovery/log_record.h"
 #include "recovery/recovery_manager.h"
 #include "recovery/wal_writer.h"
@@ -509,6 +518,203 @@ TEST(WalWriterTest, TornMasterWriteFallsBackToPreviousSlot) {
   EXPECT_EQ(count, 2) << "both records remain reachable from the fallback";
 }
 
+// ---------------------------------------------------------------------------
+// LogArchiver: framing, reopen, uncommitted tail
+// ---------------------------------------------------------------------------
+
+TEST(LogArchiverTest, FramingRoundTripAndReopen) {
+  constexpr uint32_t kBs = LogArchiver::kWalBlockSize;
+  auto device = std::make_shared<MemoryBlockDevice>();
+  LogArchiver arch(device.get());
+  ASSERT_TRUE(arch.Open(0, 0).ok());
+  EXPECT_EQ(arch.base_lsn(), 0u);
+  EXPECT_EQ(arch.archived_lsn(), 0u);
+
+  std::vector<std::string> blocks;
+  for (int i = 0; i < 5; ++i) {
+    blocks.emplace_back(kBs, static_cast<char>('a' + i));
+    ASSERT_TRUE(arch.AppendBlock(uint64_t{i} * kBs, blocks[i].data()).ok());
+  }
+  ASSERT_TRUE(arch.Sync().ok());
+  EXPECT_EQ(arch.archived_lsn(), 5u * kBs);
+
+  // Contiguity is enforced; already-archived offsets rewrite idempotently.
+  EXPECT_FALSE(arch.AppendBlock(7 * kBs, blocks[0].data()).ok());
+  EXPECT_FALSE(arch.AppendBlock(100, blocks[0].data()).ok());  // unaligned
+  ASSERT_TRUE(arch.AppendBlock(0, blocks[0].data()).ok());
+  EXPECT_EQ(arch.archived_lsn(), 5u * kBs);
+
+  // Reopen: the header's base wins over the caller's create-default, and
+  // the committed end comes from the caller's floor hint.
+  LogArchiver reader(device.get());
+  ASSERT_TRUE(reader.Open(999 * kBs, 3 * kBs).ok());
+  EXPECT_EQ(reader.base_lsn(), 0u);
+  EXPECT_EQ(reader.archived_lsn(), 3u * kBs);
+  char buf[kBs];
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(reader.ReadBlock(uint64_t{i} * kBs, buf).ok());
+    EXPECT_EQ(0, std::memcmp(buf, blocks[i].data(), kBs)) << "block " << i;
+  }
+  EXPECT_TRUE(reader.ReadBlock(3 * kBs, buf).IsNotFound());
+}
+
+TEST(LogArchiverTest, UncommittedTailIsRewrittenAfterReopen) {
+  // A copy whose truncation never committed (crash between the archive
+  // write and the master write) is logically dropped by the reopen's floor
+  // hint and physically rewritten by the next checkpoint's archive pass.
+  constexpr uint32_t kBs = LogArchiver::kWalBlockSize;
+  auto device = std::make_shared<MemoryBlockDevice>();
+  LogArchiver arch(device.get());
+  ASSERT_TRUE(arch.Open(0, 0).ok());
+  const std::string committed(kBs, 'a');
+  const std::string torn(kBs, 'X');  // stale bytes from the crashed copy
+  ASSERT_TRUE(arch.AppendBlock(0, committed.data()).ok());
+  ASSERT_TRUE(arch.AppendBlock(kBs, torn.data()).ok());
+
+  LogArchiver reopened(device.get());
+  ASSERT_TRUE(reopened.Open(0, kBs).ok());  // floor says: only [0, 4K) committed
+  EXPECT_EQ(reopened.archived_lsn(), kBs);
+  char buf[kBs];
+  EXPECT_TRUE(reopened.ReadBlock(kBs, buf).IsNotFound());
+
+  const std::string real(kBs, 'b');
+  ASSERT_TRUE(reopened.AppendBlock(kBs, real.data()).ok());
+  ASSERT_TRUE(reopened.ReadBlock(kBs, buf).ok());
+  EXPECT_EQ(0, std::memcmp(buf, real.data(), kBs));
+}
+
+TEST(WalWriterTest, ArchiveExtendsScanAcrossRecycledBlocks) {
+  auto device = std::make_shared<MemoryBlockDevice>();
+  WalOptions opts;
+  opts.max_bytes = 18 * WalWriter::kBlockSize;  // ring of 16 data blocks
+  opts.archive = true;
+  WalWriter wal(device.get(), opts);
+  ASSERT_TRUE(wal.Open().ok());
+  ASSERT_NE(wal.archiver(), nullptr);
+
+  uint64_t last_ckpt = 0;
+  for (uint64_t i = 0; i < 64; ++i) {
+    const uint64_t lsn = wal.Append(FillerRecord(i));
+    ASSERT_TRUE(wal.ForceAll().ok()) << "i=" << i;
+    if (i % 4 == 3) {
+      ASSERT_TRUE(wal.WriteMaster(lsn, lsn).ok());
+      last_ckpt = lsn;
+    }
+  }
+  EXPECT_GE(wal.append_lsn(), 4 * wal.capacity_bytes()) << "log wrapped";
+  EXPECT_GT(wal.stats().archived_bytes.load(), 2 * wal.capacity_bytes())
+      << "recycled blocks must be archived, not lost";
+  EXPECT_EQ(wal.ScanFloor(), 0u) << "history is contiguous from LSN 0";
+
+  // Scan the WHOLE history. On a plain circular log the offset-seeded CRCs
+  // reject everything below the floor (those device blocks hold later
+  // laps); the archive supplies the original bytes instead.
+  std::vector<uint64_t> ids;
+  ASSERT_TRUE(wal.Scan(0,
+                       [&](const LogRecord& rec) {
+                         ids.push_back(rec.txn_id);
+                         return Status::Ok();
+                       })
+                  .ok());
+  ASSERT_EQ(ids.size(), 64u);
+  for (uint64_t i = 0; i < 64; ++i) EXPECT_EQ(ids[i], i);
+
+  // Reopen WITHOUT the flag: an existing archive is honored regardless, so
+  // later runs cannot silently punch holes in the history.
+  WalOptions reopen_opts;
+  reopen_opts.max_bytes = opts.max_bytes;
+  WalWriter reader(device.get(), reopen_opts);
+  ASSERT_TRUE(reader.Open().ok());
+  ASSERT_NE(reader.archiver(), nullptr);
+  int count = 0;
+  ASSERT_TRUE(reader
+                  .Scan(0,
+                        [&](const LogRecord&) {
+                          ++count;
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_EQ(count, 64);
+
+  // Damage the first archived block: the historical scan ends there (the
+  // WAL fragment CRCs reject the junk) without fabricating records, and
+  // the live restart window from the checkpoint is untouched.
+  char junk[WalWriter::kBlockSize];
+  std::memset(junk, 0xEE, sizeof(junk));
+  ASSERT_TRUE(device->Write(storage::kArchiveSegmentId, 1, junk).ok());
+  int damaged = 0;
+  ASSERT_TRUE(reader
+                  .Scan(0,
+                        [&](const LogRecord&) {
+                          ++damaged;
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_EQ(damaged, 0);
+  int live = 0;
+  ASSERT_TRUE(reader
+                  .Scan(last_ckpt,
+                        [&](const LogRecord&) {
+                          ++live;
+                          return Status::Ok();
+                        })
+                  .ok());
+  EXPECT_GE(live, 1);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointDaemon: threshold trigger + synchronous requests
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointDaemonTest, TriggersOnRingFractionThreshold) {
+  auto storage = std::make_unique<storage::StorageSystem>(
+      std::make_unique<MemoryBlockDevice>(), storage::StorageOptions{});
+  ASSERT_TRUE(storage->Open().ok());
+  WalOptions wal_opts;
+  wal_opts.max_bytes = 18 * WalWriter::kBlockSize;  // ring 16 = 64KB
+  WalWriter wal(&storage->device(), wal_opts);
+  ASSERT_TRUE(wal.Open().ok());
+  storage->SetWal(&wal);
+  RecoveryManager recovery(storage.get(), &wal);
+
+  CheckpointDaemon::Options opts;
+  opts.ring_fraction = 0.25;  // trigger at 16KB live
+  opts.poll_ms = 1;
+  CheckpointDaemon daemon(&recovery, &wal, nullptr, opts);
+  daemon.Start();
+  ASSERT_TRUE(daemon.running());
+
+  // Below the threshold the daemon must stay idle.
+  wal.Append(FillerRecord(1));
+  ASSERT_TRUE(wal.ForceAll().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(wal.stats().auto_checkpoints.load(), 0u);
+
+  // Cross it: six more one-block records put the live window at 7 blocks
+  // (28KB). The daemon must checkpoint and truncate on its own.
+  for (uint64_t i = 2; i <= 7; ++i) {
+    wal.Append(FillerRecord(i));
+    ASSERT_TRUE(wal.ForceAll().ok());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (wal.stats().auto_checkpoints.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(wal.stats().auto_checkpoints.load(), 1u);
+  EXPECT_GT(wal.truncate_lsn(), 0u) << "the daemon's checkpoint truncates";
+
+  // Explicit request: served synchronously by a full checkpoint.
+  ASSERT_TRUE(daemon.RequestCheckpoint().ok());
+  EXPECT_GE(daemon.stats().requested_checkpoints, 1u);
+
+  daemon.Stop();
+  EXPECT_FALSE(daemon.running());
+  EXPECT_TRUE(daemon.RequestCheckpoint().IsAborted());
+  storage->SetWal(nullptr);
+}
+
 TEST(WalWriterTest, MasterRecordSurvivesReopen) {
   auto device = std::make_shared<MemoryBlockDevice>();
   WalWriter wal(device.get());
@@ -571,13 +777,18 @@ class CrashRecoveryTest : public ::testing::Test {
   std::unique_ptr<core::Prima> OpenDb(uint64_t wal_max_bytes = 0,
                                       uint64_t commit_delay_us = 0) {
     core::PrimaOptions options;
-    crash_ = std::make_shared<CrashingBlockDevice>(base_);
-    options.device = crash_;
     options.wal_max_bytes = wal_max_bytes;
     options.commit_delay_us = commit_delay_us;
+    return OpenDbWith(std::move(options));
+  }
+
+  /// Same, with full control over the options (daemon, archive, restore).
+  std::unique_ptr<core::Prima> OpenDbWith(core::PrimaOptions options) {
+    crash_ = std::make_shared<CrashingBlockDevice>(base_);
+    options.device = crash_;
     auto db = core::Prima::Open(std::move(options));
     EXPECT_TRUE(db.ok()) << db.status().ToString();
-    return std::move(*db);
+    return db.ok() ? std::move(*db) : nullptr;
   }
 
   /// Minimal schema for the bounded-WAL tests (BREP would flood a small
@@ -1050,6 +1261,398 @@ TEST_F(CrashRecoveryTest, ConcurrentCommittersShareForcesAndSurviveCrash) {
   EXPECT_EQ(db2->access().AtomCount(item->id),
             size_t{kThreads * kCommitsPerThread})
       << "every acknowledged commit must survive the crash";
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint daemon via Prima: NoSpace never reaches a well-behaved committer
+// ---------------------------------------------------------------------------
+
+TEST_F(CrashRecoveryTest, DaemonKeepsSustainedWorkloadOutOfNoSpace) {
+  static constexpr uint64_t kWalCap = 256u << 10;
+  core::PrimaOptions options;
+  options.wal_max_bytes = kWalCap;  // daemon active by default (fraction 0.5)
+  auto db = OpenDbWith(options);
+  ASSERT_NE(db->checkpoint_daemon(), nullptr);
+  CreateItemType(db.get());
+
+  // ZERO manual Flush() calls from here on: checkpoint scheduling is
+  // entirely the daemon's job (plus the commit retry hook when a burst
+  // outruns its poll). PR 2 semantics would hit NoSpace inside one lap.
+  int inserted = 0;
+  while (db->wal()->append_lsn() < 3 * db->wal()->capacity_bytes()) {
+    ASSERT_LT(inserted, 10000) << "log never wrapped - ring far too large?";
+    auto tid = InsertItem(db.get(), ++inserted);
+    ASSERT_TRUE(tid.ok()) << "commit " << inserted << ": "
+                          << tid.status().ToString();
+  }
+  const auto stats = db->wal_stats();
+  EXPECT_LE(stats.footprint_bytes, kWalCap);
+  EXPECT_GE(stats.auto_checkpoints +
+                db->checkpoint_daemon()->stats().requested_checkpoints,
+            1u);
+
+  // Observability: an open transaction pins the undo floor and is visible
+  // as the oldest active LSN; finishing it clears the gauge.
+  auto txn = db->Begin();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(db->wal_stats().active_txns, 1u);
+  EXPECT_GT(db->wal_stats().oldest_active_lsn, 0u);
+  ASSERT_TRUE((*txn)->Commit().ok());
+  EXPECT_EQ(db->wal_stats().active_txns, 0u);
+  EXPECT_EQ(db->wal_stats().oldest_active_lsn, 0u);
+
+  // And the crash contract is unchanged: every acknowledged commit is
+  // recovered, whoever scheduled the checkpoints.
+  Crash(&db);
+  auto db2 = OpenDb();
+  ASSERT_NE(db2, nullptr);
+  const auto* item = db2->access().catalog().FindAtomType("item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(db2->access().AtomCount(item->id), static_cast<size_t>(inserted));
+}
+
+TEST_F(CrashRecoveryTest, CommitNoSpacePokesDaemonAndRetries) {
+  core::PrimaOptions options;
+  options.wal_max_bytes = 128 * 4096;  // ring of 126 blocks, reserve 31:
+                                       // commits refused at 95 live blocks,
+                                       // with ample reserve left for the
+                                       // checkpoint's own log traffic
+  options.checkpoint_ring_fraction = 0.99;  // threshold above the NoSpace
+                                            // point: only the poke path can
+                                            // save a committer
+  auto db = OpenDbWith(options);
+  ASSERT_NE(db->checkpoint_daemon(), nullptr);
+  CreateItemType(db.get());
+
+  int inserted = 0;
+  while (db->wal()->append_lsn() < 2 * db->wal()->capacity_bytes()) {
+    ASSERT_LT(inserted, 5000);
+    auto tid = InsertItem(db.get(), ++inserted);
+    ASSERT_TRUE(tid.ok()) << "commit " << inserted
+                          << " should have poked the daemon and retried: "
+                          << tid.status().ToString();
+  }
+  EXPECT_GE(db->checkpoint_daemon()->stats().requested_checkpoints, 1u)
+      << "the full ring must have triggered at least one poke";
+}
+
+// ---------------------------------------------------------------------------
+// Media recovery: fuzzy backup + archived log rebuild a destroyed device
+// ---------------------------------------------------------------------------
+
+TEST_F(CrashRecoveryTest, MediaRecoveryRebuildsDestroyedDataDevice) {
+  static constexpr uint64_t kWalCap = 256u << 10;
+  core::PrimaOptions options;
+  options.wal_max_bytes = kWalCap;
+  options.wal_archive = true;
+  auto db = OpenDbWith(options);
+  CreateItemType(db.get());
+  ASSERT_TRUE(db->Flush().ok());
+
+  int inserted = 0;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(InsertItem(db.get(), ++inserted).ok());
+  }
+  // Fuzzy online backup mid-workload, then keep writing until the ring has
+  // wrapped well past the dump: from here on the archive is the ONLY log
+  // covering the dump's replay window.
+  auto info = db->Backup();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_GT(info->segments, 0u);
+  EXPECT_GT(info->start_lsn, 0u);
+  while (db->wal()->append_lsn() < info->start_lsn + 2 * kWalCap) {
+    ASSERT_LT(inserted, 10000);
+    ASSERT_TRUE(InsertItem(db.get(), ++inserted).ok());
+  }
+  EXPECT_GT(db->wal_stats().archived_bytes, 0u);
+  Crash(&db);
+
+  // The disaster: every data segment is destroyed. Only the WAL, the
+  // archive, and the backup dump — the "separate media" — survive.
+  for (storage::SegmentId id : base_->ListFiles()) {
+    if (!storage::IsReservedFileId(id)) {
+      ASSERT_TRUE(base_->Remove(id).ok());
+    }
+  }
+
+  core::PrimaOptions restore;
+  restore.wal_max_bytes = kWalCap;
+  restore.restore_from_backup = true;
+  auto db2 = OpenDbWith(restore);
+  ASSERT_NE(db2, nullptr);
+  const auto* item = db2->access().catalog().FindAtomType("item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(db2->access().AtomCount(item->id), static_cast<size_t>(inserted));
+  auto set = db2->Query("SELECT ALL FROM item");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), static_cast<size_t>(inserted));
+
+  // The rebuilt database accepts new work and then reopens normally,
+  // WITHOUT the restore flag.
+  ASSERT_TRUE(InsertItem(db2.get(), ++inserted).ok());
+  db2.reset();  // clean shutdown: exit checkpoint
+  core::PrimaOptions plain;
+  plain.wal_max_bytes = kWalCap;
+  auto db3 = OpenDbWith(plain);
+  ASSERT_NE(db3, nullptr);
+  const auto* item3 = db3->access().catalog().FindAtomType("item");
+  ASSERT_NE(item3, nullptr);
+  EXPECT_EQ(db3->access().AtomCount(item3->id), static_cast<size_t>(inserted));
+  db3.reset();
+
+  // A damaged archived block INSIDE the replay window must fail media
+  // recovery loudly: silently treating the CRC failure as end-of-log
+  // would "recover" an ancient state. (Plain restart never reads the
+  // archive and is unaffected — covered above by db3's clean reopen.)
+  char junk[4096];
+  std::memset(junk, 0xEE, sizeof(junk));
+  const uint64_t bad_block = 1 + info->start_lsn / 4096 + 2;
+  ASSERT_TRUE(
+      base_->Write(storage::kArchiveSegmentId, bad_block, junk).ok());
+  for (storage::SegmentId id : base_->ListFiles()) {
+    if (!storage::IsReservedFileId(id)) {
+      ASSERT_TRUE(base_->Remove(id).ok());
+    }
+  }
+  core::PrimaOptions damaged;
+  damaged.wal_max_bytes = kWalCap;
+  damaged.restore_from_backup = true;
+  damaged.device = std::make_shared<CrashingBlockDevice>(base_);
+  auto failed = core::Prima::Open(std::move(damaged));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsCorruption()) << failed.status().ToString();
+}
+
+TEST_F(CrashRecoveryTest, MediaRecoveryRefusesWhenLiveWalIsMissing) {
+  // Losing the WAL file alongside the data device must fail media
+  // recovery LOUDLY — an empty fresh log would otherwise pass every scan
+  // check vacuously and "recover" the raw fuzzy dump pages with zero
+  // replay.
+  static constexpr uint64_t kWalCap = 256u << 10;
+  core::PrimaOptions options;
+  options.wal_max_bytes = kWalCap;
+  options.wal_archive = true;
+  auto db = OpenDbWith(options);
+  CreateItemType(db.get());
+  ASSERT_TRUE(db->Flush().ok());
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(InsertItem(db.get(), i).ok());
+  }
+  ASSERT_TRUE(db->Backup().ok());
+  Crash(&db);
+  for (storage::SegmentId id : base_->ListFiles()) {
+    if (!storage::IsReservedFileId(id)) {
+      ASSERT_TRUE(base_->Remove(id).ok());
+    }
+  }
+  ASSERT_TRUE(base_->Remove(storage::kWalSegmentId).ok());
+
+  // (a) WAL gone, archive present: refused before a fresh log can be
+  // initialized over the surviving history.
+  core::PrimaOptions restore;
+  restore.wal_max_bytes = kWalCap;
+  restore.restore_from_backup = true;
+  restore.device = std::make_shared<CrashingBlockDevice>(base_);
+  auto failed = core::Prima::Open(std::move(restore));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsCorruption()) << failed.status().ToString();
+
+  // The refusal is stable across retries: the refused attempt must not
+  // have left a fresh WAL behind (that would flip a retry onto the
+  // existing-log path, which rebases the surviving archive away).
+  EXPECT_FALSE(base_->Exists(storage::kWalSegmentId));
+  EXPECT_TRUE(base_->Exists(storage::kArchiveSegmentId));
+  core::PrimaOptions retry;
+  retry.wal_max_bytes = kWalCap;
+  retry.restore_from_backup = true;
+  retry.device = std::make_shared<CrashingBlockDevice>(base_);
+  auto failed_retry = core::Prima::Open(std::move(retry));
+  ASSERT_FALSE(failed_retry.ok());
+  EXPECT_TRUE(failed_retry.status().IsCorruption())
+      << failed_retry.status().ToString();
+
+  // (b) WAL and archive both gone: the fresh log's durable end (0) lies
+  // below the dump's start LSN — refused by MediaRecover.
+  ASSERT_TRUE(base_->Remove(storage::kArchiveSegmentId).ok());
+  core::PrimaOptions restore2;
+  restore2.wal_max_bytes = kWalCap;
+  restore2.restore_from_backup = true;
+  restore2.device = std::make_shared<CrashingBlockDevice>(base_);
+  auto failed2 = core::Prima::Open(std::move(restore2));
+  ASSERT_FALSE(failed2.ok());
+  EXPECT_TRUE(failed2.status().IsCorruption()) << failed2.status().ToString();
+}
+
+TEST_F(CrashRecoveryTest, BackupRefusedOnBoundedWalWithoutArchive) {
+  // A dump that the next truncation would orphan must be refused at
+  // backup time, not discovered unrestorable at disaster time.
+  core::PrimaOptions options;
+  options.wal_max_bytes = 256u << 10;  // bounded ring, wal_archive OFF
+  auto db = OpenDbWith(options);
+  CreateItemType(db.get());
+  auto info = db->Backup();
+  ASSERT_FALSE(info.ok());
+  EXPECT_TRUE(info.status().IsInvalidArgument()) << info.status().ToString();
+}
+
+TEST_F(CrashRecoveryTest, TornNewerDumpFallsBackToPreviousBackupSlot) {
+  // Dumps alternate between two slots (like the WAL's master slots): a
+  // crash tearing the dump being written must leave the previous
+  // committed dump restorable — and replay through archive + live WAL
+  // still recovers EVERYTHING committed, not just the older dump's state.
+  static constexpr uint64_t kWalCap = 256u << 10;
+  core::PrimaOptions options;
+  options.wal_max_bytes = kWalCap;
+  options.wal_archive = true;
+  auto db = OpenDbWith(options);
+  CreateItemType(db.get());
+  ASSERT_TRUE(db->Flush().ok());
+  int inserted = 0;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(InsertItem(db.get(), ++inserted).ok());
+  }
+  ASSERT_TRUE(db->Backup().ok());  // seq 1 -> kBackupSegmentId
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(InsertItem(db.get(), ++inserted).ok());
+  }
+  ASSERT_TRUE(db->Backup().ok());  // seq 2 -> kBackupAltSegmentId
+  EXPECT_TRUE(base_->Exists(storage::kBackupSegmentId));
+  EXPECT_TRUE(base_->Exists(storage::kBackupAltSegmentId));
+  Crash(&db);
+
+  // Tear the newer dump's header, destroy the data device.
+  char junk[4096];
+  std::memset(junk, 0xAB, sizeof(junk));
+  ASSERT_TRUE(base_->Write(storage::kBackupAltSegmentId, 0, junk).ok());
+  for (storage::SegmentId id : base_->ListFiles()) {
+    if (!storage::IsReservedFileId(id)) {
+      ASSERT_TRUE(base_->Remove(id).ok());
+    }
+  }
+
+  core::PrimaOptions restore;
+  restore.wal_max_bytes = kWalCap;
+  restore.restore_from_backup = true;
+  auto db2 = OpenDbWith(restore);
+  ASSERT_NE(db2, nullptr);
+  const auto* item = db2->access().catalog().FindAtomType("item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(db2->access().AtomCount(item->id), static_cast<size_t>(inserted));
+}
+
+TEST_F(CrashRecoveryTest, MediaRecoveryCrossProcessDrive) {
+  // The full drive, with real process death and a real file-backed device:
+  // a child works a bounded archived ring with daemon-scheduled
+  // checkpoints (zero manual Flush), takes a fuzzy backup mid-workload,
+  // keeps committing until the ring wraps past it, and _exit()s without
+  // any shutdown. The parent then destroys the data device and rebuilds
+  // from backup + archive + live WAL.
+  char dir_template[] = "/tmp/prima_media_recovery_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string dir = dir_template;
+  static constexpr uint64_t kWalCap = 256u << 10;
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // --- child: no gtest here; failures are exit codes ---
+    core::PrimaOptions options;
+    options.in_memory = false;
+    options.path = dir;
+    options.wal_max_bytes = kWalCap;
+    options.wal_archive = true;
+    auto db_or = core::Prima::Open(std::move(options));
+    if (!db_or.ok()) ::_exit(10);
+    auto db = std::move(*db_or);
+    if (!db->Execute("CREATE ATOM_TYPE item"
+                     " ( item_id : IDENTIFIER,"
+                     "   num : INTEGER,"
+                     "   name : CHAR_VAR )"
+                     " KEYS_ARE (num)")
+             .ok()) {
+      ::_exit(11);
+    }
+    const auto* item = db->access().catalog().FindAtomType("item");
+    if (item == nullptr) ::_exit(12);
+    int committed = 0;
+    auto insert_one = [&]() -> bool {
+      auto txn = db->Begin();
+      if (!txn.ok()) return false;
+      auto tid = (*txn)->InsertAtom(
+          item->id,
+          {AttrValue{1, Value::Int(committed + 1)},
+           AttrValue{2, Value::String("n" + std::to_string(committed + 1))}});
+      if (!tid.ok()) return false;
+      if (!(*txn)->Commit().ok()) return false;
+      ++committed;
+      return true;
+    };
+    while (db->wal()->append_lsn() < 2 * db->wal()->capacity_bytes()) {
+      if (committed > 5000) ::_exit(13);
+      if (!insert_one()) ::_exit(14);
+      if (committed == 50 && !db->Backup().ok()) ::_exit(15);
+    }
+    if (committed <= 50) ::_exit(16);
+    {
+      std::ofstream out(dir + "/committed.txt");
+      out << committed;
+    }
+    ::_exit(42);  // the machine dies: no destructors, no exit checkpoint
+  }
+
+  // --- parent ---
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), 42) << "child workload failed";
+  int committed = 0;
+  {
+    std::ifstream in(dir + "/committed.txt");
+    in >> committed;
+  }
+  ASSERT_GT(committed, 50);
+
+  // Destroy the data device: every data segment file is deleted; the WAL,
+  // archive, and backup files survive as the separate media.
+  {
+    storage::FileBlockDevice device(dir);
+    for (storage::SegmentId id : device.ListFiles()) {
+      if (!storage::IsReservedFileId(id)) {
+        ASSERT_TRUE(device.Remove(id).ok());
+      }
+    }
+  }
+
+  core::PrimaOptions restore;
+  restore.in_memory = false;
+  restore.path = dir;
+  restore.wal_max_bytes = kWalCap;
+  restore.restore_from_backup = true;
+  auto db_or = core::Prima::Open(std::move(restore));
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  auto db = std::move(*db_or);
+  const auto* item = db->access().catalog().FindAtomType("item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(db->access().AtomCount(item->id), static_cast<size_t>(committed));
+
+  // Every committed atom survived, value for value.
+  std::set<int64_t> nums;
+  for (const Tid& tid : db->access().AllAtoms(item->id)) {
+    auto atom = db->access().GetAtom(tid);
+    ASSERT_TRUE(atom.ok()) << atom.status().ToString();
+    nums.insert(atom->attrs[1].AsInt());
+  }
+  EXPECT_EQ(nums.size(), static_cast<size_t>(committed));
+  if (!nums.empty()) {
+    EXPECT_EQ(*nums.begin(), 1);
+    EXPECT_EQ(*nums.rbegin(), committed);
+  }
+  auto set = db->Query("SELECT ALL FROM item");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), static_cast<size_t>(committed));
+
+  db.reset();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
