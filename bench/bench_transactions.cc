@@ -11,9 +11,11 @@
 // (5) with wal_max_bytes set, a checkpointed workload keeps the WAL file
 // size bounded (circular log truncation).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "recovery/crash_device.h"
@@ -288,6 +290,130 @@ void ReportMaintenance() {
       atoms == static_cast<size_t>(commits) ? "complete" : "INCOMPLETE");
 }
 
+void ReportParallelRecovery() {
+  PrintHeader(
+      "Parallel redo — timed restart + media rebuild, serial vs parallel",
+      "Claims: the redo pass partitions page chains over the thread pool, "
+      "so restart and device-rebuild time drop with cores while staying "
+      "bit-identical to serial replay; this is the recovery-latency "
+      "baseline for future PRs.");
+
+  // Grow a crashed image whose redo window spans a multi-megabyte log:
+  // unbounded WAL, one early checkpoint + fuzzy backup, then waves of
+  // inserts and modifies that are never checkpointed again.
+  auto base = std::make_shared<storage::MemoryBlockDevice>();
+  auto crash = std::make_shared<recovery::CrashingBlockDevice>(base);
+  core::PrimaOptions options;
+  options.device = crash;
+  auto db = RequireR(core::Prima::Open(std::move(options)), "open");
+  Require(db->Execute("CREATE ATOM_TYPE part"
+                      " ( part_id : IDENTIFIER, num : INTEGER,"
+                      "   name : CHAR_VAR ) KEYS_ARE (num)")
+              .status(),
+          "schema");
+  const auto* part = db->access().catalog().FindAtomType("part");
+  constexpr int kAtoms = 2000;
+  constexpr int kModifyRounds = 4;
+  std::vector<Tid> tids;
+  tids.reserve(kAtoms);
+  for (int i = 0; i < kAtoms; ++i) {
+    tids.push_back(RequireR(
+        db->access().InsertAtom(part->id, {AttrValue{1, Value::Int(i)},
+                                           AttrValue{2, Value::String("p")}}),
+        "insert"));
+  }
+  const auto backup = RequireR(db->Backup(), "fuzzy backup");
+  for (int round = 0; round < kModifyRounds; ++round) {
+    auto txn = RequireR(db->Begin(), "begin");
+    for (int i = 0; i < kAtoms; ++i) {
+      Require(txn->ModifyAtom(tids[i],
+                              {AttrValue{2, Value::String(
+                                             "r" + std::to_string(round) +
+                                             "v" + std::to_string(i))}}),
+              "modify");
+    }
+    Require(txn->Commit(), "commit");
+  }
+  const auto wal_stats = db->wal_stats();
+  crash->CrashNow();
+  db.reset();
+  std::printf(
+      "crashed image: %d atoms, %d modify rounds, %.1f MB log in the redo "
+      "window (%.1f MB full-page images)\n\n",
+      kAtoms, kModifyRounds,
+      static_cast<double>(wal_stats.bytes_appended) / (1 << 20),
+      static_cast<double>(wal_stats.full_page_image_bytes) / (1 << 20));
+
+  // Restart recovery over CLONES of the same crashed bytes, serial first.
+  const size_t hw = util::ThreadPool::DefaultThreads();
+  std::vector<size_t> fanouts{1, 2, 4, hw};
+  std::sort(fanouts.begin(), fanouts.end());
+  fanouts.erase(std::unique(fanouts.begin(), fanouts.end()), fanouts.end());
+  double serial_restart_ms = 0;
+  for (size_t threads : fanouts) {
+    core::PrimaOptions o;
+    o.device = std::shared_ptr<storage::BlockDevice>(base->Clone());
+    o.recovery_threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    auto recovered = RequireR(core::Prima::Open(std::move(o)), "restart");
+    const double ms = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count() *
+                      1e3;
+    const auto stats = recovered->wal_stats();
+    const auto* part2 = recovered->access().catalog().FindAtomType("part");
+    Require(part2 != nullptr &&
+                    recovered->access().AtomCount(part2->id) ==
+                        static_cast<size_t>(kAtoms)
+                ? util::Status::Ok()
+                : util::Status::Corruption("atom count mismatch"),
+            "recovered state");
+    if (threads == 1) serial_restart_ms = ms;
+    std::printf(
+        "  restart, %2zu thread(s): %7.1f ms  (%llu redo records, %.2fx vs "
+        "serial)\n",
+        threads, ms,
+        static_cast<unsigned long long>(stats.redo_records_applied),
+        serial_restart_ms / ms);
+  }
+
+  // Media rebuild: data segments destroyed, restore from the fuzzy backup
+  // and replay the same window — the same parallel apply phase.
+  std::printf("\n");
+  double serial_rebuild_ms = 0;
+  for (size_t threads : {size_t{1}, hw}) {
+    auto clone = std::shared_ptr<storage::MemoryBlockDevice>(base->Clone());
+    for (storage::SegmentId id : clone->ListFiles()) {
+      if (!storage::IsReservedFileId(id)) {
+        Require(clone->Remove(id), "destroy data segment");
+      }
+    }
+    core::PrimaOptions o;
+    o.device = clone;
+    o.restore_from_backup = true;
+    o.recovery_threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    auto rebuilt = RequireR(core::Prima::Open(std::move(o)), "media rebuild");
+    const double ms = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count() *
+                      1e3;
+    const auto* part2 = rebuilt->access().catalog().FindAtomType("part");
+    Require(part2 != nullptr &&
+                    rebuilt->access().AtomCount(part2->id) ==
+                        static_cast<size_t>(kAtoms)
+                ? util::Status::Ok()
+                : util::Status::Corruption("atom count mismatch"),
+            "rebuilt state");
+    if (threads == 1) serial_rebuild_ms = ms;
+    std::printf(
+        "  media rebuild from backup (start LSN %llu), %2zu thread(s): "
+        "%7.1f ms  (%.2fx vs serial)\n",
+        static_cast<unsigned long long>(backup.start_lsn), threads, ms,
+        serial_rebuild_ms / ms);
+  }
+}
+
 void Report() {
   PrintHeader("E15 / §4 — nested transactions",
               "Claims: bounded per-op overhead; subtree aborts undo only the "
@@ -418,6 +544,7 @@ int main(int argc, char** argv) {
   prima::bench::Report();
   prima::bench::ReportGroupCommit();
   prima::bench::ReportMaintenance();
+  prima::bench::ReportParallelRecovery();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

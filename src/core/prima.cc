@@ -92,7 +92,7 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
                                                      wal_options);
     PRIMA_RETURN_IF_ERROR(db->wal_->Open());
     db->recovery_ = std::make_unique<recovery::RecoveryManager>(
-        db->storage_.get(), db->wal_.get());
+        db->storage_.get(), db->wal_.get(), options.recovery_threads);
     if (options.restore_from_backup) {
       PRIMA_RETURN_IF_ERROR(db->recovery_->MediaRecover(media_start_lsn));
     } else {
@@ -118,7 +118,7 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
   }
   size_t workers = options.parallel_workers;
   if (workers == 0) {
-    workers = std::max(2u, std::thread::hardware_concurrency());
+    workers = util::ThreadPool::DefaultThreads();
   }
   db->pool_ = std::make_unique<util::ThreadPool>(workers);
   db->parallel_ = std::make_unique<ParallelQueryProcessor>(db->data_.get(),
@@ -232,7 +232,15 @@ Result<recovery::BackupInfo> Prima::Backup() {
 }
 
 recovery::WalStatsSnapshot Prima::wal_stats() const {
-  return wal_ == nullptr ? recovery::WalStatsSnapshot{} : wal_->StatsSnapshot();
+  if (wal_ == nullptr) return recovery::WalStatsSnapshot{};
+  recovery::WalStatsSnapshot s = wal_->StatsSnapshot();
+  if (recovery_ != nullptr) {
+    // The redo shape of this database's last restart/media recovery — the
+    // log only stores history, the recovery manager replays it.
+    s.redo_records_applied = recovery_->stats().redo_applied;
+    s.redo_apply_threads = recovery_->stats().redo_threads;
+  }
+  return s;
 }
 
 }  // namespace prima::core

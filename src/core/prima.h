@@ -85,6 +85,15 @@ struct PrimaOptions {
   /// archive, and backup files are the surviving "separate media".
   bool restore_from_backup = false;
 
+  /// Worker threads for the parallel redo phase of restart and media
+  /// recovery (0 = hardware concurrency, the default; 1 = serial replay).
+  /// The log scan stays single-threaded; the per-page redo chains it
+  /// partitions fan out over a thread pool, so restart and device-rebuild
+  /// time stop growing with cores idle. The result is bit-identical to
+  /// serial replay at every setting — per-page chains preserve log order,
+  /// and chains for different pages are independent.
+  size_t recovery_threads = 0;
+
   storage::StorageOptions storage;
   access::AccessOptions access;
 

@@ -1,11 +1,14 @@
 #include "recovery/recovery_manager.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
 #include <set>
 #include <unordered_map>
 
 #include "access/tid.h"
 #include "util/slice.h"
+#include "util/thread_pool.h"
 
 namespace prima::recovery {
 
@@ -67,11 +70,17 @@ Status RecoveryManager::AnalyzeAndRedoFrom(uint64_t ckpt_lsn) {
         std::to_string(wal_->ScanFloor()));
   }
 
-  // Pass B: repeat history. Page redo is LSN-gated per page, so records
-  // older than the on-device state (including everything before the
-  // checkpoint when the undo floor reaches back further) skip harmlessly.
+  // Pass B, scan half: one single-threaded pass over the stream. Records
+  // with global-order semantics (segment metadata, the transaction table,
+  // atom undo collection) are handled inline; page redo records are only
+  // PARTITIONED here — each page's records append to its chain in log
+  // order, and the chains replay concurrently afterwards. Page redo is
+  // LSN-gated per page, so records older than the on-device state
+  // (including everything before the checkpoint when the undo floor
+  // reaches back further) skip harmlessly during the apply phase.
+  std::map<std::pair<uint32_t, uint32_t>, PageChain> chains;
   uint64_t scan_end = scan_start;
-  const Status scan_st = wal_->Scan(scan_start, [this](const LogRecord& rec) {
+  const Status scan_st = wal_->Scan(scan_start, [&](const LogRecord& rec) {
     stats_.records_scanned++;
     max_txn_id_ = std::max(max_txn_id_, rec.txn_id);
     switch (rec.type) {
@@ -86,31 +95,9 @@ Status RecoveryManager::AnalyzeAndRedoFrom(uint64_t ckpt_lsn) {
         txns_[rec.txn_id].finished = true;
         break;
       case LogRecordType::kPageRedo: {
-        std::vector<std::pair<uint32_t, Slice>> ranges;
-        ranges.reserve(rec.ranges.size());
-        for (const auto& r : rec.ranges) {
-          ranges.emplace_back(r.offset, Slice(r.bytes));
-        }
-        PRIMA_ASSIGN_OR_RETURN(
-            const storage::StorageSystem::RedoOutcome outcome,
-            storage_->RecoverApplyPageRedo(rec.segment, rec.page,
-                                           rec.page_size, rec.lsn, ranges));
-        switch (outcome) {
-          case storage::StorageSystem::RedoOutcome::kApplied:
-            stats_.redo_applied++;
-            // A successful apply (full image included) heals a previously
-            // torn page.
-            torn_pages_.erase({rec.segment, rec.page});
-            break;
-          case storage::StorageSystem::RedoOutcome::kSkipped:
-            stats_.redo_skipped++;
-            break;
-          case storage::StorageSystem::RedoOutcome::kTornAwaitingFullImage:
-            // Deltas predating the page's post-checkpoint full image (the
-            // scan can reach back to the undo floor of long transactions).
-            torn_pages_.insert({rec.segment, rec.page});
-            break;
-        }
+        PageChain& chain = chains[{rec.segment, rec.page}];
+        chain.page_size = rec.page_size;
+        chain.recs.push_back(rec);
         break;
       }
       case LogRecordType::kSegMeta:
@@ -170,6 +157,11 @@ Status RecoveryManager::AnalyzeAndRedoFrom(uint64_t ckpt_lsn) {
         ", short of the durable end " + std::to_string(wal_->durable_lsn()) +
         " - the archived history is damaged");
   }
+
+  // Pass B, apply half: the chains are a clean independence partition —
+  // fan them out.
+  PRIMA_RETURN_IF_ERROR(ApplyRedoChains(&chains));
+
   if (!torn_pages_.empty()) {
     const auto& [seg, page] = *torn_pages_.begin();
     return Status::Corruption(
@@ -179,6 +171,96 @@ Status RecoveryManager::AnalyzeAndRedoFrom(uint64_t ckpt_lsn) {
         ") — media recovery needed");
   }
   return Status::Ok();
+}
+
+Status RecoveryManager::ApplyRedoChains(
+    std::map<std::pair<uint32_t, uint32_t>, PageChain>* chains) {
+  struct ChainTask {
+    const std::pair<uint32_t, uint32_t>* key = nullptr;
+    const PageChain* chain = nullptr;
+    storage::StorageSystem::RedoChainResult result;
+    Status status;
+  };
+  std::vector<ChainTask> tasks;
+  tasks.reserve(chains->size());
+  for (const auto& [key, chain] : *chains) {
+    ChainTask t;
+    t.key = &key;
+    t.chain = &chain;
+    tasks.push_back(std::move(t));
+  }
+
+  stats_.redo_chains = tasks.size();
+  if (tasks.empty()) {
+    stats_.redo_threads = 0;  // clean open: no apply phase at all
+    return Status::Ok();
+  }
+  size_t threads = redo_threads_ == 0 ? util::ThreadPool::DefaultThreads()
+                                      : redo_threads_;
+  threads = std::max<size_t>(1, std::min(threads, tasks.size()));
+  stats_.redo_threads = threads;
+
+  const auto apply_one = [this](ChainTask* task) {
+    const auto& [seg, page] = *task->key;
+    std::vector<storage::StorageSystem::RedoEntry> entries;
+    entries.reserve(task->chain->recs.size());
+    for (const LogRecord& rec : task->chain->recs) {
+      storage::StorageSystem::RedoEntry e;
+      e.lsn = rec.lsn;
+      e.ranges.reserve(rec.ranges.size());
+      for (const auto& r : rec.ranges) {
+        e.ranges.emplace_back(r.offset, Slice(r.bytes));
+      }
+      entries.push_back(std::move(e));
+    }
+    auto result_or = storage_->RecoverApplyPageRedoChain(
+        seg, page, task->chain->page_size, entries);
+    if (result_or.ok()) {
+      task->result = *result_or;
+    } else {
+      task->status = result_or.status();
+    }
+  };
+
+  // Whatever the fan-out, EVERY chain runs to completion even after
+  // another chain failed: the failure path does bounded extra work, and in
+  // exchange the reported error is identical at every thread count (lowest
+  // first-LSN wins below) instead of depending on worker scheduling — or,
+  // serially, on map iteration order.
+  if (threads <= 1) {
+    // Serial replay (recovery_threads = 1): same chain order, same
+    // results, no pool — the degenerate case of the partition.
+    for (ChainTask& task : tasks) {
+      apply_one(&task);
+    }
+  } else {
+    util::ThreadPool pool(threads);
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(tasks.size());
+    for (ChainTask& task : tasks) {
+      jobs.emplace_back([&apply_one, &task] { apply_one(&task); });
+    }
+    pool.SubmitAll(std::move(jobs));
+    pool.Wait();
+  }
+
+  // Deterministic aggregation: counters sum in chain (page) order; the
+  // winning error is the failed chain whose FIRST record is oldest —
+  // exactly the record serial replay would have tripped on first.
+  const ChainTask* first_error = nullptr;
+  for (const ChainTask& task : tasks) {
+    if (!task.status.ok()) {
+      if (first_error == nullptr ||
+          task.chain->recs.front().lsn < first_error->chain->recs.front().lsn) {
+        first_error = &task;
+      }
+      continue;
+    }
+    stats_.redo_applied += task.result.applied;
+    stats_.redo_skipped += task.result.skipped;
+    if (task.result.torn) torn_pages_.insert(*task.key);
+  }
+  return first_error == nullptr ? Status::Ok() : first_error->status;
 }
 
 Status RecoveryManager::UndoAndFixup(access::AccessSystem* access) {

@@ -24,19 +24,30 @@ namespace prima::recovery {
 /// Restart protocol (driven by Prima::Open, or manually in tests):
 ///   1. StorageSystem::Open()   — load last-flushed segment metadata
 ///   2. WalWriter::Open()       — master record, find end of log
-///   3. AnalyzeAndRedo()        — one scan: txn table + repeat history on
-///                                pages and segment metadata
+///   3. AnalyzeAndRedo()        — scan: txn table + segment metadata, then
+///                                repeat page history (parallel apply)
 ///   4. AccessSystem::Open()    — load catalog/address blobs (now redone)
 ///   5. UndoAndFixup(access)    — address-table fixups in log order, then
 ///                                roll back losers (CLR-logged), then
 ///                                re-enqueue lost deferred redundancy
 ///   6. Checkpoint(access)      — make the recovered state durable
+///
+/// Parallel redo: the scan (single-threaded — the log is one stream) keeps
+/// every record with global-order semantics inline (segment-metadata redo,
+/// the transaction table, atom undo/fixup collection) and partitions the
+/// page-redo records into per-page chains. Records for one page replay in
+/// log order inside their chain; chains for different pages are independent
+/// (physiological redo never spans pages), so the apply phase fans them out
+/// over a util::ThreadPool of `redo_threads` workers. The partition makes
+/// the result bit-identical to serial replay for every thread count.
 class RecoveryManager {
  public:
   struct Stats {
     uint64_t records_scanned = 0;
     uint64_t redo_applied = 0;
     uint64_t redo_skipped = 0;   ///< page-LSN already current
+    uint64_t redo_chains = 0;    ///< distinct pages with redo work
+    uint64_t redo_threads = 0;   ///< workers the apply phase fanned out to
     uint64_t segmeta_applied = 0;
     uint64_t fixups_applied = 0;
     uint64_t loser_txns = 0;
@@ -44,8 +55,11 @@ class RecoveryManager {
     uint64_t checkpoints = 0;
   };
 
-  RecoveryManager(storage::StorageSystem* storage, WalWriter* wal)
-      : storage_(storage), wal_(wal) {}
+  /// `redo_threads` sizes the parallel apply phase: 1 = serial replay on
+  /// the calling thread (no pool), 0 = one worker per hardware thread.
+  RecoveryManager(storage::StorageSystem* storage, WalWriter* wal,
+                  size_t redo_threads = 1)
+      : storage_(storage), wal_(wal), redo_threads_(redo_threads) {}
 
   /// Phases 1+2: scan from the undo floor of the last checkpoint, building
   /// the transaction table and applying every page/segment-metadata redo
@@ -99,11 +113,25 @@ class RecoveryManager {
   };
 
   /// Shared body of AnalyzeAndRedo (ckpt = the log's last checkpoint) and
-  /// MediaRecover (ckpt = the dump's recorded start point).
+  /// MediaRecover (ckpt = the dump's recorded start point): the serial
+  /// partitioning scan followed by the parallel chain apply.
   util::Status AnalyzeAndRedoFrom(uint64_t ckpt_lsn);
+
+  /// One page's redo chain, in log order (the scan appends as it goes).
+  struct PageChain {
+    uint32_t page_size = 0;
+    std::vector<LogRecord> recs;
+  };
+
+  /// Apply phase: fan `chains` out over `redo_threads_` pool workers (or
+  /// replay inline when effectively serial), aggregate counters and torn
+  /// pages, and return the lowest-LSN failure when any chain errored.
+  util::Status ApplyRedoChains(
+      std::map<std::pair<uint32_t, uint32_t>, PageChain>* chains);
 
   storage::StorageSystem* storage_;
   WalWriter* wal_;
+  const size_t redo_threads_;
 
   /// Serializes Checkpoint(): the daemon, foreground Flush() callers, and
   /// the NoSpace-retry path may all ask for one concurrently, and the

@@ -230,6 +230,7 @@ uint64_t WalWriter::LogFullPage(storage::SegmentId segment, uint32_t page,
   LogRecord::ByteRange body;
   body.offset = 32;
   body.bytes.assign(after + 32, page_size - 32);
+  stats_.full_page_image_bytes += head.bytes.size() + body.bytes.size();
   rec.ranges.push_back(std::move(head));
   rec.ranges.push_back(std::move(body));
   return Append(rec);
@@ -491,6 +492,7 @@ WalStatsSnapshot WalWriter::StatsSnapshot() const {
   s.commit_delay_waits = stats_.commit_delay_waits;
   s.auto_checkpoints = stats_.auto_checkpoints;
   s.archived_bytes = stats_.archived_bytes;
+  s.full_page_image_bytes = stats_.full_page_image_bytes;
   s.records_per_force = stats_.GroupCommitFactor();
   s.commits_per_force = stats_.CommitsPerForce();
   std::lock_guard<std::mutex> lock(mu_);

@@ -36,6 +36,12 @@ struct WalStats {
                                               ///< on its ring-fraction trigger
   std::atomic<uint64_t> archived_bytes{0};  ///< WAL bytes copied to the archive
                                             ///< before truncation recycled them
+  /// Payload bytes of full-page-image records (torn-page protection logs a
+  /// complete image on each page's first change per checkpoint epoch). The
+  /// FPI share of bytes_appended is the log-volume inflation frequent
+  /// checkpoints cause on hot pages — the gauge the batching/compression
+  /// follow-on needs.
+  std::atomic<uint64_t> full_page_image_bytes{0};
 
   /// Records per force > 1 means group commit is batching.
   double GroupCommitFactor() const {
@@ -62,6 +68,14 @@ struct WalStatsSnapshot {
   uint64_t commit_delay_waits = 0;
   uint64_t auto_checkpoints = 0;
   uint64_t archived_bytes = 0;
+  uint64_t full_page_image_bytes = 0;
+  /// Restart-recovery shape of the LAST recovery this database ran (zero
+  /// on a clean open): page redo records installed, and the worker count
+  /// the parallel apply phase used (1 = serial replay). Filled by
+  /// Prima::wal_stats() from RecoveryManager — the log itself never
+  /// replays anything.
+  uint64_t redo_records_applied = 0;
+  uint64_t redo_apply_threads = 0;
   double records_per_force = 0.0;
   double commits_per_force = 0.0;
   uint64_t live_bytes = 0;       ///< append_lsn - truncate_lsn

@@ -134,6 +134,13 @@ Status MemoryBlockDevice::WriteChained(FileId file,
   return Status::Ok();
 }
 
+std::unique_ptr<MemoryBlockDevice> MemoryBlockDevice::Clone() const {
+  auto copy = std::make_unique<MemoryBlockDevice>();
+  std::lock_guard<std::mutex> lock(mu_);
+  copy->files_ = files_;
+  return copy;
+}
+
 // ---------------------------------------------------------------------------
 // FileBlockDevice
 // ---------------------------------------------------------------------------

@@ -98,6 +98,11 @@ class MemoryBlockDevice : public BlockDevice {
   util::Status WriteChained(FileId file, const std::vector<uint64_t>& blocks,
                             const char* src) override;
 
+  /// Deep copy of every file and block. Crash-recovery tests and benchmarks
+  /// use it to recover the SAME crashed image several times (e.g. once per
+  /// recovery_threads setting) and compare the outcomes bit for bit.
+  std::unique_ptr<MemoryBlockDevice> Clone() const;
+
  private:
   struct File {
     uint32_t block_size = 0;

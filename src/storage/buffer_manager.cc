@@ -8,15 +8,6 @@ namespace prima::storage {
 using util::Result;
 using util::Status;
 
-namespace {
-bool IsAllZero(const char* data, uint32_t n) {
-  for (uint32_t i = 0; i < n; ++i) {
-    if (data[i] != 0) return false;
-  }
-  return true;
-}
-}  // namespace
-
 BufferManager::BufferManager(BlockDevice* device, size_t budget_bytes,
                              BufferPolicy policy)
     : device_(device), policy_(policy) {
@@ -127,7 +118,7 @@ Result<Frame*> BufferManager::Fix(PageId id, uint32_t page_size,
     // Fault tolerance: verify the page checksum. Never-written pages read
     // back as all-zero and are accepted as fresh.
     if (!PageHeader::Verify(frame->data.get(), page_size) &&
-        !IsAllZero(frame->data.get(), page_size)) {
+        !PageIsAllZero(frame->data.get(), page_size)) {
       return Status::Corruption("checksum mismatch on segment " +
                                 std::to_string(id.segment) + " page " +
                                 std::to_string(id.page));
@@ -140,6 +131,15 @@ Result<Frame*> BufferManager::Fix(PageId id, uint32_t page_size,
   used_[chain] += page_size;
   frames_[id] = std::move(frame);
   return raw;
+}
+
+Frame* BufferManager::TryFix(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return nullptr;
+  Frame* f = it->second.get();
+  f->pins++;
+  return f;
 }
 
 void BufferManager::Unfix(Frame* frame) {
@@ -172,7 +172,7 @@ Status BufferManager::Prefetch(SegmentId segment,
 
   for (size_t i = 0; i < missing.size(); ++i) {
     const char* src = bulk.data() + i * page_size;
-    if (!PageHeader::Verify(src, page_size) && !IsAllZero(src, page_size)) {
+    if (!PageHeader::Verify(src, page_size) && !PageIsAllZero(src, page_size)) {
       return Status::Corruption("checksum mismatch in chained read, page " +
                                 std::to_string(missing[i]));
     }

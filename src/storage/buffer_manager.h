@@ -99,6 +99,14 @@ class BufferManager {
   /// allocated pages). The returned frame is pinned but not latched.
   util::Result<Frame*> Fix(PageId id, uint32_t page_size, bool format_new);
 
+  /// Pin the page only if it is already resident; returns nullptr without
+  /// touching the device otherwise. Used by parallel recovery apply: a
+  /// resident frame (e.g. a segment header loaded at Open) must be updated
+  /// in place or it would shadow a direct device write, while non-resident
+  /// pages are replayed device-side without polluting the buffer. Does not
+  /// count a hit or reorder the LRU chain — it is a probe, not an access.
+  Frame* TryFix(PageId id);
+
   /// Release one pin.
   void Unfix(Frame* frame);
 

@@ -136,6 +136,16 @@ constexpr uint32_t PagePayload(uint32_t page_size_bytes) {
   return page_size_bytes - PageHeader::kSize;
 }
 
+/// A never-written device page reads back all-zero and counts as a valid
+/// fresh base, NOT as torn — the single rule shared by the buffer's read
+/// validation and recovery's direct page replay.
+inline bool PageIsAllZero(const char* data, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) {
+    if (data[i] != 0) return false;
+  }
+  return true;
+}
+
 }  // namespace prima::storage
 
 #endif  // PRIMA_STORAGE_PAGE_H_

@@ -518,16 +518,33 @@ Status StorageSystem::Flush() {
 // Restart recovery
 // ---------------------------------------------------------------------------
 
-Result<StorageSystem::RedoOutcome> StorageSystem::RecoverApplyPageRedo(
-    SegmentId seg, uint32_t page, uint32_t page_size, uint64_t lsn,
-    const std::vector<std::pair<uint32_t, Slice>>& ranges) {
+namespace {
+
+// A record carrying the complete page contents (LogFullPage's shape: the
+// header minus checksum and page-LSN, then everything past the header).
+// Only such a record can rebuild a page whose device image is torn — a
+// delta onto a zeroed base would silently destroy the rest of the page.
+bool IsFullImage(const StorageSystem::RedoEntry& e, uint32_t page_size) {
+  return e.ranges.size() == 2 && e.ranges[0].first == 4 &&
+         e.ranges[0].second.size() == PageHeader::kSize - 12 &&
+         e.ranges[1].first == PageHeader::kSize &&
+         e.ranges[1].second.size() == page_size - PageHeader::kSize;
+}
+
+}  // namespace
+
+Result<StorageSystem::RedoChainResult> StorageSystem::RecoverApplyPageRedoChain(
+    SegmentId seg, uint32_t page, uint32_t page_size,
+    const std::vector<RedoEntry>& entries) {
   // The segment may postdate the last persisted metadata — recreate the
-  // device file and grow the bookkeeping so the page is addressable.
-  if (!device_->Exists(seg)) {
-    PRIMA_RETURN_IF_ERROR(device_->Create(seg, page_size));
-  }
+  // device file and grow the bookkeeping so the page is addressable. Under
+  // mu_ whole: concurrent chains for different pages of the same fresh
+  // segment would otherwise race the exists-check against the create.
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!device_->Exists(seg)) {
+      PRIMA_RETURN_IF_ERROR(device_->Create(seg, page_size));
+    }
     auto it = segments_.find(seg);
     if (it == segments_.end()) {
       SegmentMeta fresh;
@@ -541,48 +558,78 @@ Result<StorageSystem::RedoOutcome> StorageSystem::RecoverApplyPageRedo(
     }
   }
 
-  auto frame_or = buffer_->Fix(PageId{seg, page}, page_size, false);
-  Frame* frame = nullptr;
-  bool torn = false;
-  if (frame_or.ok()) {
-    frame = *frame_or;
-  } else if (frame_or.status().IsCorruption()) {
-    // Torn page (detected by the page CRC). It can only be rebuilt from a
-    // record that carries the complete image — the first post-checkpoint
-    // change of every page is logged that way. A delta onto a zeroed base
-    // would silently destroy the rest of the page, so report it and let
-    // the caller wait for the full image (or fail if none arrives).
-    const bool full_image =
-        ranges.size() == 2 && ranges[0].first == 4 &&
-        ranges[0].second.size() == PageHeader::kSize - 12 &&
-        ranges[1].first == PageHeader::kSize &&
-        ranges[1].second.size() == page_size - PageHeader::kSize;
-    if (!full_image) {
-      return RedoOutcome::kTornAwaitingFullImage;
+  RedoChainResult result;
+
+  // Resident page: replay in place under the frame latch, or a later Fix
+  // would serve the stale frame over our device-side bytes. Left dirty for
+  // the post-recovery checkpoint like any other mutation.
+  if (Frame* frame = buffer_->TryFix(PageId{seg, page}); frame != nullptr) {
+    {
+      std::unique_lock<std::shared_mutex> latch(frame->latch);
+      char* data = frame->data.get();
+      bool dirtied = false;
+      for (const RedoEntry& e : entries) {
+        // Redo idempotence (ARIES): apply iff the page is older.
+        if (PageHeader::lsn(data) >= e.lsn) {
+          result.skipped++;
+          continue;
+        }
+        for (const auto& [offset, bytes] : e.ranges) {
+          std::memcpy(data + offset, bytes.data(), bytes.size());
+        }
+        PageHeader::set_lsn(data, e.lsn);
+        dirtied = true;
+        result.applied++;
+      }
+      if (dirtied) buffer_->MarkDirty(frame);
     }
-    PRIMA_ASSIGN_OR_RETURN(frame, buffer_->Fix(PageId{seg, page}, page_size,
-                                               /*format_new=*/true));
-    torn = true;
-  } else {
-    return frame_or.status();
+    buffer_->Unfix(frame);
+    return result;
   }
 
-  RedoOutcome outcome = RedoOutcome::kSkipped;
-  {
-    std::unique_lock<std::shared_mutex> latch(frame->latch);
-    char* data = frame->data.get();
-    // Redo idempotence (ARIES): apply iff the page is older than the record.
-    if (torn || PageHeader::lsn(data) < lsn) {
-      for (const auto& [offset, bytes] : ranges) {
-        std::memcpy(data + offset, bytes.data(), bytes.size());
-      }
-      PageHeader::set_lsn(data, lsn);
-      buffer_->MarkDirty(frame);
-      outcome = RedoOutcome::kApplied;
+  // Non-resident: replay the whole chain on a worker-local copy of the
+  // device image and write it back once, sealed. The redo records came out
+  // of the durable log, so writing the page before any further log force
+  // cannot violate the WAL rule; bypassing the buffer keeps parallel
+  // workers off the pool mutex and recovery's working set out of the LRU.
+  auto image = std::make_unique<char[]>(page_size);
+  char* data = image.get();
+  PRIMA_RETURN_IF_ERROR(device_->Read(seg, page, data));
+  // A never-written page reads back all-zero and is a valid fresh base;
+  // anything else failing its CRC is torn and waits for a full image.
+  bool torn =
+      !PageHeader::Verify(data, page_size) && !PageIsAllZero(data, page_size);
+  bool dirtied = false;
+  for (const RedoEntry& e : entries) {
+    bool healed = false;
+    if (torn) {
+      if (!IsFullImage(e, page_size)) continue;  // held back, may stay torn
+      std::memset(data, 0, page_size);
+      torn = false;
+      healed = true;
     }
+    if (!healed && PageHeader::lsn(data) >= e.lsn) {
+      result.skipped++;
+      continue;
+    }
+    for (const auto& [offset, bytes] : e.ranges) {
+      std::memcpy(data + offset, bytes.data(), bytes.size());
+    }
+    PageHeader::set_lsn(data, e.lsn);
+    dirtied = true;
+    result.applied++;
   }
-  buffer_->Unfix(frame);
-  return outcome;
+  if (torn) {
+    // No full image in the chain: unrecoverable by replay. Leave the torn
+    // device bytes untouched for forensics / media recovery.
+    result.torn = true;
+    return result;
+  }
+  if (dirtied) {
+    PageHeader::Seal(data, page_size);
+    PRIMA_RETURN_IF_ERROR(device_->Write(seg, page, data));
+  }
+  return result;
 }
 
 Status StorageSystem::RecoverSegmentMeta(SegmentId seg, PageSize size,

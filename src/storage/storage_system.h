@@ -139,23 +139,43 @@ class StorageSystem {
 
   // --- restart recovery (RecoveryManager only) -------------------------------
 
-  enum class RedoOutcome {
-    kApplied,
-    kSkipped,                ///< page-LSN already current (redo idempotence)
-    kTornAwaitingFullImage,  ///< page CRC broken; this delta cannot repair
-                             ///< it — a later full-image record must
+  /// One physiological redo record of a page's chain: the record LSN and
+  /// the changed byte ranges (offset, bytes). The views borrow the caller's
+  /// record storage and must outlive the apply call.
+  struct RedoEntry {
+    uint64_t lsn = 0;
+    std::vector<std::pair<uint32_t, util::Slice>> ranges;
   };
 
-  /// Apply one physiological redo record: ensure the segment exists and is
-  /// large enough, then — iff the page-LSN is older than `lsn` — overwrite
-  /// the given byte ranges and stamp `lsn`. A page torn on the device is
-  /// rebuilt only by a full-image record (the epoch rule logs one as the
-  /// page's first post-checkpoint change); deltas for it report
-  /// kTornAwaitingFullImage so the caller can fail loudly if no full image
-  /// ever arrives.
-  util::Result<RedoOutcome> RecoverApplyPageRedo(
-      SegmentId seg, uint32_t page, uint32_t page_size, uint64_t lsn,
-      const std::vector<std::pair<uint32_t, util::Slice>>& ranges);
+  struct RedoChainResult {
+    uint64_t applied = 0;  ///< records whose bytes were installed
+    uint64_t skipped = 0;  ///< page-LSN already current (redo idempotence)
+    /// The device image is torn (bad page CRC) and no full-image record
+    /// arrived in the chain to rebuild it from — the page is unrecoverable
+    /// by log replay and the caller must fail loudly (media recovery).
+    bool torn = false;
+  };
+
+  /// Replay one page's complete redo chain (entries in LSN order): ensure
+  /// the segment exists and is large enough, then apply every entry whose
+  /// LSN is newer than the page (repeating history, ARIES-idempotent).
+  ///
+  /// Thread-safe against concurrent chains for OTHER pages — this is the
+  /// unit of work of the parallel redo phase; the partition by page id
+  /// guarantees no two chains share a page. A page already resident in the
+  /// buffer (segment headers loaded at Open) is updated in place under its
+  /// frame latch and left dirty for the post-recovery checkpoint;
+  /// non-resident pages are replayed in worker-local memory and written
+  /// back (sealed) directly — their redo records are already durable in
+  /// the log, so the WAL rule is vacuously satisfied.
+  ///
+  /// A page torn on the device is rebuilt only from a full-image record
+  /// (the epoch rule logs one as the page's first post-checkpoint change);
+  /// deltas ahead of it are held back, and a chain that ends still torn
+  /// reports so via RedoChainResult::torn.
+  util::Result<RedoChainResult> RecoverApplyPageRedoChain(
+      SegmentId seg, uint32_t page, uint32_t page_size,
+      const std::vector<RedoEntry>& entries);
 
   /// Reinstall segment bookkeeping from a kSegMeta record (repeating the
   /// history of allocations and frees that never reached the device).

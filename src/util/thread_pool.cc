@@ -1,6 +1,12 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+
 namespace prima::util {
+
+size_t ThreadPool::DefaultThreads() {
+  return std::max(2u, std::thread::hardware_concurrency());
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -25,6 +31,14 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+}
+
+void ThreadPool::SubmitAll(std::vector<std::function<void()>> tasks) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (auto& task : tasks) queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_all();
 }
 
 void ThreadPool::Wait() {

@@ -14,6 +14,8 @@ namespace prima::util {
 /// decomposed units of work (DUs) from a single user operation are
 /// scheduled here and executed concurrently (paper §4, multi-processor
 /// PRIMA emulated with shared-memory threads; see DESIGN.md substitutions).
+/// Restart recovery reuses it to fan per-page redo chains out over the
+/// cores (RecoveryManager parallel apply phase).
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -22,8 +24,16 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Sizing default for "use the machine": hardware concurrency, floored
+  /// at 2 so single-core CI still overlaps compute with blocking I/O.
+  static size_t DefaultThreads();
+
   /// Enqueue a task. Tasks must not throw.
   void Submit(std::function<void()> task);
+
+  /// Enqueue a batch under one lock acquisition and wake every worker —
+  /// cheaper than N Submit calls when fanning out many tasks at once.
+  void SubmitAll(std::vector<std::function<void()>> tasks);
 
   /// Block until every submitted task has finished.
   void Wait();
