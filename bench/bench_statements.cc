@@ -1,0 +1,202 @@
+// Session & prepared-statement benchmarks: what the §3.1 separation of
+// preparation from execution buys.
+//
+//   - prepared vs re-parse throughput: the same SELECT executed N times as
+//     one-shot text (parse + semantic analysis + plan every call) vs as a
+//     bound PreparedStatement (parse/plan once, bind per call);
+//   - cursor first-molecule latency: time until the FIRST molecule of a
+//     large molecule set is available via MoleculeCursor::Next() vs the
+//     fully materialized Query() path, plus the cost of an early-exit
+//     consumer that only wants a few molecules.
+//
+//   $ ./bench_statements
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/session.h"
+
+namespace prima::bench {
+namespace {
+
+using access::Value;
+
+// ---------------------------------------------------------------------------
+// Report: prepared vs re-parse, cursor vs materialize
+// ---------------------------------------------------------------------------
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void ReportStatements() {
+  PrintHeader(
+      "session API — prepared statements & streaming cursors",
+      "preparation (parse + analyze + plan) runs once per statement, not "
+      "once per execution; cursors bound first-molecule latency by ONE "
+      "assembly instead of the whole molecule set");
+
+  // A moderately deep BREP store: 60 solids, each a multi-component
+  // molecule, so assembly cost dominates parse cost and both effects show.
+  auto db = OpenBrepDb(/*n=*/60, /*base=*/1000);
+  auto session = db->OpenSession();
+
+  constexpr int kExecutions = 2000;
+  const std::string text =
+      "SELECT ALL FROM solid WHERE solid_no = 1013";
+
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kExecutions; ++i) {
+      auto r = session->Execute(text);
+      Require(r.status(), "one-shot execute");
+    }
+    const double reparse = SecondsSince(start);
+
+    auto stmt = RequireR(
+        session->Prepare("SELECT ALL FROM solid WHERE solid_no = ?"),
+        "prepare");
+    Require(stmt.Bind(0, Value::Int(1013)), "bind");
+    const auto pstart = std::chrono::steady_clock::now();
+    for (int i = 0; i < kExecutions; ++i) {
+      auto r = stmt.Execute();
+      Require(r.status(), "prepared execute");
+    }
+    const double prepared = SecondsSince(pstart);
+
+    std::printf(
+        "eq-key SELECT x%d          one-shot %8.1f stmt/s   prepared %8.1f "
+        "stmt/s   speedup %.2fx   (plans computed: %llu)\n",
+        kExecutions, kExecutions / reparse, kExecutions / prepared,
+        reparse / prepared,
+        (unsigned long long)stmt.plans_computed());
+  }
+
+  // Cursor latency: a four-component molecule set over every solid.
+  const std::string big =
+      "SELECT ALL FROM brep-face-edge-point";
+  {
+    const auto mstart = std::chrono::steady_clock::now();
+    auto all = RequireR(session->Execute(big), "materialize");
+    const double materialize = SecondsSince(mstart);
+    const size_t total = all.molecules.size();
+
+    const auto cstart = std::chrono::steady_clock::now();
+    auto cursor = RequireR(session->Query(big), "cursor");
+    auto first = RequireR(cursor.Next(), "first molecule");
+    Require(first.has_value() ? util::Status::Ok()
+                              : util::Status::NotFound("empty cursor"),
+            "first molecule");
+    const double first_latency = SecondsSince(cstart);
+    // Early-exit consumer: drain only 5 of the molecules, then close.
+    for (int i = 0; i < 4; ++i) {
+      auto m = RequireR(cursor.Next(), "next");
+      benchmark::DoNotOptimize(m);
+    }
+    cursor.Close();
+    const double five = SecondsSince(cstart);
+
+    std::printf(
+        "cursor over %4zu molecules  first-molecule %8.0f us   five+close "
+        "%8.0f us   full materialization %8.0f us   (%.1fx to first row)\n",
+        total, first_latency * 1e6, five * 1e6, materialize * 1e6,
+        materialize / first_latency);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks
+// ---------------------------------------------------------------------------
+
+void BM_OneShotExecute(benchmark::State& state) {
+  auto db = OpenBrepDb(/*n=*/20, /*base=*/1000);
+  auto session = db->OpenSession();
+  for (auto _ : state) {
+    auto r = session->Execute("SELECT ALL FROM solid WHERE solid_no = 1007");
+    Require(r.status(), "execute");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OneShotExecute);
+
+void BM_PreparedExecute(benchmark::State& state) {
+  auto db = OpenBrepDb(/*n=*/20, /*base=*/1000);
+  auto session = db->OpenSession();
+  auto stmt = RequireR(
+      session->Prepare("SELECT ALL FROM solid WHERE solid_no = ?"),
+      "prepare");
+  Require(stmt.Bind(0, Value::Int(1007)), "bind");
+  for (auto _ : state) {
+    auto r = stmt.Execute();
+    Require(r.status(), "execute");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PreparedExecute);
+
+void BM_PreparedInsertAutoCommit(benchmark::State& state) {
+  auto db = OpenDb();
+  auto session = db->OpenSession();
+  Require(session
+              ->Execute("CREATE ATOM_TYPE item (item_id: IDENTIFIER, "
+                        "num: INTEGER, name: CHAR_VAR)")
+              .status(),
+          "schema");
+  auto stmt = RequireR(
+      session->Prepare("INSERT item (num = ?, name = :n)"), "prepare");
+  int64_t i = 0;
+  for (auto _ : state) {
+    Require(stmt.Bind(0, Value::Int(++i)), "bind");
+    Require(stmt.Bind("n", Value::String("x")), "bind");
+    auto r = stmt.Execute();
+    Require(r.status(), "insert");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PreparedInsertAutoCommit);
+
+void BM_CursorFirstMolecule(benchmark::State& state) {
+  auto db = OpenBrepDb(/*n=*/static_cast<int>(state.range(0)),
+                       /*base=*/1000);
+  auto session = db->OpenSession();
+  for (auto _ : state) {
+    auto cursor =
+        RequireR(session->Query("SELECT ALL FROM brep-face-edge-point"),
+                 "cursor");
+    auto first = RequireR(cursor.Next(), "next");
+    benchmark::DoNotOptimize(first);
+    cursor.Close();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CursorFirstMolecule)->Arg(16)->Arg(64);
+
+void BM_MaterializeAll(benchmark::State& state) {
+  auto db = OpenBrepDb(/*n=*/static_cast<int>(state.range(0)),
+                       /*base=*/1000);
+  auto session = db->OpenSession();
+  for (auto _ : state) {
+    auto set = RequireR(session->Execute("SELECT ALL FROM brep-face-edge-point"),
+                        "query");
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MaterializeAll)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace prima::bench
+
+int main(int argc, char** argv) {
+  prima::bench::ReportStatements();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,10 +1,13 @@
 // Quickstart: the paper's BREP schema (Fig. 2.3) and all four Table 2.1
-// queries, end to end, through the public Prima API.
+// queries, end to end, through the session API — PRIMA's primary client
+// surface.
 //
 //   $ ./quickstart
 //
-// Walks through: opening a database, MAD-DDL, inserting a molecule with the
-// C++ value API, the four published queries, and an LDL tuning structure.
+// Walks through: opening a database and a session, MAD-DDL, transactional
+// DML (BEGIN WORK … COMMIT WORK / ABORT WORK), a prepared statement with
+// placeholder binding, streaming a query through a molecule cursor, and an
+// LDL tuning structure.
 
 #include <cstdio>
 #include <cstdlib>
@@ -12,8 +15,10 @@
 #include "core/prima.h"
 #include "workloads/brep.h"
 
+using prima::access::Value;
 using prima::core::Prima;
 using prima::core::PrimaOptions;
+using prima::core::Session;
 
 namespace {
 void Check(const prima::util::Status& st, const char* what) {
@@ -23,9 +28,10 @@ void Check(const prima::util::Status& st, const char* what) {
   }
 }
 
-void RunAndPrint(Prima* db, const char* title, const std::string& query) {
+void RunAndPrint(Prima* db, Session* session, const char* title,
+                 const std::string& query) {
   std::printf("\n--- %s\n%s\n", title, query.c_str());
-  auto result = db->Execute(query);
+  auto result = session->Execute(query);
   Check(result.status(), "query");
   std::printf("%s", db->data().Format(*result).c_str());
 }
@@ -33,10 +39,13 @@ void RunAndPrint(Prima* db, const char* title, const std::string& query) {
 
 int main() {
   // 1. Open an in-memory PRIMA database (pass in_memory=false + a path for
-  //    a persistent one).
+  //    a persistent one) and a client session. The session scopes
+  //    transactions and owns prepared statements and cursors; open one per
+  //    client thread.
   auto db_or = Prima::Open(PrimaOptions{});
   Check(db_or.status(), "open");
   auto db = std::move(*db_or);
+  auto session = db->OpenSession();
 
   // 2. Install the Fig. 2.3 schema: five atom types with symmetric
   //    associations, plus the molecule types edge_obj / face_obj /
@@ -55,41 +64,90 @@ int main() {
   std::printf("built 14 tetrahedra + one assembly (7 more solids)\n");
 
   // 4. The four queries of Table 2.1 (verbatim modulo constants).
-  RunAndPrint(db.get(), "Table 2.1a: vertical access to network molecules",
+  RunAndPrint(db.get(), session.get(),
+              "Table 2.1a: vertical access to network molecules",
               "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1713");
-  RunAndPrint(db.get(), "Table 2.1b: vertical access to recursive molecules",
+  RunAndPrint(db.get(), session.get(),
+              "Table 2.1b: vertical access to recursive molecules",
               "SELECT ALL FROM piece_list WHERE piece_list (0).solid_no = 4711");
-  RunAndPrint(db.get(), "Table 2.1c: horizontal access with projection",
+  RunAndPrint(db.get(), session.get(),
+              "Table 2.1c: horizontal access with projection",
               "SELECT solid_no, description FROM solid WHERE sub = EMPTY");
-  RunAndPrint(db.get(), "Table 2.1d: branching, quantifier, qualified projection",
+  RunAndPrint(db.get(), session.get(),
+              "Table 2.1d: branching, quantifier, qualified projection",
               "SELECT edge, (point, face := SELECT face_id, square_dim "
               "FROM face WHERE square_dim > 5.0E0) "
               "FROM brep-edge (face, point) "
               "WHERE brep_no = 1713 AND "
               "EXISTS_AT_LEAST (2) edge: edge.length > 1.0E0");
 
-  // 5. DML through MQL.
-  std::printf("\n--- DML\n");
-  auto ins = db->Execute("INSERT solid (solid_no = 9000, description = 'new')");
-  Check(ins.status(), "insert");
-  std::printf("INSERT -> %s", db->data().Format(*ins).c_str());
-  auto mod = db->Execute(
-      "MODIFY solid SET description = 'renamed' WHERE solid_no = 9000");
-  Check(mod.status(), "modify");
-  std::printf("MODIFY -> %s", db->data().Format(*mod).c_str());
+  // 5. Transactional DML: every statement runs under the session's
+  //    transaction context. Outside BEGIN WORK a statement auto-commits
+  //    atomically; inside, COMMIT WORK / ABORT WORK decide. The aborted
+  //    insert below leaves no trace.
+  std::printf("\n--- transactional DML\n");
+  Check(session->Execute("BEGIN WORK").status(), "begin");
+  Check(session
+            ->Execute("INSERT solid (solid_no = 9000, description = 'new')")
+            .status(),
+        "insert");
+  Check(session->Execute("COMMIT WORK").status(), "commit");
+  Check(session->Execute("BEGIN WORK").status(), "begin");
+  Check(session
+            ->Execute("INSERT solid (solid_no = 9001, description = 'oops')")
+            .status(),
+        "insert");
+  Check(session->Execute("ABORT WORK").status(), "abort");
+  auto ghosts = session->Execute("SELECT ALL FROM solid WHERE solid_no = 9001");
+  Check(ghosts.status(), "query");
+  std::printf("committed insert kept, aborted insert left %zu trace(s)\n",
+              ghosts->molecules.size());
 
-  // 6. LDL: install an atom cluster; the same query now assembles its
+  // 6. Prepared statements: parse + semantic analysis + planning run ONCE;
+  //    each execution binds new placeholder values. The eq-key plan is
+  //    re-planned only when the bound key changes.
+  std::printf("\n--- prepared statement\n");
+  auto stmt_or =
+      session->Prepare("MODIFY solid SET description = :d WHERE solid_no = ?");
+  Check(stmt_or.status(), "prepare");
+  auto stmt = std::move(*stmt_or);
+  Check(stmt.Bind("d", Value::String("renamed")), "bind");
+  Check(stmt.Bind(1, Value::Int(9000)), "bind");
+  auto mod = stmt.Execute();
+  Check(mod.status(), "modify");
+  std::printf("MODIFY via placeholders -> %s", db->data().Format(*mod).c_str());
+
+  // 7. Streaming cursors: one molecule per Next() — first-row latency is
+  //    one assembly, and an early Close() skips the rest of the set.
+  std::printf("\n--- streaming cursor\n");
+  auto cursor_or = session->Query("SELECT ALL FROM brep-face-edge-point");
+  Check(cursor_or.status(), "cursor");
+  auto cursor = std::move(*cursor_or);
+  size_t streamed = 0;
+  for (;;) {
+    auto m = cursor.Next();
+    Check(m.status(), "next");
+    if (!m->has_value()) break;
+    ++streamed;
+    if (streamed == 3) {
+      cursor.Close();  // early exit: the remaining molecules are never built
+      break;
+    }
+  }
+  std::printf("streamed %zu molecule(s), then closed early\n", streamed);
+
+  // 8. LDL: install an atom cluster; the same query now assembles its
   //    molecule from one materialized page sequence — transparently.
   auto ldl = db->ExecuteLdl(
       "CREATE ATOM CLUSTER brep_cluster ON brep (faces, edges, points)");
   Check(ldl.status(), "ldl");
   std::printf("\n--- LDL\n%s\n", ldl->c_str());
   db->data().stats().Reset();
-  auto again =
-      db->Query("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1713");
+  auto again = session->Execute(
+      "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1713");
   Check(again.status(), "query");
   std::printf("re-ran 2.1a: %zu molecule(s), cluster assemblies = %llu\n",
-              again->size(),
+              again->molecules.size(),
               (unsigned long long)db->data().stats().cluster_assemblies.load());
 
   std::printf("\nquickstart complete.\n");

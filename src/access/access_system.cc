@@ -88,6 +88,46 @@ uint64_t AccessSystem::LogAtomOp(UndoRecord::Kind kind, const Tid& tid,
   return wal_->Append(rec);
 }
 
+void AccessSystem::NoteStructureRoot(uint32_t structure_id,
+                                     uint32_t root_page) {
+  (void)catalog_.SetStructureRoot(structure_id, root_page);
+  if (wal_ != nullptr) {
+    // Buffered with the split's page redos; durable at the latest with the
+    // owning transaction's commit force. (A write-back force that lands
+    // exactly between the split pages and this record, followed by a
+    // crash before any commit, could still lose the re-point — closing
+    // that sliver needs the root inside a logged tree meta page; see
+    // ROADMAP "log catalog/DDL operations".)
+    wal_->Append(recovery::LogRecord::StructRoot(structure_id, root_page));
+  }
+}
+
+Status AccessSystem::RecoverStructureRoot(uint32_t structure_id,
+                                          uint32_t root_page) {
+  const StructureDef* def = catalog_.GetStructure(structure_id);
+  if (def == nullptr) return Status::Ok();  // structure post-dates the ckpt
+  if (def->root_page == root_page) return Status::Ok();
+  PRIMA_RETURN_IF_ERROR(catalog_.SetStructureRoot(structure_id, root_page));
+  auto bt = btrees_.find(structure_id);
+  if (bt != btrees_.end()) {
+    bt->second->SetRoot(root_page);
+    return Status::Ok();
+  }
+  auto g = grids_.find(structure_id);
+  if (g != grids_.end()) {
+    // The grid caches its scales/directory from the meta page at Open;
+    // rebuild it on the recovered meta.
+    auto grid = std::make_unique<GridFile>(
+        storage_, def->segment, def->attrs.size(), root_page,
+        [this, structure_id](uint32_t meta) {
+          NoteStructureRoot(structure_id, meta);
+        });
+    PRIMA_RETURN_IF_ERROR(grid->Open());
+    grids_[structure_id] = std::move(grid);
+  }
+  return Status::Ok();
+}
+
 AccessSystem::~AccessSystem() {
   if (flush_on_close_) (void)Flush();
 }
@@ -136,16 +176,12 @@ Status AccessSystem::AttachStructures() {
       case StructureKind::kSortOrder:
         btrees_[id] = std::make_unique<BTree>(
             storage_, def->segment, def->root_page,
-            [this, id](uint32_t root) {
-              (void)catalog_.SetStructureRoot(id, root);
-            });
+            [this, id](uint32_t root) { NoteStructureRoot(id, root); });
         break;
       case StructureKind::kGridAccessPath: {
         auto grid = std::make_unique<GridFile>(
             storage_, def->segment, def->attrs.size(), def->root_page,
-            [this, id](uint32_t meta) {
-              (void)catalog_.SetStructureRoot(id, meta);
-            });
+            [this, id](uint32_t meta) { NoteStructureRoot(id, meta); });
         PRIMA_RETURN_IF_ERROR(grid->Open());
         grids_[id] = std::move(grid);
         break;
@@ -305,9 +341,8 @@ Result<uint32_t> AccessSystem::CreateBTreeAccessPath(
   PRIMA_ASSIGN_OR_RETURN(def.root_page, BTree::Create(storage_, def.segment));
   PRIMA_ASSIGN_OR_RETURN(const uint32_t id, catalog_.AddStructure(def));
   btrees_[id] = std::make_unique<BTree>(
-      storage_, def.segment, def.root_page, [this, id](uint32_t root) {
-        (void)catalog_.SetStructureRoot(id, root);
-      });
+      storage_, def.segment, def.root_page,
+      [this, id](uint32_t root) { NoteStructureRoot(id, root); });
   const Status st = BackfillStructure(*catalog_.GetStructure(id));
   if (!st.ok()) {
     (void)DropStructure(name);
@@ -330,9 +365,8 @@ Result<uint32_t> AccessSystem::CreateGridAccessPath(
   def.root_page = 0;  // grid meta created on first Save
   PRIMA_ASSIGN_OR_RETURN(const uint32_t id, catalog_.AddStructure(def));
   auto grid = std::make_unique<GridFile>(
-      storage_, def.segment, def.attrs.size(), 0, [this, id](uint32_t meta) {
-        (void)catalog_.SetStructureRoot(id, meta);
-      });
+      storage_, def.segment, def.attrs.size(), 0,
+      [this, id](uint32_t meta) { NoteStructureRoot(id, meta); });
   PRIMA_RETURN_IF_ERROR(grid->Open());
   grids_[id] = std::move(grid);
   const Status st = BackfillStructure(*catalog_.GetStructure(id));
@@ -361,9 +395,8 @@ Result<uint32_t> AccessSystem::CreateSortOrder(
   PRIMA_ASSIGN_OR_RETURN(def.root_page, BTree::Create(storage_, def.segment));
   PRIMA_ASSIGN_OR_RETURN(const uint32_t id, catalog_.AddStructure(def));
   btrees_[id] = std::make_unique<BTree>(
-      storage_, def.segment, def.root_page, [this, id](uint32_t root) {
-        (void)catalog_.SetStructureRoot(id, root);
-      });
+      storage_, def.segment, def.root_page,
+      [this, id](uint32_t root) { NoteStructureRoot(id, root); });
   const Status st = BackfillStructure(*catalog_.GetStructure(id));
   if (!st.ok()) {
     (void)DropStructure(name);

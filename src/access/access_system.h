@@ -219,6 +219,14 @@ class AccessSystem {
   /// exist then); the current base record decides liveness.
   util::Status RecoverRedundancy(const Tid& tid, const Atom* ckpt_before);
 
+  /// Restart fixup for an access structure whose root/meta page moved
+  /// after the last checkpoint persisted the catalog: re-point the
+  /// attached structure (and the in-memory catalog) at the logged root.
+  /// Replayed in log order, last record wins; an id the recovered catalog
+  /// does not know (structure created after the checkpoint — DDL
+  /// durability still rides on checkpoints) is skipped. Idempotent.
+  util::Status RecoverStructureRoot(uint32_t structure_id, uint32_t root_page);
+
   /// Re-register partition copies of `tid` that were materialized (drained)
   /// before the crash but whose memory-resident address-table entry was
   /// lost: scans the partition file for a record carrying the tid and
@@ -329,6 +337,12 @@ class AccessSystem {
   /// WAL is attached).
   uint64_t LogAtomOp(UndoRecord::Kind kind, const Tid& tid, const Atom* before,
                      bool clr);
+
+  /// Record a structure's root/meta page move: in the catalog (in memory;
+  /// persisted wholesale at the next checkpoint) AND as a kStructRoot log
+  /// record, so a crash between the split and the checkpoint re-points the
+  /// structure at restart instead of attaching it at the stale root.
+  void NoteStructureRoot(uint32_t structure_id, uint32_t root_page);
 
   storage::StorageSystem* storage_;
   AccessOptions options_;

@@ -48,6 +48,9 @@ class BTree {
   util::Result<std::optional<std::string>> Get(util::Slice key);
 
   uint32_t root_page() const { return root_page_; }
+  /// Re-point the tree at `root_page` (restart recovery: the catalog's
+  /// persisted root predates splits the log replayed onto the pages).
+  void SetRoot(uint32_t root_page) { root_page_ = root_page; }
 
   /// Leaf-level cursor. Operations return a Status; after a failed
   /// operation the iterator is invalid.

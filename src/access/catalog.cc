@@ -39,6 +39,7 @@ Result<AtomTypeId> Catalog::AddAtomType(AtomTypeDef def) {
   atom_type_names_[def.name] = def.id;
   const AtomTypeId id = def.id;
   atom_types_[id] = std::move(def);
+  BumpSchemaVersion();
   return id;
 }
 
@@ -50,6 +51,7 @@ Status Catalog::DropAtomType(AtomTypeId id) {
   }
   atom_type_names_.erase(it->second.name);
   atom_types_.erase(it);
+  BumpSchemaVersion();
   return Status::Ok();
 }
 
@@ -133,6 +135,7 @@ Status Catalog::DefineMoleculeType(MoleculeTypeDef def) {
     return Status::AlreadyExists("molecule type " + def.name);
   }
   molecule_types_[def.name] = std::move(def);
+  BumpSchemaVersion();
   return Status::Ok();
 }
 
@@ -141,6 +144,7 @@ Status Catalog::DropMoleculeType(const std::string& name) {
   if (molecule_types_.erase(name) == 0) {
     return Status::NotFound("molecule type " + name);
   }
+  BumpSchemaVersion();
   return Status::Ok();
 }
 
@@ -167,6 +171,7 @@ Result<uint32_t> Catalog::AddStructure(StructureDef def) {
   def.id = next_structure_id_++;
   const uint32_t id = def.id;
   structures_[id] = std::move(def);
+  BumpSchemaVersion();
   return id;
 }
 
@@ -175,6 +180,7 @@ Status Catalog::DropStructure(uint32_t id) {
   if (structures_.erase(id) == 0) {
     return Status::NotFound("structure id " + std::to_string(id));
   }
+  BumpSchemaVersion();
   return Status::Ok();
 }
 
@@ -399,6 +405,7 @@ Status Catalog::DecodeFrom(Slice in) {
     PRIMA_ASSIGN_OR_RETURN(StructureDef s, DecodeStructure(&in));
     structures_[s.id] = std::move(s);
   }
+  BumpSchemaVersion();  // a reload is a wholesale schema change
   lock.unlock();
   return ResolveReferences();
 }

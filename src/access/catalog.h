@@ -1,6 +1,7 @@
 #ifndef PRIMA_ACCESS_CATALOG_H_
 #define PRIMA_ACCESS_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -131,7 +132,21 @@ class Catalog {
   /// Monotone structure-id source (also used for segment naming).
   uint32_t next_structure_id() const { return next_structure_id_; }
 
+  /// Bumped by every schema mutation (type / molecule-type / structure
+  /// add+drop — NOT by root-page moves, which leave plans valid). A cached
+  /// query plan embeds structure ids; executing it after the schema moved
+  /// underneath would chase dropped structures, so plan caches compare
+  /// this version and re-plan on mismatch.
+  uint64_t schema_version() const {
+    return schema_version_.load(std::memory_order_acquire);
+  }
+
  private:
+  void BumpSchemaVersion() {
+    schema_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  std::atomic<uint64_t> schema_version_{1};
   mutable std::shared_mutex mu_;
   std::map<AtomTypeId, AtomTypeDef> atom_types_;
   std::map<std::string, AtomTypeId> atom_type_names_;

@@ -124,6 +124,7 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
   db->parallel_ = std::make_unique<ParallelQueryProcessor>(db->data_.get(),
                                                            db->pool_.get());
   db->object_buffer_ = std::make_unique<ObjectBuffer>(db->data_.get());
+  db->default_session_ = db->OpenSession();
 
   if (db->recovery_ != nullptr && db->recovery_->recovered()) {
     // Make the recovered state durable and shorten the next restart.
@@ -161,6 +162,11 @@ Prima::~Prima() {
     if (txns_ != nullptr) txns_->SetCheckpointDaemon(nullptr);
     daemon_->Stop();
   }
+  // The default session goes before the exit checkpoint: if a client left
+  // a BEGIN WORK scope open on the facade, its rollback must run while the
+  // WAL is still attached (user-opened sessions must already be gone — a
+  // session never outlives its database).
+  default_session_.reset();
   if (access_ != nullptr && fully_open_) {
     if (recovery_ != nullptr) {
       (void)recovery_->Checkpoint(access_.get());
@@ -191,11 +197,13 @@ Prima::~Prima() {
 }
 
 Result<mql::ExecResult> Prima::Execute(const std::string& mql) {
-  return data_->Execute(mql);
+  return default_session_->Execute(mql);
 }
 
 Result<mql::MoleculeSet> Prima::Query(const std::string& mql) {
-  return data_->ExecuteQuery(mql);
+  PRIMA_ASSIGN_OR_RETURN(mql::MoleculeCursor cursor,
+                         default_session_->Query(mql));
+  return cursor.Drain();
 }
 
 Result<mql::MoleculeSet> Prima::QueryParallel(const std::string& mql,

@@ -7,6 +7,7 @@
 #include "access/access_system.h"
 #include "core/app_layer.h"
 #include "core/semantic_parallel.h"
+#include "core/session.h"
 #include "core/transaction.h"
 #include "ldl/ldl.h"
 #include "mql/data_system.h"
@@ -105,11 +106,29 @@ struct PrimaOptions {
 /// with the load definition language, nested transactions, the semantic-
 /// parallelism processor, and the application-layer object buffer.
 ///
-/// Quickstart:
+/// Quickstart — the session API is the primary client surface. A session
+/// scopes transactions (`BEGIN WORK` … `COMMIT WORK` / `ABORT WORK`, with
+/// DML outside them auto-committing atomically), compiles statements once
+/// for repeated execution with `?` / `:name` placeholders, and streams
+/// query results one molecule at a time:
+///
 ///   auto db = *Prima::Open({});
-///   db->Execute("CREATE ATOM_TYPE point (point_id: IDENTIFIER, x: REAL)");
-///   db->Execute("INSERT point (x = 1.5)");
-///   auto set = *db->Query("SELECT ALL FROM point");
+///   auto session = db->OpenSession();
+///   session->Execute("CREATE ATOM_TYPE point (point_id: IDENTIFIER, x: REAL)");
+///
+///   session->Execute("BEGIN WORK");
+///   session->Execute("INSERT point (x = 1.5)");
+///   session->Execute("COMMIT WORK");            // or ABORT WORK
+///
+///   auto stmt = *session->Prepare("SELECT ALL FROM point WHERE x > ?");
+///   stmt.Bind(0, access::Value::Real(1.0));     // parsed+planned once,
+///   auto cursor = *stmt.Query();                // executed many times
+///   while (auto m = *cursor.Next()) { /* one molecule at a time */ }
+///
+/// The one-shot facade below (Execute / Query / QueryParallel) remains as
+/// a thin compatibility wrapper over a default session: each call parses
+/// its statement, runs it under the same auto-commit transaction scoping,
+/// and Query drains a cursor into a materialized MoleculeSet.
 class Prima {
  public:
   static util::Result<std::unique_ptr<Prima>> Open(PrimaOptions options);
@@ -118,11 +137,21 @@ class Prima {
   Prima(const Prima&) = delete;
   Prima& operator=(const Prima&) = delete;
 
-  // --- MQL / LDL ---------------------------------------------------------------
+  // --- sessions (the primary client API) --------------------------------------
 
-  /// Execute one MQL statement (DDL, DML, or query).
+  /// Open a client session: a single-threaded statement context with its
+  /// own transaction scope, prepared statements, and streaming cursors.
+  /// One session per client thread; it must not outlive the database.
+  std::unique_ptr<Session> OpenSession() {
+    return std::make_unique<Session>(data_.get(), txns_.get());
+  }
+
+  // --- one-shot MQL / LDL (compatibility facade over a default session) --------
+
+  /// Parse and execute one MQL statement (DDL, DML, query, or transaction
+  /// control against the shared default session).
   util::Result<mql::ExecResult> Execute(const std::string& mql);
-  /// Execute a SELECT and return its molecule set.
+  /// Execute a SELECT and return its molecule set (drains a cursor).
   util::Result<mql::MoleculeSet> Query(const std::string& mql);
   /// Execute a SELECT with semantic parallelism (decomposed units of work).
   util::Result<mql::MoleculeSet> QueryParallel(const std::string& mql,
@@ -188,6 +217,12 @@ class Prima {
   std::unique_ptr<util::ThreadPool> pool_;
   std::unique_ptr<ParallelQueryProcessor> parallel_;
   std::unique_ptr<ObjectBuffer> object_buffer_;
+  /// Backs the one-shot Execute/Query facade. Never holds an explicit
+  /// transaction open (BEGIN WORK arrives only via Execute, which a
+  /// multi-threaded legacy caller must not mix with concurrent DML), so
+  /// concurrent facade calls each auto-commit their own implicit
+  /// transaction safely.
+  std::unique_ptr<Session> default_session_;
   /// Declared last, and explicitly Stop()ped first in ~Prima: the daemon
   /// thread checkpoints through recovery_/access_/wal_ and must be gone
   /// before any of them shuts down.

@@ -18,6 +18,12 @@ Result<MoleculeSet> ParallelQueryProcessor::Run(const std::string& query_text,
   if (stmt.kind != mql::Statement::Kind::kQuery) {
     return Status::InvalidArgument("parallel execution expects a SELECT");
   }
+  if (!stmt.params.empty()) {
+    // Same refusal as the serial entry points: an unbound placeholder
+    // would compare as null and silently qualify nothing.
+    return Status::InvalidArgument(
+        "statement has placeholders - prepare it and bind values first");
+  }
   const mql::Query& query = stmt.query;
   mql::Executor& exec = data_->executor();
 

@@ -1,0 +1,355 @@
+#include "core/session.h"
+
+#include "mql/parser.h"
+
+namespace prima::core {
+
+using mql::ExecResult;
+using mql::MoleculeCursor;
+using mql::Statement;
+using util::Result;
+using util::Status;
+
+namespace {
+
+bool ExprHasParam(const mql::Expr* e) {
+  if (e == nullptr) return false;
+  if (e->param >= 0) return true;
+  for (const mql::ExprPtr& c : e->children) {
+    if (ExprHasParam(c.get())) return true;
+  }
+  return ExprHasParam(e->quant_body.get());
+}
+
+/// The WHERE clause whose root predicates feed the plan, if the statement
+/// has one.
+const mql::Expr* PlannedWhere(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kQuery:
+      return stmt.query.where.get();
+    case Statement::Kind::kDelete:
+      return stmt.del.where.get();
+    case Statement::Kind::kModify:
+      return stmt.modify.where.get();
+    default:
+      return nullptr;
+  }
+}
+
+const mql::FromClause* PlannedFrom(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kQuery:
+      return &stmt.query.from;
+    case Statement::Kind::kDelete:
+      return &stmt.del.from;
+    case Statement::Kind::kModify:
+      return &stmt.modify.from;
+    default:
+      return nullptr;
+  }
+}
+
+bool IsDml(Statement::Kind kind) {
+  return kind == Statement::Kind::kInsert ||
+         kind == Statement::Kind::kDelete ||
+         kind == Statement::Kind::kModify ||
+         kind == Statement::Kind::kConnect;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(mql::DataSystem* data, TransactionManager* txns)
+    : data_(data),
+      txns_(txns),
+      cursor_epoch_(std::make_shared<std::atomic<bool>>(false)) {}
+
+Session::~Session() {
+  // Roll back whatever the client left open — a vanished session must not
+  // leave its uncommitted work (or its locks) behind.
+  while (!txn_stack_.empty()) {
+    (void)AbortWork();
+  }
+  InvalidateCursors();
+}
+
+void Session::InvalidateCursors() {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  cursor_epoch_->store(true);
+  cursor_epoch_ = std::make_shared<std::atomic<bool>>(false);
+}
+
+Status Session::BeginWork() {
+  Transaction* txn = nullptr;
+  if (txn_stack_.empty()) {
+    PRIMA_ASSIGN_OR_RETURN(txn, txns_->Begin());
+  } else {
+    PRIMA_ASSIGN_OR_RETURN(txn, txn_stack_.back()->BeginChild());
+  }
+  txn_stack_.push_back(txn);
+  return Status::Ok();
+}
+
+Status Session::CommitWork() {
+  if (txn_stack_.empty()) {
+    return Status::InvalidArgument("COMMIT WORK outside a transaction");
+  }
+  Transaction* top = txn_stack_.back();
+  // On failure (e.g. a log force refused on a wedged ring) the transaction
+  // stays active and ON the stack: the client may retry COMMIT WORK or
+  // fall back to ABORT WORK.
+  PRIMA_RETURN_IF_ERROR(top->Commit());
+  txn_stack_.pop_back();
+  if (txn_stack_.empty()) {
+    (void)txns_->Reap(top);
+  }
+  return Status::Ok();
+}
+
+Status Session::AbortWork() {
+  if (txn_stack_.empty()) {
+    return Status::InvalidArgument("ABORT WORK outside a transaction");
+  }
+  Transaction* top = txn_stack_.back();
+  const bool wrote = top->undo_size() > 0;  // inherited child undo included
+  const Status st = top->Abort();  // state is kAborted even if a
+                                   // compensation surfaced an error
+  txn_stack_.pop_back();
+  // The atoms open cursors would stream rolled back — unless the
+  // transaction never wrote, in which case nothing they read changed.
+  if (wrote) InvalidateCursors();
+  if (txn_stack_.empty()) {
+    (void)txns_->Reap(top);
+  }
+  return st;
+}
+
+Result<ExecResult> Session::ExecuteStatement(Statement& stmt,
+                                             const mql::QueryPlan* plan) {
+  if (!IsDml(stmt.kind)) {
+    // Queries read without locks (as ever); DDL is untransacted (catalog
+    // changes are not undo-logged — see ROADMAP "log catalog/DDL
+    // operations"); transaction control dispatches back into the session.
+    Ctx ctx(this, nullptr);
+    return data_->ExecuteStatement(stmt, &ctx, plan);
+  }
+
+  // DML: every mutation runs inside a transaction. Outside an open
+  // BEGIN WORK scope the statement gets an implicit transaction of its
+  // own (auto-commit; durable before the call returns). Inside one it
+  // runs as a subtransaction, so a failed statement compensates only its
+  // own effects and the surrounding transaction continues (paper §4's
+  // selective in-transaction recovery).
+  Transaction* scope = CurrentTxn();
+  Transaction* stmt_txn = nullptr;
+  const bool implicit = scope == nullptr;
+  if (implicit) {
+    PRIMA_ASSIGN_OR_RETURN(stmt_txn, txns_->Begin());
+  } else {
+    PRIMA_ASSIGN_OR_RETURN(stmt_txn, scope->BeginChild());
+  }
+
+  Ctx ctx(this, stmt_txn);
+  Result<ExecResult> result = data_->ExecuteStatement(stmt, &ctx, plan);
+  Status outcome;
+  if (result.ok()) {
+    outcome = stmt_txn->Commit();
+    if (!outcome.ok()) {
+      // Commit refused (log force failed): the transaction is still
+      // active, so roll the statement back rather than leave it limbo.
+      const bool wrote = stmt_txn->undo_size() > 0;
+      (void)stmt_txn->Abort();
+      if (wrote) InvalidateCursors();
+    }
+  } else {
+    // Statement-level atomicity. Open cursors are invalidated only when
+    // the rollback actually compensated writes — a statement refused by
+    // pure validation (unknown attribute, type mismatch before the first
+    // mutation) must not kill unrelated in-flight streams.
+    const bool wrote = stmt_txn->undo_size() > 0;
+    (void)stmt_txn->Abort();
+    if (wrote) InvalidateCursors();
+  }
+  if (implicit) {
+    (void)txns_->Reap(stmt_txn);
+  }
+  if (!result.ok()) return result.status();
+  PRIMA_RETURN_IF_ERROR(outcome);
+  return result;
+}
+
+Result<MoleculeCursor> Session::OpenCursor(mql::Query query,
+                                           const mql::QueryPlan* plan) {
+  std::shared_ptr<const std::atomic<bool>> token;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    token = cursor_epoch_;
+  }
+  if (plan != nullptr) {
+    return data_->executor().OpenCursorWithPlan(std::move(query), *plan,
+                                                std::move(token));
+  }
+  return data_->executor().OpenCursor(std::move(query), std::move(token));
+}
+
+Result<ExecResult> Session::Execute(const std::string& mql) {
+  PRIMA_ASSIGN_OR_RETURN(Statement stmt, mql::ParseStatement(mql));
+  if (!stmt.params.empty()) {
+    return Status::InvalidArgument(
+        "statement has placeholders - use Session::Prepare and bind them");
+  }
+  if (stmt.kind == Statement::Kind::kQuery) {
+    // The materializing facade is exactly "open a cursor, drain it".
+    PRIMA_ASSIGN_OR_RETURN(MoleculeCursor cursor,
+                           OpenCursor(std::move(stmt.query), nullptr));
+    ExecResult r;
+    r.kind = ExecResult::Kind::kMolecules;
+    PRIMA_ASSIGN_OR_RETURN(r.molecules, cursor.Drain());
+    return r;
+  }
+  return ExecuteStatement(stmt, nullptr);
+}
+
+Result<MoleculeCursor> Session::Query(const std::string& mql) {
+  PRIMA_ASSIGN_OR_RETURN(Statement stmt, mql::ParseStatement(mql));
+  if (stmt.kind != Statement::Kind::kQuery) {
+    return Status::InvalidArgument("statement is not a query");
+  }
+  if (!stmt.params.empty()) {
+    return Status::InvalidArgument(
+        "statement has placeholders - use Session::Prepare and bind them");
+  }
+  return OpenCursor(std::move(stmt.query), nullptr);
+}
+
+Result<PreparedStatement> Session::Prepare(const std::string& mql) {
+  PreparedStatement ps(this);
+  PRIMA_ASSIGN_OR_RETURN(ps.stmt_, mql::ParseStatement(mql));
+  ps.bound_.resize(ps.stmt_.params.size());
+  data_->stats().statements_prepared++;
+  // Plan now when no placeholder can reach the WHERE clause (placeholders
+  // in INSERT/MODIFY SET values never affect access-path choice); plans
+  // with placeholders in the WHERE wait for the first execution's bound
+  // values — planning around unbound slots would embed nulls in the key.
+  if (PlannedFrom(ps.stmt_) != nullptr && !ExprHasParam(PlannedWhere(ps.stmt_))) {
+    ps.plan_schema_version_ = data_->access().catalog().schema_version();
+    PRIMA_ASSIGN_OR_RETURN(
+        mql::QueryPlan plan,
+        data_->executor().Prepare(*PlannedFrom(ps.stmt_),
+                                  PlannedWhere(ps.stmt_)));
+    ps.plan_ = std::move(plan);
+    ps.plans_computed_++;
+    data_->stats().prepared_plans++;
+  }
+  return ps;
+}
+
+// ---------------------------------------------------------------------------
+// PreparedStatement
+// ---------------------------------------------------------------------------
+
+Status PreparedStatement::Bind(size_t index, access::Value value) {
+  if (index >= bound_.size()) {
+    return Status::InvalidArgument(
+        "parameter index " + std::to_string(index) + " out of range (" +
+        std::to_string(bound_.size()) + " placeholders)");
+  }
+  bound_[index] = std::move(value);
+  return Status::Ok();
+}
+
+Status PreparedStatement::Bind(const std::string& name, access::Value value) {
+  if (name.empty()) {
+    // Positional (`?`) slots have empty names; matching them here would
+    // silently bind the wrong slot for a caller's empty name variable.
+    return Status::InvalidArgument("bind by name needs a non-empty name");
+  }
+  for (size_t i = 0; i < stmt_.params.size(); ++i) {
+    if (stmt_.params[i].name == name) return Bind(i, std::move(value));
+  }
+  return Status::InvalidArgument("no placeholder named :" + name);
+}
+
+void PreparedStatement::ClearBindings() {
+  bound_.assign(bound_.size(), std::nullopt);
+}
+
+Status PreparedStatement::CheckBound() const {
+  for (size_t i = 0; i < bound_.size(); ++i) {
+    if (!bound_[i].has_value()) {
+      const std::string& name = stmt_.params[i].name;
+      return Status::InvalidArgument(
+          "parameter " + std::to_string(i) +
+          (name.empty() ? "" : " (:" + name + ")") + " is unbound");
+    }
+  }
+  return Status::Ok();
+}
+
+Status PreparedStatement::BindAndPlan() {
+  PRIMA_RETURN_IF_ERROR(CheckBound());
+  std::vector<access::Value> values;
+  values.reserve(bound_.size());
+  for (const auto& v : bound_) values.push_back(*v);
+  mql::SubstituteStatementParams(&stmt_, values);
+
+  if (PlannedFrom(stmt_) == nullptr) {
+    return Status::Ok();  // no FROM clause, nothing to plan
+  }
+  const uint64_t schema_version =
+      session_->data_->access().catalog().schema_version();
+  bool need_plan =
+      !plan_.has_value() || plan_schema_version_ != schema_version;
+  if (!need_plan && !plan_->root_param_deps.empty()) {
+    // Re-plan only when a binding the plan EMBEDS changed (eq-key /
+    // range / sarg operands). Everything else reuses the plan verbatim.
+    for (size_t i = 0; i < plan_->root_param_deps.size(); ++i) {
+      const int dep = plan_->root_param_deps[i];
+      if (values[dep].Compare(plan_dep_values_[i]) != 0) {
+        need_plan = true;
+        break;
+      }
+    }
+  }
+  if (need_plan) {
+    plan_schema_version_ = schema_version;
+    PRIMA_ASSIGN_OR_RETURN(
+        mql::QueryPlan plan,
+        session_->data_->executor().Prepare(*PlannedFrom(stmt_),
+                                            PlannedWhere(stmt_)));
+    plan_ = std::move(plan);
+    plan_dep_values_.clear();
+    for (const int dep : plan_->root_param_deps) {
+      plan_dep_values_.push_back(values[dep]);
+    }
+    plans_computed_++;
+    session_->data_->stats().prepared_plans++;
+  }
+  return Status::Ok();
+}
+
+Result<ExecResult> PreparedStatement::Execute() {
+  PRIMA_RETURN_IF_ERROR(BindAndPlan());
+  executions_++;
+  session_->data_->stats().prepared_executions++;
+  return session_->ExecuteStatement(stmt_,
+                                    plan_.has_value() ? &*plan_ : nullptr);
+}
+
+Result<MoleculeCursor> PreparedStatement::Query() {
+  if (stmt_.kind != Statement::Kind::kQuery) {
+    return Status::InvalidArgument("prepared statement is not a query");
+  }
+  PRIMA_RETURN_IF_ERROR(BindAndPlan());
+  executions_++;
+  session_->data_->stats().prepared_executions++;
+  // The cursor owns a clone, so this statement can be re-bound and
+  // re-executed while the cursor drains.
+  return session_->OpenCursor(mql::CloneQuery(stmt_.query),
+                              plan_.has_value() ? &*plan_ : nullptr);
+}
+
+}  // namespace prima::core

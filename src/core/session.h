@@ -1,0 +1,202 @@
+#ifndef PRIMA_CORE_SESSION_H_
+#define PRIMA_CORE_SESSION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/transaction.h"
+#include "mql/data_system.h"
+
+namespace prima::core {
+
+class Session;
+
+/// A compiled MQL statement (paper §3.1 separates *preparation* — query
+/// validation & modification, simplification, and access-path selection —
+/// from *execution*): parse + semantic analysis run once in
+/// Session::Prepare, `?` / `:name` placeholders are bound per execution,
+/// and the query plan is cached. The plan is re-computed ONLY when a bound
+/// value it embeds changes (a placeholder feeding the root-access choice,
+/// e.g. an eq-key placeholder); re-binding parameters that live elsewhere
+/// in the WHERE clause reuses the plan verbatim.
+///
+/// A prepared statement belongs to its session (same threading contract)
+/// and must not outlive it.
+class PreparedStatement {
+ public:
+  PreparedStatement(PreparedStatement&&) = default;
+  PreparedStatement& operator=(PreparedStatement&&) = default;
+
+  size_t param_count() const { return stmt_.params.size(); }
+
+  /// Bind a value to a placeholder by 0-based position (both `?` and
+  /// `:name` slots count, in placeholder order).
+  util::Status Bind(size_t index, access::Value value);
+  /// Bind a named placeholder (`:name`).
+  util::Status Bind(const std::string& name, access::Value value);
+  /// Forget all bindings (each slot must be re-bound before execution).
+  void ClearBindings();
+
+  /// Execute under the session's transaction scope. SELECTs materialize
+  /// their molecule set; DML auto-commits when the session has no open
+  /// transaction, exactly like Session::Execute.
+  util::Result<mql::ExecResult> Execute();
+
+  /// Open a streaming cursor (SELECT statements only). The cursor clones
+  /// the bound query, so the statement may be re-bound and re-executed
+  /// while the cursor drains.
+  util::Result<mql::MoleculeCursor> Query();
+
+  /// Executions so far (both Execute and Query).
+  uint64_t executions() const { return executions_; }
+  /// Plans computed so far — stays at 1 across any number of executions
+  /// until a root-access-relevant binding changes. The acceptance gauge
+  /// for "prepared once, executed N times".
+  uint64_t plans_computed() const { return plans_computed_; }
+
+ private:
+  friend class Session;
+  explicit PreparedStatement(Session* session) : session_(session) {}
+
+  /// All slots bound? Error names the first unbound one.
+  util::Status CheckBound() const;
+  /// Substitute bindings and (re)plan if needed.
+  util::Status BindAndPlan();
+
+  Session* session_;
+  mql::Statement stmt_;
+  std::vector<std::optional<access::Value>> bound_;
+  /// Cached plan for statements with a FROM clause; absent until first
+  /// needed (planning with unbound placeholders would embed nulls).
+  std::optional<mql::QueryPlan> plan_;
+  /// Values of plan_->root_param_deps at planning time; a mismatch with
+  /// the current bindings forces a re-plan.
+  std::vector<access::Value> plan_dep_values_;
+  /// Catalog::schema_version() at planning time: any DDL since then may
+  /// have dropped or replaced a structure the plan embeds, so the next
+  /// execution re-plans (and re-analyzes) instead of chasing stale ids.
+  uint64_t plan_schema_version_ = 0;
+  uint64_t executions_ = 0;
+  uint64_t plans_computed_ = 0;
+};
+
+/// A client session (the primary API): every statement executes under the
+/// session's transaction context. `BEGIN WORK` / `COMMIT WORK` /
+/// `ABORT WORK` scope explicit (nested) transactions; DML outside an open
+/// transaction auto-commits inside an implicit one, so a crash mid-DELETE
+/// can never leave half a statement behind — restart recovery rolls the
+/// implicit transaction back atomically. Inside an explicit transaction
+/// each DML statement runs as a subtransaction: a failed statement is
+/// compensated selectively (paper §4) and the surrounding transaction
+/// continues.
+///
+/// Queries stream: Query() returns a MoleculeCursor assembling one
+/// molecule per Next(). ABORT WORK (and session destruction) invalidates
+/// the session's open cursors — the atoms they would stream were rolled
+/// back.
+///
+/// A session is a single-threaded context, like a connection: open one
+/// session per client thread (sessions of one database are isolated
+/// through the shared lock table / nested-transaction machinery). The
+/// session must not outlive its Prima.
+class Session {
+ public:
+  /// Use Prima::OpenSession(); public for direct embedding against a bare
+  /// DataSystem + TransactionManager pair (tests).
+  Session(mql::DataSystem* data, TransactionManager* txns);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parse and execute one MQL statement (DDL, DML, query, or
+  /// BEGIN/COMMIT/ABORT WORK). SELECT results are materialized by
+  /// draining a streaming cursor.
+  util::Result<mql::ExecResult> Execute(const std::string& mql);
+
+  /// Execute a SELECT and return a streaming cursor over its molecules.
+  util::Result<mql::MoleculeCursor> Query(const std::string& mql);
+
+  /// Compile a statement for repeated execution with placeholders.
+  util::Result<PreparedStatement> Prepare(const std::string& mql);
+
+  /// Depth of explicit BEGIN WORK nesting (0 = auto-commit mode).
+  size_t transaction_depth() const { return txn_stack_.size(); }
+  bool in_transaction() const { return !txn_stack_.empty(); }
+
+ private:
+  friend class PreparedStatement;
+
+  /// mql::ExecContext bridge: dispatches transaction-control statements
+  /// back into the session and routes DML through `txn`.
+  class Ctx : public mql::ExecContext {
+   public:
+    Ctx(Session* session, Transaction* txn) : session_(session), txn_(txn) {}
+    util::Status BeginWork() override { return session_->BeginWork(); }
+    util::Status CommitWork() override { return session_->CommitWork(); }
+    util::Status AbortWork() override { return session_->AbortWork(); }
+    util::Result<access::Tid> InsertAtom(
+        access::AtomTypeId type,
+        std::vector<access::AttrValue> values) override {
+      return txn_->InsertAtom(type, std::move(values));
+    }
+    util::Status ModifyAtom(const access::Tid& tid,
+                            std::vector<access::AttrValue> changes) override {
+      return txn_->ModifyAtom(tid, std::move(changes));
+    }
+    util::Status DeleteAtom(const access::Tid& tid) override {
+      return txn_->DeleteAtom(tid);
+    }
+    util::Status Connect(const access::Tid& from, uint16_t attr,
+                         const access::Tid& to) override {
+      return txn_->Connect(from, attr, to);
+    }
+    util::Status Disconnect(const access::Tid& from, uint16_t attr,
+                            const access::Tid& to) override {
+      return txn_->Disconnect(from, attr, to);
+    }
+
+   private:
+    Session* session_;
+    Transaction* txn_;  ///< null only for statements that never reach DML
+  };
+
+  /// Execute a parsed (and substituted) statement under the session's
+  /// transaction scope, with an optional cached plan.
+  util::Result<mql::ExecResult> ExecuteStatement(mql::Statement& stmt,
+                                                 const mql::QueryPlan* plan);
+  util::Result<mql::MoleculeCursor> OpenCursor(mql::Query query,
+                                               const mql::QueryPlan* plan);
+
+  util::Status BeginWork();
+  util::Status CommitWork();
+  util::Status AbortWork();
+
+  Transaction* CurrentTxn() const {
+    return txn_stack_.empty() ? nullptr : txn_stack_.back();
+  }
+  /// Mark every open cursor of this session invalid (transaction abort
+  /// rolled back state they may stream) and start a fresh epoch.
+  void InvalidateCursors();
+
+  mql::DataSystem* data_;
+  TransactionManager* txns_;
+  /// Explicit BEGIN WORK nesting: front = top-level, back = innermost.
+  std::vector<Transaction*> txn_stack_;
+  /// Epoch token handed to cursors; swapped (old one flipped true) on
+  /// every abort. Guarded by epoch_mu_: the shared DEFAULT session may see
+  /// concurrent facade calls, and a failed auto-commit statement's
+  /// InvalidateCursors() reassigns the pointer while another thread's
+  /// OpenCursor copies it — the mutex keeps that exchange defined (the
+  /// rest of the session's state is single-threaded by contract).
+  std::shared_ptr<std::atomic<bool>> cursor_epoch_;
+  mutable std::mutex epoch_mu_;
+};
+
+}  // namespace prima::core
+
+#endif  // PRIMA_CORE_SESSION_H_

@@ -47,6 +47,24 @@ Result<Transaction*> TransactionManager::Begin() {
   return raw;
 }
 
+Status TransactionManager::Reap(Transaction* txn) {
+  if (txn == nullptr || txn->parent() != nullptr) {
+    return Status::InvalidArgument("only top-level transactions are reaped");
+  }
+  if (txn->active()) {
+    return Status::InvalidArgument("transaction " + std::to_string(txn->id()) +
+                                   " is still active");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = top_level_.begin(); it != top_level_.end(); ++it) {
+    if (it->get() == txn) {
+      top_level_.erase(it);  // frees the whole tree (children owned by it)
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("transaction is not registered");
+}
+
 uint64_t TransactionManager::RootId(const Transaction* txn) {
   while (txn->parent() != nullptr) txn = txn->parent();
   return txn->id();

@@ -104,6 +104,15 @@ class TransactionManager {
   /// Start a top-level transaction (owned by the manager until finished).
   util::Result<Transaction*> Begin();
 
+  /// Destroy a FINISHED top-level transaction tree and release its memory.
+  /// Without reaping, the manager keeps every transaction it ever began
+  /// (tests inspect them after the fact); a session executing millions of
+  /// auto-committed statements must reap each one or the registry grows
+  /// without bound. The pointer is invalid afterwards. Fails (and leaves
+  /// the transaction alone) if it is still active, is a subtransaction, or
+  /// is not registered here.
+  util::Status Reap(Transaction* txn);
+
   /// Attach (or detach) the write-ahead log. Top-level transactions then
   /// write begin/commit/abort records, a top-level Commit() forces the log
   /// (group commit — durability at commit, not at the next flush), and

@@ -31,6 +31,16 @@ struct AttrPath {
   }
 };
 
+// --- statement parameters ----------------------------------------------------
+
+/// One declared placeholder of a statement, in placeholder order. Positional
+/// placeholders (`?`) each get a fresh slot; named placeholders (`:name`)
+/// share one slot per distinct name. The AST stores the slot index at every
+/// site the placeholder occurs; execution substitutes the bound value there.
+struct ParamDecl {
+  std::string name;  ///< empty for positional (`?`) parameters
+};
+
 // --- conditions --------------------------------------------------------------
 
 struct Expr;
@@ -52,6 +62,7 @@ struct Expr {
   AttrPath lhs;
   access::CompareOp op = access::CompareOp::kEq;
   access::Value literal;              ///< rhs literal (EMPTY => kIsEmpty op)
+  int param = -1;                     ///< >=0: literal is parameter [param]
   std::optional<AttrPath> rhs_path;   ///< set for path-path comparison
 
   // kAnd / kOr / kNot
@@ -129,9 +140,16 @@ struct DropStmt {
 
 // --- DML ---------------------------------------------------------------------
 
+/// One `attr = literal-or-placeholder` assignment of INSERT / MODIFY.
+struct AttrAssign {
+  std::string attr;
+  access::Value value;
+  int param = -1;  ///< >=0: value is parameter [param]
+};
+
 struct InsertStmt {
   std::string type_name;
-  std::vector<std::pair<std::string, access::Value>> values;
+  std::vector<AttrAssign> values;
 };
 
 struct DeleteStmt {
@@ -143,7 +161,7 @@ struct DeleteStmt {
 
 struct ModifyStmt {
   std::string target;  ///< component whose atoms are modified
-  std::vector<std::pair<std::string, access::Value>> sets;
+  std::vector<AttrAssign> sets;
   FromClause from;     ///< optional; defaults to the bare target type
   ExprPtr where;
 };
@@ -166,6 +184,9 @@ struct Statement {
     kDelete,
     kModify,
     kConnect,
+    kBeginWork,   ///< BEGIN WORK  — open a (nested) user transaction
+    kCommitWork,  ///< COMMIT WORK — commit the innermost open transaction
+    kAbortWork,   ///< ABORT WORK  — roll the innermost open transaction back
   };
   Kind kind = Kind::kQuery;
   Query query;
@@ -176,7 +197,105 @@ struct Statement {
   DeleteStmt del;
   ModifyStmt modify;
   ConnectStmt connect;
+  /// Declared placeholders (`?` / `:name`), in placeholder order. Only
+  /// query / DML statements may carry them; a prepared statement binds a
+  /// value per slot before execution.
+  std::vector<ParamDecl> params;
 };
+
+// --- deep copies -------------------------------------------------------------
+
+/// Clone an expression tree (Expr owns children via unique_ptr, so the
+/// implicit copy is deleted). Used by streaming cursors, which must own
+/// their WHERE/SELECT while the prepared statement that spawned them is
+/// re-bound or re-executed.
+inline ExprPtr CloneExpr(const Expr* e) {
+  if (e == nullptr) return nullptr;
+  auto out = std::make_unique<Expr>();
+  out->kind = e->kind;
+  out->lhs = e->lhs;
+  out->op = e->op;
+  out->literal = e->literal;
+  out->param = e->param;
+  out->rhs_path = e->rhs_path;
+  out->children.reserve(e->children.size());
+  for (const ExprPtr& c : e->children) out->children.push_back(CloneExpr(c.get()));
+  out->quant = e->quant;
+  out->quant_count = e->quant_count;
+  out->quant_component = e->quant_component;
+  out->quant_body = CloneExpr(e->quant_body.get());
+  return out;
+}
+
+inline ProjItem CloneProjItem(const ProjItem& item) {
+  ProjItem out;
+  out.kind = item.kind;
+  out.path = item.path;
+  out.component = item.component;
+  out.attrs = item.attrs;
+  out.qualification = CloneExpr(item.qualification.get());
+  return out;
+}
+
+inline Query CloneQuery(const Query& q) {
+  Query out;
+  out.select.reserve(q.select.size());
+  for (const ProjItem& item : q.select) out.select.push_back(CloneProjItem(item));
+  out.from = q.from;
+  out.where = CloneExpr(q.where.get());
+  return out;
+}
+
+// --- parameter substitution --------------------------------------------------
+
+/// Write bound parameter values into every placeholder site of an
+/// expression tree. `values` is indexed by parameter slot; the caller
+/// guarantees every referenced slot is bound (Session enforces this before
+/// execution).
+inline void SubstituteExprParams(Expr* e,
+                                 const std::vector<access::Value>& values) {
+  if (e == nullptr) return;
+  if (e->param >= 0 && static_cast<size_t>(e->param) < values.size()) {
+    e->literal = values[e->param];
+  }
+  for (ExprPtr& c : e->children) SubstituteExprParams(c.get(), values);
+  SubstituteExprParams(e->quant_body.get(), values);
+}
+
+/// Substitute bound values into every placeholder site of a statement.
+/// Placeholder sites keep their slot index, so re-binding and
+/// re-substituting for the next execution is idempotent.
+inline void SubstituteStatementParams(
+    Statement* stmt, const std::vector<access::Value>& values) {
+  switch (stmt->kind) {
+    case Statement::Kind::kQuery:
+      SubstituteExprParams(stmt->query.where.get(), values);
+      for (ProjItem& item : stmt->query.select) {
+        SubstituteExprParams(item.qualification.get(), values);
+      }
+      break;
+    case Statement::Kind::kInsert:
+      for (AttrAssign& a : stmt->insert.values) {
+        if (a.param >= 0 && static_cast<size_t>(a.param) < values.size()) {
+          a.value = values[a.param];
+        }
+      }
+      break;
+    case Statement::Kind::kDelete:
+      SubstituteExprParams(stmt->del.where.get(), values);
+      break;
+    case Statement::Kind::kModify:
+      for (AttrAssign& a : stmt->modify.sets) {
+        if (a.param >= 0 && static_cast<size_t>(a.param) < values.size()) {
+          a.value = values[a.param];
+        }
+      }
+      SubstituteExprParams(stmt->modify.where.get(), values);
+      break;
+    default:
+      break;
+  }
+}
 
 }  // namespace prima::mql
 

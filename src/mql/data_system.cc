@@ -13,11 +13,22 @@ using access::Value;
 using util::Result;
 using util::Status;
 
-Result<ExecResult> DataSystem::Execute(const std::string& text) {
+Result<ExecResult> DataSystem::Execute(const std::string& text,
+                                       ExecContext* ctx) {
   PRIMA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(text));
+  if (!stmt.params.empty()) {
+    return Status::InvalidArgument(
+        "statement has placeholders - prepare it and bind values first");
+  }
+  return ExecuteStatement(stmt, ctx);
+}
+
+Result<ExecResult> DataSystem::ExecuteStatement(const Statement& stmt,
+                                                ExecContext* ctx,
+                                                const QueryPlan* plan) {
   switch (stmt.kind) {
     case Statement::Kind::kQuery:
-      return RunQuery(stmt.query);
+      return RunQuery(stmt.query, plan);
     case Statement::Kind::kCreateAtomType:
       return RunCreateAtomType(stmt.create_atom_type);
     case Statement::Kind::kDefineMoleculeType:
@@ -25,13 +36,33 @@ Result<ExecResult> DataSystem::Execute(const std::string& text) {
     case Statement::Kind::kDrop:
       return RunDrop(stmt.drop);
     case Statement::Kind::kInsert:
-      return RunInsert(stmt.insert);
+      return RunInsert(stmt.insert, ctx);
     case Statement::Kind::kDelete:
-      return RunDelete(stmt.del);
+      return RunDelete(stmt.del, ctx, plan);
     case Statement::Kind::kModify:
-      return RunModify(stmt.modify);
+      return RunModify(stmt.modify, ctx, plan);
     case Statement::Kind::kConnect:
-      return RunConnect(stmt.connect);
+      return RunConnect(stmt.connect, ctx);
+    case Statement::Kind::kBeginWork:
+    case Statement::Kind::kCommitWork:
+    case Statement::Kind::kAbortWork: {
+      if (ctx == nullptr) {
+        return Status::InvalidArgument(
+            "transaction statements need a session (Prima::OpenSession)");
+      }
+      Status st;
+      if (stmt.kind == Statement::Kind::kBeginWork) {
+        st = ctx->BeginWork();
+      } else if (stmt.kind == Statement::Kind::kCommitWork) {
+        st = ctx->CommitWork();
+      } else {
+        st = ctx->AbortWork();
+      }
+      PRIMA_RETURN_IF_ERROR(st);
+      ExecResult r;
+      r.kind = ExecResult::Kind::kNone;
+      return r;
+    }
   }
   return Status::InvalidArgument("unhandled statement");
 }
@@ -58,10 +89,16 @@ std::string DataSystem::Format(const ExecResult& result) const {
   return "";
 }
 
-Result<ExecResult> DataSystem::RunQuery(const struct Query& q) {
+Result<ExecResult> DataSystem::RunQuery(const struct Query& q,
+                                        const QueryPlan* plan) {
   ExecResult r;
   r.kind = ExecResult::Kind::kMolecules;
-  PRIMA_ASSIGN_OR_RETURN(r.molecules, executor_.Run(q));
+  if (plan != nullptr) {
+    PRIMA_ASSIGN_OR_RETURN(r.molecules, executor_.RunWithPlan(q, *plan));
+    executor_.stats().queries++;
+  } else {
+    PRIMA_ASSIGN_OR_RETURN(r.molecules, executor_.Run(q));
+  }
   return r;
 }
 
@@ -104,31 +141,43 @@ Result<ExecResult> DataSystem::RunDrop(const DropStmt& stmt) {
   return r;
 }
 
-Result<ExecResult> DataSystem::RunInsert(const InsertStmt& stmt) {
+Result<ExecResult> DataSystem::RunInsert(const InsertStmt& stmt,
+                                         ExecContext* ctx) {
   const AtomTypeDef* def = access_->catalog().FindAtomType(stmt.type_name);
   if (def == nullptr) {
     return Status::NotFound("atom type " + stmt.type_name);
   }
   std::vector<AttrValue> values;
-  for (const auto& [name, value] : stmt.values) {
-    const access::AttributeDef* attr = def->FindAttr(name);
+  for (const AttrAssign& assign : stmt.values) {
+    const access::AttributeDef* attr = def->FindAttr(assign.attr);
     if (attr == nullptr) {
       return Status::InvalidArgument("unknown attribute " + stmt.type_name +
-                                     "." + name);
+                                     "." + assign.attr);
     }
-    values.push_back(AttrValue{attr->id, value});
+    values.push_back(AttrValue{attr->id, assign.value});
   }
   ExecResult r;
   r.kind = ExecResult::Kind::kTid;
-  PRIMA_ASSIGN_OR_RETURN(r.tid, access_->InsertAtom(def->id, std::move(values)));
+  if (ctx != nullptr) {
+    PRIMA_ASSIGN_OR_RETURN(r.tid, ctx->InsertAtom(def->id, std::move(values)));
+  } else {
+    PRIMA_ASSIGN_OR_RETURN(r.tid,
+                           access_->InsertAtom(def->id, std::move(values)));
+  }
   return r;
 }
 
-Result<ExecResult> DataSystem::RunDelete(const DeleteStmt& stmt) {
-  PRIMA_ASSIGN_OR_RETURN(QueryPlan plan,
-                         executor_.Prepare(stmt.from, stmt.where.get()));
+Result<ExecResult> DataSystem::RunDelete(const DeleteStmt& stmt,
+                                         ExecContext* ctx,
+                                         const QueryPlan* plan) {
+  QueryPlan local;
+  if (plan == nullptr) {
+    PRIMA_ASSIGN_OR_RETURN(local, executor_.Prepare(stmt.from,
+                                                    stmt.where.get()));
+    plan = &local;
+  }
   PRIMA_ASSIGN_OR_RETURN(MoleculeSet set,
-                         executor_.Qualify(plan, stmt.where.get()));
+                         executor_.Qualify(*plan, stmt.where.get()));
   // Components to delete: named ones, or every component (whole molecules).
   std::set<std::string> which(stmt.components.begin(), stmt.components.end());
   std::set<uint64_t> victims;
@@ -141,18 +190,26 @@ Result<ExecResult> DataSystem::RunDelete(const DeleteStmt& stmt) {
   ExecResult r;
   r.kind = ExecResult::Kind::kCount;
   for (uint64_t packed : victims) {
-    const Status st = access_->DeleteAtom(Tid::Unpack(packed));
+    const Tid tid = Tid::Unpack(packed);
+    const Status st =
+        ctx != nullptr ? ctx->DeleteAtom(tid) : access_->DeleteAtom(tid);
     if (!st.ok() && !st.IsNotFound()) return st;
     if (st.ok()) ++r.count;
   }
   return r;
 }
 
-Result<ExecResult> DataSystem::RunModify(const ModifyStmt& stmt) {
-  PRIMA_ASSIGN_OR_RETURN(QueryPlan plan,
-                         executor_.Prepare(stmt.from, stmt.where.get()));
+Result<ExecResult> DataSystem::RunModify(const ModifyStmt& stmt,
+                                         ExecContext* ctx,
+                                         const QueryPlan* plan) {
+  QueryPlan local;
+  if (plan == nullptr) {
+    PRIMA_ASSIGN_OR_RETURN(local, executor_.Prepare(stmt.from,
+                                                    stmt.where.get()));
+    plan = &local;
+  }
   PRIMA_ASSIGN_OR_RETURN(MoleculeSet set,
-                         executor_.Qualify(plan, stmt.where.get()));
+                         executor_.Qualify(*plan, stmt.where.get()));
   const AtomTypeDef* target_def = nullptr;
   ExecResult r;
   r.kind = ExecResult::Kind::kCount;
@@ -167,23 +224,27 @@ Result<ExecResult> DataSystem::RunModify(const ModifyStmt& stmt) {
       target_def = access_->catalog().GetAtomType(g->type);
     }
     std::vector<AttrValue> changes;
-    for (const auto& [name, value] : stmt.sets) {
-      const access::AttributeDef* attr = target_def->FindAttr(name);
+    for (const AttrAssign& assign : stmt.sets) {
+      const access::AttributeDef* attr = target_def->FindAttr(assign.attr);
       if (attr == nullptr) {
-        return Status::InvalidArgument("unknown attribute " + name);
+        return Status::InvalidArgument("unknown attribute " + assign.attr);
       }
-      changes.push_back(AttrValue{attr->id, value});
+      changes.push_back(AttrValue{attr->id, assign.value});
     }
     for (const access::Atom& a : g->atoms) {
       if (!modified.insert(a.tid.Pack()).second) continue;
-      PRIMA_RETURN_IF_ERROR(access_->ModifyAtom(a.tid, changes));
+      const Status st = ctx != nullptr
+                            ? ctx->ModifyAtom(a.tid, changes)
+                            : access_->ModifyAtom(a.tid, changes);
+      PRIMA_RETURN_IF_ERROR(st);
       ++r.count;
     }
   }
   return r;
 }
 
-Result<ExecResult> DataSystem::RunConnect(const ConnectStmt& stmt) {
+Result<ExecResult> DataSystem::RunConnect(const ConnectStmt& stmt,
+                                          ExecContext* ctx) {
   const AtomTypeDef* def = access_->catalog().GetAtomType(stmt.from.type);
   if (def == nullptr) {
     return Status::NotFound("atom type of " + stmt.from.ToString());
@@ -193,11 +254,15 @@ Result<ExecResult> DataSystem::RunConnect(const ConnectStmt& stmt) {
     return Status::InvalidArgument("unknown attribute " + def->name + "." +
                                    stmt.attr);
   }
+  Status st;
   if (stmt.connect) {
-    PRIMA_RETURN_IF_ERROR(access_->Connect(stmt.from, attr->id, stmt.to));
+    st = ctx != nullptr ? ctx->Connect(stmt.from, attr->id, stmt.to)
+                        : access_->Connect(stmt.from, attr->id, stmt.to);
   } else {
-    PRIMA_RETURN_IF_ERROR(access_->Disconnect(stmt.from, attr->id, stmt.to));
+    st = ctx != nullptr ? ctx->Disconnect(stmt.from, attr->id, stmt.to)
+                        : access_->Disconnect(stmt.from, attr->id, stmt.to);
   }
+  PRIMA_RETURN_IF_ERROR(st);
   ExecResult r;
   r.kind = ExecResult::Kind::kNone;
   return r;

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "access/access_system.h"
 #include "mql/executor.h"
@@ -10,18 +11,56 @@
 
 namespace prima::mql {
 
-/// Result of executing one MQL statement.
+/// Result of executing one MQL statement. Move-only: a molecule set can be
+/// megabytes of assembled atoms, and the facade returns it through several
+/// layers — an accidental copy on that path would double every query's
+/// cost, so the type forbids it outright.
 struct ExecResult {
   enum class Kind {
     kMolecules,  ///< SELECT
     kTid,        ///< INSERT
     kCount,      ///< DELETE / MODIFY (# atoms affected)
-    kNone,       ///< DDL / CONNECT
+    kNone,       ///< DDL / CONNECT / transaction control
   };
+  ExecResult() = default;
+  ExecResult(ExecResult&&) = default;
+  ExecResult& operator=(ExecResult&&) = default;
+  ExecResult(const ExecResult&) = delete;
+  ExecResult& operator=(const ExecResult&) = delete;
+
   Kind kind = Kind::kNone;
   MoleculeSet molecules;
   access::Tid tid;
   uint64_t count = 0;
+};
+
+/// The transaction context a statement executes under. The data system
+/// dispatches BEGIN/COMMIT/ABORT WORK to it and routes every DML mutation
+/// through it, so locking, undo logging, and WAL transaction tagging follow
+/// the session's open transaction instead of hitting the access system
+/// untagged. Implemented by core::Session (the core layer knows the nested
+/// transaction machinery; this interface keeps the mql layer free of that
+/// dependency). Statements executed WITHOUT a context (legacy direct
+/// DataSystem use) fall back to raw access-system calls.
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+
+  // Transaction-control statements.
+  virtual util::Status BeginWork() = 0;
+  virtual util::Status CommitWork() = 0;
+  virtual util::Status AbortWork() = 0;
+
+  // DML, routed through the session's open (or implicit) transaction.
+  virtual util::Result<access::Tid> InsertAtom(
+      access::AtomTypeId type, std::vector<access::AttrValue> values) = 0;
+  virtual util::Status ModifyAtom(const access::Tid& tid,
+                                  std::vector<access::AttrValue> changes) = 0;
+  virtual util::Status DeleteAtom(const access::Tid& tid) = 0;
+  virtual util::Status Connect(const access::Tid& from, uint16_t attr,
+                               const access::Tid& to) = 0;
+  virtual util::Status Disconnect(const access::Tid& from, uint16_t attr,
+                                  const access::Tid& to) = 0;
 };
 
 /// The data system (paper §3.1, top DBMS layer of Fig. 3.1): translates
@@ -32,8 +71,21 @@ class DataSystem {
   explicit DataSystem(access::AccessSystem* access)
       : access_(access), executor_(access) {}
 
-  /// Parse and execute one statement.
-  util::Result<ExecResult> Execute(const std::string& text);
+  /// Parse and execute one statement. With a context, DML runs under the
+  /// session's transaction and BEGIN/COMMIT/ABORT WORK are dispatched to
+  /// it; without one, DML hits the access system directly and transaction
+  /// statements fail. Statements with placeholders are refused here — they
+  /// must go through Session::Prepare, which binds them first.
+  util::Result<ExecResult> Execute(const std::string& text,
+                                   ExecContext* ctx = nullptr);
+
+  /// Execute an already-parsed (and, for prepared statements, already
+  /// parameter-substituted) statement. `plan` optionally supplies a cached
+  /// query plan for SELECT / DELETE / MODIFY — the prepared-statement plan
+  /// reuse path (§3.1 separates preparation from execution).
+  util::Result<ExecResult> ExecuteStatement(const Statement& stmt,
+                                            ExecContext* ctx = nullptr,
+                                            const QueryPlan* plan = nullptr);
 
   /// Convenience: Execute a SELECT and return its molecule set.
   util::Result<MoleculeSet> ExecuteQuery(const std::string& text);
@@ -46,14 +98,18 @@ class DataSystem {
   DataStats& stats() { return executor_.stats(); }
 
  private:
-  util::Result<ExecResult> RunQuery(const struct Query& q);
+  util::Result<ExecResult> RunQuery(const struct Query& q,
+                                    const QueryPlan* plan);
   util::Result<ExecResult> RunCreateAtomType(const CreateAtomTypeStmt& stmt);
   util::Result<ExecResult> RunDefineMolecule(const DefineMoleculeTypeStmt& stmt);
   util::Result<ExecResult> RunDrop(const DropStmt& stmt);
-  util::Result<ExecResult> RunInsert(const InsertStmt& stmt);
-  util::Result<ExecResult> RunDelete(const DeleteStmt& stmt);
-  util::Result<ExecResult> RunModify(const ModifyStmt& stmt);
-  util::Result<ExecResult> RunConnect(const ConnectStmt& stmt);
+  util::Result<ExecResult> RunInsert(const InsertStmt& stmt, ExecContext* ctx);
+  util::Result<ExecResult> RunDelete(const DeleteStmt& stmt, ExecContext* ctx,
+                                     const QueryPlan* plan);
+  util::Result<ExecResult> RunModify(const ModifyStmt& stmt, ExecContext* ctx,
+                                     const QueryPlan* plan);
+  util::Result<ExecResult> RunConnect(const ConnectStmt& stmt,
+                                      ExecContext* ctx);
 
   access::AccessSystem* access_;
   Executor executor_;

@@ -142,6 +142,7 @@ Status Executor::ExtractRootPreds(const Expr* where,
   p.fields = std::move(resolved->second);
   p.op = where->op;
   p.operand = where->literal;
+  p.param = where->param;
   out->push_back(std::move(p));
   return Status::Ok();
 }
@@ -154,6 +155,13 @@ Result<QueryPlan> Executor::Prepare(const FromClause& from, const Expr* where) {
 
   std::vector<RootPred> preds;
   PRIMA_RETURN_IF_ERROR(ExtractRootPreds(where, plan.structure, &preds));
+  // Root predicates embed their operand VALUES into the plan (eq_key,
+  // range, grid_dims, root_sarg). Record which statement-parameter slots
+  // those operands came from: re-binding one of them invalidates the plan,
+  // while params elsewhere in the WHERE never do.
+  for (const RootPred& p : preds) {
+    if (p.param >= 0) plan.root_param_deps.push_back(p.param);
+  }
 
   // 1. Key lookup: equality predicates covering KEYS_ARE.
   if (!root_def->key_attrs.empty()) {
@@ -336,6 +344,13 @@ Result<std::vector<Atom>> Executor::RootCandidates(const QueryPlan& plan) {
         PRIMA_RETURN_IF_ERROR(v.EncodeKeyInto(&key));
       }
       access::BTree* tree = access_->BTreeFor(plan.access_structure_id);
+      if (tree == nullptr) {
+        // A cached plan outlived its key index (DDL dropped it between
+        // plan time and execution); scans guard the same way in Open().
+        return Status::NotFound("key index " +
+                                std::to_string(plan.access_structure_id) +
+                                " no longer exists - re-plan the query");
+      }
       PRIMA_ASSIGN_OR_RETURN(auto found, tree->Get(key));
       if (found) {
         util::Slice v(*found);
@@ -811,6 +826,11 @@ Result<MoleculeSet> Executor::Run(const Query& query) {
   stats_.queries++;
   PRIMA_ASSIGN_OR_RETURN(QueryPlan plan,
                          Prepare(query.from, query.where.get()));
+  return RunWithPlan(query, plan);
+}
+
+Result<MoleculeSet> Executor::RunWithPlan(const Query& query,
+                                          const QueryPlan& plan) {
   PRIMA_ASSIGN_OR_RETURN(MoleculeSet set, Qualify(plan, query.where.get()));
   MoleculeSet projected;
   projected.molecules.reserve(set.molecules.size());
@@ -819,6 +839,75 @@ Result<MoleculeSet> Executor::Run(const Query& query) {
     projected.molecules.push_back(std::move(p));
   }
   return projected;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming cursors
+// ---------------------------------------------------------------------------
+
+Result<MoleculeCursor> Executor::OpenCursor(
+    Query query, std::shared_ptr<const std::atomic<bool>> invalidated) {
+  PRIMA_ASSIGN_OR_RETURN(QueryPlan plan,
+                         Prepare(query.from, query.where.get()));
+  return OpenCursorWithPlan(std::move(query), std::move(plan),
+                            std::move(invalidated));
+}
+
+Result<MoleculeCursor> Executor::OpenCursorWithPlan(
+    Query query, QueryPlan plan,
+    std::shared_ptr<const std::atomic<bool>> invalidated) {
+  stats_.queries++;  // every cursor open is one query, prepared or not
+  MoleculeCursor cursor;
+  cursor.exec_ = this;
+  cursor.query_ = std::move(query);
+  cursor.plan_ = std::move(plan);
+  cursor.invalidated_ = std::move(invalidated);
+  PRIMA_ASSIGN_OR_RETURN(cursor.roots_, RootCandidates(cursor.plan_));
+  stats_.cursors_opened++;
+  return cursor;
+}
+
+Result<std::optional<Molecule>> MoleculeCursor::Next() {
+  if (aborted_ || (exec_ != nullptr && invalidated_ != nullptr &&
+                   invalidated_->load())) {
+    aborted_ = true;  // sticky: a truncated stream must keep failing
+    Close();
+    return Status::Aborted(
+        "cursor invalidated: the transaction it was reading under aborted");
+  }
+  if (exec_ == nullptr) return std::optional<Molecule>();  // closed/drained
+  while (next_root_ < roots_.size()) {
+    const access::Atom& root = roots_[next_root_++];
+    PRIMA_ASSIGN_OR_RETURN(Molecule molecule, exec_->Assemble(plan_, root));
+    if (query_.where != nullptr) {
+      PRIMA_ASSIGN_OR_RETURN(const bool ok,
+                             exec_->Eval(molecule, *query_.where, {}));
+      if (!ok) continue;
+    }
+    PRIMA_ASSIGN_OR_RETURN(
+        Molecule projected,
+        exec_->ProjectMolecule(query_, plan_, std::move(molecule)));
+    exec_->stats().cursor_molecules++;
+    return std::optional<Molecule>(std::move(projected));
+  }
+  Close();
+  return std::optional<Molecule>();
+}
+
+Result<MoleculeSet> MoleculeCursor::Drain() {
+  MoleculeSet set;
+  for (;;) {
+    PRIMA_ASSIGN_OR_RETURN(std::optional<Molecule> m, Next());
+    if (!m.has_value()) break;
+    set.molecules.push_back(std::move(*m));
+  }
+  return set;
+}
+
+void MoleculeCursor::Close() {
+  exec_ = nullptr;
+  roots_.clear();
+  next_root_ = 0;
 }
 
 }  // namespace prima::mql

@@ -3,7 +3,10 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "access/access_system.h"
@@ -25,11 +28,19 @@ struct DataStats {
   std::atomic<uint64_t> access_path_scans{0};
   std::atomic<uint64_t> grid_scans{0};
   std::atomic<uint64_t> atom_type_scans{0};
+  // Session / prepared-statement surface.
+  std::atomic<uint64_t> statements_prepared{0};   ///< Session::Prepare calls
+  std::atomic<uint64_t> prepared_executions{0};   ///< PreparedStatement runs
+  std::atomic<uint64_t> prepared_plans{0};        ///< plans computed for them
+  std::atomic<uint64_t> cursors_opened{0};
+  std::atomic<uint64_t> cursor_molecules{0};      ///< streamed via Next()
 
   void Reset() {
     queries = molecules_built = cluster_assemblies = bfs_assemblies = 0;
     recursion_levels = key_lookups = access_path_scans = 0;
     grid_scans = atom_type_scans = 0;
+    statements_prepared = prepared_executions = prepared_plans = 0;
+    cursors_opened = cursor_molecules = 0;
   }
 };
 
@@ -49,6 +60,86 @@ struct QueryPlan {
   access::SearchArgument root_sarg;       ///< pushdown for scans
   bool use_cluster = false;
   uint32_t cluster_id = 0;
+  /// Statement-parameter slots whose bound values are EMBEDDED in this plan
+  /// (root-bound predicates feed eq_key / range / grid_dims / root_sarg).
+  /// A prepared statement reuses the plan verbatim until one of THESE
+  /// bindings changes — e.g. an eq-key placeholder — and only then
+  /// re-plans; params outside root predicates never force a re-plan since
+  /// the WHERE filter reads them from the (re-substituted) AST.
+  std::vector<int> root_param_deps;
+};
+
+class Executor;
+
+/// A pull-based molecule stream: the query's root candidates are enumerated
+/// once at open, then each Next() assembles, qualifies, and projects ONE
+/// molecule — first-row latency is one assembly, not the whole set, and a
+/// consumer that stops early never pays for the molecules it skipped.
+/// Draining a cursor yields element-for-element the same molecules as the
+/// materializing Run() path.
+///
+/// A cursor owns its query (cloned at open), so the statement or session
+/// that spawned it may be re-bound, re-executed, or closed while the cursor
+/// drains. It must not outlive the database, and it reads whatever the
+/// access system holds at each Next() — the session layer invalidates open
+/// cursors (via the `invalidated` token) when a transaction abort rolls the
+/// atoms they would read back.
+class MoleculeCursor {
+ public:
+  MoleculeCursor() = default;  ///< a closed cursor
+  // Moved-from cursors read as closed (exec_ == nullptr is the documented
+  // closed state; a defaulted move would leave the raw pointer behind and
+  // open()/roots_remaining() would lie about the gutted state).
+  MoleculeCursor(MoleculeCursor&& other) noexcept
+      : exec_(std::exchange(other.exec_, nullptr)),
+        query_(std::move(other.query_)),
+        plan_(std::move(other.plan_)),
+        roots_(std::move(other.roots_)),
+        next_root_(std::exchange(other.next_root_, 0)),
+        invalidated_(std::move(other.invalidated_)),
+        aborted_(std::exchange(other.aborted_, false)) {}
+  MoleculeCursor& operator=(MoleculeCursor&& other) noexcept {
+    if (this != &other) {
+      exec_ = std::exchange(other.exec_, nullptr);
+      query_ = std::move(other.query_);
+      plan_ = std::move(other.plan_);
+      roots_ = std::move(other.roots_);
+      next_root_ = std::exchange(other.next_root_, 0);
+      invalidated_ = std::move(other.invalidated_);
+      aborted_ = std::exchange(other.aborted_, false);
+    }
+    return *this;
+  }
+
+  /// The next qualifying molecule, or nullopt when the set is drained.
+  util::Result<std::optional<Molecule>> Next();
+
+  /// Drain the remaining molecules into a set (the old materializing
+  /// behavior; the legacy Prima::Query facade is exactly Open + Drain).
+  util::Result<MoleculeSet> Drain();
+
+  /// Drop the remaining molecules; Next() then reports drained. Idempotent.
+  void Close();
+
+  bool open() const { return exec_ != nullptr; }
+  /// Roots not yet pulled (upper bound on remaining molecules).
+  size_t roots_remaining() const { return roots_.size() - next_root_; }
+  const QueryPlan& plan() const { return plan_; }
+
+ private:
+  friend class Executor;
+
+  Executor* exec_ = nullptr;
+  Query query_;
+  QueryPlan plan_;
+  std::vector<access::Atom> roots_;
+  size_t next_root_ = 0;
+  /// Set by the owning session when a transaction abort invalidates the
+  /// atoms this cursor streams; Next() then fails with Aborted.
+  std::shared_ptr<const std::atomic<bool>> invalidated_;
+  /// Sticky: once invalidation fired, EVERY later Next()/Drain() keeps
+  /// failing — a truncated stream must never read as a completed one.
+  bool aborted_ = false;
 };
 
 /// The molecule management of the data system (paper §3.1): derives whole
@@ -64,6 +155,21 @@ class Executor {
 
   /// Run a full query.
   util::Result<MoleculeSet> Run(const Query& query);
+
+  /// Run a query whose plan was already prepared (prepared statements).
+  util::Result<MoleculeSet> RunWithPlan(const Query& query,
+                                        const QueryPlan& plan);
+
+  /// Open a streaming cursor over the query (plans it first). The cursor
+  /// takes ownership of `query`.
+  util::Result<MoleculeCursor> OpenCursor(
+      Query query,
+      std::shared_ptr<const std::atomic<bool>> invalidated = nullptr);
+
+  /// Open a streaming cursor reusing a prepared plan.
+  util::Result<MoleculeCursor> OpenCursorWithPlan(
+      Query query, QueryPlan plan,
+      std::shared_ptr<const std::atomic<bool>> invalidated = nullptr);
 
   /// Qualification only: resolve + scan + assemble + WHERE filter.
   util::Result<MoleculeSet> Qualify(const QueryPlan& plan, const Expr* where);
@@ -120,6 +226,7 @@ class Executor {
     std::vector<uint16_t> fields;
     access::CompareOp op;
     access::Value operand;
+    int param = -1;  ///< statement-parameter slot the operand came from
   };
   util::Status ExtractRootPreds(const Expr* where,
                                 const ResolvedStructure& structure,

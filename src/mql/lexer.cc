@@ -142,7 +142,7 @@ Result<std::vector<Token>> Lex(const std::string& text) {
     if (two(":=") || two("<>") || two("!=") || two("<=") || two(">=")) {
       tok.text = text.substr(i, 2);
       i += 2;
-    } else if (std::string("(){}[],;:.-=<>*+/").find(c) != std::string::npos) {
+    } else if (std::string("(){}[],;:.-=<>*+/?").find(c) != std::string::npos) {
       tok.text = std::string(1, c);
       ++i;
     } else {

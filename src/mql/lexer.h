@@ -29,8 +29,10 @@ struct Token {
 };
 
 /// Tokenize MQL / LDL text. Symbols recognized:
-///   ( ) { } [ ] , ; : . - = <> != < <= > >= := *
-/// Comments: (* ... *) — as in the paper's examples.
+///   ( ) { } [ ] , ; : . - = <> != < <= > >= := * ?
+/// `?` is the positional statement-parameter placeholder (`:name` composes
+/// from ':' + identifier in the parser). Comments: (* ... *) — as in the
+/// paper's examples.
 util::Result<std::vector<Token>> Lex(const std::string& text);
 
 }  // namespace prima::mql

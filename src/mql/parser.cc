@@ -48,11 +48,32 @@ class Parser {
     } else if (IsKeyword("CONNECT") || IsKeyword("DISCONNECT")) {
       stmt.kind = Statement::Kind::kConnect;
       PRIMA_ASSIGN_OR_RETURN(stmt.connect, ParseConnect());
+    } else if (AcceptKeyword("BEGIN")) {
+      PRIMA_RETURN_IF_ERROR(ExpectKeyword("WORK"));
+      stmt.kind = Statement::Kind::kBeginWork;
+    } else if (AcceptKeyword("COMMIT")) {
+      PRIMA_RETURN_IF_ERROR(ExpectKeyword("WORK"));
+      stmt.kind = Statement::Kind::kCommitWork;
+    } else if (AcceptKeyword("ABORT")) {
+      PRIMA_RETURN_IF_ERROR(ExpectKeyword("WORK"));
+      stmt.kind = Statement::Kind::kAbortWork;
     } else {
       return Err("expected a statement keyword");
     }
     (void)AcceptSymbol(";");
     if (!AtEnd()) return Err("trailing input after statement");
+    // Placeholders are meaningful only where a bound value can flow into
+    // execution: queries and DML. (DDL never parses value literals, so
+    // params_ stays empty there — this check documents the contract.)
+    if (!params_.empty() && stmt.kind != Statement::Kind::kQuery &&
+        stmt.kind != Statement::Kind::kInsert &&
+        stmt.kind != Statement::Kind::kDelete &&
+        stmt.kind != Statement::Kind::kModify) {
+      return Status::ParseError(
+          "placeholders are only allowed in SELECT / INSERT / DELETE / "
+          "MODIFY statements");
+    }
+    stmt.params = std::move(params_);
     return stmt;
   }
 
@@ -117,6 +138,29 @@ class Parser {
   }
 
   // --- literals --------------------------------------------------------------
+
+  /// Parameter placeholder at a literal position: `?` declares a fresh
+  /// positional slot, `:name` declares (or re-references) a named slot.
+  /// Returns the slot index, or -1 when the cursor is not at a placeholder.
+  int AcceptParam() {
+    if (AcceptSymbol("?")) {
+      params_.push_back(ParamDecl{});
+      return static_cast<int>(params_.size() - 1);
+    }
+    if (IsSymbol(":") && Peek().kind == TokenKind::kIdent) {
+      Advance();  // :
+      std::string name = Cur().text;
+      Advance();
+      for (size_t i = 0; i < params_.size(); ++i) {
+        if (!params_[i].name.empty() && params_[i].name == name) {
+          return static_cast<int>(i);
+        }
+      }
+      params_.push_back(ParamDecl{std::move(name)});
+      return static_cast<int>(params_.size() - 1);
+    }
+    return -1;
+  }
 
   Result<Value> ParseLiteral() {
     bool negative = false;
@@ -314,6 +358,11 @@ class Parser {
       return ExprPtr(std::move(node));
     }
     node->op = op;
+    // Parameter placeholder? (`attr = ?` / `attr = :name`)
+    if (const int p = AcceptParam(); p >= 0) {
+      node->param = p;
+      return ExprPtr(std::move(node));
+    }
     // Path-path comparison?
     if (Cur().kind == TokenKind::kIdent && !IsKeyword("TRUE") &&
         !IsKeyword("FALSE")) {
@@ -626,10 +675,14 @@ class Parser {
     PRIMA_ASSIGN_OR_RETURN(stmt.type_name, ExpectIdent());
     PRIMA_RETURN_IF_ERROR(ExpectSymbol("("));
     do {
-      PRIMA_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      AttrAssign a;
+      PRIMA_ASSIGN_OR_RETURN(a.attr, ExpectIdent());
       PRIMA_RETURN_IF_ERROR(ExpectSymbol("="));
-      PRIMA_ASSIGN_OR_RETURN(Value v, ParseLiteral());
-      stmt.values.emplace_back(std::move(attr), std::move(v));
+      a.param = AcceptParam();
+      if (a.param < 0) {
+        PRIMA_ASSIGN_OR_RETURN(a.value, ParseLiteral());
+      }
+      stmt.values.push_back(std::move(a));
     } while (AcceptSymbol(","));
     PRIMA_RETURN_IF_ERROR(ExpectSymbol(")"));
     return stmt;
@@ -660,10 +713,14 @@ class Parser {
     PRIMA_ASSIGN_OR_RETURN(stmt.target, ExpectIdent());
     PRIMA_RETURN_IF_ERROR(ExpectKeyword("SET"));
     do {
-      PRIMA_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      AttrAssign a;
+      PRIMA_ASSIGN_OR_RETURN(a.attr, ExpectIdent());
       PRIMA_RETURN_IF_ERROR(ExpectSymbol("="));
-      PRIMA_ASSIGN_OR_RETURN(Value v, ParseLiteral());
-      stmt.sets.emplace_back(std::move(attr), std::move(v));
+      a.param = AcceptParam();
+      if (a.param < 0) {
+        PRIMA_ASSIGN_OR_RETURN(a.value, ParseLiteral());
+      }
+      stmt.sets.push_back(std::move(a));
     } while (AcceptSymbol(","));
     if (AcceptKeyword("FROM")) {
       PRIMA_ASSIGN_OR_RETURN(stmt.from, ParseFromStructure());
@@ -703,6 +760,7 @@ class Parser {
   std::string text_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  std::vector<ParamDecl> params_;  ///< placeholder slots, in statement order
 };
 
 }  // namespace

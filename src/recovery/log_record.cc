@@ -35,6 +35,10 @@ void LogRecord::EncodeInto(std::string* out) const {
       util::PutVarint64(out, page_count);
       util::PutVarint64(out, free_head);
       break;
+    case LogRecordType::kStructRoot:
+      util::PutVarint64(out, segment);  // structure id
+      util::PutVarint64(out, page);     // new root/meta page
+      break;
     case LogRecordType::kAtomUndo:
       out->push_back(static_cast<char>(op));
       out->push_back(clr ? 1 : 0);
@@ -67,7 +71,7 @@ Result<LogRecord> LogRecord::Decode(Slice in) {
   if (in.empty()) return Truncated();
   const uint8_t raw_type = static_cast<uint8_t>(in[0]);
   if (raw_type < static_cast<uint8_t>(LogRecordType::kBegin) ||
-      raw_type > static_cast<uint8_t>(LogRecordType::kCheckpointEnd)) {
+      raw_type > static_cast<uint8_t>(LogRecordType::kStructRoot)) {
     return Status::Corruption("unknown log record type " +
                               std::to_string(raw_type));
   }
@@ -116,6 +120,12 @@ Result<LogRecord> LogRecord::Decode(Slice in) {
       rec.page_count = static_cast<uint32_t>(v);
       if (!util::GetVarint64(&in, &v)) return Truncated();
       rec.free_head = static_cast<uint32_t>(v);
+      break;
+    case LogRecordType::kStructRoot:
+      if (!util::GetVarint64(&in, &v)) return Truncated();
+      rec.segment = static_cast<uint32_t>(v);
+      if (!util::GetVarint64(&in, &v)) return Truncated();
+      rec.page = static_cast<uint32_t>(v);
       break;
     case LogRecordType::kAtomUndo: {
       if (in.size() < 2) return Truncated();
@@ -195,6 +205,14 @@ LogRecord LogRecord::SegMeta(uint32_t segment, uint8_t page_size_code,
   r.page_size_code = page_size_code;
   r.page_count = page_count;
   r.free_head = free_head;
+  return r;
+}
+
+LogRecord LogRecord::StructRoot(uint32_t structure_id, uint32_t root_page) {
+  LogRecord r;
+  r.type = LogRecordType::kStructRoot;
+  r.segment = structure_id;
+  r.page = root_page;
   return r;
 }
 

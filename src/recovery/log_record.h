@@ -27,6 +27,7 @@ enum class LogRecordType : uint8_t {
   kCompensation = 7,     ///< n most recent undo entries of txn were compensated
   kCheckpointBegin = 8,  ///< fuzzy checkpoint start: active txns, undo floor
   kCheckpointEnd = 9,    ///< fuzzy checkpoint completed
+  kStructRoot = 10,      ///< access structure's root/meta page moved
 };
 
 /// Atom operation kinds mirrored from access::AccessSystem::UndoRecord.
@@ -56,6 +57,17 @@ struct LogRecord {
   uint8_t page_size_code = 0;
   uint32_t page_count = 0;
   uint32_t free_head = 0;
+
+  // --- kStructRoot ---------------------------------------------------------
+  // A B-tree root split/collapse (or a grid file's meta-page assignment)
+  // moved an access structure's entry page. The catalog records the new
+  // root only in memory and persists it wholesale at the next checkpoint,
+  // so without this record a crash reattaches the structure at its
+  // checkpoint-time root and every key that migrated above it silently
+  // vanishes from index lookups (while scans still see the atoms). Restart
+  // replays these in log order — last one wins — before undo needs the
+  // structures. Reuses `segment` as the structure id and `page` as the new
+  // root page.
 
   // --- kAtomUndo -----------------------------------------------------------
   AtomOp op = AtomOp::kModify;
@@ -90,6 +102,7 @@ struct LogRecord {
   static LogRecord SegMeta(uint32_t segment, uint8_t page_size_code,
                            uint32_t page_count, uint32_t free_head);
   static LogRecord Compensation(uint64_t txn, std::vector<uint64_t> lsns);
+  static LogRecord StructRoot(uint32_t structure_id, uint32_t root_page);
 };
 
 /// Compute the changed byte ranges between two page images, excluding

@@ -142,6 +142,14 @@ Status RecoveryManager::AnalyzeAndRedoFrom(uint64_t ckpt_lsn) {
         break;
       case LogRecordType::kCheckpointEnd:
         break;
+      case LogRecordType::kStructRoot:
+        // Collected in log order; UndoAndFixup re-points the attached
+        // structures after the access system loads its (possibly stale)
+        // catalog — last record per structure wins. Records below the
+        // checkpoint are already reflected in the persisted catalog, but
+        // replaying them is harmless (roots only move forward in the log).
+        struct_roots_.emplace_back(rec.segment, rec.page);
+        break;
     }
     return Status::Ok();
   }, &scan_end);
@@ -264,6 +272,18 @@ Status RecoveryManager::ApplyRedoChains(
 }
 
 Status RecoveryManager::UndoAndFixup(access::AccessSystem* access) {
+  // --- structure-root fixups, in log order --------------------------------
+  // Before anything touches the access structures: the catalog the access
+  // system just loaded persisted at the last checkpoint, so a B-tree root
+  // split (or grid meta assignment) since then left it pointing at a page
+  // that is no longer the root — index lookups would silently miss every
+  // key above it even though redo replayed the tree pages perfectly.
+  for (const auto& [structure_id, root_page] : struct_roots_) {
+    PRIMA_RETURN_IF_ERROR(access->RecoverStructureRoot(structure_id,
+                                                       root_page));
+    stats_.struct_roots_applied++;
+  }
+
   // --- address-table fixups, in log order ---------------------------------
   for (const LogRecord& rec : atom_recs_) {
     PRIMA_RETURN_IF_ERROR(access->RecoverAtomFixup(

@@ -50,6 +50,7 @@ class RecoveryManager {
     uint64_t redo_threads = 0;   ///< workers the apply phase fanned out to
     uint64_t segmeta_applied = 0;
     uint64_t fixups_applied = 0;
+    uint64_t struct_roots_applied = 0;  ///< index root/meta re-points
     uint64_t loser_txns = 0;
     uint64_t undo_applied = 0;
     uint64_t checkpoints = 0;
@@ -144,6 +145,10 @@ class RecoveryManager {
   /// not been reached yet. Non-empty after the scan = unrecoverable.
   std::set<std::pair<uint32_t, uint32_t>> torn_pages_;
   std::vector<LogRecord> atom_recs_;   ///< every kAtomUndo, in scan order
+  /// (structure id, new root/meta page) in scan order — replayed onto the
+  /// recovered catalog before undo (a stale persisted root would orphan
+  /// every index key that migrated in a post-checkpoint split).
+  std::vector<std::pair<uint32_t, uint32_t>> struct_roots_;
   std::map<uint64_t, TxnState> txns_;
   Stats stats_;
 };

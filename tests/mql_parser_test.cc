@@ -243,10 +243,10 @@ TEST(ParserTest, InsertStatement) {
   const InsertStmt& ins = stmt->insert;
   EXPECT_EQ(ins.type_name, "solid");
   ASSERT_EQ(ins.values.size(), 3u);
-  EXPECT_EQ(ins.values[0].second.AsInt(), 7);
-  EXPECT_EQ(ins.values[1].second.AsString(), "cube");
-  ASSERT_EQ(ins.values[2].second.elems().size(), 2u);
-  EXPECT_EQ(ins.values[2].second.elems()[0].AsTid(), access::Tid(1, 5));
+  EXPECT_EQ(ins.values[0].value.AsInt(), 7);
+  EXPECT_EQ(ins.values[1].value.AsString(), "cube");
+  ASSERT_EQ(ins.values[2].value.elems().size(), 2u);
+  EXPECT_EQ(ins.values[2].value.elems()[0].AsTid(), access::Tid(1, 5));
 }
 
 TEST(ParserTest, DeleteStatementVariants) {
@@ -266,7 +266,7 @@ TEST(ParserTest, ModifyStatement) {
   ASSERT_TRUE(stmt.ok());
   EXPECT_EQ(stmt->modify.target, "face");
   ASSERT_EQ(stmt->modify.sets.size(), 1u);
-  EXPECT_DOUBLE_EQ(stmt->modify.sets[0].second.AsReal(), 2.5);
+  EXPECT_DOUBLE_EQ(stmt->modify.sets[0].value.AsReal(), 2.5);
   // Short form defaults FROM to the bare target.
   auto bare = ParseStatement("MODIFY solid SET description = 'x' WHERE solid_no = 1");
   ASSERT_TRUE(bare.ok());
@@ -324,6 +324,134 @@ TEST(ParserErrors, ErrorsCarryOffset) {
   auto stmt = ParseStatement("SELECT ALL FROM a WHERE ???");
   ASSERT_FALSE(stmt.ok());
   EXPECT_NE(stmt.status().message().find("offset"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Transaction-control statements
+// ---------------------------------------------------------------------------
+
+TEST(TransactionStatements, BeginCommitAbortWork) {
+  auto begin = ParseStatement("BEGIN WORK");
+  ASSERT_TRUE(begin.ok()) << begin.status().ToString();
+  EXPECT_EQ(begin->kind, Statement::Kind::kBeginWork);
+
+  auto commit = ParseStatement("commit work;");  // case-insensitive, ; ok
+  ASSERT_TRUE(commit.ok()) << commit.status().ToString();
+  EXPECT_EQ(commit->kind, Statement::Kind::kCommitWork);
+
+  auto abort = ParseStatement("ABORT WORK");
+  ASSERT_TRUE(abort.ok()) << abort.status().ToString();
+  EXPECT_EQ(abort->kind, Statement::Kind::kAbortWork);
+}
+
+TEST(TransactionStatements, WorkKeywordRequired) {
+  for (const char* text : {"BEGIN", "COMMIT", "ABORT", "BEGIN TRANSACTION",
+                           "COMMIT WORK extra"}) {
+    auto stmt = ParseStatement(text);
+    EXPECT_FALSE(stmt.ok()) << "should fail: " << text;
+    EXPECT_TRUE(stmt.status().IsParseError()) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statement parameters (placeholders)
+// ---------------------------------------------------------------------------
+
+TEST(Placeholders, PositionalInWhere) {
+  auto stmt = ParseStatement("SELECT ALL FROM solid WHERE solid_no = ?");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->params.size(), 1u);
+  EXPECT_TRUE(stmt->params[0].name.empty());
+  ASSERT_NE(stmt->query.where, nullptr);
+  EXPECT_EQ(stmt->query.where->param, 0);
+  EXPECT_TRUE(stmt->query.where->literal.is_null());
+}
+
+TEST(Placeholders, NamedSlotsDedupe) {
+  // :lo appears twice but declares ONE slot; ? appends a positional one.
+  auto stmt = ParseStatement(
+      "SELECT ALL FROM face WHERE square_dim > :lo AND "
+      "(square_dim < ? OR square_dim = :lo)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->params.size(), 2u);
+  EXPECT_EQ(stmt->params[0].name, "lo");
+  EXPECT_TRUE(stmt->params[1].name.empty());
+  const Expr& root = *stmt->query.where;
+  ASSERT_EQ(root.kind, Expr::Kind::kAnd);
+  EXPECT_EQ(root.children[0]->param, 0);
+  const Expr& onion = *root.children[1];
+  ASSERT_EQ(onion.kind, Expr::Kind::kOr);
+  EXPECT_EQ(onion.children[0]->param, 1);
+  EXPECT_EQ(onion.children[1]->param, 0);  // the re-reference
+}
+
+TEST(Placeholders, InsertAndModifyValues) {
+  auto ins = ParseStatement("INSERT solid (solid_no = ?, description = :d)");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  ASSERT_EQ(ins->params.size(), 2u);
+  ASSERT_EQ(ins->insert.values.size(), 2u);
+  EXPECT_EQ(ins->insert.values[0].param, 0);
+  EXPECT_EQ(ins->insert.values[1].param, 1);
+  EXPECT_EQ(ins->params[1].name, "d");
+
+  auto mod = ParseStatement(
+      "MODIFY solid SET description = :d WHERE solid_no = ?");
+  ASSERT_TRUE(mod.ok()) << mod.status().ToString();
+  ASSERT_EQ(mod->params.size(), 2u);
+  EXPECT_EQ(mod->modify.sets[0].param, 0);
+  EXPECT_EQ(mod->modify.where->param, 1);
+}
+
+TEST(Placeholders, DeleteWhere) {
+  auto del = ParseStatement("DELETE ALL FROM solid WHERE solid_no = ?");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  ASSERT_EQ(del->params.size(), 1u);
+  EXPECT_EQ(del->del.where->param, 0);
+}
+
+TEST(Placeholders, SubstitutionFillsEverySite) {
+  auto stmt = ParseStatement(
+      "SELECT ALL FROM face WHERE square_dim > :lo AND square_dim < :lo");
+  ASSERT_TRUE(stmt.ok());
+  SubstituteStatementParams(&*stmt, {access::Value::Real(4.5)});
+  const Expr& root = *stmt->query.where;
+  EXPECT_DOUBLE_EQ(root.children[0]->literal.AsReal(), 4.5);
+  EXPECT_DOUBLE_EQ(root.children[1]->literal.AsReal(), 4.5);
+  // Sites keep their slot index: re-substitution overwrites in place.
+  SubstituteStatementParams(&*stmt, {access::Value::Real(9.0)});
+  EXPECT_DOUBLE_EQ(root.children[0]->literal.AsReal(), 9.0);
+}
+
+TEST(Placeholders, RejectedOutsideQueryAndDml) {
+  // DDL has no literal positions, so a placeholder can never parse there —
+  // whatever shape it takes, the statement must be refused.
+  for (const char* text : {
+           "CREATE ATOM_TYPE t (x : ?)",
+           "CREATE ATOM_TYPE ? (x : INTEGER)",
+           "DEFINE MOLECULE TYPE m FROM ?",
+           "DROP ATOM_TYPE ?",
+       }) {
+    auto stmt = ParseStatement(text);
+    EXPECT_FALSE(stmt.ok()) << "should fail: " << text;
+    EXPECT_TRUE(stmt.status().IsParseError()) << text;
+  }
+}
+
+TEST(Placeholders, CloneQueryPreservesParamSites) {
+  auto stmt = ParseStatement(
+      "SELECT edge FROM brep-edge WHERE brep_no = ? AND "
+      "EXISTS edge: edge.length > :min");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  Query clone = CloneQuery(stmt->query);
+  ASSERT_EQ(clone.where->kind, Expr::Kind::kAnd);
+  EXPECT_EQ(clone.where->children[0]->param, 0);
+  EXPECT_EQ(clone.where->children[1]->quant_body->param, 1);
+  // The clone is independent: substituting into the original leaves it
+  // untouched.
+  SubstituteStatementParams(&*stmt,
+                            {access::Value::Int(1), access::Value::Real(2.0)});
+  EXPECT_EQ(stmt->query.where->children[0]->literal.AsInt(), 1);
+  EXPECT_TRUE(clone.where->children[0]->literal.is_null());
 }
 
 }  // namespace
