@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "net/server.h"
+
 namespace prima::core {
 
 using util::Result;
@@ -146,10 +148,27 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
     db->daemon_->Start();
     db->txns_->SetCheckpointDaemon(db->daemon_.get());
   }
+
+  // The network server starts after EVERYTHING, daemon included: the first
+  // remote session may arrive the instant the listener binds, and it must
+  // find a fully assembled kernel.
+  if (options.listen_port >= 0) {
+    net::ServerOptions server_options;
+    server_options.port = static_cast<uint16_t>(options.listen_port);
+    server_options.max_connections = options.net_max_connections;
+    server_options.idle_timeout_ms = options.net_idle_timeout_ms;
+    db->net_ = std::make_unique<net::Server>(db.get(), server_options);
+    PRIMA_RETURN_IF_ERROR(db->net_->Start());
+  }
   return db;
 }
 
 Prima::~Prima() {
+  // The network server goes absolutely first: its connection threads run
+  // remote sessions through every layer below, and Stop() joins them all —
+  // each open remote transaction rolls back, logged, through its session
+  // destructor while the WAL is still attached.
+  if (net_ != nullptr) net_->Stop();
   // Shutdown ordering with a live daemon thread: stop it BEFORE the exit
   // checkpoint and before any member starts destructing — a daemon
   // checkpoint racing the teardown would walk freed subsystems. As

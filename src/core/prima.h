@@ -18,6 +18,10 @@
 #include "storage/storage_system.h"
 #include "util/thread_pool.h"
 
+namespace prima::net {
+class Server;
+}
+
 namespace prima::core {
 
 /// Database configuration.
@@ -100,6 +104,20 @@ struct PrimaOptions {
 
   /// Worker threads for semantic parallelism (0 = hardware concurrency).
   size_t parallel_workers = 0;
+
+  /// NETWORK SERVER: when >= 0, Open() also starts a TCP server speaking
+  /// the framed wire protocol of net/protocol.h on this port (0 = let the
+  /// kernel pick; read it back via net_server()->port()). Each accepted
+  /// connection owns one server-side Session, so remote clients get the
+  /// full session contract — explicit transactions across round trips,
+  /// prepared statements, streaming cursors invalidated by aborts. The
+  /// server starts last in Open() and stops first in ~Prima; a drain rolls
+  /// every connection's open transaction back, logged. -1 = no server.
+  int32_t listen_port = -1;
+  /// Connections beyond this are refused with an error frame (0 = no cap).
+  uint32_t net_max_connections = 256;
+  /// Idle remote connections are closed after this long (0 = never).
+  uint32_t net_idle_timeout_ms = 0;
 };
 
 /// PRIMA — the kernel facade. Wires the three layers of Fig. 3.1 together
@@ -129,6 +147,28 @@ struct PrimaOptions {
 /// a thin compatibility wrapper over a default session: each call parses
 /// its statement, runs it under the same auto-commit transaction scoping,
 /// and Query drains a cursor into a materialized MoleculeSet.
+///
+/// Remote access — set PrimaOptions::listen_port and the same session API
+/// is served over TCP (net/server.h, framed protocol of net/protocol.h);
+/// net/client.h is the matching client library:
+///
+///   PrimaOptions opts;
+///   opts.listen_port = 0;                        // kernel-picked port
+///   auto db = *Prima::Open(opts);
+///   auto client = *net::Client::Connect("127.0.0.1",
+///                                       db->net_server()->port());
+///   client->Execute("BEGIN WORK");
+///   client->Execute("INSERT point (x = 1.5)");
+///   client->Execute("COMMIT WORK");              // durable once acked
+///   auto cursor = *client->OpenCursor("SELECT ALL FROM point");
+///   while (auto m = *cursor.Next()) { /* streamed in batches */ }
+///
+/// Remote-cursor lifetime contract: a remote cursor addresses state inside
+/// its connection's server-side session, so it lives exactly as long as a
+/// local MoleculeCursor would in that session — an ABORT WORK (or any
+/// rollback, including the one a dropped connection triggers) invalidates
+/// it, and the next Fetch reports Aborted. Closing a cursor or statement
+/// id twice is rejected cleanly with NotFound; the connection survives.
 class Prima {
  public:
   static util::Result<std::unique_ptr<Prima>> Open(PrimaOptions options);
@@ -196,6 +236,8 @@ class Prima {
   recovery::RecoveryManager* recovery() { return recovery_.get(); }
   /// Null unless the daemon is active (wal + wal_max_bytes + fraction).
   recovery::CheckpointDaemon* checkpoint_daemon() { return daemon_.get(); }
+  /// Null unless options.listen_port >= 0.
+  net::Server* net_server() { return net_.get(); }
 
  private:
   Prima() = default;
@@ -227,6 +269,11 @@ class Prima {
   /// thread checkpoints through recovery_/access_/wal_ and must be gone
   /// before any of them shuts down.
   std::unique_ptr<recovery::CheckpointDaemon> daemon_;
+  /// The TCP front door (options.listen_port >= 0). Started LAST in Open()
+  /// — remote sessions must never see a half-built kernel — and stopped
+  /// FIRST in ~Prima, before even the daemon: its connection threads run
+  /// sessions through every layer below.
+  std::unique_ptr<net::Server> net_;
 };
 
 }  // namespace prima::core

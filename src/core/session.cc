@@ -127,7 +127,7 @@ Status Session::AbortWork() {
   return st;
 }
 
-Result<ExecResult> Session::ExecuteStatement(Statement& stmt,
+Result<ExecResult> Session::ExecuteStatement(const Statement& stmt,
                                              const mql::QueryPlan* plan) {
   if (!IsDml(stmt.kind)) {
     // Queries read without locks (as ever); DDL is untransacted (catalog
@@ -195,34 +195,65 @@ Result<MoleculeCursor> Session::OpenCursor(mql::Query query,
   return data_->executor().OpenCursor(std::move(query), std::move(token));
 }
 
-Result<ExecResult> Session::Execute(const std::string& mql) {
-  PRIMA_ASSIGN_OR_RETURN(Statement stmt, mql::ParseStatement(mql));
-  if (!stmt.params.empty()) {
+Result<std::shared_ptr<const mql::CachedStatement>> Session::CompileOneShot(
+    const std::string& mql) {
+  // The version is read BEFORE parsing/planning: racing DDL can only make
+  // the stamp conservatively old, so the entry reads as stale and is
+  // recompiled — a plan can never outlive the catalog it was built against.
+  const uint64_t schema_version = data_->access().catalog().schema_version();
+  std::shared_ptr<const mql::CachedStatement> cached =
+      data_->statement_cache().Lookup(mql, schema_version);
+  if (cached != nullptr) return cached;
+
+  auto entry = std::make_shared<mql::CachedStatement>();
+  entry->schema_version = schema_version;
+  PRIMA_ASSIGN_OR_RETURN(entry->stmt, mql::ParseStatement(mql));
+  if (!entry->stmt.params.empty()) {
     return Status::InvalidArgument(
         "statement has placeholders - use Session::Prepare and bind them");
   }
-  if (stmt.kind == Statement::Kind::kQuery) {
-    // The materializing facade is exactly "open a cursor, drain it".
-    PRIMA_ASSIGN_OR_RETURN(MoleculeCursor cursor,
-                           OpenCursor(std::move(stmt.query), nullptr));
+  // Plan FROM-bearing statements now (no placeholders can be present, so
+  // every literal the plan embeds is fixed by the text — exactly what a
+  // text-keyed cache may reuse).
+  if (const mql::FromClause* from = PlannedFrom(entry->stmt)) {
+    PRIMA_ASSIGN_OR_RETURN(
+        mql::QueryPlan plan,
+        data_->executor().Prepare(*from, PlannedWhere(entry->stmt)));
+    entry->plan = std::move(plan);
+  }
+  if (mql::StatementCache::Cacheable(entry->stmt.kind)) {
+    data_->statement_cache().Insert(mql, entry);
+  }
+  return std::shared_ptr<const mql::CachedStatement>(std::move(entry));
+}
+
+Result<ExecResult> Session::Execute(const std::string& mql) {
+  PRIMA_ASSIGN_OR_RETURN(std::shared_ptr<const mql::CachedStatement> compiled,
+                         CompileOneShot(mql));
+  const mql::QueryPlan* plan =
+      compiled->plan.has_value() ? &*compiled->plan : nullptr;
+  if (compiled->stmt.kind == Statement::Kind::kQuery) {
+    // The materializing facade is exactly "open a cursor, drain it". The
+    // cursor owns a clone — the shared cache entry stays immutable.
+    PRIMA_ASSIGN_OR_RETURN(
+        MoleculeCursor cursor,
+        OpenCursor(mql::CloneQuery(compiled->stmt.query), plan));
     ExecResult r;
     r.kind = ExecResult::Kind::kMolecules;
     PRIMA_ASSIGN_OR_RETURN(r.molecules, cursor.Drain());
     return r;
   }
-  return ExecuteStatement(stmt, nullptr);
+  return ExecuteStatement(compiled->stmt, plan);
 }
 
 Result<MoleculeCursor> Session::Query(const std::string& mql) {
-  PRIMA_ASSIGN_OR_RETURN(Statement stmt, mql::ParseStatement(mql));
-  if (stmt.kind != Statement::Kind::kQuery) {
+  PRIMA_ASSIGN_OR_RETURN(std::shared_ptr<const mql::CachedStatement> compiled,
+                         CompileOneShot(mql));
+  if (compiled->stmt.kind != Statement::Kind::kQuery) {
     return Status::InvalidArgument("statement is not a query");
   }
-  if (!stmt.params.empty()) {
-    return Status::InvalidArgument(
-        "statement has placeholders - use Session::Prepare and bind them");
-  }
-  return OpenCursor(std::move(stmt.query), nullptr);
+  return OpenCursor(mql::CloneQuery(compiled->stmt.query),
+                    compiled->plan.has_value() ? &*compiled->plan : nullptr);
 }
 
 Result<PreparedStatement> Session::Prepare(const std::string& mql) {

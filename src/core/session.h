@@ -166,9 +166,17 @@ class Session {
   };
 
   /// Execute a parsed (and substituted) statement under the session's
-  /// transaction scope, with an optional cached plan.
-  util::Result<mql::ExecResult> ExecuteStatement(mql::Statement& stmt,
+  /// transaction scope, with an optional cached plan. Const: shared-cache
+  /// entries are executed concurrently by many sessions.
+  util::Result<mql::ExecResult> ExecuteStatement(const mql::Statement& stmt,
                                                  const mql::QueryPlan* plan);
+
+  /// One-shot compile path: consult the shared statement cache, else parse
+  /// `mql` (placeholders refused — they must go through Prepare), plan
+  /// FROM-bearing statements, and publish cacheable kinds back to the
+  /// cache. DDL and transaction control compile but are never cached.
+  util::Result<std::shared_ptr<const mql::CachedStatement>> CompileOneShot(
+      const std::string& mql);
   util::Result<mql::MoleculeCursor> OpenCursor(mql::Query query,
                                                const mql::QueryPlan* plan);
 

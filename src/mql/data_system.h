@@ -8,6 +8,7 @@
 #include "access/access_system.h"
 #include "mql/executor.h"
 #include "mql/molecule.h"
+#include "mql/statement_cache.h"
 
 namespace prima::mql {
 
@@ -96,6 +97,11 @@ class DataSystem {
   Executor& executor() { return executor_; }
   access::AccessSystem& access() { return *access_; }
   DataStats& stats() { return executor_.stats(); }
+  /// Shared, schema-versioned compile cache keyed by MQL text: sessions
+  /// consult it on every one-shot Execute/Query, so repeated statement
+  /// texts — every raw network Execute included — get the prepared
+  /// parse-once-plan-once fast path without calling Prepare.
+  StatementCache& statement_cache() { return statement_cache_; }
 
  private:
   util::Result<ExecResult> RunQuery(const struct Query& q,
@@ -113,6 +119,7 @@ class DataSystem {
 
   access::AccessSystem* access_;
   Executor executor_;
+  StatementCache statement_cache_;
 };
 
 }  // namespace prima::mql

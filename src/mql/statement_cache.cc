@@ -1,0 +1,51 @@
+#include "mql/statement_cache.h"
+
+namespace prima::mql {
+
+std::shared_ptr<const CachedStatement> StatementCache::Lookup(
+    const std::string& text, uint64_t schema_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(text);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (it->second.entry->schema_version != schema_version) {
+    // Compiled against a catalog that DDL has since changed; the plan (and
+    // even the resolved structure) may chase dropped ids. Drop it — the
+    // caller recompiles and republishes.
+    lru_.erase(it->second.lru_pos);
+    map_.erase(it);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.entry;
+}
+
+void StatementCache::Insert(const std::string& text,
+                            std::shared_ptr<const CachedStatement> entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(text);
+  if (it != map_.end()) {
+    it->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  while (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  lru_.push_front(text);
+  map_.emplace(text, Slot{std::move(entry), lru_.begin()});
+}
+
+size_t StatementCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace prima::mql

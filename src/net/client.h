@@ -1,0 +1,152 @@
+#ifndef PRIMA_NET_CLIENT_H_
+#define PRIMA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/protocol.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace prima::net {
+
+class RemoteStatement;
+class RemoteCursor;
+
+/// Thin client for the PRIMA wire protocol, mapping 1:1 onto the
+/// core::Session API: one Client is one connection is one server-side
+/// session, so BEGIN WORK on the client holds its transaction open across
+/// round trips and ABORT WORK invalidates the connection's remote cursors.
+/// Like a Session, a Client is a single-threaded context — one per client
+/// thread. RemoteStatement and RemoteCursor handles borrow the Client and
+/// must not outlive it (they address per-connection server state, so they
+/// are meaningless on any other connection anyway).
+///
+///   auto client = *Client::Connect("127.0.0.1", port);
+///   client->Execute("BEGIN WORK");
+///   auto stmt = *client->Prepare("INSERT point (x = ?)");
+///   stmt.Bind(0, access::Value::Real(1.5));
+///   stmt.Execute();
+///   client->Execute("COMMIT WORK");
+///   auto cursor = *client->OpenCursor("SELECT ALL FROM point");
+///   while (auto m = *cursor.Next()) { /* streamed in server-side batches */ }
+class Client {
+ public:
+  /// Connect + versioned handshake. `host` is a name or numeric address.
+  static util::Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                       uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One round trip: parse and execute one MQL statement server-side
+  /// (DDL, DML, query, or BEGIN/COMMIT/ABORT WORK). SELECT results come
+  /// back materialized; use OpenCursor to stream instead.
+  util::Result<mql::ExecResult> Execute(const std::string& mql);
+
+  /// Transaction control (sugar over the dedicated message kinds).
+  util::Status Begin();
+  util::Status Commit();
+  util::Status Abort();
+
+  /// Compile a statement server-side for repeated execution with `?` /
+  /// `:name` placeholders.
+  util::Result<RemoteStatement> Prepare(const std::string& mql);
+
+  /// Open a server-side streaming cursor over a SELECT; molecules arrive
+  /// in batches of `batch_size` (further bounded server-side by bytes).
+  util::Result<RemoteCursor> OpenCursor(const std::string& mql,
+                                        uint32_t batch_size = 128);
+
+  /// Server + WAL gauge snapshot (the wedged-ring view on the wire).
+  util::Result<ServerStats> Stats();
+
+  /// Polite goodbye; the server rolls back an open transaction. The
+  /// destructor just drops the socket, which has the same server-side
+  /// effect without the round trip.
+  util::Status Close();
+
+  bool connected() const { return fd_ >= 0; }
+  /// Server-assigned connection id from the handshake.
+  uint64_t connection_id() const { return connection_id_; }
+
+ private:
+  friend class RemoteStatement;
+  friend class RemoteCursor;
+  Client() = default;
+
+  /// Send one request, read one reply. A kError reply decodes into the
+  /// returned status; a reply of any kind other than `expect` is a
+  /// protocol violation and poisons the connection.
+  util::Result<Frame> RoundTrip(MsgKind kind, util::Slice payload,
+                                MsgKind expect);
+
+  int fd_ = -1;
+  uint64_t connection_id_ = 0;
+};
+
+/// Client handle to a server-side prepared statement.
+class RemoteStatement {
+ public:
+  RemoteStatement(RemoteStatement&&) = default;
+  RemoteStatement& operator=(RemoteStatement&&) = default;
+
+  uint32_t param_count() const { return param_count_; }
+
+  /// Bind by 0-based placeholder position / by `:name`.
+  util::Status Bind(uint32_t index, const access::Value& value);
+  util::Status Bind(const std::string& name, const access::Value& value);
+
+  /// Execute with the current bindings (one round trip).
+  util::Result<mql::ExecResult> Execute();
+  /// Open a streaming cursor over the bound SELECT.
+  util::Result<RemoteCursor> Query(uint32_t batch_size = 128);
+
+  /// Release the server-side statement. Closing twice reports NotFound
+  /// (the server rejects the stale id cleanly).
+  util::Status Close();
+
+ private:
+  friend class Client;
+  RemoteStatement(Client* client, uint32_t id, uint32_t param_count)
+      : client_(client), id_(id), param_count_(param_count) {}
+
+  Client* client_;
+  uint32_t id_;
+  uint32_t param_count_;
+};
+
+/// Client handle to a server-side molecule cursor. Next() refills from the
+/// server in batches; an ABORT WORK (or any rollback) server-side makes the
+/// next fetch fail with Aborted, exactly like a local MoleculeCursor.
+class RemoteCursor {
+ public:
+  RemoteCursor(RemoteCursor&&) = default;
+  RemoteCursor& operator=(RemoteCursor&&) = default;
+
+  /// Next molecule, or nullopt when the result set is drained.
+  util::Result<std::optional<mql::Molecule>> Next();
+
+  /// Release the server-side cursor. Closing twice reports NotFound.
+  util::Status Close();
+
+ private:
+  friend class Client;
+  friend class RemoteStatement;
+  RemoteCursor(Client* client, uint32_t id, uint32_t batch_size)
+      : client_(client), id_(id), batch_size_(batch_size) {}
+
+  Client* client_;
+  uint32_t id_;
+  uint32_t batch_size_;
+  std::deque<mql::Molecule> buffer_;
+  bool server_done_ = false;
+};
+
+}  // namespace prima::net
+
+#endif  // PRIMA_NET_CLIENT_H_

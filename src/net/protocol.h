@@ -1,0 +1,147 @@
+#ifndef PRIMA_NET_PROTOCOL_H_
+#define PRIMA_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mql/data_system.h"
+#include "mql/molecule.h"
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace prima::net {
+
+/// PRIMA wire protocol: a length-prefixed, CRC-framed request/response
+/// stream mapping 1:1 onto the core::Session API. One frame on the wire is
+///
+///   [len : u32] [kind : u8] [payload : len bytes] [crc : u32]
+///
+/// little-endian, with crc = CRC-32 over kind + payload (the same polynomial
+/// as the page and WAL framing), so a torn or bit-flipped frame is rejected
+/// before any payload decoding runs. Requests and replies alternate in
+/// lockstep per connection; every connection starts with a versioned
+/// handshake (kHello -> kHelloOk) and owns one server-side session, so
+/// transaction and cursor state live on the server and an abort invalidates
+/// remote cursors exactly as local ones.
+///
+/// Payloads reuse the kernel's wire-safe encodings: access::Value and
+/// access::Atom serialize self-describing (molecule frames prefix each atom
+/// with its attribute arity, so a client decodes result sets without the
+/// catalog in hand).
+
+inline constexpr uint32_t kHandshakeMagic = 0x50524D4Eu;  ///< "PRMN"
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Requests are statements and control messages — small. A frame claiming
+/// more is malformed (and must be rejected BEFORE allocating the claimed
+/// length, or a hostile header is a memory bomb).
+inline constexpr uint32_t kMaxRequestFrame = 1u << 20;
+/// Replies carry molecule batches; the server's fetch path additionally
+/// bounds each batch by kFetchByteTarget well below this.
+inline constexpr uint32_t kMaxReplyFrame = 64u << 20;
+/// A fetch reply stops adding molecules once it crosses this many payload
+/// bytes, whatever batch size the client asked for.
+inline constexpr uint32_t kFetchByteTarget = 1u << 20;
+
+enum class MsgKind : uint8_t {
+  // Requests (client -> server).
+  kHello = 1,           ///< u32 magic + u32 version
+  kExecute = 2,         ///< string mql -> kResult
+  kPrepare = 3,         ///< string mql -> kPrepared
+  kBind = 4,            ///< u32 stmt, u8 by_name, index|name, Value -> kOk
+  kExecutePrepared = 5, ///< u32 stmt -> kResult
+  kOpenCursor = 6,      ///< u8 prepared, u32 stmt | string mql -> kCursorOpened
+  kFetch = 7,           ///< u32 cursor, u32 max_n -> kMolecules
+  kCloseCursor = 8,     ///< u32 cursor -> kOk
+  kCloseStatement = 9,  ///< u32 stmt -> kOk
+  kBeginWork = 10,      ///< -> kOk
+  kCommitWork = 11,     ///< -> kOk
+  kAbortWork = 12,      ///< -> kOk
+  kStats = 13,          ///< -> kStatsReply
+  kGoodbye = 14,        ///< -> kOk, then both sides close
+
+  // Replies (server -> client).
+  kHelloOk = 64,        ///< u32 version + u64 connection id
+  kOk = 65,             ///< empty
+  kError = 66,          ///< u8 status code + string message
+  kResult = 67,         ///< ExecResult
+  kPrepared = 68,       ///< u32 stmt id + u32 param count
+  kCursorOpened = 69,   ///< u32 cursor id
+  kMolecules = 70,      ///< u8 done + varint n + n molecules
+  kStatsReply = 71,     ///< ServerStats
+};
+
+/// One decoded frame.
+struct Frame {
+  MsgKind kind = MsgKind::kError;
+  std::string payload;
+};
+
+// ---------------------------------------------------------------------------
+// Socket framing. fd is a connected stream socket; all calls block (the
+// server bounds them with poll-based idle timeouts). Errors:
+//   IoError     - peer vanished / syscall failed (connection is dead)
+//   Corruption  - CRC mismatch (stream integrity lost, close the connection)
+//   InvalidArgument - frame length over `max_frame` (reject before reading)
+// ---------------------------------------------------------------------------
+
+util::Status WriteFrame(int fd, MsgKind kind, util::Slice payload);
+util::Status ReadFrame(int fd, uint32_t max_frame, Frame* out);
+
+// ---------------------------------------------------------------------------
+// Payload encodings.
+// ---------------------------------------------------------------------------
+
+/// Status <-> wire: code byte + message. Unknown codes decode as IoError so
+/// a newer server's error never reads as success.
+void EncodeStatus(const util::Status& st, std::string* out);
+util::Status DecodeStatus(util::Slice* in);
+
+/// Atom with explicit arity (the catalog-free decode form).
+void EncodeWireAtom(const access::Atom& atom, std::string* out);
+util::Result<access::Atom> DecodeWireAtom(util::Slice* in);
+
+void EncodeMolecule(const mql::Molecule& m, std::string* out);
+util::Result<mql::Molecule> DecodeMolecule(util::Slice* in);
+
+void EncodeMoleculeSet(const mql::MoleculeSet& set, std::string* out);
+util::Result<mql::MoleculeSet> DecodeMoleculeSet(util::Slice* in);
+
+void EncodeExecResult(const mql::ExecResult& r, std::string* out);
+util::Result<mql::ExecResult> DecodeExecResult(util::Slice* in);
+
+/// Server gauge snapshot, served by the kStats message. The WAL block is
+/// the remote operator's wedged-ring view: a long-running transaction
+/// pinning the undo floor shows up as active_txns > 0 with a far-behind
+/// oldest_active_lsn while wal_live_bytes climbs toward wal_capacity_bytes.
+struct ServerStats {
+  // Connection front door.
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t connections_refused = 0;  ///< over max_connections
+  uint64_t idle_closes = 0;
+  // Session traffic through this server.
+  uint64_t statements_executed = 0;
+  uint64_t statements_prepared = 0;
+  uint64_t cursors_opened = 0;
+  uint64_t molecules_streamed = 0;
+  // Shared statement cache (one-shot Execute's transparent prepared path).
+  uint64_t stmt_cache_hits = 0;
+  uint64_t stmt_cache_misses = 0;
+  // WAL / wedged-ring gauge (Prima::wal_stats()).
+  uint64_t wal_live_bytes = 0;
+  uint64_t wal_capacity_bytes = 0;
+  uint64_t wal_archived_bytes = 0;
+  uint64_t commits_forced = 0;
+  uint64_t auto_checkpoints = 0;
+  uint64_t active_txns = 0;
+  uint64_t oldest_active_lsn = 0;
+};
+
+void EncodeServerStats(const ServerStats& s, std::string* out);
+util::Result<ServerStats> DecodeServerStats(util::Slice* in);
+
+}  // namespace prima::net
+
+#endif  // PRIMA_NET_PROTOCOL_H_

@@ -1,0 +1,609 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+
+#include "core/prima.h"
+#include "util/coding.h"
+
+namespace prima::net {
+
+using util::Result;
+using util::Slice;
+using util::Status;
+
+namespace {
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Wait for a readable byte (or peer close) with an optional timeout.
+/// Returns Ok when readable, NotFound on timeout, IoError on poll failure.
+Status WaitReadable(int fd, uint32_t timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms == 0 ? -1
+                                                  : static_cast<int>(timeout_ms));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (r == 0) return Status::NotFound("idle timeout");
+    return Status::Ok();  // POLLIN / POLLHUP / POLLERR all unblock the read
+  }
+}
+
+Status SendError(int fd, const Status& st) {
+  std::string payload;
+  EncodeStatus(st, &payload);
+  return WriteFrame(fd, MsgKind::kError, payload);
+}
+
+}  // namespace
+
+/// Per-connection state. The socket fd is owned by the SERVER: the serving
+/// thread only ever shutdown()s it, and close() happens strictly after the
+/// thread is joined — so Stop()'s wake-up shutdown can never race a close
+/// that recycled the descriptor to another connection.
+struct Server::Conn {
+  int fd = -1;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+Server::Server(core::Prima* db, ServerOptions options)
+    : db_(db), options_(options) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already started");
+  }
+  stopping_.store(false, std::memory_order_release);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status st =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status st =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Wake the accept loop: shutdown makes the blocking accept() fail
+  // immediately; the fd itself is closed only after the thread is gone.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Wake every serving thread out of its poll/read; the threads then run
+    // their normal drain path (open transaction rolls back through the
+    // session destructor, logged, before the thread finishes).
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Conn> conn;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.empty()) break;
+      conn = std::move(conns_.back());
+      conns_.pop_back();
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::ReapFinishedLocked() {
+  for (size_t i = 0; i < conns_.size();) {
+    if (conns_[i]->done.load(std::memory_order_acquire)) {
+      std::unique_ptr<Conn> conn = std::move(conns_[i]);
+      conns_[i] = std::move(conns_.back());
+      conns_.pop_back();
+      if (conn->thread.joinable()) conn->thread.join();
+      ::close(conn->fd);
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Descriptor exhaustion: back off instead of spinning; pending
+        // clients wait in the listen backlog.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return;  // listener gone (shutdown) or unrecoverable
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ReapFinishedLocked();
+    if (options_.max_connections != 0 &&
+        conns_.size() >= options_.max_connections) {
+      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      (void)SendError(fd, Status::NoSpace(
+                              "server connection limit (" +
+                              std::to_string(options_.max_connections) +
+                              ") reached"));
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    conn->thread = std::thread([this, raw] { ServeConnection(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::ServeConnection(Conn* conn) {
+  const int fd = conn->fd;
+  SetNoDelay(fd);
+  connections_active_.fetch_add(1, std::memory_order_relaxed);
+
+  // --- versioned handshake -------------------------------------------------
+  bool ok = false;
+  do {
+    if (!WaitReadable(fd, options_.idle_timeout_ms).ok()) break;
+    Frame hello;
+    if (!ReadFrame(fd, kMaxRequestFrame, &hello).ok()) break;
+    if (hello.kind != MsgKind::kHello) {
+      (void)SendError(fd, Status::InvalidArgument(
+                              "expected a hello frame to open the session"));
+      break;
+    }
+    Slice in(hello.payload);
+    uint32_t magic = 0, version = 0;
+    if (!util::GetFixed32(&in, &magic) || !util::GetFixed32(&in, &version) ||
+        magic != kHandshakeMagic) {
+      (void)SendError(fd, Status::InvalidArgument("malformed hello frame"));
+      break;
+    }
+    if (version != kProtocolVersion) {
+      (void)SendError(
+          fd, Status::NotSupported(
+                  "protocol version " + std::to_string(version) +
+                  " not supported (server speaks " +
+                  std::to_string(kProtocolVersion) + ")"));
+      break;
+    }
+    std::string reply;
+    util::PutFixed32(&reply, kProtocolVersion);
+    util::PutFixed64(&reply,
+                     connections_accepted_.load(std::memory_order_relaxed));
+    if (!WriteFrame(fd, MsgKind::kHelloOk, reply).ok()) break;
+    ok = true;
+  } while (false);
+
+  if (ok) {
+    // --- session + request loop -------------------------------------------
+    // Everything a remote client owns lives in this scope: the session
+    // (transaction state), prepared statements, and open cursors. Leaving
+    // the scope — clean goodbye, protocol violation, disconnect, or server
+    // drain — destroys them in order: cursors and statements first (both
+    // borrow the session), then the session, whose destructor rolls an
+    // open transaction back LOGGED. A connection that vanishes therefore
+    // leaves exactly its acknowledged commits behind.
+    std::unique_ptr<core::Session> session = db_->OpenSession();
+    std::map<uint32_t, core::PreparedStatement> statements;
+    std::map<uint32_t, mql::MoleculeCursor> cursors;
+    uint32_t next_stmt_id = 1, next_cursor_id = 1;
+
+    for (;;) {
+      const Status waited = WaitReadable(fd, options_.idle_timeout_ms);
+      if (!waited.ok()) {
+        if (waited.IsNotFound()) {
+          idle_closes_.fetch_add(1, std::memory_order_relaxed);
+          (void)SendError(fd, Status::Aborted("idle timeout - closing"));
+        }
+        break;
+      }
+      Frame req;
+      const Status read = ReadFrame(fd, kMaxRequestFrame, &req);
+      if (!read.ok()) {
+        // Oversized or corrupt frames get a best-effort error reply, but
+        // the stream position is unrecoverable — close. A plain
+        // disconnect (IoError) just closes.
+        if (!read.IsIoError()) (void)SendError(fd, read);
+        break;
+      }
+      Slice in(req.payload);
+      bool close_conn = false;
+
+      switch (req.kind) {
+        case MsgKind::kExecute: {
+          statements_executed_.fetch_add(1, std::memory_order_relaxed);
+          Result<mql::ExecResult> result =
+              session->Execute(std::string(in.data(), in.size()));
+          if (!result.ok()) {
+            close_conn = !SendError(fd, result.status()).ok();
+            break;
+          }
+          if (result->kind == mql::ExecResult::Kind::kMolecules) {
+            molecules_streamed_.fetch_add(result->molecules.size(),
+                                          std::memory_order_relaxed);
+          }
+          std::string payload;
+          EncodeExecResult(*result, &payload);
+          close_conn = !WriteFrame(fd, MsgKind::kResult, payload).ok();
+          break;
+        }
+
+        case MsgKind::kPrepare: {
+          if (statements.size() >= options_.max_statements) {
+            close_conn =
+                !SendError(fd, Status::NoSpace(
+                                   "too many open prepared statements"))
+                     .ok();
+            break;
+          }
+          Result<core::PreparedStatement> stmt =
+              session->Prepare(std::string(in.data(), in.size()));
+          if (!stmt.ok()) {
+            close_conn = !SendError(fd, stmt.status()).ok();
+            break;
+          }
+          statements_prepared_.fetch_add(1, std::memory_order_relaxed);
+          const uint32_t id = next_stmt_id++;
+          const uint32_t params =
+              static_cast<uint32_t>(stmt->param_count());
+          statements.emplace(id, std::move(*stmt));
+          std::string payload;
+          util::PutFixed32(&payload, id);
+          util::PutFixed32(&payload, params);
+          close_conn = !WriteFrame(fd, MsgKind::kPrepared, payload).ok();
+          break;
+        }
+
+        case MsgKind::kBind: {
+          uint32_t id = 0;
+          if (!util::GetFixed32(&in, &id) || in.empty()) {
+            close_conn =
+                !SendError(fd,
+                           Status::InvalidArgument("malformed bind frame"))
+                     .ok();
+            break;
+          }
+          const uint8_t by_name = static_cast<uint8_t>(in[0]);
+          in.RemovePrefix(1);
+          auto it = statements.find(id);
+          if (it == statements.end()) {
+            close_conn = !SendError(fd, Status::NotFound(
+                                            "no prepared statement with id " +
+                                            std::to_string(id)))
+                              .ok();
+            break;
+          }
+          Status bound;
+          if (by_name) {
+            Slice name;
+            if (!util::GetLengthPrefixed(&in, &name)) {
+              bound = Status::InvalidArgument("malformed bind frame");
+            } else {
+              Result<access::Value> v = access::Value::Decode(&in);
+              bound = v.ok() ? it->second.Bind(
+                                   std::string(name.data(), name.size()),
+                                   std::move(*v))
+                             : v.status();
+            }
+          } else {
+            uint32_t index = 0;
+            if (!util::GetFixed32(&in, &index)) {
+              bound = Status::InvalidArgument("malformed bind frame");
+            } else {
+              Result<access::Value> v = access::Value::Decode(&in);
+              bound = v.ok() ? it->second.Bind(index, std::move(*v))
+                             : v.status();
+            }
+          }
+          close_conn = !(bound.ok() ? WriteFrame(fd, MsgKind::kOk, {})
+                                    : SendError(fd, bound))
+                            .ok();
+          break;
+        }
+
+        case MsgKind::kExecutePrepared: {
+          uint32_t id = 0;
+          if (!util::GetFixed32(&in, &id)) {
+            close_conn =
+                !SendError(fd,
+                           Status::InvalidArgument("malformed execute frame"))
+                     .ok();
+            break;
+          }
+          auto it = statements.find(id);
+          if (it == statements.end()) {
+            close_conn = !SendError(fd, Status::NotFound(
+                                            "no prepared statement with id " +
+                                            std::to_string(id)))
+                              .ok();
+            break;
+          }
+          statements_executed_.fetch_add(1, std::memory_order_relaxed);
+          Result<mql::ExecResult> result = it->second.Execute();
+          if (!result.ok()) {
+            close_conn = !SendError(fd, result.status()).ok();
+            break;
+          }
+          if (result->kind == mql::ExecResult::Kind::kMolecules) {
+            molecules_streamed_.fetch_add(result->molecules.size(),
+                                          std::memory_order_relaxed);
+          }
+          std::string payload;
+          EncodeExecResult(*result, &payload);
+          close_conn = !WriteFrame(fd, MsgKind::kResult, payload).ok();
+          break;
+        }
+
+        case MsgKind::kOpenCursor: {
+          if (cursors.size() >= options_.max_cursors) {
+            close_conn =
+                !SendError(fd, Status::NoSpace("too many open cursors")).ok();
+            break;
+          }
+          if (in.empty()) {
+            close_conn =
+                !SendError(fd,
+                           Status::InvalidArgument("malformed cursor frame"))
+                     .ok();
+            break;
+          }
+          const uint8_t prepared = static_cast<uint8_t>(in[0]);
+          in.RemovePrefix(1);
+          Result<mql::MoleculeCursor> cursor = [&]() ->
+              Result<mql::MoleculeCursor> {
+            if (prepared) {
+              uint32_t id = 0;
+              if (!util::GetFixed32(&in, &id)) {
+                return Status::InvalidArgument("malformed cursor frame");
+              }
+              auto it = statements.find(id);
+              if (it == statements.end()) {
+                return Status::NotFound("no prepared statement with id " +
+                                        std::to_string(id));
+              }
+              return it->second.Query();
+            }
+            return session->Query(std::string(in.data(), in.size()));
+          }();
+          if (!cursor.ok()) {
+            close_conn = !SendError(fd, cursor.status()).ok();
+            break;
+          }
+          cursors_opened_.fetch_add(1, std::memory_order_relaxed);
+          const uint32_t id = next_cursor_id++;
+          cursors.emplace(id, std::move(*cursor));
+          std::string payload;
+          util::PutFixed32(&payload, id);
+          close_conn = !WriteFrame(fd, MsgKind::kCursorOpened, payload).ok();
+          break;
+        }
+
+        case MsgKind::kFetch: {
+          uint32_t id = 0, max_n = 0;
+          if (!util::GetFixed32(&in, &id) || !util::GetFixed32(&in, &max_n)) {
+            close_conn =
+                !SendError(fd,
+                           Status::InvalidArgument("malformed fetch frame"))
+                     .ok();
+            break;
+          }
+          auto it = cursors.find(id);
+          if (it == cursors.end()) {
+            close_conn = !SendError(fd, Status::NotFound(
+                                            "no open cursor with id " +
+                                            std::to_string(id)))
+                              .ok();
+            break;
+          }
+          // Assemble up to max_n molecules, additionally bounded by the
+          // byte target so one greedy fetch cannot blow the reply frame.
+          std::string body;
+          uint64_t count = 0;
+          bool done = false;
+          Status fetch;
+          while (count < max_n && body.size() < kFetchByteTarget) {
+            Result<std::optional<mql::Molecule>> next = it->second.Next();
+            if (!next.ok()) {
+              fetch = next.status();  // e.g. Aborted after a rollback
+              break;
+            }
+            if (!next->has_value()) {
+              done = true;
+              break;
+            }
+            EncodeMolecule(**next, &body);
+            ++count;
+          }
+          if (!fetch.ok()) {
+            close_conn = !SendError(fd, fetch).ok();
+            break;
+          }
+          molecules_streamed_.fetch_add(count, std::memory_order_relaxed);
+          std::string payload;
+          payload.push_back(done ? 1 : 0);
+          util::PutVarint64(&payload, count);
+          payload.append(body);
+          close_conn = !WriteFrame(fd, MsgKind::kMolecules, payload).ok();
+          break;
+        }
+
+        case MsgKind::kCloseCursor: {
+          uint32_t id = 0;
+          if (!util::GetFixed32(&in, &id)) {
+            close_conn =
+                !SendError(fd,
+                           Status::InvalidArgument("malformed close frame"))
+                     .ok();
+            break;
+          }
+          auto it = cursors.find(id);
+          if (it == cursors.end()) {
+            // Double close: reject cleanly, keep the connection.
+            close_conn = !SendError(fd, Status::NotFound(
+                                            "no open cursor with id " +
+                                            std::to_string(id)))
+                              .ok();
+            break;
+          }
+          cursors.erase(it);
+          close_conn = !WriteFrame(fd, MsgKind::kOk, {}).ok();
+          break;
+        }
+
+        case MsgKind::kCloseStatement: {
+          uint32_t id = 0;
+          if (!util::GetFixed32(&in, &id)) {
+            close_conn =
+                !SendError(fd,
+                           Status::InvalidArgument("malformed close frame"))
+                     .ok();
+            break;
+          }
+          if (statements.erase(id) == 0) {
+            close_conn = !SendError(fd, Status::NotFound(
+                                            "no prepared statement with id " +
+                                            std::to_string(id)))
+                              .ok();
+            break;
+          }
+          close_conn = !WriteFrame(fd, MsgKind::kOk, {}).ok();
+          break;
+        }
+
+        case MsgKind::kBeginWork:
+        case MsgKind::kCommitWork:
+        case MsgKind::kAbortWork: {
+          const char* text = req.kind == MsgKind::kBeginWork ? "BEGIN WORK"
+                             : req.kind == MsgKind::kCommitWork
+                                 ? "COMMIT WORK"
+                                 : "ABORT WORK";
+          Result<mql::ExecResult> result = session->Execute(text);
+          close_conn = !(result.ok() ? WriteFrame(fd, MsgKind::kOk, {})
+                                     : SendError(fd, result.status()))
+                            .ok();
+          break;
+        }
+
+        case MsgKind::kStats: {
+          std::string payload;
+          EncodeServerStats(Stats(), &payload);
+          close_conn = !WriteFrame(fd, MsgKind::kStatsReply, payload).ok();
+          break;
+        }
+
+        case MsgKind::kGoodbye:
+          (void)WriteFrame(fd, MsgKind::kOk, {});
+          close_conn = true;
+          break;
+
+        default:
+          // An unknown request kind means the peer speaks something this
+          // server does not; after answering, close — the stream cannot be
+          // trusted to stay framed.
+          (void)SendError(fd, Status::InvalidArgument(
+                                  "unknown request kind " +
+                                  std::to_string(static_cast<int>(req.kind))));
+          close_conn = true;
+          break;
+      }
+      if (close_conn) break;
+    }
+  }
+
+  ::shutdown(fd, SHUT_RDWR);  // close() happens after join, by the server
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  conn->done.store(true, std::memory_order_release);
+}
+
+ServerStats Server::Stats() const {
+  ServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_active = connections_active_.load(std::memory_order_relaxed);
+  s.connections_refused =
+      connections_refused_.load(std::memory_order_relaxed);
+  s.idle_closes = idle_closes_.load(std::memory_order_relaxed);
+  s.statements_executed =
+      statements_executed_.load(std::memory_order_relaxed);
+  s.statements_prepared =
+      statements_prepared_.load(std::memory_order_relaxed);
+  s.cursors_opened = cursors_opened_.load(std::memory_order_relaxed);
+  s.molecules_streamed =
+      molecules_streamed_.load(std::memory_order_relaxed);
+  const mql::StatementCache& cache = db_->data().statement_cache();
+  s.stmt_cache_hits = cache.hits();
+  s.stmt_cache_misses = cache.misses();
+  // The wedged-ring gauge, on the wire: a remote operator watching
+  // active_txns > 0 with a far-behind oldest_active_lsn while live_bytes
+  // approaches capacity_bytes is looking at a long-running transaction
+  // pinning the undo floor.
+  const recovery::WalStatsSnapshot wal = db_->wal_stats();
+  s.wal_live_bytes = wal.live_bytes;
+  s.wal_capacity_bytes = wal.capacity_bytes;
+  s.wal_archived_bytes = wal.archived_bytes;
+  s.commits_forced = wal.commits_forced;
+  s.auto_checkpoints = wal.auto_checkpoints;
+  s.active_txns = wal.active_txns;
+  s.oldest_active_lsn = wal.oldest_active_lsn;
+  return s;
+}
+
+}  // namespace prima::net

@@ -1,0 +1,107 @@
+#ifndef PRIMA_NET_SERVER_H_
+#define PRIMA_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "util/status.h"
+
+namespace prima::core {
+class Prima;
+}
+
+namespace prima::net {
+
+struct ServerOptions {
+  /// TCP port to listen on (0 = let the kernel pick an ephemeral port —
+  /// read it back via Server::port()). Listens on all interfaces.
+  uint16_t port = 0;
+  /// Accepted connections beyond this are refused with an error frame
+  /// before the handshake (0 = unlimited).
+  uint32_t max_connections = 256;
+  /// A connection idle (no request frame) longer than this is closed and
+  /// its session drained — the open transaction rolls back logged, open
+  /// cursors die with the session (0 = never).
+  uint32_t idle_timeout_ms = 0;
+  /// Per-connection caps on concurrently open server-side objects; a
+  /// client leaking statement or cursor ids hits NoSpace instead of
+  /// growing the server without bound.
+  uint32_t max_statements = 1024;
+  uint32_t max_cursors = 1024;
+};
+
+/// The TCP front door: accepts connections and speaks the framed protocol
+/// of net/protocol.h, thread-per-connection. Each connection owns exactly
+/// one core::Session (plus its prepared statements and cursors), so
+/// transaction and cursor state live server-side: BEGIN WORK holds locks
+/// across round trips, an ABORT WORK invalidates the connection's remote
+/// cursors exactly as local ones, and a connection that dies — or a server
+/// drain on Stop() — rolls its open transaction back through the session
+/// destructor, logged, so a killed server recovers like any crash and
+/// acknowledged commits alone survive.
+class Server {
+ public:
+  /// `db` must outlive the server; Prima wires this up when
+  /// PrimaOptions::listen_port is set and stops the server first in ~Prima.
+  Server(core::Prima* db, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the accept loop. Fails if the port is taken.
+  util::Status Start();
+
+  /// Drain: stop accepting, shut every connection's socket down, join all
+  /// connection threads (their sessions roll open transactions back), then
+  /// release the listener. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start; useful with options.port = 0).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Snapshot of the server-side counters + the database's WAL gauge (the
+  /// same payload the kStats message serves).
+  ServerStats Stats() const;
+
+ private:
+  struct Conn;
+
+  void AcceptLoop();
+  void ServeConnection(Conn* conn);
+  /// Join and drop finished connection slots (called from the accept loop
+  /// so a long-lived server does not accumulate dead threads).
+  void ReapFinishedLocked();
+
+  core::Prima* const db_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  // Counters behind Stats().
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> connections_refused_{0};
+  std::atomic<uint64_t> idle_closes_{0};
+  std::atomic<uint64_t> statements_executed_{0};
+  std::atomic<uint64_t> statements_prepared_{0};
+  std::atomic<uint64_t> cursors_opened_{0};
+  std::atomic<uint64_t> molecules_streamed_{0};
+};
+
+}  // namespace prima::net
+
+#endif  // PRIMA_NET_SERVER_H_
