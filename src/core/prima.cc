@@ -1,5 +1,6 @@
 #include "core/prima.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "net/server.h"
@@ -63,6 +64,16 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
   }
   auto db = std::unique_ptr<Prima>(new Prima());
   db->shared_device_ = options.device;
+  // The database-level scaling knobs are authoritative: resolve hardware
+  // defaults and write them into the storage options before the storage
+  // system is built around them. "Scale to the hardware" on a single-core
+  // machine means DON'T: one shard and serial assembly are the fastest
+  // configurations there, and anything else is pure overhead.
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  options.storage.buffer_shards = options.buffer_shards != 0
+                                      ? options.buffer_shards
+                                      : std::min<size_t>(hw, 16);
+  options.storage.readahead_pages = options.readahead_pages;
   db->storage_ = std::make_unique<storage::StorageSystem>(std::move(device),
                                                           options.storage);
 
@@ -123,6 +134,15 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
     workers = util::ThreadPool::DefaultThreads();
   }
   db->pool_ = std::make_unique<util::ThreadPool>(workers);
+  size_t assembly = options.cursor_assembly_threads;
+  if (assembly == 0) {
+    // Auto: pipeline across the pool, except on a single core where the
+    // look-ahead machinery can only cost (see the knob resolution above).
+    assembly = std::thread::hardware_concurrency() > 1 ? workers : 1;
+  }
+  if (assembly > 1) {
+    db->data_->executor().SetAssemblyPool(db->pool_.get(), assembly);
+  }
   db->parallel_ = std::make_unique<ParallelQueryProcessor>(db->data_.get(),
                                                            db->pool_.get());
   db->object_buffer_ = std::make_unique<ObjectBuffer>(db->data_.get());
@@ -256,6 +276,12 @@ Result<recovery::BackupInfo> Prima::Backup() {
   // pre-floor blocks, and the dump's start point becomes this checkpoint.
   PRIMA_RETURN_IF_ERROR(recovery_->Checkpoint(access_.get()));
   return recovery::BackupManager::TakeBackup(storage_.get(), wal_.get());
+}
+
+PrimaStatsSnapshot Prima::stats() const {
+  PrimaStatsSnapshot s;
+  s.buffer = storage_->buffer().SnapshotStats();
+  return s;
 }
 
 recovery::WalStatsSnapshot Prima::wal_stats() const {

@@ -24,6 +24,12 @@ class Server;
 
 namespace prima::core {
 
+/// Kernel-wide counter snapshot (Prima::stats()).
+struct PrimaStatsSnapshot {
+  /// Buffer pool totals plus per-shard hit/miss/eviction breakdowns.
+  storage::BufferStatsSnapshot buffer;
+};
+
 /// Database configuration.
 struct PrimaOptions {
   /// In-memory block device (default) or a directory of segment files.
@@ -105,6 +111,28 @@ struct PrimaOptions {
   /// Worker threads for semantic parallelism (0 = hardware concurrency).
   size_t parallel_workers = 0;
 
+  /// Buffer pool partitions. Open() resolves the value into
+  /// storage.buffer_shards (overriding anything set there): page ids are
+  /// hashed across this many independently locked pools, each running its
+  /// own clock-sweep eviction, so concurrent scanners stop serializing on
+  /// one mutex. 0 = scale to the hardware (one shard per core, capped);
+  /// 1 = the pre-sharding single pool, behaviorally indistinguishable from
+  /// the global-LRU kernel.
+  size_t buffer_shards = 0;
+
+  /// Async read-ahead window, in pages, for sequential scans and grid
+  /// reads (resolved into storage.readahead_pages). Scans volunteer the
+  /// next window of base-file pages to a background prefetcher; hints are
+  /// advisory and dropped silently under pressure. 0 disables read-ahead.
+  size_t readahead_pages = 32;
+
+  /// Worker threads for pipelined molecule assembly in streaming cursors:
+  /// MoleculeCursor::Next() assembles a small bounded look-ahead of
+  /// molecules on the shared pool while the consumer drains, with results
+  /// delivered in root order — byte-identical to serial execution.
+  /// 0 = match the pool's worker count; 1 = serial assembly.
+  size_t cursor_assembly_threads = 0;
+
   /// NETWORK SERVER: when >= 0, Open() also starts a TCP server speaking
   /// the framed wire protocol of net/protocol.h on this port (0 = let the
   /// kernel pick; read it back via net_server()->port()). Each accepted
@@ -169,6 +197,25 @@ struct PrimaOptions {
 /// rollback, including the one a dropped connection triggers) invalidates
 /// it, and the next Fetch reports Aborted. Closing a cursor or statement
 /// id twice is rejected cleanly with NotFound; the connection survives.
+///
+/// Scaling knobs — by default the kernel scales the read path to the
+/// hardware; three PrimaOptions fields tune it:
+///
+///   buffer_shards           page-id-hashed buffer pool partitions, each
+///                           with its own mutex and clock-sweep eviction
+///                           (0 = one per core, capped)
+///   readahead_pages         async read-ahead window for sequential scans
+///                           and grid reads (0 = off)
+///   cursor_assembly_threads pipelined molecule assembly in streaming
+///                           cursors (0 = pool width, 1 = serial)
+///
+/// Compatibility contract: buffer_shards = 1 is behaviorally
+/// indistinguishable from the pre-sharding pool — same eviction victims,
+/// same NoSpace conditions, same WAL write-back rule — and every setting
+/// of every knob returns byte-identical query results; the knobs trade
+/// memory and threads for throughput, never semantics. Observe the effect
+/// through stats(): per-shard hit/miss/eviction counters, prefetch
+/// activity, resident bytes.
 class Prima {
  public:
   static util::Result<std::unique_ptr<Prima>> Open(PrimaOptions options);
@@ -224,6 +271,10 @@ class Prima {
   /// Log counters + footprint (records-per-force, commits-per-force, live
   /// and on-device bytes). All zero when options.wal is false.
   recovery::WalStatsSnapshot wal_stats() const;
+
+  /// Kernel-wide counters: buffer pool hits/misses/evictions in total and
+  /// per shard, prefetch activity, resident bytes.
+  PrimaStatsSnapshot stats() const;
 
   storage::StorageSystem& storage() { return *storage_; }
   access::AccessSystem& access() { return *access_; }

@@ -334,11 +334,13 @@ Result<QueryPlan> Executor::Prepare(const FromClause& from, const Expr* where) {
 // Root candidates
 // ---------------------------------------------------------------------------
 
-Result<std::vector<Atom>> Executor::RootCandidates(const QueryPlan& plan) {
-  std::vector<Atom> out;
+Result<std::unique_ptr<RootSource>> Executor::OpenRootSource(
+    const QueryPlan& plan) {
+  auto source = std::make_unique<RootSource>();
   switch (plan.root_access) {
     case RootAccess::kKeyLookup: {
       stats_.key_lookups++;
+      source->use_lookup_ = true;
       std::string key;
       for (const Value& v : plan.eq_key) {
         PRIMA_RETURN_IF_ERROR(v.EncodeKeyInto(&key));
@@ -357,46 +359,57 @@ Result<std::vector<Atom>> Executor::RootCandidates(const QueryPlan& plan) {
         uint64_t packed = 0;
         util::GetFixed64(&v, &packed);
         PRIMA_ASSIGN_OR_RETURN(Atom atom, access_->GetAtom(Tid::Unpack(packed)));
-        out.push_back(std::move(atom));
+        source->lookup_.push_back(std::move(atom));
       }
-      return out;
+      return source;
     }
     case RootAccess::kAccessPath: {
       stats_.access_path_scans++;
-      access::BTreeAccessPathScan scan(access_, plan.access_structure_id,
-                                       plan.range, true, plan.root_sarg);
-      PRIMA_RETURN_IF_ERROR(scan.Open());
-      for (;;) {
-        PRIMA_ASSIGN_OR_RETURN(auto atom, scan.Next());
-        if (!atom) break;
-        out.push_back(std::move(*atom));
-      }
-      return out;
+      source->path_scan_ = std::make_unique<access::BTreeAccessPathScan>(
+          access_, plan.access_structure_id, plan.range, true, plan.root_sarg);
+      PRIMA_RETURN_IF_ERROR(source->path_scan_->Open());
+      return source;
     }
     case RootAccess::kGrid: {
       stats_.grid_scans++;
-      access::GridAccessPathScan scan(access_, plan.access_structure_id,
-                                      plan.grid_dims, {}, plan.root_sarg);
-      PRIMA_RETURN_IF_ERROR(scan.Open());
-      for (;;) {
-        PRIMA_ASSIGN_OR_RETURN(auto atom, scan.Next());
-        if (!atom) break;
-        out.push_back(std::move(*atom));
-      }
-      return out;
+      source->grid_scan_ = std::make_unique<access::GridAccessPathScan>(
+          access_, plan.access_structure_id, plan.grid_dims,
+          std::vector<size_t>{}, plan.root_sarg);
+      PRIMA_RETURN_IF_ERROR(source->grid_scan_->Open());
+      return source;
     }
     case RootAccess::kAtomTypeScan: {
       stats_.atom_type_scans++;
-      access::AtomTypeScan scan(access_, plan.structure.root.type,
-                                plan.root_sarg);
-      PRIMA_RETURN_IF_ERROR(scan.Open());
-      for (;;) {
-        PRIMA_ASSIGN_OR_RETURN(auto atom, scan.Next());
-        if (!atom) break;
-        out.push_back(std::move(*atom));
-      }
-      return out;
+      source->type_scan_ = std::make_unique<access::AtomTypeScan>(
+          access_, plan.structure.root.type, plan.root_sarg);
+      PRIMA_RETURN_IF_ERROR(source->type_scan_->Open());
+      return source;
     }
+  }
+  return source;
+}
+
+Result<std::optional<Atom>> RootSource::Next() {
+  if (use_lookup_) {
+    if (lookup_next_ >= lookup_.size()) return std::optional<Atom>();
+    return std::optional<Atom>(std::move(lookup_[lookup_next_++]));
+  }
+  if (type_scan_ != nullptr) return type_scan_->Next();
+  if (path_scan_ != nullptr) return path_scan_->Next();
+  if (grid_scan_ != nullptr) return grid_scan_->Next();
+  return std::optional<Atom>();
+}
+
+Result<std::vector<Atom>> Executor::RootCandidates(const QueryPlan& plan) {
+  // The materializing paths (Qualify, semantic parallelism) drain the same
+  // incremental source cursors pull from.
+  PRIMA_ASSIGN_OR_RETURN(std::unique_ptr<RootSource> source,
+                         OpenRootSource(plan));
+  std::vector<Atom> out;
+  for (;;) {
+    PRIMA_ASSIGN_OR_RETURN(auto atom, source->Next());
+    if (!atom) break;
+    out.push_back(std::move(*atom));
   }
   return out;
 }
@@ -858,36 +871,115 @@ Result<MoleculeCursor> Executor::OpenCursorWithPlan(
     std::shared_ptr<const std::atomic<bool>> invalidated) {
   stats_.queries++;  // every cursor open is one query, prepared or not
   MoleculeCursor cursor;
-  cursor.exec_ = this;
-  cursor.query_ = std::move(query);
-  cursor.plan_ = std::move(plan);
+  cursor.shared_ = std::make_shared<MoleculeCursor::Shared>();
+  cursor.shared_->exec = this;
+  cursor.shared_->query = std::move(query);
+  cursor.shared_->plan = std::move(plan);
   cursor.invalidated_ = std::move(invalidated);
-  PRIMA_ASSIGN_OR_RETURN(cursor.roots_, RootCandidates(cursor.plan_));
+  // Open only the root source here — roots are pulled incrementally from
+  // the scan layer as the cursor drains, never materialized.
+  PRIMA_ASSIGN_OR_RETURN(cursor.source_, OpenRootSource(cursor.shared_->plan));
+  if (assembly_pool_ != nullptr && assembly_threads_ > 1) {
+    cursor.pool_ = assembly_pool_;
+    // A couple of slots beyond the worker count keeps the pipeline fed
+    // while the consumer projects, without assembling far past what the
+    // consumer asked for.
+    cursor.lookahead_ = std::min<size_t>(assembly_threads_ * 2, 64);
+  }
   stats_.cursors_opened++;
   return cursor;
 }
 
+util::Status MoleculeCursor::TopUpWindow() {
+  while (!source_drained_ && window_.size() < lookahead_) {
+    PRIMA_ASSIGN_OR_RETURN(std::optional<access::Atom> root, source_->Next());
+    if (!root) {
+      source_drained_ = true;
+      break;
+    }
+    auto slot = std::make_shared<Slot>();
+    // The task captures the shared query context and its slot by
+    // shared_ptr: closing, moving, or destroying the cursor mid-flight
+    // leaves the worker on valid ground, its result simply unobserved.
+    pool_->Submit([shared = shared_, slot, root = std::move(*root)]() {
+      util::Result<Molecule> m = shared->exec->Assemble(shared->plan, root);
+      std::lock_guard<std::mutex> lock(slot->mu);
+      if (m.ok()) {
+        slot->molecule = std::move(m).value();
+        slot->qualified = true;
+        if (shared->query.where != nullptr) {
+          util::Result<bool> q =
+              shared->exec->Eval(slot->molecule, *shared->query.where, {});
+          if (q.ok()) {
+            slot->qualified = *q;
+          } else {
+            slot->status = q.status();
+          }
+        }
+      } else {
+        slot->status = m.status();
+      }
+      slot->done = true;
+      slot->cv.notify_all();
+    });
+    window_.push_back(std::move(slot));
+  }
+  return Status::Ok();
+}
+
 Result<std::optional<Molecule>> MoleculeCursor::Next() {
-  if (aborted_ || (exec_ != nullptr && invalidated_ != nullptr &&
+  if (aborted_ || (shared_ != nullptr && invalidated_ != nullptr &&
                    invalidated_->load())) {
     aborted_ = true;  // sticky: a truncated stream must keep failing
     Close();
     return Status::Aborted(
         "cursor invalidated: the transaction it was reading under aborted");
   }
-  if (exec_ == nullptr) return std::optional<Molecule>();  // closed/drained
-  while (next_root_ < roots_.size()) {
-    const access::Atom& root = roots_[next_root_++];
-    PRIMA_ASSIGN_OR_RETURN(Molecule molecule, exec_->Assemble(plan_, root));
-    if (query_.where != nullptr) {
-      PRIMA_ASSIGN_OR_RETURN(const bool ok,
-                             exec_->Eval(molecule, *query_.where, {}));
+  if (shared_ == nullptr) return std::optional<Molecule>();  // closed/drained
+  if (pool_ == nullptr || lookahead_ <= 1) return NextSerial();
+
+  for (;;) {
+    PRIMA_RETURN_IF_ERROR(TopUpWindow());
+    if (window_.empty()) {
+      Close();
+      return std::optional<Molecule>();
+    }
+    std::shared_ptr<Slot> slot = std::move(window_.front());
+    window_.pop_front();
+    {
+      std::unique_lock<std::mutex> lock(slot->mu);
+      slot->cv.wait(lock, [&] { return slot->done; });
+    }
+    // Slots drain strictly in submission order — root order — so the
+    // stream below is indistinguishable from the serial cursor's.
+    PRIMA_RETURN_IF_ERROR(slot->status);
+    if (!slot->qualified) continue;
+    PRIMA_ASSIGN_OR_RETURN(Molecule projected,
+                           shared_->exec->ProjectMolecule(
+                               shared_->query, shared_->plan,
+                               std::move(slot->molecule)));
+    shared_->exec->stats().cursor_molecules++;
+    return std::optional<Molecule>(std::move(projected));
+  }
+}
+
+Result<std::optional<Molecule>> MoleculeCursor::NextSerial() {
+  for (;;) {
+    PRIMA_ASSIGN_OR_RETURN(std::optional<access::Atom> root, source_->Next());
+    if (!root) break;
+    PRIMA_ASSIGN_OR_RETURN(Molecule molecule,
+                           shared_->exec->Assemble(shared_->plan, *root));
+    if (shared_->query.where != nullptr) {
+      PRIMA_ASSIGN_OR_RETURN(
+          const bool ok,
+          shared_->exec->Eval(molecule, *shared_->query.where, {}));
       if (!ok) continue;
     }
-    PRIMA_ASSIGN_OR_RETURN(
-        Molecule projected,
-        exec_->ProjectMolecule(query_, plan_, std::move(molecule)));
-    exec_->stats().cursor_molecules++;
+    PRIMA_ASSIGN_OR_RETURN(Molecule projected,
+                           shared_->exec->ProjectMolecule(
+                               shared_->query, shared_->plan,
+                               std::move(molecule)));
+    shared_->exec->stats().cursor_molecules++;
     return std::optional<Molecule>(std::move(projected));
   }
   Close();
@@ -905,9 +997,15 @@ Result<MoleculeSet> MoleculeCursor::Drain() {
 }
 
 void MoleculeCursor::Close() {
-  exec_ = nullptr;
-  roots_.clear();
-  next_root_ = 0;
+  // In-flight look-ahead tasks keep running detached (they own shared_ptrs
+  // to the query context and their slot); dropping the window just means
+  // nobody will wait for or observe them.
+  window_.clear();
+  source_.reset();
+  shared_.reset();
+  source_drained_ = false;
+  pool_ = nullptr;
+  lookahead_ = 0;
 }
 
 }  // namespace prima::mql

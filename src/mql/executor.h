@@ -2,8 +2,11 @@
 #define PRIMA_MQL_EXECUTOR_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -14,6 +17,7 @@
 #include "mql/ast.h"
 #include "mql/molecule.h"
 #include "mql/semantics.h"
+#include "util/thread_pool.h"
 
 namespace prima::mql {
 
@@ -71,40 +75,76 @@ struct QueryPlan {
 
 class Executor;
 
-/// A pull-based molecule stream: the query's root candidates are enumerated
-/// once at open, then each Next() assembles, qualifies, and projects ONE
-/// molecule — first-row latency is one assembly, not the whole set, and a
-/// consumer that stops early never pays for the molecules it skipped.
-/// Draining a cursor yields element-for-element the same molecules as the
-/// materializing Run() path.
+/// An incremental root-candidate stream: wraps whichever access method the
+/// plan chose (atom-type scan, B*-tree access path, grid, key lookup) and
+/// yields root atoms one at a time in scan order. Cursors pull from this
+/// instead of materializing the full root set at open, so open-latency and
+/// memory stay bounded for huge root sets. Not thread-safe — the cursor
+/// pulls roots only on the consumer thread.
+class RootSource {
+ public:
+  RootSource() = default;
+
+  /// The next root candidate in scan order; nullopt when exhausted.
+  util::Result<std::optional<access::Atom>> Next();
+
+ private:
+  friend class Executor;
+
+  // Exactly one of these is engaged (key lookups materialize their 0/1
+  // results at open — the lookup IS the open).
+  std::unique_ptr<access::AtomTypeScan> type_scan_;
+  std::unique_ptr<access::BTreeAccessPathScan> path_scan_;
+  std::unique_ptr<access::GridAccessPathScan> grid_scan_;
+  std::vector<access::Atom> lookup_;
+  size_t lookup_next_ = 0;
+  bool use_lookup_ = false;
+};
+
+/// A pull-based molecule stream. Root candidates are pulled incrementally
+/// from the scan layer (never materialized), and each Next() returns the
+/// next qualifying molecule — first-row latency is one assembly, not the
+/// whole set, and a consumer that stops early never pays for the molecules
+/// it skipped. Draining a cursor yields element-for-element the same
+/// molecules as the materializing Run() path.
+///
+/// When the executor has an assembly pool (Executor::SetAssemblyPool with
+/// more than one thread), Next() pipelines: a small bounded look-ahead of
+/// upcoming roots is assembled and qualified on pool workers while the
+/// consumer drains, and projection happens on the consumer thread in
+/// submission order — so drain order and results stay byte-identical to
+/// serial at every thread count, only the wall-clock changes.
 ///
 /// A cursor owns its query (cloned at open), so the statement or session
 /// that spawned it may be re-bound, re-executed, or closed while the cursor
 /// drains. It must not outlive the database, and it reads whatever the
-/// access system holds at each Next() — the session layer invalidates open
-/// cursors (via the `invalidated` token) when a transaction abort rolls the
-/// atoms they would read back.
+/// access system holds at each assembly — with look-ahead, up to
+/// `lookahead` molecules may be assembled ahead of the Next() that returns
+/// them. The session layer invalidates open cursors (via the `invalidated`
+/// token) when a transaction abort rolls the atoms they would read back.
 class MoleculeCursor {
  public:
   MoleculeCursor() = default;  ///< a closed cursor
-  // Moved-from cursors read as closed (exec_ == nullptr is the documented
-  // closed state; a defaulted move would leave the raw pointer behind and
-  // open()/roots_remaining() would lie about the gutted state).
+  // Moved-from cursors read as closed (shared_ == nullptr is the closed
+  // state) and non-aborted; in-flight look-ahead slots travel with the
+  // window deque and keep their task state alive via shared_ptrs.
   MoleculeCursor(MoleculeCursor&& other) noexcept
-      : exec_(std::exchange(other.exec_, nullptr)),
-        query_(std::move(other.query_)),
-        plan_(std::move(other.plan_)),
-        roots_(std::move(other.roots_)),
-        next_root_(std::exchange(other.next_root_, 0)),
+      : shared_(std::move(other.shared_)),
+        source_(std::move(other.source_)),
+        window_(std::move(other.window_)),
+        pool_(std::exchange(other.pool_, nullptr)),
+        lookahead_(std::exchange(other.lookahead_, 0)),
+        source_drained_(std::exchange(other.source_drained_, false)),
         invalidated_(std::move(other.invalidated_)),
         aborted_(std::exchange(other.aborted_, false)) {}
   MoleculeCursor& operator=(MoleculeCursor&& other) noexcept {
     if (this != &other) {
-      exec_ = std::exchange(other.exec_, nullptr);
-      query_ = std::move(other.query_);
-      plan_ = std::move(other.plan_);
-      roots_ = std::move(other.roots_);
-      next_root_ = std::exchange(other.next_root_, 0);
+      shared_ = std::move(other.shared_);
+      source_ = std::move(other.source_);
+      window_ = std::move(other.window_);
+      pool_ = std::exchange(other.pool_, nullptr);
+      lookahead_ = std::exchange(other.lookahead_, 0);
+      source_drained_ = std::exchange(other.source_drained_, false);
       invalidated_ = std::move(other.invalidated_);
       aborted_ = std::exchange(other.aborted_, false);
     }
@@ -118,22 +158,46 @@ class MoleculeCursor {
   /// behavior; the legacy Prima::Query facade is exactly Open + Drain).
   util::Result<MoleculeSet> Drain();
 
-  /// Drop the remaining molecules; Next() then reports drained. Idempotent.
+  /// Drop the remaining molecules; Next() then reports drained. Any
+  /// in-flight look-ahead assemblies finish detached (their slots own the
+  /// shared query state) and are discarded. Idempotent.
   void Close();
 
-  bool open() const { return exec_ != nullptr; }
-  /// Roots not yet pulled (upper bound on remaining molecules).
-  size_t roots_remaining() const { return roots_.size() - next_root_; }
-  const QueryPlan& plan() const { return plan_; }
+  bool open() const { return shared_ != nullptr; }
+  const QueryPlan& plan() const { return shared_->plan; }
 
  private:
   friend class Executor;
 
-  Executor* exec_ = nullptr;
-  Query query_;
-  QueryPlan plan_;
-  std::vector<access::Atom> roots_;
-  size_t next_root_ = 0;
+  /// The query context look-ahead tasks run against. Heap-shared so moving
+  /// or closing the cursor never invalidates a worker mid-assembly.
+  struct Shared {
+    Executor* exec = nullptr;
+    Query query;
+    QueryPlan plan;
+  };
+
+  /// One in-flight (or finished) look-ahead assembly.
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;        ///< guarded by mu
+    bool qualified = false;   ///< WHERE verdict
+    util::Status status;      ///< assembly/eval error, if any
+    Molecule molecule;
+  };
+
+  util::Result<std::optional<Molecule>> NextSerial();
+  /// Submit assemble+qualify tasks until the window holds `lookahead_`
+  /// slots or the root source is exhausted.
+  util::Status TopUpWindow();
+
+  std::shared_ptr<Shared> shared_;
+  std::unique_ptr<RootSource> source_;
+  std::deque<std::shared_ptr<Slot>> window_;
+  util::ThreadPool* pool_ = nullptr;  ///< null or lookahead_ <= 1: serial
+  size_t lookahead_ = 0;
+  bool source_drained_ = false;
   /// Set by the owning session when a transaction abort invalidates the
   /// atoms this cursor streams; Next() then fails with Aborted.
   std::shared_ptr<const std::atomic<bool>> invalidated_;
@@ -184,6 +248,22 @@ class Executor {
   util::Result<std::vector<access::Atom>> Roots(const QueryPlan& plan) {
     return RootCandidates(plan);
   }
+
+  /// Open an incremental root-candidate stream for the plan (what cursors
+  /// pull from instead of materializing Roots()).
+  util::Result<std::unique_ptr<RootSource>> OpenRootSource(
+      const QueryPlan& plan);
+
+  /// Attach the worker pool cursors pipeline molecule assembly over.
+  /// `threads` bounds how many assemblies may be in flight per cursor;
+  /// <= 1 (or a null pool) keeps cursors strictly serial. Results are
+  /// byte-identical to serial either way.
+  void SetAssemblyPool(util::ThreadPool* pool, size_t threads) {
+    assembly_pool_ = pool;
+    assembly_threads_ = threads;
+  }
+  util::ThreadPool* assembly_pool() const { return assembly_pool_; }
+  size_t assembly_threads() const { return assembly_threads_; }
 
   /// Apply the SELECT clause to one qualified molecule (public: used by the
   /// semantic-parallelism processor).
@@ -247,6 +327,8 @@ class Executor {
   access::AccessSystem* access_;
   SemanticAnalyzer analyzer_;
   DataStats stats_;
+  util::ThreadPool* assembly_pool_ = nullptr;
+  size_t assembly_threads_ = 1;
 };
 
 }  // namespace prima::mql

@@ -9,13 +9,20 @@ using util::Result;
 using util::Status;
 
 BufferManager::BufferManager(BlockDevice* device, size_t budget_bytes,
-                             BufferPolicy policy)
+                             BufferPolicy policy, size_t shards)
     : device_(device), policy_(policy) {
-  if (policy_ == BufferPolicy::kUnifiedLru) {
-    budget_[0] = budget_bytes;
-  } else {
-    // Static partitioning: equal byte share per page size class.
-    for (int c = 0; c < 5; ++c) budget_[c] = budget_bytes / 5;
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    const size_t slice = budget_bytes / shards;
+    if (policy_ == BufferPolicy::kUnifiedLru) {
+      shard->budget[0] = slice;
+    } else {
+      // Static partitioning: equal byte share per page size class.
+      for (int c = 0; c < 5; ++c) shard->budget[c] = slice / 5;
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -55,35 +62,48 @@ Status BufferManager::WriteBack(Frame* frame) {
   PRIMA_RETURN_IF_ERROR(
       device_->Write(frame->id.segment, frame->id.page, frame->data.get()));
   frame->dirty = false;
+  ShardOf(frame->id).writebacks++;
   stats_.writebacks++;
   return Status::Ok();
 }
 
-Status BufferManager::MakeRoom(int size_class, uint32_t bytes) {
+Status BufferManager::MakeRoom(Shard& shard, int size_class, uint32_t bytes) {
   const int chain = policy_ == BufferPolicy::kUnifiedLru ? 0 : size_class;
-  if (bytes > budget_[chain]) {
+  if (bytes > shard.budget[chain]) {
     return Status::NoSpace("page larger than buffer budget");
   }
-  // Paper §3.3: "the well-known LRU algorithm was altered in an appropriate
-  // way" — with mixed page sizes one incoming page may displace several
-  // small victims (or one large one); we walk the cold end until the bytes
-  // fit, skipping pinned frames.
-  auto it = lru_[chain].begin();
-  while (used_[chain] + bytes > budget_[chain]) {
-    if (it == lru_[chain].end()) {
+  // Clock / second-chance sweep, size-aware as in the paper (§3.3: "the
+  // well-known LRU algorithm was altered in an appropriate way"): one
+  // incoming page may displace several small victims (or one large one).
+  // The hand is the ring's front; a referenced frame loses its bit and
+  // rotates to the back, a pinned frame just rotates. Two full rotations
+  // without freeing enough means every frame is pinned.
+  std::list<Frame*>& ring = shard.ring[chain];
+  size_t rotations = 0;
+  const size_t rotation_limit = 2 * ring.size();
+  while (shard.used[chain] + bytes > shard.budget[chain]) {
+    if (ring.empty() || rotations > rotation_limit) {
       return Status::NoSpace("all buffer frames pinned");
     }
-    Frame* victim = *it;
+    Frame* victim = ring.front();
     if (victim->pins > 0) {
-      ++it;
+      ring.splice(ring.end(), ring, ring.begin());
+      ++rotations;
+      continue;
+    }
+    if (victim->referenced) {
+      victim->referenced = false;
+      ring.splice(ring.end(), ring, ring.begin());
+      ++rotations;
       continue;
     }
     if (victim->dirty) {
       PRIMA_RETURN_IF_ERROR(WriteBack(victim));
     }
-    used_[chain] -= victim->size;
-    it = lru_[chain].erase(it);
-    frames_.erase(victim->id);
+    shard.used[chain] -= victim->size;
+    ring.pop_front();
+    shard.frames.erase(victim->id);
+    shard.evictions++;
     stats_.evictions++;
   }
   return Status::Ok();
@@ -91,21 +111,26 @@ Status BufferManager::MakeRoom(int size_class, uint32_t bytes) {
 
 Result<Frame*> BufferManager::Fix(PageId id, uint32_t page_size,
                                   bool format_new) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = frames_.find(id);
-  const int chain =
-      policy_ == BufferPolicy::kUnifiedLru ? 0 : SizeClass(page_size);
-  if (it != frames_.end()) {
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  const int chain = ChainOf(page_size);
+  if (it != shard.frames.end()) {
     Frame* f = it->second.get();
-    stats_.hits++;
-    // Move to the hot end.
-    lru_[chain].erase(f->lru_pos);
-    f->lru_pos = lru_[chain].insert(lru_[chain].end(), f);
+    // Pin first, then account: the hit only exists once the frame is
+    // pinned and verifiably still mapped to the requested page. Counting
+    // before the pin would book phantom hits for frames a concurrent
+    // eviction recycles in the probe/reuse window.
     f->pins++;
+    assert(f->id == id);
+    f->referenced = true;  // clock: survives the next sweep pass
+    shard.hits++;
+    stats_.hits++;
     return f;
   }
+  shard.misses++;
   stats_.misses++;
-  PRIMA_RETURN_IF_ERROR(MakeRoom(SizeClass(page_size), page_size));
+  PRIMA_RETURN_IF_ERROR(MakeRoom(shard, SizeClass(page_size), page_size));
 
   auto frame = std::make_unique<Frame>();
   frame->id = id;
@@ -126,24 +151,29 @@ Result<Frame*> BufferManager::Fix(PageId id, uint32_t page_size,
   }
   frame->pins = 1;
   frame->dirty = format_new;
+  // referenced stays false: a newly inserted page gets no second chance
+  // until it is actually hit again, which keeps clock's victim choice
+  // aligned with LRU for fix-once pages.
   Frame* raw = frame.get();
-  raw->lru_pos = lru_[chain].insert(lru_[chain].end(), raw);
-  used_[chain] += page_size;
-  frames_[id] = std::move(frame);
+  raw->ring_pos = shard.ring[chain].insert(shard.ring[chain].end(), raw);
+  shard.used[chain] += page_size;
+  shard.frames[id] = std::move(frame);
   return raw;
 }
 
 Frame* BufferManager::TryFix(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = frames_.find(id);
-  if (it == frames_.end()) return nullptr;
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) return nullptr;
   Frame* f = it->second.get();
   f->pins++;
   return f;
 }
 
 void BufferManager::Unfix(Frame* frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = ShardOf(frame->id);
+  std::lock_guard<std::mutex> lock(shard.mu);
   assert(frame->pins > 0);
   frame->pins--;
 }
@@ -153,52 +183,59 @@ void BufferManager::MarkDirty(Frame* frame) { frame->dirty = true; }
 Status BufferManager::Prefetch(SegmentId segment,
                                const std::vector<uint32_t>& pages,
                                uint32_t page_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Presence probe per page under its shard lock only — the chained device
+  // read below runs with no pool lock held, so concurrent fixes (even of
+  // the same pages) proceed; duplicates are dropped at insert time.
   std::vector<uint64_t> missing;
   for (uint32_t p : pages) {
-    if (frames_.find(PageId{segment, p}) == frames_.end()) {
+    const PageId id{segment, p};
+    Shard& shard = ShardOf(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.frames.find(id) == shard.frames.end()) {
       missing.push_back(p);
     }
   }
   if (missing.empty()) return Status::Ok();
 
-  const int chain =
-      policy_ == BufferPolicy::kUnifiedLru ? 0 : SizeClass(page_size);
-  PRIMA_RETURN_IF_ERROR(MakeRoom(
-      SizeClass(page_size), static_cast<uint32_t>(missing.size() * page_size)));
-
   std::string bulk(missing.size() * page_size, '\0');
   PRIMA_RETURN_IF_ERROR(device_->ReadChained(segment, missing, bulk.data()));
 
+  const int chain = ChainOf(page_size);
   for (size_t i = 0; i < missing.size(); ++i) {
     const char* src = bulk.data() + i * page_size;
     if (!PageHeader::Verify(src, page_size) && !PageIsAllZero(src, page_size)) {
       return Status::Corruption("checksum mismatch in chained read, page " +
                                 std::to_string(missing[i]));
     }
+    const PageId id{segment, static_cast<uint32_t>(missing[i])};
+    Shard& shard = ShardOf(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.frames.find(id) != shard.frames.end()) continue;  // raced a Fix
+    PRIMA_RETURN_IF_ERROR(MakeRoom(shard, SizeClass(page_size), page_size));
     auto frame = std::make_unique<Frame>();
-    frame->id = PageId{segment, static_cast<uint32_t>(missing[i])};
+    frame->id = id;
     frame->size = page_size;
     frame->data = std::make_unique<char[]>(page_size);
     std::memcpy(frame->data.get(), src, page_size);
     Frame* raw = frame.get();
-    raw->lru_pos = lru_[chain].insert(lru_[chain].end(), raw);
-    used_[chain] += page_size;
-    frames_[raw->id] = std::move(frame);
+    raw->ring_pos = shard.ring[chain].insert(shard.ring[chain].end(), raw);
+    shard.used[chain] += page_size;
+    shard.frames[id] = std::move(frame);
+    shard.prefetched++;
     stats_.prefetched_pages++;
   }
   return Status::Ok();
 }
 
 Status BufferManager::FlushAll() {
-  // Two phases: pin the dirty frames under mu_, then write them back with
-  // mu_ released. Write-back waits on each frame's latch, and a latch
-  // holder may itself need mu_ (fixing further pages mid-operation) — so
-  // the flusher must not hold it while waiting.
+  // Two phases: pin the dirty frames under each shard's mutex, then write
+  // them back with every mutex released. Write-back waits on each frame's
+  // latch, and a latch holder may itself need a shard (fixing further
+  // pages mid-operation) — so the flusher must not hold any while waiting.
   std::vector<Frame*> dirty;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [id, frame] : frames_) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [id, frame] : shard->frames) {
       if (frame->dirty) {
         frame->pins++;
         dirty.push_back(frame.get());
@@ -217,38 +254,64 @@ Status BufferManager::FlushAll() {
     const Status st = WriteBack(frame);
     if (!st.ok() && first_error.ok()) first_error = st;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (Frame* frame : dirty) frame->pins--;
+  for (Frame* frame : dirty) {
+    Unfix(frame);
   }
   return first_error;
 }
 
 Status BufferManager::Discard(SegmentId segment) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = frames_.begin(); it != frames_.end();) {
-    if (it->first.segment == segment) {
-      Frame* f = it->second.get();
-      if (f->pins > 0) {
-        return Status::Conflict("discarding pinned page");
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->frames.begin(); it != shard->frames.end();) {
+      if (it->first.segment == segment) {
+        Frame* f = it->second.get();
+        if (f->pins > 0) {
+          return Status::Conflict("discarding pinned page");
+        }
+        const int chain = ChainOf(f->size);
+        shard->ring[chain].erase(f->ring_pos);
+        shard->used[chain] -= f->size;
+        it = shard->frames.erase(it);
+      } else {
+        ++it;
       }
-      const int chain =
-          policy_ == BufferPolicy::kUnifiedLru ? 0 : SizeClass(f->size);
-      lru_[chain].erase(f->lru_pos);
-      used_[chain] -= f->size;
-      it = frames_.erase(it);
-    } else {
-      ++it;
     }
   }
   return Status::Ok();
 }
 
 size_t BufferManager::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
-  for (int c = 0; c < 5; ++c) total += used_[c];
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (int c = 0; c < 5; ++c) total += shard->used[c];
+  }
   return total;
+}
+
+BufferStatsSnapshot BufferManager::SnapshotStats() const {
+  BufferStatsSnapshot snap;
+  snap.hits = stats_.hits;
+  snap.misses = stats_.misses;
+  snap.evictions = stats_.evictions;
+  snap.writebacks = stats_.writebacks;
+  snap.prefetched_pages = stats_.prefetched_pages;
+  snap.readahead_batches = stats_.readahead_batches;
+  snap.readahead_dropped = stats_.readahead_dropped;
+  snap.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    BufferStatsSnapshot::Shard s;
+    s.hits = shard->hits;
+    s.misses = shard->misses;
+    s.evictions = shard->evictions;
+    s.writebacks = shard->writebacks;
+    s.prefetched_pages = shard->prefetched;
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (int c = 0; c < 5; ++c) s.resident_bytes += shard->used[c];
+    snap.shards.push_back(s);
+  }
+  return snap;
 }
 
 }  // namespace prima::storage

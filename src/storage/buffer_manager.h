@@ -39,10 +39,13 @@ struct PageIdHash {
 /// different page sizes in one buffer: static partitioning ("not very
 /// flexible when reference patterns change") and a modified LRU that handles
 /// multiple sizes directly — the one PRIMA adopts. Both are implemented so
-/// the claim is benchmarkable (experiment E10).
+/// the claim is benchmarkable (experiment E10). Replacement within a chain
+/// is clock / second-chance: the reference bit is set only on a buffer HIT
+/// (never on first insertion), so a page that is fixed once and never
+/// touched again is evicted exactly when plain LRU would evict it.
 enum class BufferPolicy {
-  kUnifiedLru,         ///< single LRU chain, byte-budget, size-aware eviction
-  kStaticPartitioned,  ///< one classic LRU pool per page size, fixed budgets
+  kUnifiedLru,         ///< single chain, byte-budget, size-aware eviction
+  kStaticPartitioned,  ///< one classic pool per page size, fixed budgets
 };
 
 struct BufferStats {
@@ -51,6 +54,11 @@ struct BufferStats {
   std::atomic<uint64_t> evictions{0};
   std::atomic<uint64_t> writebacks{0};
   std::atomic<uint64_t> prefetched_pages{0};
+  /// Async read-ahead accounting (StorageSystem::ReadAhead): batches that
+  /// reached the prefetcher vs. hints dropped because the in-flight window
+  /// was full.
+  std::atomic<uint64_t> readahead_batches{0};
+  std::atomic<uint64_t> readahead_dropped{0};
 
   double HitRatio() const {
     const uint64_t h = hits, m = misses;
@@ -58,6 +66,36 @@ struct BufferStats {
   }
   void Reset() {
     hits = misses = evictions = writebacks = prefetched_pages = 0;
+    readahead_batches = readahead_dropped = 0;
+  }
+};
+
+/// Point-in-time copy of the pool's counters, whole-pool and per shard
+/// (surfaced on Prima::stats()). Unlike BufferStats this is plain data:
+/// safe to copy around, print, or diff before/after a workload.
+struct BufferStatsSnapshot {
+  struct Shard {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+    uint64_t prefetched_pages = 0;
+    uint64_t resident_bytes = 0;
+  };
+
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+  uint64_t prefetched_pages = 0;
+  uint64_t readahead_batches = 0;
+  uint64_t readahead_dropped = 0;
+  std::vector<Shard> shards;
+
+  double HitRatio() const {
+    return (hits + misses) == 0
+               ? 0.0
+               : static_cast<double>(hits) / (hits + misses);
   }
 };
 
@@ -77,17 +115,38 @@ struct Frame {
   // mismatch with the WAL's current epoch makes the next logged change a
   // full-page image (torn-page protection). Guarded by the frame latch.
   uint64_t wal_epoch = 0;
-  // Position in the owning LRU list (valid while resident).
-  std::list<Frame*>::iterator lru_pos;
+  // Clock / second-chance bit: set on every buffer hit, cleared when the
+  // sweep passes the frame. Guarded by the owning shard's mutex.
+  bool referenced = false;
+  // Position in the owning clock ring (valid while resident). Front of the
+  // ring is where the sweep hand points next.
+  std::list<Frame*>::iterator ring_pos;
 };
 
 /// The database buffer: holds pages of all five sizes simultaneously.
+///
+/// Sharded for concurrency: the frame table is split into N partitions by
+/// page-id hash, each with its own mutex, its own clock ring(s), and an
+/// equal slice of the byte budget, so concurrent fixes of unrelated pages
+/// never serialize on one pool-wide lock. Victim selection within a shard
+/// is clock / second-chance (reference bit set on hits only — see
+/// BufferPolicy), replacing the old global-LRU-under-mutex.
+///
+/// Compatibility contract: with `shards` == 1 (the default, and what every
+/// pre-sharding caller gets) the pool is behaviorally indistinguishable
+/// from the unsharded manager — one budget, one victim ring, the same
+/// eviction order for workloads whose resident pages are touched at most
+/// once between misses, and the identical Fix/TryFix/WriteBack/FlushAll
+/// semantics including the WAL write-back rule.
+///
 /// Thread-safe; page content accesses are serialized by per-frame latches
 /// taken by PageGuard.
 class BufferManager {
  public:
-  /// budget_bytes is the total data budget across all page sizes.
-  BufferManager(BlockDevice* device, size_t budget_bytes, BufferPolicy policy);
+  /// budget_bytes is the total data budget across all page sizes; each of
+  /// the `shards` partitions manages budget_bytes / shards of it.
+  BufferManager(BlockDevice* device, size_t budget_bytes, BufferPolicy policy,
+                size_t shards = 1);
   ~BufferManager();
 
   BufferManager(const BufferManager&) = delete;
@@ -104,7 +163,7 @@ class BufferManager {
   /// resident frame (e.g. a segment header loaded at Open) must be updated
   /// in place or it would shadow a direct device write, while non-resident
   /// pages are replayed device-side without polluting the buffer. Does not
-  /// count a hit or reorder the LRU chain — it is a probe, not an access.
+  /// count a hit or set the reference bit — it is a probe, not an access.
   Frame* TryFix(PageId id);
 
   /// Release one pin.
@@ -139,21 +198,53 @@ class BufferManager {
 
   BufferStats& stats() { return stats_; }
   size_t resident_bytes() const;
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Consistent copy of the whole-pool counters plus each shard's share.
+  BufferStatsSnapshot SnapshotStats() const;
 
  private:
+  /// One partition of the pool: its own lock, frame table, clock ring(s)
+  /// and budget slice. The per-shard counters are atomics because
+  /// write-backs (FlushAll) run outside the shard mutex.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, std::unique_ptr<Frame>, PageIdHash> frames;
+    // Unified policy uses ring 0 / budget 0 only; partitioned uses one ring
+    // per size class. Front = sweep hand.
+    std::list<Frame*> ring[5];
+    size_t budget[5] = {0, 0, 0, 0, 0};
+    size_t used[5] = {0, 0, 0, 0, 0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> writebacks{0};
+    std::atomic<uint64_t> prefetched{0};
+  };
+
+  Shard& ShardOf(PageId id) {
+    return *shards_[PageIdHash()(id) % shards_.size()];
+  }
+  const Shard& ShardOf(PageId id) const {
+    return *shards_[PageIdHash()(id) % shards_.size()];
+  }
+
   // Size-class index for the partitioned policy.
   static int SizeClass(uint32_t page_size);
+  int ChainOf(uint32_t page_size) const {
+    return policy_ == BufferPolicy::kUnifiedLru ? 0 : SizeClass(page_size);
+  }
 
-  // Ensure `bytes` fit in the (sub-)pool, evicting unpinned LRU victims.
-  // Caller holds mu_.
-  util::Status MakeRoom(int size_class, uint32_t bytes);
+  // Ensure `bytes` fit in the shard's (sub-)pool, running the clock sweep
+  // over unpinned victims. Caller holds shard.mu.
+  util::Status MakeRoom(Shard& shard, int size_class, uint32_t bytes);
 
   // Write a dirty frame back to the device; takes the frame latch shared
   // so it never captures a half-mutated page (or one whose redo record is
-  // not yet appended). Called from MakeRoom with mu_ held — safe, because
-  // eviction victims are unpinned and latched frames are always pinned —
-  // and from FlushAll WITHOUT mu_ (a latch holder may need mu_ to fix
-  // further pages, e.g. a B-tree split).
+  // not yet appended). Called from MakeRoom with the shard mutex held —
+  // safe, because eviction victims are unpinned and latched frames are
+  // always pinned — and from FlushAll WITHOUT any shard mutex (a latch
+  // holder may need a shard to fix further pages, e.g. a B-tree split).
   util::Status WriteBack(Frame* frame);
 
   BlockDevice* device_;
@@ -161,14 +252,7 @@ class BufferManager {
   WriteAheadLog* wal_ = nullptr;
   bool flush_on_close_ = true;
 
-  mutable std::mutex mu_;
-  std::unordered_map<PageId, std::unique_ptr<Frame>, PageIdHash> frames_;
-
-  // Unified policy uses chain 0 / budget 0 only; partitioned uses one chain
-  // per size class. Front = least recently used.
-  std::list<Frame*> lru_[5];
-  size_t budget_[5] = {0, 0, 0, 0, 0};
-  size_t used_[5] = {0, 0, 0, 0, 0};
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   BufferStats stats_;
 };

@@ -1,6 +1,7 @@
 #ifndef PRIMA_STORAGE_STORAGE_SYSTEM_H_
 #define PRIMA_STORAGE_STORAGE_SYSTEM_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include "util/result.h"
 #include "util/slice.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace prima::storage {
 
@@ -68,6 +70,15 @@ struct StorageOptions {
   /// Total buffer budget in bytes across all page sizes.
   size_t buffer_bytes = 8u << 20;
   BufferPolicy buffer_policy = BufferPolicy::kUnifiedLru;
+  /// Buffer pool partitions (page-id hashed, each with its own mutex and
+  /// clock ring). 1 = the single-partition pool, behaviorally identical to
+  /// the pre-sharding manager; Prima resolves its hardware-scaled default
+  /// into this before construction.
+  size_t buffer_shards = 1;
+  /// Async read-ahead window: the largest number of pages one ReadAhead
+  /// hint may stage. 0 disables the prefetcher entirely (no thread is
+  /// started and ReadAhead becomes a no-op).
+  size_t readahead_pages = 0;
 };
 
 /// The storage system (paper §3.3, bottom layer of Fig. 3.1): maps segments
@@ -117,6 +128,21 @@ class StorageSystem {
   util::Status RewriteSequence(SegmentId seg, uint32_t header_page,
                                util::Slice payload);
   util::Status DropSequence(SegmentId seg, uint32_t header_page);
+
+  // --- async read-ahead ------------------------------------------------------
+
+  /// Submit a prefetch HINT: stage the listed pages into the buffer from a
+  /// background prefetcher thread so an upcoming sequential (or grid-
+  /// bucket) read finds them resident. Purely advisory — the hint is
+  /// clamped to the configured window, dropped silently when the in-flight
+  /// depth cap is reached or the prefetcher is disabled, and any staging
+  /// error is swallowed (the foreground Fix will read and validate the
+  /// page itself). Never blocks on device I/O.
+  void ReadAhead(SegmentId seg, std::vector<uint32_t> pages);
+
+  /// The configured per-hint window (0 = read-ahead disabled). Scans use
+  /// this to size the hints they emit.
+  size_t readahead_window() const { return readahead_pages_; }
 
   // --- maintenance ----------------------------------------------------------
 
@@ -206,6 +232,16 @@ class StorageSystem {
 
   mutable std::mutex mu_;  // guards segments_
   std::map<SegmentId, SegmentMeta> segments_;
+
+  // Read-ahead: a dedicated prefetcher pool resolves hints into resident
+  // frames; the atomic depth gauge caps how many batches may be queued or
+  // running at once (hints beyond it are dropped, not queued — back-
+  // pressure must never reach the scan that volunteered the hint).
+  size_t readahead_pages_ = 0;
+  std::atomic<int> readahead_inflight_{0};
+  // Declared last so it is destroyed FIRST: in-flight prefetch tasks touch
+  // buffer_ and device_, which must still be alive when the pool joins.
+  std::unique_ptr<util::ThreadPool> prefetcher_;
 };
 
 }  // namespace prima::storage
