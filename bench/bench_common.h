@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "core/prima.h"
+#include "obs/metrics.h"
 #include "workloads/brep.h"
 #include "workloads/geo.h"
 #include "workloads/vlsi.h"
@@ -54,6 +55,21 @@ inline std::unique_ptr<core::Prima> OpenBrepDb(int n, int64_t base = 1000,
 inline void PrintHeader(const char* experiment, const char* claim) {
   std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
 }
+
+/// Shared latency recorder for multi-threaded bench loops, built on the
+/// kernel's own obs::Histogram: Record() is lock-free from any thread (no
+/// per-thread vectors, no mutex, no sort at the end), and percentiles come
+/// off the merged snapshot with <= 12.5% bucket error. Record microseconds.
+class LatencyRecorder {
+ public:
+  void RecordUs(double us) {
+    hist_.Record(us <= 0 ? 0 : static_cast<uint64_t>(us));
+  }
+  obs::HistogramSnapshot Snapshot() const { return hist_.Snapshot(); }
+
+ private:
+  obs::Histogram hist_;
+};
 
 }  // namespace prima::bench
 

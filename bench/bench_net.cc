@@ -142,8 +142,7 @@ void ReportConnectionStorm() {
     SetupItemSchema(db.get());
     constexpr int kStatementsPerConn = 60;
 
-    std::mutex latencies_mu;
-    std::vector<double> latencies_us;
+    LatencyRecorder latencies;
     std::atomic<uint64_t> statements{0};
     std::vector<std::thread> threads;
     threads.reserve(kConns);
@@ -151,8 +150,6 @@ void ReportConnectionStorm() {
     for (int c = 0; c < kConns; ++c) {
       threads.emplace_back([&, c] {
         auto client = ConnectLoopback(db.get());
-        std::vector<double> mine;
-        mine.reserve(kStatementsPerConn);
         for (int i = 0; i < kStatementsPerConn; ++i) {
           const auto s0 = std::chrono::steady_clock::now();
           if (i % 4 == 3) {
@@ -167,20 +164,17 @@ void ReportConnectionStorm() {
                      "storm insert");
             Require(client->Commit(), "commit");
           }
-          mine.push_back(SecondsSince(s0) * 1e6);
+          latencies.RecordUs(SecondsSince(s0) * 1e6);
           statements.fetch_add(1);
         }
-        std::lock_guard<std::mutex> lock(latencies_mu);
-        latencies_us.insert(latencies_us.end(), mine.begin(), mine.end());
       });
     }
     for (auto& th : threads) th.join();
     const double wall_s = SecondsSince(t0);
-    std::sort(latencies_us.begin(), latencies_us.end());
-    const double p50 = latencies_us[latencies_us.size() / 2];
-    const double p99 = latencies_us[latencies_us.size() * 99 / 100];
+    const obs::HistogramSnapshot snap = latencies.Snapshot();
     std::printf("  %11d %14.0f %12.0f %12.0f\n", kConns,
-                statements.load() / wall_s, p50, p99);
+                statements.load() / wall_s, static_cast<double>(snap.p50()),
+                static_cast<double>(snap.p99()));
   }
   std::printf("\n");
 }

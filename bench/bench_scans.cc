@@ -166,15 +166,12 @@ struct TierResult {
 /// connects each scanner through net::Client over loopback.
 TierResult RunScanTier(core::Prima* db, int clients, int scans, bool remote,
                        size_t expected) {
-  std::mutex mu;
-  std::vector<double> latencies_ms;
+  LatencyRecorder latencies;
   std::vector<std::thread> threads;
   threads.reserve(clients);
   const auto t0 = std::chrono::steady_clock::now();
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&] {
-      std::vector<double> mine;
-      mine.reserve(scans);
       std::unique_ptr<core::Session> session;
       std::unique_ptr<net::Client> client;
       if (remote) {
@@ -209,20 +206,17 @@ TierResult RunScanTier(core::Prima* db, int clients, int scans, bool remote,
                        expected);
           std::abort();
         }
-        mine.push_back(SecondsSince(s0) * 1e3);
+        latencies.RecordUs(SecondsSince(s0) * 1e6);
       }
-      std::lock_guard<std::mutex> lock(mu);
-      latencies_ms.insert(latencies_ms.end(), mine.begin(), mine.end());
     });
   }
   for (auto& th : threads) th.join();
   const double wall_s = SecondsSince(t0);
-  std::sort(latencies_ms.begin(), latencies_ms.end());
   TierResult r;
   const double total_scans = static_cast<double>(clients) * scans;
   r.scans_per_s = total_scans / wall_s;
   r.mb_per_s = total_scans * DataMb(db) / wall_s;
-  r.p99_ms = latencies_ms[latencies_ms.size() * 99 / 100];
+  r.p99_ms = static_cast<double>(latencies.Snapshot().p99()) / 1e3;
   return r;
 }
 

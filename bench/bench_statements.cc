@@ -110,6 +110,60 @@ void ReportStatements() {
 }
 
 // ---------------------------------------------------------------------------
+// Report: kernel telemetry — EXPLAIN ANALYZE + the metrics page
+// ---------------------------------------------------------------------------
+
+void ReportTelemetry() {
+  PrintHeader(
+      "kernel telemetry — EXPLAIN ANALYZE & the metrics page",
+      "per-statement span trees on demand, latency histograms always: one "
+      "EXPLAIN ANALYZE plan and the statement-latency summary below come "
+      "straight from the kernel, no external profiler attached");
+
+  auto db = OpenBrepDb(/*n=*/60, /*base=*/1000);
+  auto session = db->OpenSession();
+
+  // Warm the statement cache and the latency histogram.
+  for (int i = 0; i < 200; ++i) {
+    Require(session->Execute("SELECT ALL FROM solid WHERE solid_no = 1013")
+                .status(),
+            "warm select");
+  }
+
+  auto plan = RequireR(
+      session->Execute(
+          "EXPLAIN ANALYZE SELECT ALL FROM solid WHERE solid_no = 1013"),
+      "explain analyze");
+  std::printf("%s\n", plan.text.c_str());
+
+  const auto snap = db->stats();
+  std::printf("statement latency (us): p50 %llu  p95 %llu  p99 %llu  over "
+              "%llu statements (%llu traced)\n\n",
+              (unsigned long long)snap.statement_us.p50(),
+              (unsigned long long)snap.statement_us.p95(),
+              (unsigned long long)snap.statement_us.p99(),
+              (unsigned long long)snap.statement_us.count,
+              (unsigned long long)snap.traced_statements);
+
+  // A short excerpt of the Prometheus-style page — the statement metrics.
+  const std::string page = db->MetricsText();
+  size_t printed = 0;
+  size_t pos = 0;
+  while (pos < page.size() && printed < 12) {
+    const size_t eol = page.find('\n', pos);
+    const std::string line = page.substr(pos, eol - pos);
+    if (line.find("prima_statement_us") != std::string::npos ||
+        line.find("prima_buffer_") != std::string::npos) {
+      std::printf("  %s\n", line.c_str());
+      ++printed;
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
 // Micro-benchmarks
 // ---------------------------------------------------------------------------
 
@@ -196,6 +250,7 @@ BENCHMARK(BM_MaterializeAll)->Arg(16)->Arg(64);
 
 int main(int argc, char** argv) {
   prima::bench::ReportStatements();
+  prima::bench::ReportTelemetry();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -150,6 +150,34 @@ int main() {
               again->molecules.size(),
               (unsigned long long)db->data().stats().cluster_assemblies.load());
 
+  // 9. Observability: EXPLAIN ANALYZE renders the statement's span tree —
+  //    parse, plan (cache hit/miss), execute/roots, execute/assembly,
+  //    execute/project, and the buffer hit/miss split — with measured
+  //    timings from this very execution, not estimates.
+  std::printf("\n--- EXPLAIN ANALYZE\n");
+  auto analyzed = session->Execute(
+      "EXPLAIN ANALYZE SELECT ALL FROM brep-face-edge-point "
+      "WHERE brep_no = 1713");
+  Check(analyzed.status(), "explain analyze");
+  std::printf("%s", analyzed->text.c_str());
+
+  // 10. The metrics page: every kernel counter and latency histogram in one
+  //     Prometheus-style dump (also served remotely via
+  //     net::Client::MetricsText). Here, just the statement-latency summary.
+  const std::string page = db->MetricsText();
+  std::printf("\n--- metrics page (statement-latency excerpt of %zu bytes)\n",
+              page.size());
+  size_t pos = 0;
+  while (pos < page.size()) {
+    const size_t eol = page.find('\n', pos);
+    const std::string line = page.substr(pos, eol - pos);
+    if (line.find("prima_statement_us") != std::string::npos) {
+      std::printf("%s\n", line.c_str());
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+
   std::printf("\nquickstart complete.\n");
   return 0;
 }

@@ -49,6 +49,35 @@ struct AccessStats {
   }
 };
 
+/// Plain-data copy of AccessStats — one leg of the coherent Prima::stats()
+/// snapshot.
+struct AccessStatsSnapshot {
+  uint64_t atoms_inserted = 0;
+  uint64_t atoms_read = 0;
+  uint64_t atoms_modified = 0;
+  uint64_t atoms_deleted = 0;
+  uint64_t backref_maintenance = 0;
+  uint64_t partition_reads = 0;
+  uint64_t cluster_reads = 0;
+  uint64_t deferred_enqueued = 0;
+  uint64_t deferred_applied = 0;
+};
+
+inline AccessStatsSnapshot SnapshotStats(const AccessStats& s) {
+  AccessStatsSnapshot out;
+  out.atoms_inserted = s.atoms_inserted.load(std::memory_order_relaxed);
+  out.atoms_read = s.atoms_read.load(std::memory_order_relaxed);
+  out.atoms_modified = s.atoms_modified.load(std::memory_order_relaxed);
+  out.atoms_deleted = s.atoms_deleted.load(std::memory_order_relaxed);
+  out.backref_maintenance =
+      s.backref_maintenance.load(std::memory_order_relaxed);
+  out.partition_reads = s.partition_reads.load(std::memory_order_relaxed);
+  out.cluster_reads = s.cluster_reads.load(std::memory_order_relaxed);
+  out.deferred_enqueued = s.deferred_enqueued.load(std::memory_order_relaxed);
+  out.deferred_applied = s.deferred_applied.load(std::memory_order_relaxed);
+  return out;
+}
+
 struct AccessOptions {
   storage::PageSize base_page_size = storage::PageSize::k4K;
   storage::PageSize index_page_size = storage::PageSize::k4K;

@@ -63,6 +63,13 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
     device = std::make_unique<storage::FileBlockDevice>(options.path);
   }
   auto db = std::unique_ptr<Prima>(new Prima());
+  // Telemetry first: every subsystem built below may take pointers into it
+  // (histograms, the hub itself), and teardown destroys it last.
+  obs::TelemetryOptions tel_options;
+  tel_options.slow_statement_us = options.slow_statement_us;
+  tel_options.trace_sample_n = options.trace_sample_n;
+  tel_options.slow_log_capacity = options.slow_log_capacity;
+  db->telemetry_ = std::make_unique<obs::Telemetry>(tel_options);
   db->shared_device_ = options.device;
   // The database-level scaling knobs are authoritative: resolve hardware
   // defaults and write them into the storage options before the storage
@@ -112,6 +119,7 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
       PRIMA_RETURN_IF_ERROR(db->recovery_->AnalyzeAndRedo());
     }
     db->storage_->SetWal(db->wal_.get());
+    db->wal_->SetForceWaitHistogram(db->telemetry_->commit_force_us());
   }
 
   db->access_ =
@@ -123,6 +131,7 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
   }
 
   db->data_ = std::make_unique<mql::DataSystem>(db->access_.get());
+  db->data_->set_telemetry(db->telemetry_.get());
   db->ldl_ = std::make_unique<ldl::LoadDefinition>(db->access_.get());
   db->txns_ = std::make_unique<TransactionManager>(db->access_.get());
   if (db->wal_ != nullptr) {
@@ -180,6 +189,10 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
     db->net_ = std::make_unique<net::Server>(db.get(), server_options);
     PRIMA_RETURN_IF_ERROR(db->net_->Start());
   }
+  // Metric registration runs last so the server's gauges (if any) can be
+  // included; the registry's mutex makes a racing remote kMetrics safe — it
+  // just sees whatever is registered so far.
+  db->RegisterKernelMetrics();
   return db;
 }
 
@@ -278,9 +291,73 @@ Result<recovery::BackupInfo> Prima::Backup() {
   return recovery::BackupManager::TakeBackup(storage_.get(), wal_.get());
 }
 
+void Prima::RegisterKernelMetrics() {
+  obs::MetricsRegistry& reg = telemetry_->registry();
+  // Buffer pool.
+  storage::BufferStats& buf = storage_->buffer().stats();
+  reg.RegisterCounter("prima_buffer_hits", &buf.hits, "page fixes served from the pool");
+  reg.RegisterCounter("prima_buffer_misses", &buf.misses, "page fixes that read the device");
+  reg.RegisterCounter("prima_buffer_evictions", &buf.evictions, "clock-sweep evictions");
+  reg.RegisterCounter("prima_buffer_writebacks", &buf.writebacks, "dirty pages written back");
+  reg.RegisterCounter("prima_buffer_prefetched_pages", &buf.prefetched_pages, "pages loaded by read-ahead");
+  reg.RegisterGauge("prima_buffer_resident_bytes",
+                    [this] { return storage_->buffer().resident_bytes(); },
+                    "bytes resident in the pool");
+  // Access system.
+  access::AccessStats& acc = access_->stats();
+  reg.RegisterCounter("prima_atoms_inserted", &acc.atoms_inserted);
+  reg.RegisterCounter("prima_atoms_read", &acc.atoms_read);
+  reg.RegisterCounter("prima_atoms_modified", &acc.atoms_modified);
+  reg.RegisterCounter("prima_atoms_deleted", &acc.atoms_deleted);
+  reg.RegisterCounter("prima_deferred_enqueued", &acc.deferred_enqueued, "deferred redundancy updates queued");
+  reg.RegisterCounter("prima_deferred_applied", &acc.deferred_applied, "deferred redundancy updates drained");
+  // Data system.
+  mql::DataStats& data = data_->stats();
+  reg.RegisterCounter("prima_queries", &data.queries, "cursors opened (all query paths)");
+  reg.RegisterCounter("prima_molecules_built", &data.molecules_built);
+  reg.RegisterCounter("prima_cursor_molecules", &data.cursor_molecules, "molecules streamed via Next()");
+  reg.RegisterCounter("prima_statements_prepared", &data.statements_prepared);
+  reg.RegisterCounter("prima_prepared_executions", &data.prepared_executions);
+  reg.RegisterGauge("prima_stmt_cache_hits",
+                    [this] { return data_->statement_cache().hits(); },
+                    "shared statement-cache hits");
+  reg.RegisterGauge("prima_stmt_cache_misses",
+                    [this] { return data_->statement_cache().misses(); },
+                    "shared statement-cache misses");
+  // WAL (absent without options.wal).
+  if (wal_ != nullptr) {
+    recovery::WalStats& wal = wal_->stats();
+    reg.RegisterCounter("prima_wal_records_appended", &wal.records_appended);
+    reg.RegisterCounter("prima_wal_bytes_appended", &wal.bytes_appended);
+    reg.RegisterCounter("prima_wal_forces", &wal.forces, "log device write batches");
+    reg.RegisterCounter("prima_wal_commits_forced", &wal.commits_forced);
+    reg.RegisterCounter("prima_wal_auto_checkpoints", &wal.auto_checkpoints);
+    reg.RegisterGauge("prima_wal_live_bytes",
+                      [this] { return wal_stats().live_bytes; },
+                      "log bytes between the truncation floor and the append point");
+  }
+  // Network server (absent without listen_port); the counters live in the
+  // server object, so pull them as gauges.
+  if (net_ != nullptr) {
+    reg.RegisterGauge("prima_net_connections_active",
+                      [this] { return net_->Stats().connections_active; });
+    reg.RegisterGauge("prima_net_statements_executed",
+                      [this] { return net_->Stats().statements_executed; });
+    reg.RegisterGauge("prima_net_molecules_streamed",
+                      [this] { return net_->Stats().molecules_streamed; });
+  }
+}
+
 PrimaStatsSnapshot Prima::stats() const {
   PrimaStatsSnapshot s;
   s.buffer = storage_->buffer().SnapshotStats();
+  s.data = mql::SnapshotStats(data_->stats());
+  s.access = access::SnapshotStats(access_->stats());
+  s.wal = wal_stats();
+  if (net_ != nullptr) s.net = net_->Stats();
+  s.statement_us = telemetry_->statement_us()->Snapshot();
+  s.traced_statements = telemetry_->traced();
+  s.slow_statements = telemetry_->slow_log().captured();
   return s;
 }
 

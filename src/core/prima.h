@@ -11,6 +11,8 @@
 #include "core/transaction.h"
 #include "ldl/ldl.h"
 #include "mql/data_system.h"
+#include "net/protocol.h"
+#include "obs/telemetry.h"
 #include "recovery/backup.h"
 #include "recovery/checkpoint_daemon.h"
 #include "recovery/recovery_manager.h"
@@ -24,10 +26,30 @@ class Server;
 
 namespace prima::core {
 
-/// Kernel-wide counter snapshot (Prima::stats()).
+/// Kernel-wide counter snapshot (Prima::stats()): one coherent, plain-data
+/// picture of every layer, taken in one call — buffer pool, access system,
+/// data system, WAL, network server, and the statement-latency digest. Each
+/// leg is independently copyable/diffable; a layer that is not running
+/// (no WAL, no server) reads as zeros.
 struct PrimaStatsSnapshot {
   /// Buffer pool totals plus per-shard hit/miss/eviction breakdowns.
   storage::BufferStatsSnapshot buffer;
+  /// Query/assembly counters of the data system (molecules built, cursor
+  /// traffic, prepared-statement reuse).
+  mql::DataStatsSnapshot data;
+  /// Atom-level operation counters of the access system.
+  access::AccessStatsSnapshot access;
+  /// Log counters + footprint; all zero when the database runs without WAL.
+  recovery::WalStatsSnapshot wal;
+  /// Network front-door gauge; all zero without a server.
+  net::ServerStats net;
+  /// Statement latency distribution (microseconds) across every session.
+  obs::HistogramSnapshot statement_us;
+  /// Statements that carried a span tree (EXPLAIN ANALYZE, sampling, or
+  /// slow-query arming).
+  uint64_t traced_statements = 0;
+  /// Captures in the slow-query ring, ever (>= the ring's current size).
+  uint64_t slow_statements = 0;
 };
 
 /// Database configuration.
@@ -146,6 +168,19 @@ struct PrimaOptions {
   uint32_t net_max_connections = 256;
   /// Idle remote connections are closed after this long (0 = never).
   uint32_t net_idle_timeout_ms = 0;
+
+  /// TELEMETRY — see the "Observability" section of the class comment.
+  /// Statements slower than this many microseconds are captured — statement
+  /// text plus full span tree — into the slow-query ring
+  /// (Prima::slow_statements()). 0 disables capture; non-zero arms
+  /// always-on tracing (offenders are only identifiable after the fact).
+  uint64_t slow_statement_us = 0;
+  /// Trace every Nth statement even without EXPLAIN ANALYZE or slow-query
+  /// arming (0 = never). Sampled span trees feed the traced-statement
+  /// counter and keep the phase machinery honest in production.
+  uint64_t trace_sample_n = 0;
+  /// Ring capacity of the slow-query log.
+  size_t slow_log_capacity = 64;
 };
 
 /// PRIMA — the kernel facade. Wires the three layers of Fig. 3.1 together
@@ -216,6 +251,28 @@ struct PrimaOptions {
 /// memory and threads for throughput, never semantics. Observe the effect
 /// through stats(): per-shard hit/miss/eviction counters, prefetch
 /// activity, resident bytes.
+///
+/// Observability — the kernel telemeters itself at three granularities:
+///
+///   stats()        one coherent plain-data snapshot of every layer's
+///                  counters (buffer, access, data, WAL, server) plus the
+///                  statement-latency histogram — diff before/after a
+///                  workload.
+///   MetricsText()  the same data as a Prometheus-style text page (also
+///                  served remotely via net::Client::MetricsText). Every
+///                  metric is named prima_<subsystem>_<what>[_<unit>].
+///   EXPLAIN ANALYZE <stmt>   per-statement span tree through MQL: parse,
+///                  plan (statement-cache hit/miss), root enumeration,
+///                  molecule assembly (worker busy time when pipelined),
+///                  buffer fixes split hit/miss, and WAL commit-force wait,
+///                  with microsecond timings. Works identically through a
+///                  remote session.
+///
+/// Production tracing is opt-in via PrimaOptions: slow_statement_us
+/// captures offenders (text + span tree) into a fixed ring read back with
+/// slow_statements(); trace_sample_n samples every Nth statement. With
+/// both knobs 0 a statement pays one thread-local null check and one
+/// histogram record — the overhead contract benchmarks hold the kernel to.
 class Prima {
  public:
   static util::Result<std::unique_ptr<Prima>> Open(PrimaOptions options);
@@ -272,9 +329,22 @@ class Prima {
   /// and on-device bytes). All zero when options.wal is false.
   recovery::WalStatsSnapshot wal_stats() const;
 
-  /// Kernel-wide counters: buffer pool hits/misses/evictions in total and
-  /// per shard, prefetch activity, resident bytes.
+  /// Kernel-wide counters: one coherent snapshot of every layer (see
+  /// PrimaStatsSnapshot).
   PrimaStatsSnapshot stats() const;
+
+  /// Prometheus-style text exposition of every registered metric —
+  /// counters, gauges, and latency summaries (p50/p95/p99 + sum + count).
+  std::string MetricsText() const { return telemetry_->registry().RenderText(); }
+
+  /// Oldest-first copy of the slow-query ring (statements that crossed
+  /// PrimaOptions::slow_statement_us, with their rendered span trees).
+  std::vector<obs::SlowStatement> slow_statements() const {
+    return telemetry_->slow_log().Snapshot();
+  }
+
+  /// The telemetry hub (never null on an open database).
+  obs::Telemetry* telemetry() const { return telemetry_.get(); }
 
   storage::StorageSystem& storage() { return *storage_; }
   access::AccessSystem& access() { return *access_; }
@@ -293,12 +363,21 @@ class Prima {
  private:
   Prima() = default;
 
+  /// Register every subsystem's counters and gauges with the telemetry
+  /// registry (called once from Open, after the stack is assembled).
+  void RegisterKernelMetrics();
+
   /// Set once Open() fully succeeded. A half-open instance (recovery
   /// failed partway) must NOT checkpoint on destruction: writing a new
   /// master record would truncate the restart scan window and orphan the
   /// loser rollbacks that never ran.
   bool fully_open_ = false;
 
+  /// Declared FIRST so it is destroyed LAST: the WAL holds its commit-wait
+  /// histogram pointer, the data system its hub pointer, and counters
+  /// registered by address all point into subsystems that must be able to
+  /// be snapshotted until the moment they destruct.
+  std::unique_ptr<obs::Telemetry> telemetry_;
   std::shared_ptr<storage::BlockDevice> shared_device_;  ///< keep-alive only
   std::unique_ptr<storage::StorageSystem> storage_;
   std::unique_ptr<recovery::WalWriter> wal_;

@@ -1,6 +1,9 @@
 #include "core/session.h"
 
+#include <cctype>
+
 #include "mql/parser.h"
+#include "obs/trace.h"
 
 namespace prima::core {
 
@@ -54,6 +57,52 @@ bool IsDml(Statement::Kind kind) {
          kind == Statement::Kind::kDelete ||
          kind == Statement::Kind::kModify ||
          kind == Statement::Kind::kConnect;
+}
+
+/// Text peek for the EXPLAIN ANALYZE prefix, tolerant of leading
+/// whitespace and `(* ... *)` comments. Tracing must be armed BEFORE the
+/// statement is parsed (the parse span is part of the report), and the
+/// cache-text lookup happens before parsing too — so the decision has to
+/// come from the raw text.
+bool IsExplainAnalyze(const std::string& text) {
+  size_t i = 0;
+  const size_t n = text.size();
+  for (;;) {
+    while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i + 1 < n && text[i] == '(' && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == ')')) ++i;
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    break;
+  }
+  static constexpr char kWord[] = "EXPLAIN";
+  constexpr size_t kLen = sizeof(kWord) - 1;
+  if (i + kLen > n) return false;
+  for (size_t k = 0; k < kLen; ++k) {
+    if (std::toupper(static_cast<unsigned char>(text[i + k])) != kWord[k]) {
+      return false;
+    }
+  }
+  // Must end the word: "EXPLAINER" is an identifier, not the keyword.
+  return i + kLen == n ||
+         !std::isalnum(static_cast<unsigned char>(text[i + kLen]));
+}
+
+std::string SummarizeResult(const ExecResult& r) {
+  switch (r.kind) {
+    case ExecResult::Kind::kMolecules:
+      return std::to_string(r.molecules.molecules.size()) + " molecule(s)";
+    case ExecResult::Kind::kTid:
+      return "inserted " + r.tid.ToString();
+    case ExecResult::Kind::kCount:
+      return std::to_string(r.count) + " atom(s) affected";
+    case ExecResult::Kind::kNone:
+    case ExecResult::Kind::kText:
+      return "ok";
+  }
+  return "ok";
 }
 
 }  // namespace
@@ -190,9 +239,11 @@ Result<MoleculeCursor> Session::OpenCursor(mql::Query query,
   }
   if (plan != nullptr) {
     return data_->executor().OpenCursorWithPlan(std::move(query), *plan,
-                                                std::move(token));
+                                                std::move(token),
+                                                active_trace_);
   }
-  return data_->executor().OpenCursor(std::move(query), std::move(token));
+  return data_->executor().OpenCursor(std::move(query), std::move(token),
+                                      active_trace_);
 }
 
 Result<std::shared_ptr<const mql::CachedStatement>> Session::CompileOneShot(
@@ -203,11 +254,22 @@ Result<std::shared_ptr<const mql::CachedStatement>> Session::CompileOneShot(
   const uint64_t schema_version = data_->access().catalog().schema_version();
   std::shared_ptr<const mql::CachedStatement> cached =
       data_->statement_cache().Lookup(mql, schema_version);
-  if (cached != nullptr) return cached;
+  obs::StatementTrace* trace = obs::CurrentTrace();
+  if (cached != nullptr) {
+    if (trace != nullptr) trace->GetPhase("plan")->AddCounter("cache_hit", 1);
+    return cached;
+  }
 
+  obs::Telemetry* tel = data_->telemetry();
   auto entry = std::make_shared<mql::CachedStatement>();
   entry->schema_version = schema_version;
-  PRIMA_ASSIGN_OR_RETURN(entry->stmt, mql::ParseStatement(mql));
+  {
+    const uint64_t t0 = (trace || tel) ? obs::NowNs() : 0;
+    PRIMA_ASSIGN_OR_RETURN(entry->stmt, mql::ParseStatement(mql));
+    const uint64_t ns = (trace || tel) ? obs::NowNs() - t0 : 0;
+    if (trace != nullptr) trace->AddPhaseNs("parse", ns);
+    if (tel != nullptr) tel->parse_us()->Record(ns / 1000);
+  }
   if (!entry->stmt.params.empty()) {
     return Status::InvalidArgument(
         "statement has placeholders - use Session::Prepare and bind them");
@@ -216,18 +278,68 @@ Result<std::shared_ptr<const mql::CachedStatement>> Session::CompileOneShot(
   // every literal the plan embeds is fixed by the text — exactly what a
   // text-keyed cache may reuse).
   if (const mql::FromClause* from = PlannedFrom(entry->stmt)) {
+    const uint64_t t0 = (trace || tel) ? obs::NowNs() : 0;
     PRIMA_ASSIGN_OR_RETURN(
         mql::QueryPlan plan,
         data_->executor().Prepare(*from, PlannedWhere(entry->stmt)));
     entry->plan = std::move(plan);
+    const uint64_t ns = (trace || tel) ? obs::NowNs() - t0 : 0;
+    if (trace != nullptr) {
+      trace->AddPhaseNs("plan", ns);
+      trace->GetPhase("plan")->AddCounter("cache_miss", 1);
+    }
+    if (tel != nullptr) tel->plan_us()->Record(ns / 1000);
+  } else if (trace != nullptr) {
+    trace->GetPhase("plan")->AddCounter("cache_miss", 1);
   }
-  if (mql::StatementCache::Cacheable(entry->stmt.kind)) {
+  // EXPLAIN ANALYZE statements are never published to the cache: the whole
+  // point of the report is watching parse and plan happen, and a cache hit
+  // would blank those phases.
+  if (mql::StatementCache::Cacheable(entry->stmt.kind) &&
+      !entry->stmt.explain_analyze) {
     data_->statement_cache().Insert(mql, entry);
   }
   return std::shared_ptr<const mql::CachedStatement>(std::move(entry));
 }
 
-Result<ExecResult> Session::Execute(const std::string& mql) {
+template <typename Fn>
+Result<ExecResult> Session::RunInstrumented(const std::string& text,
+                                            bool explain, Fn&& body) {
+  obs::Telemetry* tel = data_->telemetry();
+  const bool traced =
+      explain || (tel != nullptr && tel->ShouldTraceStatement());
+  if (!traced) {
+    // Knobs-off hot path: one histogram record (two clock reads) when
+    // telemetry exists, nothing at all for bare embedded rigs.
+    if (tel == nullptr) return body();
+    const uint64_t t0 = obs::NowNs();
+    Result<ExecResult> r = body();
+    tel->statement_us()->Record((obs::NowNs() - t0) / 1000);
+    return r;
+  }
+
+  auto trace = std::make_shared<obs::StatementTrace>();
+  active_trace_ = trace;
+  Result<ExecResult> r = [&] {
+    obs::TraceContext ctx(trace.get());
+    return body();
+  }();
+  active_trace_.reset();
+  trace->Finish();
+  if (tel != nullptr) {
+    tel->CountTraced();
+    tel->RecordStatement(text, trace.get(), trace->total_ns() / 1000);
+  }
+  if (explain && r.ok()) {
+    ExecResult er;
+    er.kind = ExecResult::Kind::kText;
+    er.text = trace->Render("EXPLAIN ANALYZE: " + SummarizeResult(*r));
+    return er;
+  }
+  return r;
+}
+
+Result<ExecResult> Session::ExecuteCompiled(const std::string& mql) {
   PRIMA_ASSIGN_OR_RETURN(std::shared_ptr<const mql::CachedStatement> compiled,
                          CompileOneShot(mql));
   const mql::QueryPlan* plan =
@@ -246,11 +358,21 @@ Result<ExecResult> Session::Execute(const std::string& mql) {
   return ExecuteStatement(compiled->stmt, plan);
 }
 
+Result<ExecResult> Session::Execute(const std::string& mql) {
+  return RunInstrumented(mql, IsExplainAnalyze(mql),
+                         [&] { return ExecuteCompiled(mql); });
+}
+
 Result<MoleculeCursor> Session::Query(const std::string& mql) {
   PRIMA_ASSIGN_OR_RETURN(std::shared_ptr<const mql::CachedStatement> compiled,
                          CompileOneShot(mql));
   if (compiled->stmt.kind != Statement::Kind::kQuery) {
     return Status::InvalidArgument("statement is not a query");
+  }
+  if (compiled->stmt.explain_analyze) {
+    // A streaming cursor outlives the statement scope a trace is tied to.
+    return Status::InvalidArgument(
+        "EXPLAIN ANALYZE must go through Execute, not Query");
   }
   return OpenCursor(mql::CloneQuery(compiled->stmt.query),
                     compiled->plan.has_value() ? &*compiled->plan : nullptr);
@@ -259,6 +381,11 @@ Result<MoleculeCursor> Session::Query(const std::string& mql) {
 Result<PreparedStatement> Session::Prepare(const std::string& mql) {
   PreparedStatement ps(this);
   PRIMA_ASSIGN_OR_RETURN(ps.stmt_, mql::ParseStatement(mql));
+  if (ps.stmt_.explain_analyze) {
+    return Status::InvalidArgument(
+        "EXPLAIN ANALYZE cannot be prepared - use Execute");
+  }
+  ps.text_ = mql;
   ps.bound_.resize(ps.stmt_.params.size());
   data_->stats().statements_prepared++;
   // Plan now when no placeholder can reach the WHERE clause (placeholders
@@ -363,11 +490,17 @@ Status PreparedStatement::BindAndPlan() {
 }
 
 Result<ExecResult> PreparedStatement::Execute() {
-  PRIMA_RETURN_IF_ERROR(BindAndPlan());
-  executions_++;
-  session_->data_->stats().prepared_executions++;
-  return session_->ExecuteStatement(stmt_,
-                                    plan_.has_value() ? &*plan_ : nullptr);
+  // The whole bind-plan-execute sequence runs inside the telemetry wrapper,
+  // so a re-plan forced by changed bindings shows up in the statement's
+  // latency (and its trace, when sampled or slow-logged).
+  return session_->RunInstrumented(
+      text_, /*explain=*/false, [&]() -> Result<ExecResult> {
+        PRIMA_RETURN_IF_ERROR(BindAndPlan());
+        executions_++;
+        session_->data_->stats().prepared_executions++;
+        return session_->ExecuteStatement(
+            stmt_, plan_.has_value() ? &*plan_ : nullptr);
+      });
 }
 
 Result<MoleculeCursor> PreparedStatement::Query() {

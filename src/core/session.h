@@ -53,6 +53,8 @@ class PreparedStatement {
 
   /// Executions so far (both Execute and Query).
   uint64_t executions() const { return executions_; }
+  /// The original MQL text (slow-query log attribution).
+  const std::string& text() const { return text_; }
   /// Plans computed so far — stays at 1 across any number of executions
   /// until a root-access-relevant binding changes. The acceptance gauge
   /// for "prepared once, executed N times".
@@ -69,6 +71,7 @@ class PreparedStatement {
 
   Session* session_;
   mql::Statement stmt_;
+  std::string text_;
   std::vector<std::optional<access::Value>> bound_;
   /// Cached plan for statements with a FROM clause; absent until first
   /// needed (planning with unbound placeholders would embed nulls).
@@ -180,6 +183,19 @@ class Session {
   util::Result<mql::MoleculeCursor> OpenCursor(mql::Query query,
                                                const mql::QueryPlan* plan);
 
+  /// Compile + execute one statement (the guts of Execute; runs with the
+  /// statement's trace — if any — installed on this thread).
+  util::Result<mql::ExecResult> ExecuteCompiled(const std::string& mql);
+
+  /// Telemetry wrapper shared by Execute and PreparedStatement::Execute:
+  /// decides tracing (EXPLAIN ANALYZE forces it, the slow-query knob arms
+  /// it, trace_sample_n samples it), times the statement into the latency
+  /// histogram, feeds the slow-query log, and — for EXPLAIN ANALYZE —
+  /// replaces the result with the rendered span tree.
+  template <typename Fn>
+  util::Result<mql::ExecResult> RunInstrumented(const std::string& text,
+                                                bool explain, Fn&& body);
+
   util::Status BeginWork();
   util::Status CommitWork();
   util::Status AbortWork();
@@ -203,6 +219,13 @@ class Session {
   /// rest of the session's state is single-threaded by contract).
   std::shared_ptr<std::atomic<bool>> cursor_epoch_;
   mutable std::mutex epoch_mu_;
+  /// The trace of the statement currently executing inline (set only for
+  /// the RunInstrumented scope). Cursors opened while it is set drain
+  /// within the statement — they get the trace; streaming Query() cursors
+  /// are opened outside the scope and stay untraced, so a trace can never
+  /// outlive its statement from the session's side (workers hold their own
+  /// shared_ptr).
+  std::shared_ptr<obs::StatementTrace> active_trace_;
 };
 
 }  // namespace prima::core

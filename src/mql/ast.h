@@ -189,6 +189,11 @@ struct Statement {
     kAbortWork,   ///< ABORT WORK  — roll the innermost open transaction back
   };
   Kind kind = Kind::kQuery;
+  /// `EXPLAIN ANALYZE <stmt>`: execute the statement and return its span
+  /// tree (per-phase timings and counters) as a text result instead of the
+  /// statement's own result. The flag wraps the inner statement in place —
+  /// `kind` and the per-kind members describe the statement being explained.
+  bool explain_analyze = false;
   Query query;
   CreateAtomTypeStmt create_atom_type;
   DefineMoleculeTypeStmt define_molecule_type;

@@ -85,6 +85,8 @@ std::string DataSystem::Format(const ExecResult& result) const {
       return std::to_string(result.count) + " atom(s) affected\n";
     case ExecResult::Kind::kNone:
       return "ok\n";
+    case ExecResult::Kind::kText:
+      return result.text;
   }
   return "";
 }

@@ -9,6 +9,7 @@
 #include "mql/executor.h"
 #include "mql/molecule.h"
 #include "mql/statement_cache.h"
+#include "obs/telemetry.h"
 
 namespace prima::mql {
 
@@ -22,6 +23,7 @@ struct ExecResult {
     kTid,        ///< INSERT
     kCount,      ///< DELETE / MODIFY (# atoms affected)
     kNone,       ///< DDL / CONNECT / transaction control
+    kText,       ///< EXPLAIN ANALYZE (rendered span tree)
   };
   ExecResult() = default;
   ExecResult(ExecResult&&) = default;
@@ -33,6 +35,7 @@ struct ExecResult {
   MoleculeSet molecules;
   access::Tid tid;
   uint64_t count = 0;
+  std::string text;
 };
 
 /// The transaction context a statement executes under. The data system
@@ -103,6 +106,13 @@ class DataSystem {
   /// parse-once-plan-once fast path without calling Prepare.
   StatementCache& statement_cache() { return statement_cache_; }
 
+  /// Kernel telemetry hub (histograms, slow-query log, tracing knobs).
+  /// Attached by Prima::Open; null for bare embedded rigs — sessions fall
+  /// back to untraced execution (EXPLAIN ANALYZE still works: it carries
+  /// its own trace).
+  void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+  obs::Telemetry* telemetry() const { return telemetry_; }
+
  private:
   util::Result<ExecResult> RunQuery(const struct Query& q,
                                     const QueryPlan* plan);
@@ -120,6 +130,7 @@ class DataSystem {
   access::AccessSystem* access_;
   Executor executor_;
   StatementCache statement_cache_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace prima::mql

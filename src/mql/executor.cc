@@ -822,8 +822,18 @@ Result<Molecule> Executor::Project(const Query& query, const QueryPlan& plan,
 
 Result<MoleculeSet> Executor::Qualify(const QueryPlan& plan,
                                       const Expr* where) {
+  // Materializing path (Run / DML): phase timings attach to the statement
+  // trace installed on this thread, if any — untraced statements pay one
+  // thread-local load and nothing else.
+  obs::StatementTrace* trace = obs::CurrentTrace();
   MoleculeSet set;
+  uint64_t t0 = trace ? obs::NowNs() : 0;
   PRIMA_ASSIGN_OR_RETURN(std::vector<Atom> roots, RootCandidates(plan));
+  if (trace != nullptr) {
+    trace->AddPhaseNs("execute", "roots", obs::NowNs() - t0);
+    trace->GetPhase("execute", "roots")->AddCounter("roots", roots.size());
+    t0 = obs::NowNs();
+  }
   for (const Atom& root : roots) {
     PRIMA_ASSIGN_OR_RETURN(Molecule molecule, Assemble(plan, root));
     if (where != nullptr) {
@@ -831,6 +841,11 @@ Result<MoleculeSet> Executor::Qualify(const QueryPlan& plan,
       if (!ok) continue;
     }
     set.molecules.push_back(std::move(molecule));
+  }
+  if (trace != nullptr) {
+    trace->AddPhaseNs("execute", "assembly", obs::NowNs() - t0);
+    trace->GetPhase("execute", "assembly")
+        ->AddCounter("molecules", set.molecules.size());
   }
   return set;
 }
@@ -845,11 +860,16 @@ Result<MoleculeSet> Executor::Run(const Query& query) {
 Result<MoleculeSet> Executor::RunWithPlan(const Query& query,
                                           const QueryPlan& plan) {
   PRIMA_ASSIGN_OR_RETURN(MoleculeSet set, Qualify(plan, query.where.get()));
+  obs::StatementTrace* trace = obs::CurrentTrace();
+  const uint64_t t0 = trace ? obs::NowNs() : 0;
   MoleculeSet projected;
   projected.molecules.reserve(set.molecules.size());
   for (Molecule& m : set.molecules) {
     PRIMA_ASSIGN_OR_RETURN(Molecule p, Project(query, plan, std::move(m)));
     projected.molecules.push_back(std::move(p));
+  }
+  if (trace != nullptr) {
+    trace->AddPhaseNs("execute", "project", obs::NowNs() - t0);
   }
   return projected;
 }
@@ -859,22 +879,26 @@ Result<MoleculeSet> Executor::RunWithPlan(const Query& query,
 // ---------------------------------------------------------------------------
 
 Result<MoleculeCursor> Executor::OpenCursor(
-    Query query, std::shared_ptr<const std::atomic<bool>> invalidated) {
+    Query query, std::shared_ptr<const std::atomic<bool>> invalidated,
+    std::shared_ptr<obs::StatementTrace> trace) {
   PRIMA_ASSIGN_OR_RETURN(QueryPlan plan,
                          Prepare(query.from, query.where.get()));
   return OpenCursorWithPlan(std::move(query), std::move(plan),
-                            std::move(invalidated));
+                            std::move(invalidated), std::move(trace));
 }
 
 Result<MoleculeCursor> Executor::OpenCursorWithPlan(
     Query query, QueryPlan plan,
-    std::shared_ptr<const std::atomic<bool>> invalidated) {
-  stats_.queries++;  // every cursor open is one query, prepared or not
+    std::shared_ptr<const std::atomic<bool>> invalidated,
+    std::shared_ptr<obs::StatementTrace> trace) {
+  stats_.queries.fetch_add(1, std::memory_order_relaxed);  // every cursor
+                                                           // open is one query
   MoleculeCursor cursor;
   cursor.shared_ = std::make_shared<MoleculeCursor::Shared>();
   cursor.shared_->exec = this;
   cursor.shared_->query = std::move(query);
   cursor.shared_->plan = std::move(plan);
+  cursor.shared_->trace = std::move(trace);
   cursor.invalidated_ = std::move(invalidated);
   // Open only the root source here — roots are pulled incrementally from
   // the scan layer as the cursor drains, never materialized.
@@ -891,17 +915,27 @@ Result<MoleculeCursor> Executor::OpenCursorWithPlan(
 }
 
 util::Status MoleculeCursor::TopUpWindow() {
+  obs::StatementTrace* trace = shared_->trace.get();
+  const uint64_t t0 = trace ? obs::NowNs() : 0;
+  uint64_t roots_pulled = 0;
   while (!source_drained_ && window_.size() < lookahead_) {
     PRIMA_ASSIGN_OR_RETURN(std::optional<access::Atom> root, source_->Next());
     if (!root) {
       source_drained_ = true;
       break;
     }
+    roots_pulled++;
     auto slot = std::make_shared<Slot>();
     // The task captures the shared query context and its slot by
     // shared_ptr: closing, moving, or destroying the cursor mid-flight
     // leaves the worker on valid ground, its result simply unobserved.
     pool_->Submit([shared = shared_, slot, root = std::move(*root)]() {
+      // Workers report through the trace's ATOMIC kernel counters only
+      // (busy time here; buffer hit/miss via the thread-local context) —
+      // the phase tree stays single-threaded with the consumer.
+      obs::StatementTrace* wtrace = shared->trace.get();
+      obs::TraceContext tc(wtrace);
+      const uint64_t w0 = wtrace ? obs::NowNs() : 0;
       util::Result<Molecule> m = shared->exec->Assemble(shared->plan, root);
       std::lock_guard<std::mutex> lock(slot->mu);
       if (m.ok()) {
@@ -919,10 +953,21 @@ util::Status MoleculeCursor::TopUpWindow() {
       } else {
         slot->status = m.status();
       }
+      if (wtrace != nullptr) {
+        wtrace->worker_assembly_ns.fetch_add(obs::NowNs() - w0,
+                                             std::memory_order_relaxed);
+        wtrace->worker_assemblies.fetch_add(1, std::memory_order_relaxed);
+      }
       slot->done = true;
       slot->cv.notify_all();
     });
     window_.push_back(std::move(slot));
+  }
+  if (trace != nullptr && roots_pulled > 0) {
+    // Root-pull time (consumer side; the pulls interleave task submission,
+    // which is part of what feeding the pipeline costs).
+    trace->AddPhaseNs("execute", "roots", obs::NowNs() - t0);
+    trace->GetPhase("execute", "roots")->AddCounter("roots", roots_pulled);
   }
   return Status::Ok();
 }
@@ -946,40 +991,70 @@ Result<std::optional<Molecule>> MoleculeCursor::Next() {
     }
     std::shared_ptr<Slot> slot = std::move(window_.front());
     window_.pop_front();
+    obs::StatementTrace* trace = shared_->trace.get();
+    uint64_t t0 = trace ? obs::NowNs() : 0;
     {
       std::unique_lock<std::mutex> lock(slot->mu);
       slot->cv.wait(lock, [&] { return slot->done; });
+    }
+    if (trace != nullptr) {
+      // Consumer-visible assembly cost: how long Next() waited for the
+      // pipelined worker. The workers' own busy time lands next to it as
+      // the worker_busy_us counter (folded in at Finish).
+      trace->AddPhaseNs("execute", "assembly", obs::NowNs() - t0);
     }
     // Slots drain strictly in submission order — root order — so the
     // stream below is indistinguishable from the serial cursor's.
     PRIMA_RETURN_IF_ERROR(slot->status);
     if (!slot->qualified) continue;
+    t0 = trace ? obs::NowNs() : 0;
     PRIMA_ASSIGN_OR_RETURN(Molecule projected,
                            shared_->exec->ProjectMolecule(
                                shared_->query, shared_->plan,
                                std::move(slot->molecule)));
-    shared_->exec->stats().cursor_molecules++;
+    if (trace != nullptr) {
+      trace->AddPhaseNs("execute", "project", obs::NowNs() - t0);
+      trace->GetPhase("execute", "assembly")->AddCounter("molecules", 1);
+    }
+    shared_->exec->stats().cursor_molecules.fetch_add(
+        1, std::memory_order_relaxed);
     return std::optional<Molecule>(std::move(projected));
   }
 }
 
 Result<std::optional<Molecule>> MoleculeCursor::NextSerial() {
+  obs::StatementTrace* trace = shared_->trace.get();
   for (;;) {
+    uint64_t t0 = trace ? obs::NowNs() : 0;
     PRIMA_ASSIGN_OR_RETURN(std::optional<access::Atom> root, source_->Next());
+    if (trace != nullptr && root.has_value()) {
+      trace->AddPhaseNs("execute", "roots", obs::NowNs() - t0);
+      trace->GetPhase("execute", "roots")->AddCounter("roots", 1);
+    }
     if (!root) break;
+    t0 = trace ? obs::NowNs() : 0;
     PRIMA_ASSIGN_OR_RETURN(Molecule molecule,
                            shared_->exec->Assemble(shared_->plan, *root));
+    bool qualified = true;
     if (shared_->query.where != nullptr) {
       PRIMA_ASSIGN_OR_RETURN(
-          const bool ok,
-          shared_->exec->Eval(molecule, *shared_->query.where, {}));
-      if (!ok) continue;
+          qualified, shared_->exec->Eval(molecule, *shared_->query.where, {}));
     }
+    if (trace != nullptr) {
+      trace->AddPhaseNs("execute", "assembly", obs::NowNs() - t0);
+    }
+    if (!qualified) continue;
+    t0 = trace ? obs::NowNs() : 0;
     PRIMA_ASSIGN_OR_RETURN(Molecule projected,
                            shared_->exec->ProjectMolecule(
                                shared_->query, shared_->plan,
                                std::move(molecule)));
-    shared_->exec->stats().cursor_molecules++;
+    if (trace != nullptr) {
+      trace->AddPhaseNs("execute", "project", obs::NowNs() - t0);
+      trace->GetPhase("execute", "assembly")->AddCounter("molecules", 1);
+    }
+    shared_->exec->stats().cursor_molecules.fetch_add(
+        1, std::memory_order_relaxed);
     return std::optional<Molecule>(std::move(projected));
   }
   Close();

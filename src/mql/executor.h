@@ -17,6 +17,7 @@
 #include "mql/ast.h"
 #include "mql/molecule.h"
 #include "mql/semantics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace prima::mql {
@@ -47,6 +48,44 @@ struct DataStats {
     cursors_opened = cursor_molecules = 0;
   }
 };
+
+/// Plain-data copy of DataStats (relaxed loads), safe to copy and diff —
+/// one leg of the coherent Prima::stats() snapshot.
+struct DataStatsSnapshot {
+  uint64_t queries = 0;
+  uint64_t molecules_built = 0;
+  uint64_t cluster_assemblies = 0;
+  uint64_t bfs_assemblies = 0;
+  uint64_t recursion_levels = 0;
+  uint64_t key_lookups = 0;
+  uint64_t access_path_scans = 0;
+  uint64_t grid_scans = 0;
+  uint64_t atom_type_scans = 0;
+  uint64_t statements_prepared = 0;
+  uint64_t prepared_executions = 0;
+  uint64_t prepared_plans = 0;
+  uint64_t cursors_opened = 0;
+  uint64_t cursor_molecules = 0;
+};
+
+inline DataStatsSnapshot SnapshotStats(const DataStats& s) {
+  DataStatsSnapshot out;
+  out.queries = s.queries.load(std::memory_order_relaxed);
+  out.molecules_built = s.molecules_built.load(std::memory_order_relaxed);
+  out.cluster_assemblies = s.cluster_assemblies.load(std::memory_order_relaxed);
+  out.bfs_assemblies = s.bfs_assemblies.load(std::memory_order_relaxed);
+  out.recursion_levels = s.recursion_levels.load(std::memory_order_relaxed);
+  out.key_lookups = s.key_lookups.load(std::memory_order_relaxed);
+  out.access_path_scans = s.access_path_scans.load(std::memory_order_relaxed);
+  out.grid_scans = s.grid_scans.load(std::memory_order_relaxed);
+  out.atom_type_scans = s.atom_type_scans.load(std::memory_order_relaxed);
+  out.statements_prepared = s.statements_prepared.load(std::memory_order_relaxed);
+  out.prepared_executions = s.prepared_executions.load(std::memory_order_relaxed);
+  out.prepared_plans = s.prepared_plans.load(std::memory_order_relaxed);
+  out.cursors_opened = s.cursors_opened.load(std::memory_order_relaxed);
+  out.cursor_molecules = s.cursor_molecules.load(std::memory_order_relaxed);
+  return out;
+}
 
 /// How the executor reaches the root atoms of the molecule set.
 enum class RootAccess { kKeyLookup, kAccessPath, kGrid, kAtomTypeScan };
@@ -175,6 +214,12 @@ class MoleculeCursor {
     Executor* exec = nullptr;
     Query query;
     QueryPlan plan;
+    /// Trace of the statement draining this cursor, or null. shared_ptr:
+    /// detached look-ahead tasks may outlive the statement, and their late
+    /// counter writes must land in owned memory, never a dangling trace.
+    /// Workers touch ONLY the trace's atomic kernel counters; the phase
+    /// tree stays with the consumer thread.
+    std::shared_ptr<obs::StatementTrace> trace;
   };
 
   /// One in-flight (or finished) look-ahead assembly.
@@ -225,15 +270,19 @@ class Executor {
                                         const QueryPlan& plan);
 
   /// Open a streaming cursor over the query (plans it first). The cursor
-  /// takes ownership of `query`.
+  /// takes ownership of `query`. `trace`, when set, receives the cursor's
+  /// phase timings (roots / assembly / project) — pass it only when the
+  /// cursor drains within the traced statement's scope.
   util::Result<MoleculeCursor> OpenCursor(
       Query query,
-      std::shared_ptr<const std::atomic<bool>> invalidated = nullptr);
+      std::shared_ptr<const std::atomic<bool>> invalidated = nullptr,
+      std::shared_ptr<obs::StatementTrace> trace = nullptr);
 
   /// Open a streaming cursor reusing a prepared plan.
   util::Result<MoleculeCursor> OpenCursorWithPlan(
       Query query, QueryPlan plan,
-      std::shared_ptr<const std::atomic<bool>> invalidated = nullptr);
+      std::shared_ptr<const std::atomic<bool>> invalidated = nullptr,
+      std::shared_ptr<obs::StatementTrace> trace = nullptr);
 
   /// Qualification only: resolve + scan + assemble + WHERE filter.
   util::Result<MoleculeSet> Qualify(const QueryPlan& plan, const Expr* where);

@@ -24,6 +24,10 @@ class Parser {
   Result<Statement> ParseStatement() {
     PRIMA_RETURN_IF_ERROR(Init());
     Statement stmt;
+    if (AcceptKeyword("EXPLAIN")) {
+      PRIMA_RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
+      stmt.explain_analyze = true;
+    }
     if (IsKeyword("SELECT")) {
       stmt.kind = Statement::Kind::kQuery;
       PRIMA_ASSIGN_OR_RETURN(stmt.query, ParseQuery());
@@ -62,6 +66,20 @@ class Parser {
     }
     (void)AcceptSymbol(";");
     if (!AtEnd()) return Err("trailing input after statement");
+    if (stmt.explain_analyze) {
+      if (stmt.kind == Statement::Kind::kBeginWork ||
+          stmt.kind == Statement::Kind::kCommitWork ||
+          stmt.kind == Statement::Kind::kAbortWork) {
+        return Status::ParseError(
+            "EXPLAIN ANALYZE needs an executable statement, not "
+            "transaction control");
+      }
+      if (!params_.empty()) {
+        return Status::ParseError(
+            "EXPLAIN ANALYZE does not take placeholders - explain the "
+            "statement with literal values");
+      }
+    }
     // Placeholders are meaningful only where a bound value can flow into
     // execution: queries and DML. (DDL never parses value literals, so
     // params_ stays empty there — this check documents the contract.)

@@ -153,6 +153,13 @@ Result<ServerStats> Client::Stats() {
   return DecodeServerStats(&in);
 }
 
+Result<std::string> Client::MetricsText() {
+  Result<Frame> reply =
+      RoundTrip(MsgKind::kMetrics, {}, MsgKind::kMetricsReply);
+  if (!reply.ok()) return reply.status();
+  return std::move(reply->payload);
+}
+
 Status Client::Close() {
   if (fd_ < 0) return Status::Ok();
   const Status st = RoundTrip(MsgKind::kGoodbye, {}, MsgKind::kOk).status();

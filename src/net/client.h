@@ -65,6 +65,10 @@ class Client {
   /// Server + WAL gauge snapshot (the wedged-ring view on the wire).
   util::Result<ServerStats> Stats();
 
+  /// The server's full metrics page (Prima::MetricsText — Prometheus-style
+  /// text exposition), for remote scraping.
+  util::Result<std::string> MetricsText();
+
   /// Polite goodbye; the server rolls back an open transaction. The
   /// destructor just drops the socket, which has the same server-side
   /// effect without the round trip.

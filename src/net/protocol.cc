@@ -246,6 +246,9 @@ void EncodeExecResult(const mql::ExecResult& r, std::string* out) {
     case mql::ExecResult::Kind::kCount:
       util::PutVarint64(out, r.count);
       break;
+    case mql::ExecResult::Kind::kText:
+      util::PutLengthPrefixed(out, r.text);
+      break;
     case mql::ExecResult::Kind::kNone:
       break;
   }
@@ -278,6 +281,15 @@ Result<mql::ExecResult> DecodeExecResult(Slice* in) {
       }
       break;
     }
+    case mql::ExecResult::Kind::kText: {
+      r.kind = mql::ExecResult::Kind::kText;
+      Slice text;
+      if (!util::GetLengthPrefixed(in, &text)) {
+        return Status::Corruption("result text truncated");
+      }
+      r.text.assign(text.data(), text.size());
+      break;
+    }
     case mql::ExecResult::Kind::kNone:
       r.kind = mql::ExecResult::Kind::kNone;
       break;
@@ -292,7 +304,7 @@ Result<mql::ExecResult> DecodeExecResult(Slice* in) {
 // ---------------------------------------------------------------------------
 
 namespace {
-constexpr size_t kStatsFields = 17;
+constexpr size_t kStatsFields = 23;
 
 /// Stats fields in wire order. Appending a field (and bumping kStatsFields)
 /// stays compatible both ways: the leading count lets an older peer skip
@@ -303,7 +315,9 @@ std::vector<uint64_t> StatsFieldList(const ServerStats& s) {
           s.cursors_opened,       s.molecules_streamed,  s.stmt_cache_hits,
           s.stmt_cache_misses,    s.wal_live_bytes,      s.wal_capacity_bytes,
           s.wal_archived_bytes,   s.commits_forced,      s.auto_checkpoints,
-          s.active_txns,          s.oldest_active_lsn};
+          s.active_txns,          s.oldest_active_lsn,   s.stmt_latency_p50_us,
+          s.stmt_latency_p95_us,  s.stmt_latency_p99_us, s.slow_statements,
+          s.traced_statements,    s.net_request_p99_us};
 }
 }  // namespace
 
@@ -347,6 +361,12 @@ Result<ServerStats> DecodeServerStats(Slice* in) {
   s.auto_checkpoints = fields[i++];
   s.active_txns = fields[i++];
   s.oldest_active_lsn = fields[i++];
+  s.stmt_latency_p50_us = fields[i++];
+  s.stmt_latency_p95_us = fields[i++];
+  s.stmt_latency_p99_us = fields[i++];
+  s.slow_statements = fields[i++];
+  s.traced_statements = fields[i++];
+  s.net_request_p99_us = fields[i++];
   return s;
 }
 

@@ -60,6 +60,7 @@ enum class MsgKind : uint8_t {
   kAbortWork = 12,      ///< -> kOk
   kStats = 13,          ///< -> kStatsReply
   kGoodbye = 14,        ///< -> kOk, then both sides close
+  kMetrics = 15,        ///< -> kMetricsReply (Prometheus text exposition)
 
   // Replies (server -> client).
   kHelloOk = 64,        ///< u32 version + u64 connection id
@@ -70,6 +71,7 @@ enum class MsgKind : uint8_t {
   kCursorOpened = 69,   ///< u32 cursor id
   kMolecules = 70,      ///< u8 done + varint n + n molecules
   kStatsReply = 71,     ///< ServerStats
+  kMetricsReply = 72,   ///< string (Prima::MetricsText output)
 };
 
 /// One decoded frame.
@@ -137,6 +139,14 @@ struct ServerStats {
   uint64_t auto_checkpoints = 0;
   uint64_t active_txns = 0;
   uint64_t oldest_active_lsn = 0;
+  // Telemetry digest (appended fields 18-23: a pre-telemetry peer skips or
+  // zero-fills them per the count-prefixed field-list evolution rule).
+  uint64_t stmt_latency_p50_us = 0;
+  uint64_t stmt_latency_p95_us = 0;
+  uint64_t stmt_latency_p99_us = 0;
+  uint64_t slow_statements = 0;    ///< slow-query log captures
+  uint64_t traced_statements = 0;  ///< statements that carried a trace
+  uint64_t net_request_p99_us = 0; ///< server-side request handling p99
 };
 
 void EncodeServerStats(const ServerStats& s, std::string* out);

@@ -13,6 +13,7 @@
 #include <map>
 
 #include "core/prima.h"
+#include "obs/telemetry.h"
 #include "util/coding.h"
 
 namespace prima::net {
@@ -245,6 +246,7 @@ void Server::ServeConnection(Conn* conn) {
     std::map<uint32_t, core::PreparedStatement> statements;
     std::map<uint32_t, mql::MoleculeCursor> cursors;
     uint32_t next_stmt_id = 1, next_cursor_id = 1;
+    obs::Telemetry* tel = db_->telemetry();
 
     for (;;) {
       const Status waited = WaitReadable(fd, options_.idle_timeout_ms);
@@ -266,6 +268,9 @@ void Server::ServeConnection(Conn* conn) {
       }
       Slice in(req.payload);
       bool close_conn = false;
+      // Request-handling latency: decode + execute + encode + write, i.e.
+      // what the client waits for beyond the network itself.
+      const uint64_t req_t0 = tel != nullptr ? obs::NowNs() : 0;
 
       switch (req.kind) {
         case MsgKind::kExecute: {
@@ -280,9 +285,13 @@ void Server::ServeConnection(Conn* conn) {
             molecules_streamed_.fetch_add(result->molecules.size(),
                                           std::memory_order_relaxed);
           }
+          const uint64_t enc_t0 = tel != nullptr ? obs::NowNs() : 0;
           std::string payload;
           EncodeExecResult(*result, &payload);
           close_conn = !WriteFrame(fd, MsgKind::kResult, payload).ok();
+          if (tel != nullptr) {
+            tel->net_encode_us()->Record((obs::NowNs() - enc_t0) / 1000);
+          }
           break;
         }
 
@@ -386,9 +395,13 @@ void Server::ServeConnection(Conn* conn) {
             molecules_streamed_.fetch_add(result->molecules.size(),
                                           std::memory_order_relaxed);
           }
+          const uint64_t enc_t0 = tel != nullptr ? obs::NowNs() : 0;
           std::string payload;
           EncodeExecResult(*result, &payload);
           close_conn = !WriteFrame(fd, MsgKind::kResult, payload).ok();
+          if (tel != nullptr) {
+            tel->net_encode_us()->Record((obs::NowNs() - enc_t0) / 1000);
+          }
           break;
         }
 
@@ -549,6 +562,12 @@ void Server::ServeConnection(Conn* conn) {
           break;
         }
 
+        case MsgKind::kMetrics: {
+          close_conn =
+              !WriteFrame(fd, MsgKind::kMetricsReply, db_->MetricsText()).ok();
+          break;
+        }
+
         case MsgKind::kGoodbye:
           (void)WriteFrame(fd, MsgKind::kOk, {});
           close_conn = true;
@@ -563,6 +582,9 @@ void Server::ServeConnection(Conn* conn) {
                                   std::to_string(static_cast<int>(req.kind))));
           close_conn = true;
           break;
+      }
+      if (tel != nullptr) {
+        tel->net_request_us()->Record((obs::NowNs() - req_t0) / 1000);
       }
       if (close_conn) break;
     }
@@ -603,6 +625,15 @@ ServerStats Server::Stats() const {
   s.auto_checkpoints = wal.auto_checkpoints;
   s.active_txns = wal.active_txns;
   s.oldest_active_lsn = wal.oldest_active_lsn;
+  if (obs::Telemetry* tel = db_->telemetry()) {
+    const obs::HistogramSnapshot stmt = tel->statement_us()->Snapshot();
+    s.stmt_latency_p50_us = stmt.p50();
+    s.stmt_latency_p95_us = stmt.p95();
+    s.stmt_latency_p99_us = stmt.p99();
+    s.slow_statements = tel->slow_log().captured();
+    s.traced_statements = tel->traced();
+    s.net_request_p99_us = tel->net_request_us()->Snapshot().p99();
+  }
   return s;
 }
 

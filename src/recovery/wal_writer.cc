@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/coding.h"
 #include "util/crc32.h"
 #include "util/slice.h"
@@ -368,6 +370,9 @@ Status WalWriter::ForceUpTo(uint64_t lsn) {
 
 Status WalWriter::CommitForce(uint64_t lsn) {
   if (lsn <= durable_lsn_.load()) return Status::Ok();
+  obs::StatementTrace* trace = obs::CurrentTrace();
+  const uint64_t t0 =
+      (trace != nullptr || force_wait_hist_ != nullptr) ? obs::NowNs() : 0;
   std::unique_lock<std::mutex> lk(mu_);
   if (options_.commit_delay_us > 0 && !flushing_ &&
       durable_lsn_.load() < lsn) {
@@ -379,7 +384,16 @@ Status WalWriter::CommitForce(uint64_t lsn) {
     cv_.wait_for(lk, std::chrono::microseconds(options_.commit_delay_us),
                  [&] { return durable_lsn_.load() >= lsn; });
   }
-  return ForceLocked(lk, lsn);
+  Status st = ForceLocked(lk, lsn);
+  if (t0 != 0) {
+    const uint64_t dt = obs::NowNs() - t0;
+    if (force_wait_hist_ != nullptr) force_wait_hist_->Record(dt / 1000);
+    if (trace != nullptr) {
+      trace->commit_force_ns.fetch_add(dt, std::memory_order_relaxed);
+      trace->commit_force_waits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return st;
 }
 
 Status WalWriter::ForceAll() {

@@ -21,6 +21,10 @@
 #include "util/result.h"
 #include "util/status.h"
 
+namespace prima::obs {
+class Histogram;
+}  // namespace prima::obs
+
 namespace prima::recovery {
 
 struct WalStats {
@@ -274,6 +278,11 @@ class WalWriter : public storage::WriteAheadLog {
   /// Copyable counters + footprint numbers for reporting.
   WalStatsSnapshot StatsSnapshot() const;
 
+  /// Observe every CommitForce wait (microseconds) in `h`. The histogram
+  /// must outlive the writer (Prima owns both and declares telemetry
+  /// first). Null disables recording. Set before concurrent commits start.
+  void SetForceWaitHistogram(obs::Histogram* h) { force_wait_hist_ = h; }
+
   /// Ring capacity in bytes (0 = unbounded).
   uint64_t capacity_bytes() const {
     return static_cast<uint64_t>(ring_blocks_) * kBlockSize;
@@ -382,6 +391,7 @@ class WalWriter : public storage::WriteAheadLog {
   std::map<uint64_t, uint64_t> active_txns_;
 
   WalStats stats_;
+  obs::Histogram* force_wait_hist_ = nullptr;
 };
 
 }  // namespace prima::recovery

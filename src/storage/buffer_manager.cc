@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace prima::storage {
 
 using util::Result;
@@ -124,12 +126,21 @@ Result<Frame*> BufferManager::Fix(PageId id, uint32_t page_size,
     f->pins++;
     assert(f->id == id);
     f->referenced = true;  // clock: survives the next sweep pass
-    shard.hits++;
-    stats_.hits++;
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
+    if (obs::StatementTrace* trace = obs::CurrentTrace()) {
+      trace->buffer_hits.fetch_add(1, std::memory_order_relaxed);
+    }
     return f;
   }
-  shard.misses++;
-  stats_.misses++;
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  // Traced statements attribute the miss — and the device-read time below —
+  // to their span tree. One thread-local load when untraced.
+  obs::StatementTrace* trace = obs::CurrentTrace();
+  if (trace != nullptr) {
+    trace->buffer_misses.fetch_add(1, std::memory_order_relaxed);
+  }
   PRIMA_RETURN_IF_ERROR(MakeRoom(shard, SizeClass(page_size), page_size));
 
   auto frame = std::make_unique<Frame>();
@@ -139,7 +150,12 @@ Result<Frame*> BufferManager::Fix(PageId id, uint32_t page_size,
   if (format_new) {
     std::memset(frame->data.get(), 0, page_size);
   } else {
+    const uint64_t t0 = trace ? obs::NowNs() : 0;
     PRIMA_RETURN_IF_ERROR(device_->Read(id.segment, id.page, frame->data.get()));
+    if (trace != nullptr) {
+      trace->buffer_miss_ns.fetch_add(obs::NowNs() - t0,
+                                      std::memory_order_relaxed);
+    }
     // Fault tolerance: verify the page checksum. Never-written pages read
     // back as all-zero and are accepted as fresh.
     if (!PageHeader::Verify(frame->data.get(), page_size) &&

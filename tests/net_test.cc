@@ -155,6 +155,12 @@ TEST(NetProtocolTest, ServerStatsRoundTripAndEvolution) {
   s.wal_capacity_bytes = 4 << 20;
   s.active_txns = 3;
   s.oldest_active_lsn = 0xDEADBEEF;
+  s.stmt_latency_p50_us = 120;
+  s.stmt_latency_p95_us = 800;
+  s.stmt_latency_p99_us = 2500;
+  s.slow_statements = 4;
+  s.traced_statements = 17;
+  s.net_request_p99_us = 3100;
   std::string wire;
   EncodeServerStats(s, &wire);
   {
@@ -165,6 +171,12 @@ TEST(NetProtocolTest, ServerStatsRoundTripAndEvolution) {
     EXPECT_EQ(back->statements_executed, 1234u);
     EXPECT_EQ(back->active_txns, 3u);
     EXPECT_EQ(back->oldest_active_lsn, 0xDEADBEEFu);
+    EXPECT_EQ(back->stmt_latency_p50_us, 120u);
+    EXPECT_EQ(back->stmt_latency_p95_us, 800u);
+    EXPECT_EQ(back->stmt_latency_p99_us, 2500u);
+    EXPECT_EQ(back->slow_statements, 4u);
+    EXPECT_EQ(back->traced_statements, 17u);
+    EXPECT_EQ(back->net_request_p99_us, 3100u);
   }
   // A payload from an older peer (fewer fields) zero-fills the tail; a
   // newer peer's extra fields are skipped.
@@ -178,6 +190,39 @@ TEST(NetProtocolTest, ServerStatsRoundTripAndEvolution) {
   EXPECT_EQ(back->connections_accepted, 11u);
   EXPECT_EQ(back->connections_active, 22u);
   EXPECT_EQ(back->oldest_active_lsn, 0u);
+}
+
+TEST(NetProtocolTest, ServerStatsFromPreTelemetryPeerZeroFillsDigest) {
+  // A 17-field payload is exactly what a peer built before the telemetry
+  // digest (fields 18-23) shipped: every pre-existing field decodes, every
+  // telemetry field zero-fills.
+  std::string old_wire;
+  util::PutVarint64(&old_wire, 17);
+  for (uint64_t f = 1; f <= 17; ++f) util::PutVarint64(&old_wire, f * 100);
+  Slice in(old_wire);
+  auto back = DecodeServerStats(&in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->connections_accepted, 100u);
+  EXPECT_EQ(back->oldest_active_lsn, 1700u);  // field 17, the old tail
+  EXPECT_EQ(back->stmt_latency_p50_us, 0u);
+  EXPECT_EQ(back->stmt_latency_p95_us, 0u);
+  EXPECT_EQ(back->stmt_latency_p99_us, 0u);
+  EXPECT_EQ(back->slow_statements, 0u);
+  EXPECT_EQ(back->traced_statements, 0u);
+  EXPECT_EQ(back->net_request_p99_us, 0u);
+}
+
+TEST(NetProtocolTest, TextExecResultRoundTrip) {
+  mql::ExecResult r;
+  r.kind = mql::ExecResult::Kind::kText;
+  r.text = "EXPLAIN ANALYZE: 3 molecule(s)\ntotal 42 us (0 ms)\nparse ...";
+  std::string wire;
+  EncodeExecResult(r, &wire);
+  Slice in(wire);
+  auto back = DecodeExecResult(&in);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->kind, mql::ExecResult::Kind::kText);
+  EXPECT_EQ(back->text, r.text);
 }
 
 TEST(NetProtocolTest, FramesOverSocketpair) {
@@ -577,6 +622,45 @@ TEST(NetServerTest, SharedStatementCacheServesRepeatedExecutes) {
   auto final_stats = client->Stats();
   ASSERT_TRUE(final_stats.ok());
   EXPECT_GT(final_stats->stmt_cache_misses, before->stmt_cache_misses);
+}
+
+TEST(NetServerTest, ExplainAnalyzeAndMetricsOverTheWire) {
+  auto db = OpenServerDb();
+  ASSERT_NE(db, nullptr);
+  auto client = ConnectTo(*db);
+  ASSERT_NE(client, nullptr);
+  CreateItemType(client.get());
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(InsertItem(client.get(), i).ok());
+  }
+
+  // The span tree travels the wire as a kText result: same phases a local
+  // session would report, rendered server-side.
+  auto plan = client->Execute(
+      "EXPLAIN ANALYZE SELECT ALL FROM item WHERE num = 7");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->kind, mql::ExecResult::Kind::kText);
+  EXPECT_NE(plan->text.find("EXPLAIN ANALYZE: 1 molecule(s)"),
+            std::string::npos)
+      << plan->text;
+  EXPECT_NE(plan->text.find("parse"), std::string::npos);
+  EXPECT_NE(plan->text.find("plan"), std::string::npos);
+  EXPECT_NE(plan->text.find("execute"), std::string::npos);
+
+  // The metrics page round-trips through the kMetrics message.
+  auto page = client->MetricsText();
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_NE(page->find("prima_statement_us"), std::string::npos);
+  EXPECT_NE(page->find("prima_buffer_hits"), std::string::npos);
+  EXPECT_NE(page->find("prima_net_connections_active"), std::string::npos);
+
+  // The stats digest carries the statement-latency summary to old-style
+  // Stats() consumers too.
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->stmt_latency_p99_us, 0u);
+  EXPECT_GE(stats->stmt_latency_p99_us, stats->stmt_latency_p50_us);
+  EXPECT_GE(stats->traced_statements, 1u);  // the EXPLAIN ANALYZE above
 }
 
 // --- concurrency (the *Concurrent* filter runs under TSan in CI) ----------

@@ -1,0 +1,464 @@
+// Kernel telemetry tests: histogram bucket math and percentile accuracy,
+// the 8-thread merge storm, registry rendering, EXPLAIN ANALYZE span trees
+// (golden phase set: serial == pipelined), slow-query ring capture and
+// eviction, statement sampling, and the concurrent cursors-vs-snapshots
+// storm the TSan CI job runs against the lock-free stats paths.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/prima.h"
+#include "core/session.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace prima::obs {
+namespace {
+
+using core::Prima;
+using core::PrimaOptions;
+using core::Session;
+using mql::ExecResult;
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  for (uint64_t v = 0; v < kHistogramSubBuckets; ++v) {
+    const size_t idx = Histogram::BucketIndex(v);
+    EXPECT_EQ(Histogram::BucketLowerBound(idx), v);
+    EXPECT_EQ(Histogram::BucketUpperBound(idx), v + 1);
+  }
+}
+
+TEST(HistogramTest, BucketBoundsBracketTheValue) {
+  for (uint64_t v : {8ull, 9ull, 100ull, 1000ull, 4096ull, 65535ull,
+                     1000000ull, 123456789ull, (1ull << 40) + 17,
+                     ~0ull >> 1}) {
+    const size_t idx = Histogram::BucketIndex(v);
+    ASSERT_LT(idx, kHistogramBuckets);
+    EXPECT_LE(Histogram::BucketLowerBound(idx), v) << v;
+    EXPECT_GT(Histogram::BucketUpperBound(idx), v) << v;
+    // Log-linear contract: bucket width <= 12.5% of its lower bound.
+    const uint64_t lo = Histogram::BucketLowerBound(idx);
+    const uint64_t width = Histogram::BucketUpperBound(idx) - lo;
+    if (lo >= kHistogramSubBuckets) {
+      EXPECT_LE(width * 8, lo + 7) << "bucket too wide at " << v;
+    }
+  }
+}
+
+TEST(HistogramTest, PercentilesOnUniformData) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.sum, 500500u);
+  // Within the 12.5% bucket-width error bound (plus interpolation slack).
+  EXPECT_NEAR(static_cast<double>(snap.p50()), 500.0, 500.0 * 0.15);
+  EXPECT_NEAR(static_cast<double>(snap.p95()), 950.0, 950.0 * 0.15);
+  EXPECT_NEAR(static_cast<double>(snap.p99()), 990.0, 990.0 * 0.15);
+  EXPECT_EQ(snap.Mean(), 500u);
+}
+
+TEST(HistogramTest, EightThreadMergeStorm) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      const uint64_t value = static_cast<uint64_t>(t) * 10 + 1;
+      for (uint64_t i = 0; i < kPerThread; ++i) h.Record(value);
+    });
+  }
+  // Concurrent snapshots must always be internally sane (monotone counts,
+  // never torn below zero), even mid-storm.
+  for (int i = 0; i < 50; ++i) {
+    const HistogramSnapshot mid = h.Snapshot();
+    EXPECT_LE(mid.count, kThreads * kPerThread);
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  uint64_t want_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    want_sum = want_sum + (static_cast<uint64_t>(t) * 10 + 1) * kPerThread;
+  }
+  EXPECT_EQ(snap.sum, want_sum);
+}
+
+TEST(HistogramSnapshotTest, MergeAddsCountsAndBuckets) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.count, 200u);
+  EXPECT_EQ(merged.sum, 100u * 10 + 100u * 1000);
+  EXPECT_LE(merged.p50(), 12u);
+  EXPECT_GE(merged.p99(), 900u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersGaugesAndHistogramsRender) {
+  MetricsRegistry reg;
+  std::atomic<uint64_t> hits{42};
+  reg.RegisterCounter("prima_test_hits", &hits, "test counter");
+  reg.RegisterGauge("prima_test_depth", [] { return uint64_t{7}; });
+  Histogram* h = reg.RegisterHistogram("prima_test_us", "test latency");
+  h->Record(100);
+  h->Record(200);
+
+  const std::string text = reg.RenderText();
+  EXPECT_NE(text.find("# TYPE prima_test_hits counter"), std::string::npos);
+  EXPECT_NE(text.find("prima_test_hits 42"), std::string::npos);
+  EXPECT_NE(text.find("# HELP prima_test_hits test counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("prima_test_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("prima_test_us{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("prima_test_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("prima_test_us_sum 300"), std::string::npos);
+
+  hits.fetch_add(1);
+  EXPECT_NE(reg.RenderText().find("prima_test_hits 43"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HistogramRegistrationDedupsByName) {
+  MetricsRegistry reg;
+  Histogram* a = reg.RegisterHistogram("prima_same_us");
+  Histogram* b = reg.RegisterHistogram("prima_same_us");
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Trace plumbing
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, PhaseTreeAndKernelCounterFolding) {
+  StatementTrace trace;
+  trace.AddPhaseNs("parse", 1500);
+  trace.AddPhaseNs("execute", "assembly", 2500);
+  trace.buffer_hits.fetch_add(3);
+  trace.buffer_misses.fetch_add(1);
+  trace.buffer_miss_ns.fetch_add(5000);
+  trace.Finish();
+
+  const std::vector<std::string> names = trace.PhaseNames();
+  const std::set<std::string> set(names.begin(), names.end());
+  EXPECT_TRUE(set.count("parse"));
+  EXPECT_TRUE(set.count("execute/assembly"));
+  EXPECT_TRUE(set.count("buffer"));
+
+  const std::string text = trace.Render("test");
+  EXPECT_NE(text.find("[hits=3]"), std::string::npos);
+  EXPECT_NE(text.find("[misses=1]"), std::string::npos);
+}
+
+TEST(SlowQueryLogTest, CapturesAndEvictsOldestFirst) {
+  SlowQueryLog log(/*capacity=*/2);
+  log.Record("s1", 100, "t1");
+  log.Record("s2", 200, "t2");
+  log.Record("s3", 300, "t3");
+  EXPECT_EQ(log.captured(), 3u);
+  const std::vector<SlowStatement> snap = log.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].text, "s2");
+  EXPECT_EQ(snap[1].text, "s3");
+  EXPECT_LT(snap[0].sequence, snap[1].sequence);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE through the kernel
+// ---------------------------------------------------------------------------
+
+/// Phase paths ("execute/assembly") parsed back out of a rendered span
+/// tree: line 1 is the header, line 2 the total, then one phase per line,
+/// indented two spaces per depth.
+std::vector<std::string> PhasePaths(const std::string& rendered) {
+  std::vector<std::string> paths;
+  std::vector<std::string> stack;
+  std::istringstream in(rendered);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    if (++lineno <= 2 || line.empty()) continue;
+    const size_t indent = line.find_first_not_of(' ');
+    const size_t depth = indent / 2;
+    std::istringstream fields(line);
+    std::string name;
+    fields >> name;
+    stack.resize(depth);
+    stack.push_back(name);
+    std::string path;
+    for (const std::string& s : stack) {
+      if (!path.empty()) path += "/";
+      path += s;
+    }
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+/// Microsecond reading of one top-level or nested phase line.
+uint64_t PhaseUs(const std::string& rendered, const std::string& phase) {
+  std::istringstream in(rendered);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string name;
+    uint64_t us = 0;
+    if ((fields >> name >> us) && name == phase) return us;
+  }
+  return 0;
+}
+
+std::unique_ptr<Prima> OpenDb(PrimaOptions options = {}) {
+  auto db = Prima::Open(std::move(options));
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return db.ok() ? std::move(*db) : nullptr;
+}
+
+void LoadItems(Session* session, int n) {
+  auto ddl = session->Execute(
+      "CREATE ATOM_TYPE item (item_id: IDENTIFIER, num: INTEGER, "
+      "name: CHAR_VAR) KEYS_ARE (num)");
+  ASSERT_TRUE(ddl.ok()) << ddl.status().ToString();
+  for (int i = 1; i <= n; ++i) {
+    auto r = session->Execute("INSERT item (num = " + std::to_string(i) +
+                              ", name = 'i" + std::to_string(i) + "')");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+}
+
+TEST(ExplainAnalyzeTest, EqKeySelectReportsDistinctPhases) {
+  auto db = OpenDb();
+  ASSERT_NE(db, nullptr);
+  auto session = db->OpenSession();
+  LoadItems(session.get(), 50);
+
+  auto r = session->Execute(
+      "EXPLAIN ANALYZE SELECT ALL FROM item WHERE num = 17");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->kind, ExecResult::Kind::kText);
+  const std::string& text = r->text;
+
+  const std::vector<std::string> paths = PhasePaths(text);
+  const std::set<std::string> set(paths.begin(), paths.end());
+  EXPECT_TRUE(set.count("parse")) << text;
+  EXPECT_TRUE(set.count("plan")) << text;
+  EXPECT_TRUE(set.count("execute/roots")) << text;
+  EXPECT_TRUE(set.count("execute/assembly")) << text;
+  EXPECT_TRUE(set.count("buffer")) << text;
+  // EXPLAIN ANALYZE bypasses the statement cache, so parse and plan carry
+  // real, non-zero time and the plan phase shows the cache miss.
+  EXPECT_GT(PhaseUs(text, "parse"), 0u) << text;
+  EXPECT_NE(text.find("[cache_miss=1]"), std::string::npos) << text;
+  EXPECT_NE(text.find("[hits="), std::string::npos) << text;
+  EXPECT_NE(text.find("molecule(s)"), std::string::npos) << text;
+}
+
+TEST(ExplainAnalyzeTest, SerialAndPipelinedRunTheSamePhases) {
+  // Two kernels over the same data, one with serial cursor assembly, one
+  // pipelined over 4 workers. The span trees must show the SAME phase set —
+  // the pipeline changes where time is spent, never what the phases are.
+  std::set<std::string> phase_sets[2];
+  std::string texts[2];
+  int i = 0;
+  for (const size_t assembly_threads : {size_t{1}, size_t{4}}) {
+    PrimaOptions options;
+    options.cursor_assembly_threads = assembly_threads;
+    auto db = OpenDb(options);
+  ASSERT_NE(db, nullptr);
+    auto session = db->OpenSession();
+    LoadItems(session.get(), 120);
+    auto r = session->Execute("EXPLAIN ANALYZE SELECT ALL FROM item");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->kind, ExecResult::Kind::kText);
+    const std::vector<std::string> paths = PhasePaths(r->text);
+    phase_sets[i] = std::set<std::string>(paths.begin(), paths.end());
+    texts[i] = r->text;
+    ++i;
+  }
+  EXPECT_EQ(phase_sets[0], phase_sets[1])
+      << "serial:\n" << texts[0] << "\npipelined:\n" << texts[1];
+  EXPECT_TRUE(phase_sets[0].count("execute/assembly"));
+  EXPECT_TRUE(phase_sets[0].count("execute/project"));
+  // The pipelined tree additionally accounts the workers' busy time as a
+  // counter on the same assembly phase.
+  EXPECT_NE(texts[1].find("[worker_busy_us="), std::string::npos) << texts[1];
+  // 120-item scans spend real time assembling on both paths.
+  EXPECT_GT(PhaseUs(texts[0], "assembly"), 0u) << texts[0];
+}
+
+TEST(ExplainAnalyzeTest, NeverCachedAndRefusedWhereItCannotTrace) {
+  auto db = OpenDb();
+  ASSERT_NE(db, nullptr);
+  auto session = db->OpenSession();
+  LoadItems(session.get(), 5);
+
+  // Repeated EXPLAIN ANALYZE must re-parse every time (a cache hit would
+  // blank the parse/plan phases).
+  for (int i = 0; i < 3; ++i) {
+    auto r = session->Execute(
+        "EXPLAIN ANALYZE SELECT ALL FROM item WHERE num = 2");
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r->text.find("[cache_miss=1]"), std::string::npos) << r->text;
+  }
+
+  EXPECT_FALSE(session->Execute("EXPLAIN ANALYZE BEGIN WORK").ok());
+  EXPECT_FALSE(
+      session->Execute("EXPLAIN ANALYZE SELECT ALL FROM item WHERE num = ?")
+          .ok());
+  EXPECT_FALSE(session->Query("EXPLAIN ANALYZE SELECT ALL FROM item").ok());
+  EXPECT_FALSE(
+      session->Prepare("EXPLAIN ANALYZE SELECT ALL FROM item").ok());
+
+  // DML traces too: the commit phase shows the WAL force wait.
+  auto ins = session->Execute("EXPLAIN ANALYZE INSERT item (num = 99, "
+                              "name = 'x')");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_NE(ins->text.find("commit"), std::string::npos) << ins->text;
+  EXPECT_NE(ins->text.find("inserted"), std::string::npos) << ins->text;
+}
+
+// ---------------------------------------------------------------------------
+// Production tracing knobs
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTest, SlowQueryRingCapturesAndEvicts) {
+  PrimaOptions options;
+  options.slow_statement_us = 1;  // everything is "slow"
+  options.slow_log_capacity = 2;
+  auto db = OpenDb(options);
+  ASSERT_NE(db, nullptr);
+  auto session = db->OpenSession();
+  LoadItems(session.get(), 10);
+
+  auto s1 = session->Execute("SELECT ALL FROM item WHERE num = 1");
+  auto s2 = session->Execute("SELECT ALL FROM item WHERE num = 2");
+  auto s3 = session->Execute("SELECT ALL FROM item WHERE num = 3");
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+
+  const auto slow = db->slow_statements();
+  ASSERT_EQ(slow.size(), 2u);  // capacity bound held, oldest evicted
+  EXPECT_EQ(slow[1].text, "SELECT ALL FROM item WHERE num = 3");
+  EXPECT_NE(slow[1].trace.find("parse"), std::string::npos);
+  EXPECT_GE(db->stats().slow_statements, 3u);
+  // Arming the slow-query knob traces every statement.
+  EXPECT_GT(db->stats().traced_statements, 0u);
+}
+
+TEST(TelemetryTest, SamplingTracesEveryNthStatement) {
+  PrimaOptions options;
+  options.trace_sample_n = 2;
+  auto db = OpenDb(options);
+  ASSERT_NE(db, nullptr);
+  auto session = db->OpenSession();
+  LoadItems(session.get(), 4);
+  const uint64_t traced = db->stats().traced_statements;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(session->Execute("SELECT ALL FROM item WHERE num = 1").ok());
+  }
+  const uint64_t delta = db->stats().traced_statements - traced;
+  EXPECT_GE(delta, 4u);
+  EXPECT_LE(delta, 6u);
+}
+
+TEST(TelemetryTest, StatsSnapshotIsCoherentAcrossLayers) {
+  auto db = OpenDb();
+  ASSERT_NE(db, nullptr);
+  auto session = db->OpenSession();
+  LoadItems(session.get(), 30);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(session->Execute("SELECT ALL FROM item").ok());
+  }
+  const auto snap = db->stats();
+  EXPECT_GT(snap.statement_us.count, 0u);  // every statement recorded
+  EXPECT_GT(snap.data.queries, 0u);
+  EXPECT_GT(snap.data.molecules_built, 0u);
+  EXPECT_GT(snap.access.atoms_inserted, 0u);
+  EXPECT_GT(snap.buffer.hits + snap.buffer.misses, 0u);
+  EXPECT_GT(snap.wal.records_appended, 0u);
+  EXPECT_EQ(snap.net.connections_accepted, 0u);  // no server running
+
+  const std::string page = db->MetricsText();
+  EXPECT_NE(page.find("prima_statement_us"), std::string::npos);
+  EXPECT_NE(page.find("prima_buffer_hits"), std::string::npos);
+  EXPECT_NE(page.find("prima_atoms_inserted"), std::string::npos);
+  EXPECT_NE(page.find("prima_wal_records_appended"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency storm (the TSan CI filter: ObsTest.Concurrent*)
+// ---------------------------------------------------------------------------
+
+TEST(ObsTest, ConcurrentCursorsVersusSnapshots) {
+  PrimaOptions options;
+  options.cursor_assembly_threads = 4;  // pipelined: workers hit the trace
+  options.trace_sample_n = 1;           // every statement carries a trace
+  auto db = OpenDb(options);
+  ASSERT_NE(db, nullptr);
+  {
+    auto setup = db->OpenSession();
+    LoadItems(setup.get(), 60);
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 25;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> statements{0};
+
+  // One thread polls every observable surface while the others execute.
+  std::thread observer([&] {
+    uint64_t last_count = 0;
+    while (!stop.load()) {
+      const auto snap = db->stats();
+      EXPECT_GE(snap.statement_us.count, last_count);  // monotone, never torn
+      last_count = snap.statement_us.count;
+      const std::string page = db->MetricsText();
+      EXPECT_FALSE(page.empty());
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&db, &statements, t] {
+      auto session = db->OpenSession();
+      for (int i = 0; i < kIterations; ++i) {
+        const int num = 1 + (t * kIterations + i) % 60;
+        auto r = session->Execute("SELECT ALL FROM item WHERE num = " +
+                                  std::to_string(num));
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        statements.fetch_add(1);
+        auto scan = session->Execute("EXPLAIN ANALYZE SELECT ALL FROM item");
+        ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+        statements.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  stop.store(true);
+  observer.join();
+
+  const auto snap = db->stats();
+  // Every worker statement landed in the latency histogram (setup DDL/DML
+  // recorded on top of the workers' count).
+  EXPECT_GE(snap.statement_us.count, kThreads * kIterations * 2u);
+  EXPECT_GE(snap.traced_statements, kThreads * kIterations * 2u);
+}
+
+}  // namespace
+}  // namespace prima::obs
