@@ -136,7 +136,33 @@ int main() {
   }
   std::printf("streamed %zu molecule(s), then closed early\n", streamed);
 
-  // 8. LDL: install an atom cluster; the same query now assembles its
+  // 8. Snapshot reads: a cursor opened with Isolation::kSnapshot pins the
+  //    commit point it was opened at and resolves every atom against the
+  //    in-memory version chains — writers committing mid-drain neither
+  //    block it nor appear in it. BEGIN WORK READ ONLY pins one such view
+  //    for a whole transaction (repeatable reads, DML refused).
+  std::printf("\n--- snapshot isolation\n");
+  auto pinned = session->Query("SELECT ALL FROM solid WHERE solid_no = 9000",
+                               prima::core::Isolation::kSnapshot);
+  Check(pinned.status(), "snapshot cursor");
+  auto writer = db->OpenSession();
+  Check(writer
+            ->Execute("MODIFY solid SET description = 'overwritten' "
+                      "WHERE solid_no = 9000")
+            .status(),
+        "overwrite");
+  auto frozen = pinned->Next();
+  Check(frozen.status(), "snapshot next");
+  std::printf("snapshot cursor still reads '%s' after the commit\n",
+              (*frozen)->groups[0].atoms[0].attrs[2].AsString().c_str());
+  Check(session->Execute("BEGIN WORK READ ONLY").status(), "read only");
+  auto refused =
+      session->Execute("INSERT solid (solid_no = 9002, description = 'no')");
+  std::printf("DML inside READ ONLY: %s\n",
+              refused.status().ToString().c_str());
+  Check(session->Execute("COMMIT WORK").status(), "commit read only");
+
+  // 9. LDL: install an atom cluster; the same query now assembles its
   //    molecule from one materialized page sequence — transparently.
   auto ldl = db->ExecuteLdl(
       "CREATE ATOM CLUSTER brep_cluster ON brep (faces, edges, points)");
@@ -150,7 +176,7 @@ int main() {
               again->molecules.size(),
               (unsigned long long)db->data().stats().cluster_assemblies.load());
 
-  // 9. Observability: EXPLAIN ANALYZE renders the statement's span tree —
+  // 10. Observability: EXPLAIN ANALYZE renders the statement's span tree —
   //    parse, plan (cache hit/miss), execute/roots, execute/assembly,
   //    execute/project, and the buffer hit/miss split — with measured
   //    timings from this very execution, not estimates.
@@ -161,7 +187,7 @@ int main() {
   Check(analyzed.status(), "explain analyze");
   std::printf("%s", analyzed->text.c_str());
 
-  // 10. The metrics page: every kernel counter and latency histogram in one
+  // 11. The metrics page: every kernel counter and latency histogram in one
   //     Prometheus-style dump (also served remotely via
   //     net::Client::MetricsText). Here, just the statement-latency summary.
   const std::string page = db->MetricsText();

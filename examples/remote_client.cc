@@ -4,8 +4,9 @@
 // and walks the full remote surface: DDL and DML round trips, an explicit
 // transaction held open across round trips, a prepared statement with
 // bound placeholders, a streaming molecule cursor fetched in batches, the
-// abort-invalidates-remote-cursors contract, and the server's wedged-ring
-// gauge on the wire.
+// abort-invalidates-remote-cursors contract, snapshot isolation over the
+// wire (per-cursor, per-connection default, and BEGIN WORK READ ONLY), and
+// the server's wedged-ring and version-store gauges on the wire.
 //
 //   $ ./remote_client
 
@@ -101,8 +102,41 @@ int main() {
   std::printf("fetch after abort: %s\n",
               after_abort.status().ToString().c_str());  // Aborted: ...
 
-  // The server stats message carries the WAL wedged-ring gauge, so a
-  // remote operator can spot a long transaction pinning the undo floor.
+  // Snapshot isolation crosses the wire at three tiers. A cursor opened
+  // with Isolation::kSnapshot pins the commit point it was opened at; the
+  // writer below commits mid-stream without blocking or appearing in it.
+  auto pinned_or = client->OpenCursor("SELECT ALL FROM city",
+                                      /*batch_size=*/1,
+                                      net::Isolation::kSnapshot);
+  Check(pinned_or.status(), "open snapshot cursor");
+  auto pinned = std::move(*pinned_or);
+  Check(client->Execute("MODIFY city SET pop = 0").status(), "clobber");
+  int frozen = 0;
+  for (;;) {
+    auto m = pinned.Next();
+    Check(m.status(), "snapshot fetch");
+    if (!m->has_value()) break;
+    if ((*m)->groups[0].atoms[0].attrs[1].AsInt() > 0) ++frozen;
+  }
+  std::printf("snapshot cursor still saw %d pre-clobber populations\n",
+              frozen);
+  Check(pinned.Close(), "close snapshot cursor");
+
+  // Tier two: a connection-wide default, so every later query on this
+  // connection reads a fresh snapshot without per-call annotation. Tier
+  // three: Begin(true) == BEGIN WORK READ ONLY pins ONE snapshot for a
+  // whole transaction — repeatable across round trips, DML refused.
+  Check(client->set_default_isolation(net::Isolation::kSnapshot),
+        "set isolation");
+  Check(client->Begin(/*read_only=*/true), "begin read only");
+  auto refused = client->Execute("INSERT city (pop = 1, name = 'Nope')");
+  std::printf("DML inside READ ONLY: %s\n",
+              refused.status().ToString().c_str());
+  Check(client->Commit(), "commit read only");
+
+  // The server stats message carries the WAL wedged-ring gauge and the
+  // version-store gauges, so a remote operator can spot a long transaction
+  // pinning the undo floor — or a long snapshot pinning old versions.
   auto stats_or = client->Stats();
   Check(stats_or.status(), "stats");
   std::printf("server: %llu statements over %llu connections, "
@@ -111,6 +145,11 @@ int main() {
               static_cast<unsigned long long>(stats_or->connections_accepted),
               static_cast<unsigned long long>(stats_or->active_txns),
               static_cast<unsigned long long>(stats_or->wal_live_bytes));
+  std::printf("version store: %llu retained, %llu resolved, "
+              "%llu snapshots active\n",
+              static_cast<unsigned long long>(stats_or->versions_retained),
+              static_cast<unsigned long long>(stats_or->versions_resolved),
+              static_cast<unsigned long long>(stats_or->snapshots_active));
 
   Check(client->Close(), "goodbye");
   return 0;

@@ -619,6 +619,14 @@ Status AccessSystem::WriteBaseAtom(const Tid& tid, const Atom& atom,
   return Status::Ok();
 }
 
+void AccessSystem::InstallVersion(const Tid& tid, const Atom* before) {
+  // tls_wal_txn == 0 means a system/auto-commit write with no transaction to
+  // stamp — those publish immediately and never need a chain. The Raw*
+  // compensation ops bypass this function entirely, on purpose: rollback
+  // restores exactly the before-images the chain already carries.
+  if (tls_wal_txn != 0) versions_.Install(tls_wal_txn, tid, before);
+}
+
 // ---------------------------------------------------------------------------
 // Referential integrity (back-reference maintenance)
 // ---------------------------------------------------------------------------
@@ -651,6 +659,7 @@ Status AccessSystem::AddBackRef(const Tid& atom_tid, uint16_t attr,
                                 " exceeds max cardinality");
     }
   }
+  InstallVersion(atom_tid, &old_atom);
   PRIMA_RETURN_IF_ERROR(WriteBaseAtom(atom_tid, atom, /*is_new=*/false));
   stats_.backref_maintenance++;
   {
@@ -690,6 +699,7 @@ Status AccessSystem::RemoveBackRef(const Tid& atom_tid, uint16_t attr,
                                 }),
                  elems->end());
   }
+  InstallVersion(atom_tid, &old_atom);
   PRIMA_RETURN_IF_ERROR(WriteBaseAtom(atom_tid, atom, /*is_new=*/false));
   stats_.backref_maintenance++;
   {
@@ -806,6 +816,7 @@ Result<Tid> AccessSystem::InsertAtom(AtomTypeId type,
     }
   }
 
+  InstallVersion(tid, /*before=*/nullptr);
   PRIMA_RETURN_IF_ERROR(WriteBaseAtom(tid, atom, /*is_new=*/true));
   PRIMA_RETURN_IF_ERROR(MaintainAccessPaths(*def, nullptr, &atom, tid));
   PRIMA_RETURN_IF_ERROR(EnqueueRedundancy(*def, nullptr, &atom, tid));
@@ -828,9 +839,12 @@ Result<Atom> AccessSystem::GetAtom(const Tid& tid,
     return Status::NotFound("atom type id " + std::to_string(tid.type));
   }
   stats_.atoms_read++;
-  if (!projection.empty()) {
+  const ReadView* view = CurrentReadView();
+  if (!projection.empty() && view == nullptr) {
     // Minimum-access-cost materialization: a partition covering the
-    // projection moves fewer bytes than the base record.
+    // projection moves fewer bytes than the base record. Skipped under a
+    // read view — partition copies are maintained by deferred drains and
+    // carry no version chain, so only the base record can be resolved.
     for (const StructureDef* s : catalog_.StructuresFor(tid.type)) {
       if (s->kind != StructureKind::kPartition) continue;
       std::set<uint16_t> have(s->attrs.begin(), s->attrs.end());
@@ -854,7 +868,28 @@ Result<Atom> AccessSystem::GetAtom(const Tid& tid,
       return atom;
     }
   }
-  PRIMA_ASSIGN_OR_RETURN(Atom atom, ReadBaseAtom(tid));
+  // Base first, THEN the chain: writers install the chain entry before the
+  // base record changes, so a reader that sees a too-new base value is
+  // guaranteed to find the entry that rescues the old one. The reverse
+  // order would race.
+  Result<Atom> base = ReadBaseAtom(tid);
+  Atom atom;
+  if (view != nullptr) {
+    VersionStore::Resolution res = versions_.Resolve(tid, *view);
+    if (res.outcome == VersionStore::Outcome::kInvisible) {
+      return Status::NotFound("atom " + tid.ToString() +
+                              " is not visible in this snapshot");
+    }
+    if (res.outcome == VersionStore::Outcome::kBefore) {
+      atom = std::move(*res.before);  // rescues deleted atoms too
+    } else {
+      PRIMA_RETURN_IF_ERROR(base.status());
+      atom = std::move(base).value();
+    }
+  } else {
+    PRIMA_RETURN_IF_ERROR(base.status());
+    atom = std::move(base).value();
+  }
   if (!projection.empty()) {
     std::set<uint16_t> keep(projection.begin(), projection.end());
     keep.insert(def->identifier_attr);
@@ -944,6 +979,7 @@ Status AccessSystem::ModifyAtom(const Tid& tid, std::vector<AttrValue> changes) 
     }
   }
 
+  InstallVersion(tid, &old_atom);
   PRIMA_RETURN_IF_ERROR(WriteBaseAtom(tid, atom, /*is_new=*/false));
   PRIMA_RETURN_IF_ERROR(MaintainAccessPaths(*def, &old_atom, &atom, tid));
   PRIMA_RETURN_IF_ERROR(EnqueueRedundancy(*def, &old_atom, &atom, tid));
@@ -967,6 +1003,9 @@ Status AccessSystem::DeleteAtom(const Tid& tid) {
     return Status::NotFound("atom type id " + std::to_string(tid.type));
   }
   PRIMA_ASSIGN_OR_RETURN(const Atom atom, ReadBaseAtom(tid));
+  // Install at the TOP — before the index entries go, so a snapshot scan's
+  // ghost pass can still find this atom by its chain after the delete.
+  InstallVersion(tid, &atom);
 
   // Disconnect every association (symmetry: all relationships touching this
   // atom appear in its own attributes, forward or back).

@@ -20,6 +20,7 @@
 #include "access/search_arg.h"
 #include "access/tid.h"
 #include "access/value.h"
+#include "access/version_store.h"
 #include "storage/storage_system.h"
 
 namespace prima::recovery {
@@ -152,6 +153,13 @@ class AccessSystem {
   /// Read an atom — whole, or only selected attributes (`projection` of
   /// attribute ids; empty = all). Serves covered projections from a
   /// partition when one exists (cheapest materialization wins).
+  ///
+  /// Snapshot reads: when a ReadViewScope is active on the calling thread,
+  /// the atom is resolved against that view — the current record if every
+  /// chained write is visible, the appropriate before-image otherwise, and
+  /// NotFound for atoms the view predates. A deleted atom whose delete the
+  /// view cannot see resolves to its pre-delete image. The partition fast
+  /// path is skipped under a view (partition copies are not versioned).
   util::Result<Atom> GetAtom(const Tid& tid,
                              const std::vector<uint16_t>& projection = {});
 
@@ -287,6 +295,10 @@ class AccessSystem {
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
   AddressTable& addresses() { return addresses_; }
+  /// In-memory version chains for snapshot reads. Writers install pending
+  /// before-images here (at the same sites that fire the undo hook); the
+  /// transaction layer stamps them at commit and drops them at abort.
+  VersionStore& versions() { return versions_; }
   storage::StorageSystem& storage() { return *storage_; }
   AccessStats& stats() { return stats_; }
   const AccessOptions& options() const { return options_; }
@@ -367,6 +379,13 @@ class AccessSystem {
   uint64_t LogAtomOp(UndoRecord::Kind kind, const Tid& tid, const Atom* before,
                      bool clr);
 
+  /// Install a pending version chain entry for the current thread's
+  /// transaction (no-op for system/auto-commit writes and for the Raw*
+  /// compensations, which never call it). MUST run before the base record
+  /// is overwritten: a snapshot reader reads base-then-chain, so the chain
+  /// entry has to exist by the time the base can show the new value.
+  void InstallVersion(const Tid& tid, const Atom* before);
+
   /// Record a structure's root/meta page move: in the catalog (in memory;
   /// persisted wholesale at the next checkpoint) AND as a kStructRoot log
   /// record, so a crash between the split and the checkpoint re-points the
@@ -378,6 +397,7 @@ class AccessSystem {
   Catalog catalog_;
   AddressTable addresses_;
   AccessStats stats_;
+  VersionStore versions_;
 
   std::map<AtomTypeId, std::unique_ptr<RecordFile>> base_files_;
   std::map<uint32_t, std::unique_ptr<BTree>> btrees_;

@@ -100,6 +100,15 @@ Result<std::unique_ptr<Prima>> Prima::Open(PrimaOptions options) {
     media_start_lsn = restored.start_lsn;
   }
   PRIMA_RETURN_IF_ERROR(db->storage_->Open());
+  if (!options.wal) {
+    // Open() tolerates zero-headered segment files only because WAL replay
+    // can reinstate (or disprove) them; with no log there is no verdict.
+    const auto torn = db->storage_->CrashTornSegments();
+    if (!torn.empty()) {
+      return Status::Corruption("segment " + std::to_string(torn.front()) +
+                                ": zeroed header and no log to replay it");
+    }
+  }
 
   if (options.wal) {
     // Restart protocol: repeat history on pages before the access layer
@@ -311,6 +320,26 @@ void Prima::RegisterKernelMetrics() {
   reg.RegisterCounter("prima_atoms_deleted", &acc.atoms_deleted);
   reg.RegisterCounter("prima_deferred_enqueued", &acc.deferred_enqueued, "deferred redundancy updates queued");
   reg.RegisterCounter("prima_deferred_applied", &acc.deferred_applied, "deferred redundancy updates drained");
+  // Version store (MVCC snapshot reads).
+  access::VersionStoreStats& ver = access_->versions().stats();
+  reg.RegisterCounter("prima_versions_installed", &ver.versions_installed, "before-images chained by writers");
+  reg.RegisterCounter("prima_versions_retired", &ver.versions_retired, "chain entries trimmed by the watermark");
+  reg.RegisterCounter("prima_versions_resolved", &ver.versions_resolved, "snapshot reads served off-chain");
+  reg.RegisterCounter("prima_version_chain_walks", &ver.chain_walks, "Resolve calls that found a chain");
+  reg.RegisterCounter("prima_version_chain_depth_1", &ver.chain_depth_1, "chain walks visiting 1 entry");
+  reg.RegisterCounter("prima_version_chain_depth_2", &ver.chain_depth_2, "chain walks visiting 2 entries");
+  reg.RegisterCounter("prima_version_chain_depth_3", &ver.chain_depth_3, "chain walks visiting 3 entries");
+  reg.RegisterCounter("prima_version_chain_depth_4plus", &ver.chain_depth_4plus, "chain walks visiting >= 4 entries");
+  reg.RegisterCounter("prima_snapshots_opened", &ver.snapshots_opened, "read views pinned, ever");
+  reg.RegisterGauge("prima_versions_retained",
+                    [this] { return access_->versions().StatsSnapshot().versions_retained; },
+                    "chain entries live right now");
+  reg.RegisterGauge("prima_snapshots_active",
+                    [this] { return access_->versions().StatsSnapshot().snapshots_active; },
+                    "read views pinned right now");
+  reg.RegisterGauge("prima_versions_oldest_snapshot_lsn",
+                    [this] { return access_->versions().StatsSnapshot().oldest_snapshot_lsn; },
+                    "commit LSN the oldest pinned snapshot holds retirement at (0 = none)");
   // Data system.
   mql::DataStats& data = data_->stats();
   reg.RegisterCounter("prima_queries", &data.queries, "cursors opened (all query paths)");
@@ -354,6 +383,7 @@ PrimaStatsSnapshot Prima::stats() const {
   s.data = mql::SnapshotStats(data_->stats());
   s.access = access::SnapshotStats(access_->stats());
   s.wal = wal_stats();
+  s.versions = access_->versions().StatsSnapshot();
   if (net_ != nullptr) s.net = net_->Stats();
   s.statement_us = telemetry_->statement_us()->Snapshot();
   s.traced_statements = telemetry_->traced();

@@ -41,6 +41,10 @@ struct PrimaStatsSnapshot {
   access::AccessStatsSnapshot access;
   /// Log counters + footprint; all zero when the database runs without WAL.
   recovery::WalStatsSnapshot wal;
+  /// Version-store health (MVCC snapshot reads): chains installed/retired,
+  /// chain-walk resolution counters and depth histogram, live snapshot
+  /// pins, and the oldest LSN a pinned snapshot holds the watermark at.
+  access::VersionStoreStatsSnapshot versions;
   /// Network front-door gauge; all zero without a server.
   net::ServerStats net;
   /// Statement latency distribution (microseconds) across every session.
@@ -232,6 +236,39 @@ struct PrimaOptions {
 /// rollback, including the one a dropped connection triggers) invalidates
 /// it, and the next Fetch reports Aborted. Closing a cursor or statement
 /// id twice is rejected cleanly with NotFound; the connection survives.
+///
+/// Isolation — writers always lock (nested two-phase locking on atoms);
+/// readers choose how they see them per session, per statement, or per
+/// transaction:
+///
+///   Isolation::kLatestCommitted  (default) each atom read returns the
+///                  newest state the access system holds — the historical
+///                  behavior. No read locks, no versioning cost.
+///   Isolation::kSnapshot         the cursor pins a read view at open and
+///                  resolves every atom against the in-memory version
+///                  chains to its state as of that instant — a scan never
+///                  sees half of a concurrent transaction, and never waits
+///                  for a writer's lock. Still zero read locks.
+///
+///   session->set_default_isolation(core::Isolation::kSnapshot);
+///   auto cursor = *session->Query("SELECT ALL FROM point");  // snapshot
+///   // ... or per call:
+///   auto c2 = *session->Query("SELECT ALL FROM point",
+///                             core::Isolation::kLatestCommitted);
+///
+///   session->Execute("BEGIN WORK READ ONLY");   // one view, pinned
+///   // every query here reads the SAME snapshot (repeatable); DML/DDL
+///   // are refused until...
+///   session->Execute("COMMIT WORK");            // releases the pin
+///
+/// Version chains live in memory only (they are rebuilt empty at restart —
+/// recovery's compensations restore the base state they describe) and are
+/// retired as soon as no pinned snapshot can need them; watch the
+/// prima_versions_* metrics, stats().versions, and the
+/// prima_versions_oldest_snapshot_lsn gauge for a pin holding retirement
+/// back. The same isolation surface is served remotely
+/// (net::Client::set_default_isolation, BEGIN WORK READ ONLY over the
+/// wire).
 ///
 /// Scaling knobs — by default the kernel scales the read path to the
 /// hardware; three PrimaOptions fields tune it:

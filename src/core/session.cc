@@ -59,6 +59,12 @@ bool IsDml(Statement::Kind kind) {
          kind == Statement::Kind::kConnect;
 }
 
+bool IsDdl(Statement::Kind kind) {
+  return kind == Statement::Kind::kCreateAtomType ||
+         kind == Statement::Kind::kDefineMoleculeType ||
+         kind == Statement::Kind::kDrop;
+}
+
 /// Text peek for the EXPLAIN ANALYZE prefix, tolerant of leading
 /// whitespace and `(* ... *)` comments. Tracing must be armed BEFORE the
 /// statement is parsed (the parse span is part of the report), and the
@@ -118,10 +124,12 @@ Session::Session(mql::DataSystem* data, TransactionManager* txns)
 
 Session::~Session() {
   // Roll back whatever the client left open — a vanished session must not
-  // leave its uncommitted work (or its locks) behind.
+  // leave its uncommitted work (or its locks) behind. A read-only pin left
+  // open would hold the version-store watermark down forever.
   while (!txn_stack_.empty()) {
     (void)AbortWork();
   }
+  read_only_pin_.reset();
   InvalidateCursors();
 }
 
@@ -131,7 +139,22 @@ void Session::InvalidateCursors() {
   cursor_epoch_ = std::make_shared<std::atomic<bool>>(false);
 }
 
-Status Session::BeginWork() {
+Status Session::BeginWork(bool read_only) {
+  if (read_only_pin_ != nullptr) {
+    // A read-only transaction has no subtransactions: there is nothing to
+    // write, so there is nothing to scope a partial rollback around.
+    return Status::InvalidArgument(
+        "BEGIN WORK inside a READ ONLY transaction - COMMIT WORK first");
+  }
+  if (read_only) {
+    if (!txn_stack_.empty()) {
+      return Status::InvalidArgument(
+          "BEGIN WORK READ ONLY must start at top level, not inside an open "
+          "transaction");
+    }
+    read_only_pin_ = data_->access().versions().OpenSnapshot(/*own_txn=*/0);
+    return Status::Ok();
+  }
   Transaction* txn = nullptr;
   if (txn_stack_.empty()) {
     PRIMA_ASSIGN_OR_RETURN(txn, txns_->Begin());
@@ -143,6 +166,12 @@ Status Session::BeginWork() {
 }
 
 Status Session::CommitWork() {
+  if (read_only_pin_ != nullptr) {
+    // Nothing to make durable — releasing the pin lets the version store
+    // retire everything this view was holding.
+    read_only_pin_.reset();
+    return Status::Ok();
+  }
   if (txn_stack_.empty()) {
     return Status::InvalidArgument("COMMIT WORK outside a transaction");
   }
@@ -159,6 +188,12 @@ Status Session::CommitWork() {
 }
 
 Status Session::AbortWork() {
+  if (read_only_pin_ != nullptr) {
+    // Identical to COMMIT for a read-only transaction: no writes to roll
+    // back, and the session's cursors stay valid — nothing they read moved.
+    read_only_pin_.reset();
+    return Status::Ok();
+  }
   if (txn_stack_.empty()) {
     return Status::InvalidArgument("ABORT WORK outside a transaction");
   }
@@ -178,6 +213,18 @@ Status Session::AbortWork() {
 
 Result<ExecResult> Session::ExecuteStatement(const Statement& stmt,
                                              const mql::QueryPlan* plan) {
+  if (read_only_pin_ != nullptr) {
+    if (IsDml(stmt.kind)) {
+      return Status::InvalidArgument(
+          "DML is not allowed in a READ ONLY transaction - COMMIT WORK "
+          "first");
+    }
+    if (IsDdl(stmt.kind)) {
+      return Status::InvalidArgument(
+          "DDL is not allowed in a READ ONLY transaction - COMMIT WORK "
+          "first");
+    }
+  }
   if (!IsDml(stmt.kind)) {
     // Queries read without locks (as ever); DDL is untransacted (catalog
     // changes are not undo-logged — see ROADMAP "log catalog/DDL
@@ -230,20 +277,46 @@ Result<ExecResult> Session::ExecuteStatement(const Statement& stmt,
   return result;
 }
 
+std::shared_ptr<access::VersionStore::Pin> Session::PinForQuery(
+    std::optional<Isolation> isolation) {
+  if (read_only_pin_ != nullptr) {
+    // All statements of a READ ONLY transaction share the one view pinned
+    // at BEGIN — that sharing IS the repeatability guarantee.
+    return read_only_pin_;
+  }
+  if (isolation.value_or(default_isolation_) != Isolation::kSnapshot) {
+    return nullptr;
+  }
+  // Statement-level snapshot: a fresh view per cursor. Inside an open
+  // read-write transaction the view carries the root transaction id, so
+  // the session still sees its own uncommitted writes.
+  const uint64_t own_txn =
+      txn_stack_.empty() ? 0 : txn_stack_.front()->id();
+  return data_->access().versions().OpenSnapshot(own_txn);
+}
+
 Result<MoleculeCursor> Session::OpenCursor(mql::Query query,
-                                           const mql::QueryPlan* plan) {
+                                           const mql::QueryPlan* plan,
+                                           std::optional<Isolation> isolation) {
+  std::shared_ptr<access::VersionStore::Pin> snapshot = PinForQuery(isolation);
   std::shared_ptr<const std::atomic<bool>> token;
-  {
+  if (snapshot == nullptr || snapshot->view().own_txn != 0) {
+    // Snapshot cursors with no transaction of their own skip the
+    // invalidation token on purpose: an abort's compensations restore
+    // exactly the before-images the version chains already serve, so the
+    // pinned view stays coherent through it. A view that CAN see its own
+    // transaction's writes keeps the token — those writes vanish on abort.
     std::lock_guard<std::mutex> lock(epoch_mu_);
     token = cursor_epoch_;
   }
   if (plan != nullptr) {
     return data_->executor().OpenCursorWithPlan(std::move(query), *plan,
                                                 std::move(token),
-                                                active_trace_);
+                                                active_trace_,
+                                                std::move(snapshot));
   }
   return data_->executor().OpenCursor(std::move(query), std::move(token),
-                                      active_trace_);
+                                      active_trace_, std::move(snapshot));
 }
 
 Result<std::shared_ptr<const mql::CachedStatement>> Session::CompileOneShot(
@@ -363,7 +436,8 @@ Result<ExecResult> Session::Execute(const std::string& mql) {
                          [&] { return ExecuteCompiled(mql); });
 }
 
-Result<MoleculeCursor> Session::Query(const std::string& mql) {
+Result<MoleculeCursor> Session::Query(const std::string& mql,
+                                      std::optional<Isolation> isolation) {
   PRIMA_ASSIGN_OR_RETURN(std::shared_ptr<const mql::CachedStatement> compiled,
                          CompileOneShot(mql));
   if (compiled->stmt.kind != Statement::Kind::kQuery) {
@@ -375,11 +449,14 @@ Result<MoleculeCursor> Session::Query(const std::string& mql) {
         "EXPLAIN ANALYZE must go through Execute, not Query");
   }
   return OpenCursor(mql::CloneQuery(compiled->stmt.query),
-                    compiled->plan.has_value() ? &*compiled->plan : nullptr);
+                    compiled->plan.has_value() ? &*compiled->plan : nullptr,
+                    isolation);
 }
 
-Result<PreparedStatement> Session::Prepare(const std::string& mql) {
+Result<PreparedStatement> Session::Prepare(const std::string& mql,
+                                           std::optional<Isolation> isolation) {
   PreparedStatement ps(this);
+  ps.isolation_ = isolation;
   PRIMA_ASSIGN_OR_RETURN(ps.stmt_, mql::ParseStatement(mql));
   if (ps.stmt_.explain_analyze) {
     return Status::InvalidArgument(
@@ -498,12 +575,27 @@ Result<ExecResult> PreparedStatement::Execute() {
         PRIMA_RETURN_IF_ERROR(BindAndPlan());
         executions_++;
         session_->data_->stats().prepared_executions++;
+        if (stmt_.kind == Statement::Kind::kQuery) {
+          // Queries go through the cursor path (same as one-shot Execute)
+          // so the session's isolation — and this statement's override —
+          // applies; the raw executor entry point knows nothing of views.
+          PRIMA_ASSIGN_OR_RETURN(
+              MoleculeCursor cursor,
+              session_->OpenCursor(mql::CloneQuery(stmt_.query),
+                                   plan_.has_value() ? &*plan_ : nullptr,
+                                   isolation_));
+          ExecResult r;
+          r.kind = ExecResult::Kind::kMolecules;
+          PRIMA_ASSIGN_OR_RETURN(r.molecules, cursor.Drain());
+          return r;
+        }
         return session_->ExecuteStatement(
             stmt_, plan_.has_value() ? &*plan_ : nullptr);
       });
 }
 
-Result<MoleculeCursor> PreparedStatement::Query() {
+Result<MoleculeCursor> PreparedStatement::Query(
+    std::optional<Isolation> isolation) {
   if (stmt_.kind != Statement::Kind::kQuery) {
     return Status::InvalidArgument("prepared statement is not a query");
   }
@@ -513,7 +605,8 @@ Result<MoleculeCursor> PreparedStatement::Query() {
   // The cursor owns a clone, so this statement can be re-bound and
   // re-executed while the cursor drains.
   return session_->OpenCursor(mql::CloneQuery(stmt_.query),
-                              plan_.has_value() ? &*plan_ : nullptr);
+                              plan_.has_value() ? &*plan_ : nullptr,
+                              isolation.has_value() ? isolation : isolation_);
 }
 
 }  // namespace prima::core

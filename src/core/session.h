@@ -15,6 +15,19 @@ namespace prima::core {
 
 class Session;
 
+/// How a session's queries read.
+///
+/// kLatestCommitted is the historical behavior: read whatever the access
+/// system holds at each assembly, no read locks taken. kSnapshot pins a
+/// consistent read view per statement/cursor (or per transaction, inside
+/// BEGIN WORK READ ONLY): every atom resolves against the in-memory version
+/// chains to its state as of the pin, still without a single lock — writers
+/// never wait for these readers and vice versa.
+enum class Isolation : uint8_t {
+  kLatestCommitted = 0,
+  kSnapshot = 1,
+};
+
 /// A compiled MQL statement (paper §3.1 separates *preparation* — query
 /// validation & modification, simplification, and access-path selection —
 /// from *execution*): parse + semantic analysis run once in
@@ -48,8 +61,10 @@ class PreparedStatement {
 
   /// Open a streaming cursor (SELECT statements only). The cursor clones
   /// the bound query, so the statement may be re-bound and re-executed
-  /// while the cursor drains.
-  util::Result<mql::MoleculeCursor> Query();
+  /// while the cursor drains. `isolation` overrides — for this one open —
+  /// the statement's Prepare-time override and the session default.
+  util::Result<mql::MoleculeCursor> Query(
+      std::optional<Isolation> isolation = std::nullopt);
 
   /// Executions so far (both Execute and Query).
   uint64_t executions() const { return executions_; }
@@ -85,6 +100,9 @@ class PreparedStatement {
   uint64_t plan_schema_version_ = 0;
   uint64_t executions_ = 0;
   uint64_t plans_computed_ = 0;
+  /// Per-statement isolation override (queries only); nullopt = the
+  /// session default at each execution.
+  std::optional<Isolation> isolation_;
 };
 
 /// A client session (the primary API): every statement executes under the
@@ -122,14 +140,31 @@ class Session {
   util::Result<mql::ExecResult> Execute(const std::string& mql);
 
   /// Execute a SELECT and return a streaming cursor over its molecules.
-  util::Result<mql::MoleculeCursor> Query(const std::string& mql);
+  /// `isolation` overrides the session default for this one cursor.
+  util::Result<mql::MoleculeCursor> Query(
+      const std::string& mql,
+      std::optional<Isolation> isolation = std::nullopt);
 
   /// Compile a statement for repeated execution with placeholders.
-  util::Result<PreparedStatement> Prepare(const std::string& mql);
+  /// `isolation` overrides the session default for every execution of the
+  /// returned statement (queries only; DML ignores it).
+  util::Result<PreparedStatement> Prepare(
+      const std::string& mql,
+      std::optional<Isolation> isolation = std::nullopt);
+
+  /// Isolation applied to queries that don't override it per call. Takes
+  /// effect for subsequently opened cursors/statements; already-open
+  /// cursors keep the view (or lack of one) they started with.
+  void set_default_isolation(Isolation isolation) {
+    default_isolation_ = isolation;
+  }
+  Isolation default_isolation() const { return default_isolation_; }
 
   /// Depth of explicit BEGIN WORK nesting (0 = auto-commit mode).
   size_t transaction_depth() const { return txn_stack_.size(); }
   bool in_transaction() const { return !txn_stack_.empty(); }
+  /// Inside BEGIN WORK READ ONLY (a pinned snapshot, no Transaction)?
+  bool in_read_only_transaction() const { return read_only_pin_ != nullptr; }
 
  private:
   friend class PreparedStatement;
@@ -139,7 +174,9 @@ class Session {
   class Ctx : public mql::ExecContext {
    public:
     Ctx(Session* session, Transaction* txn) : session_(session), txn_(txn) {}
-    util::Status BeginWork() override { return session_->BeginWork(); }
+    util::Status BeginWork(bool read_only) override {
+      return session_->BeginWork(read_only);
+    }
     util::Status CommitWork() override { return session_->CommitWork(); }
     util::Status AbortWork() override { return session_->AbortWork(); }
     util::Result<access::Tid> InsertAtom(
@@ -180,8 +217,15 @@ class Session {
   /// cache. DDL and transaction control compile but are never cached.
   util::Result<std::shared_ptr<const mql::CachedStatement>> CompileOneShot(
       const std::string& mql);
-  util::Result<mql::MoleculeCursor> OpenCursor(mql::Query query,
-                                               const mql::QueryPlan* plan);
+  util::Result<mql::MoleculeCursor> OpenCursor(
+      mql::Query query, const mql::QueryPlan* plan,
+      std::optional<Isolation> isolation = std::nullopt);
+
+  /// Resolve the view a query reads under: the transaction's pin inside
+  /// BEGIN WORK READ ONLY, a fresh statement pin when the effective
+  /// isolation is kSnapshot, nullptr for latest-committed.
+  std::shared_ptr<access::VersionStore::Pin> PinForQuery(
+      std::optional<Isolation> isolation);
 
   /// Compile + execute one statement (the guts of Execute; runs with the
   /// statement's trace — if any — installed on this thread).
@@ -196,7 +240,7 @@ class Session {
   util::Result<mql::ExecResult> RunInstrumented(const std::string& text,
                                                 bool explain, Fn&& body);
 
-  util::Status BeginWork();
+  util::Status BeginWork(bool read_only = false);
   util::Status CommitWork();
   util::Status AbortWork();
 
@@ -211,6 +255,12 @@ class Session {
   TransactionManager* txns_;
   /// Explicit BEGIN WORK nesting: front = top-level, back = innermost.
   std::vector<Transaction*> txn_stack_;
+  /// Isolation for queries that don't override it per call.
+  Isolation default_isolation_ = Isolation::kLatestCommitted;
+  /// The pinned snapshot of an open BEGIN WORK READ ONLY transaction.
+  /// While set, every query shares this one view (degree-3 repeatable
+  /// reads) and DML/DDL are refused; COMMIT/ABORT WORK releases it.
+  std::shared_ptr<access::VersionStore::Pin> read_only_pin_;
   /// Epoch token handed to cursors; swapped (old one flipped true) on
   /// every abort. Guarded by epoch_mu_: the shared DEFAULT session may see
   /// concurrent facade calls, and a failed auto-commit statement's

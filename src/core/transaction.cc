@@ -260,6 +260,7 @@ Status Transaction::Commit() {
     return Status::InvalidArgument(
         "cannot commit with active subtransactions");
   }
+  uint64_t commit_lsn = 0;
   if (parent_ == nullptr && mgr_->wal_ != nullptr) {
     // Durability at commit: the commit record — and with it every earlier
     // record of this transaction — must be on the device before locks
@@ -273,8 +274,7 @@ Status Transaction::Commit() {
     // abort record then follows the buffered commit record, and restart
     // treats the transaction as finished either way — consistent with the
     // CLRs the abort writes.
-    const uint64_t commit_lsn =
-        mgr_->wal_->Append(recovery::LogRecord::Commit(id_));
+    commit_lsn = mgr_->wal_->Append(recovery::LogRecord::Commit(id_));
     Status force_st = mgr_->wal_->CommitForce(commit_lsn);
     if (force_st.IsNoSpace() && mgr_->ckpt_daemon_ != nullptr) {
       // The ring caught up with us between the daemon's polls. A refused
@@ -295,6 +295,10 @@ Status Transaction::Commit() {
     std::lock_guard<std::mutex> lock(mgr_->mu_);
     --parent_->active_children_;
   } else {
+    // Stamp this transaction's version-chain entries with the next commit
+    // sequence BEFORE the write locks drop: once another writer can touch
+    // these atoms, its new pending entries must land strictly after ours.
+    mgr_->access_->versions().Commit(id_, commit_lsn);
     mgr_->ReleaseAll(this);
     undo_.clear();
   }
@@ -344,6 +348,12 @@ Status Transaction::Abort() {
   }
   undo_.clear();
   state_ = State::kAborted;
+  if (parent_ == nullptr) {
+    // The compensations above restored every base record, so the pending
+    // chain entries are garbage. Subtree aborts keep theirs: the entries'
+    // before-images still describe the root's earlier writes correctly.
+    mgr_->access_->versions().Drop(id_);
+  }
   mgr_->ReleaseAll(this);
   if (parent_ != nullptr) {
     std::lock_guard<std::mutex> lock(mgr_->mu_);

@@ -189,6 +189,9 @@ struct Statement {
     kAbortWork,   ///< ABORT WORK  — roll the innermost open transaction back
   };
   Kind kind = Kind::kQuery;
+  /// `BEGIN WORK READ ONLY`: the transaction is a pinned snapshot — every
+  /// query in it reads the same consistent view, DML/DDL are refused.
+  bool begin_read_only = false;
   /// `EXPLAIN ANALYZE <stmt>`: execute the statement and return its span
   /// tree (per-phase timings and counters) as a text result instead of the
   /// statement's own result. The flag wraps the inner statement in place —

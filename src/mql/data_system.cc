@@ -52,7 +52,7 @@ Result<ExecResult> DataSystem::ExecuteStatement(const Statement& stmt,
       }
       Status st;
       if (stmt.kind == Statement::Kind::kBeginWork) {
-        st = ctx->BeginWork();
+        st = ctx->BeginWork(stmt.begin_read_only);
       } else if (stmt.kind == Statement::Kind::kCommitWork) {
         st = ctx->CommitWork();
       } else {

@@ -50,8 +50,10 @@ class ExecContext {
  public:
   virtual ~ExecContext() = default;
 
-  // Transaction-control statements.
-  virtual util::Status BeginWork() = 0;
+  // Transaction-control statements. `read_only` opens a pinned-snapshot
+  // transaction: every query in it reads one consistent view and DML/DDL
+  // are refused until COMMIT/ABORT WORK releases it.
+  virtual util::Status BeginWork(bool read_only) = 0;
   virtual util::Status CommitWork() = 0;
   virtual util::Status AbortWork() = 0;
 

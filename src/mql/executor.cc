@@ -337,6 +337,8 @@ Result<QueryPlan> Executor::Prepare(const FromClause& from, const Expr* where) {
 Result<std::unique_ptr<RootSource>> Executor::OpenRootSource(
     const QueryPlan& plan) {
   auto source = std::make_unique<RootSource>();
+  source->access_ = access_;
+  source->root_type_ = plan.structure.root.type;
   switch (plan.root_access) {
     case RootAccess::kKeyLookup: {
       stats_.key_lookups++;
@@ -389,7 +391,7 @@ Result<std::unique_ptr<RootSource>> Executor::OpenRootSource(
   return source;
 }
 
-Result<std::optional<Atom>> RootSource::Next() {
+Result<std::optional<Atom>> RootSource::NextUnderlying() {
   if (use_lookup_) {
     if (lookup_next_ >= lookup_.size()) return std::optional<Atom>();
     return std::optional<Atom>(std::move(lookup_[lookup_next_++]));
@@ -398,6 +400,50 @@ Result<std::optional<Atom>> RootSource::Next() {
   if (path_scan_ != nullptr) return path_scan_->Next();
   if (grid_scan_ != nullptr) return grid_scan_->Next();
   return std::optional<Atom>();
+}
+
+Result<std::optional<Atom>> RootSource::NextSnapshot() {
+  while (!ghosts_built_) {
+    PRIMA_ASSIGN_OR_RETURN(std::optional<Atom> atom, NextUnderlying());
+    if (!atom) {
+      // Scan drained: collect the ghosts — chained atoms the scan never
+      // surfaced. Built only now, so every chain entry installed before the
+      // scan passed its atom (install happens before the index write that
+      // hides it) is already in place.
+      ghosts_built_ = true;
+      for (uint64_t packed : access_->versions().ChainedTids(root_type_)) {
+        if (yielded_.count(packed) == 0) ghosts_.push_back(packed);
+      }
+      break;
+    }
+    // Dedup: a concurrent key change can surface one atom at two index
+    // positions; a fixed view owes each atom exactly one yield.
+    if (!yielded_.insert(atom->tid.Pack()).second) continue;
+    access::VersionStore::Resolution res =
+        access_->versions().Resolve(atom->tid, *view_);
+    if (res.outcome == access::VersionStore::Outcome::kInvisible) continue;
+    if (res.outcome == access::VersionStore::Outcome::kBefore) {
+      atom = std::move(*res.before);
+    }
+    return atom;
+  }
+  while (ghost_next_ < ghosts_.size()) {
+    const Tid tid = Tid::Unpack(ghosts_[ghost_next_++]);
+    access::VersionStore::Resolution res =
+        access_->versions().Resolve(tid, *view_);
+    // kCurrent: the live record was correctly excluded by the scan on its
+    // visible value; kInvisible: born after the snapshot. Only a rescued
+    // before-image is a candidate (the WHERE still qualifies it downstream).
+    if (res.outcome == access::VersionStore::Outcome::kBefore) {
+      return std::optional<Atom>(std::move(*res.before));
+    }
+  }
+  return std::optional<Atom>();
+}
+
+Result<std::optional<Atom>> RootSource::Next() {
+  if (view_ == nullptr) return NextUnderlying();
+  return NextSnapshot();
 }
 
 Result<std::vector<Atom>> Executor::RootCandidates(const QueryPlan& plan) {
@@ -545,7 +591,10 @@ Result<Molecule> Executor::Assemble(const QueryPlan& plan, const Atom& root) {
   if (plan.structure.recursive) {
     return AssembleRecursive(plan.structure, root);
   }
-  if (plan.use_cluster) {
+  // Under a read view, always chase associations: cluster images are
+  // refreshed by deferred maintenance drains and carry no version chains,
+  // so only per-atom reads can be resolved against the view.
+  if (plan.use_cluster && access::CurrentReadView() == nullptr) {
     return AssembleFromCluster(plan, root);
   }
   return AssembleBfs(plan.structure, root);
@@ -880,17 +929,20 @@ Result<MoleculeSet> Executor::RunWithPlan(const Query& query,
 
 Result<MoleculeCursor> Executor::OpenCursor(
     Query query, std::shared_ptr<const std::atomic<bool>> invalidated,
-    std::shared_ptr<obs::StatementTrace> trace) {
+    std::shared_ptr<obs::StatementTrace> trace,
+    std::shared_ptr<access::VersionStore::Pin> snapshot) {
   PRIMA_ASSIGN_OR_RETURN(QueryPlan plan,
                          Prepare(query.from, query.where.get()));
   return OpenCursorWithPlan(std::move(query), std::move(plan),
-                            std::move(invalidated), std::move(trace));
+                            std::move(invalidated), std::move(trace),
+                            std::move(snapshot));
 }
 
 Result<MoleculeCursor> Executor::OpenCursorWithPlan(
     Query query, QueryPlan plan,
     std::shared_ptr<const std::atomic<bool>> invalidated,
-    std::shared_ptr<obs::StatementTrace> trace) {
+    std::shared_ptr<obs::StatementTrace> trace,
+    std::shared_ptr<access::VersionStore::Pin> snapshot) {
   stats_.queries.fetch_add(1, std::memory_order_relaxed);  // every cursor
                                                            // open is one query
   MoleculeCursor cursor;
@@ -899,10 +951,14 @@ Result<MoleculeCursor> Executor::OpenCursorWithPlan(
   cursor.shared_->query = std::move(query);
   cursor.shared_->plan = std::move(plan);
   cursor.shared_->trace = std::move(trace);
+  cursor.shared_->snapshot = std::move(snapshot);
   cursor.invalidated_ = std::move(invalidated);
   // Open only the root source here — roots are pulled incrementally from
   // the scan layer as the cursor drains, never materialized.
   PRIMA_ASSIGN_OR_RETURN(cursor.source_, OpenRootSource(cursor.shared_->plan));
+  if (cursor.shared_->snapshot != nullptr) {
+    cursor.source_->view_ = &cursor.shared_->snapshot->view();
+  }
   if (assembly_pool_ != nullptr && assembly_threads_ > 1) {
     cursor.pool_ = assembly_pool_;
     // A couple of slots beyond the worker count keeps the pipeline fed
@@ -935,6 +991,11 @@ util::Status MoleculeCursor::TopUpWindow() {
       // the phase tree stays single-threaded with the consumer.
       obs::StatementTrace* wtrace = shared->trace.get();
       obs::TraceContext tc(wtrace);
+      // Snapshot cursors: the worker assembles under the cursor's read
+      // view, so every GetAtom it issues resolves to the pinned version —
+      // identical, value for value, to what the serial path reads.
+      access::ReadViewScope view_scope(
+          shared->snapshot != nullptr ? &shared->snapshot->view() : nullptr);
       const uint64_t w0 = wtrace ? obs::NowNs() : 0;
       util::Result<Molecule> m = shared->exec->Assemble(shared->plan, root);
       std::lock_guard<std::mutex> lock(slot->mu);
@@ -1032,6 +1093,11 @@ Result<std::optional<Molecule>> MoleculeCursor::NextSerial() {
       trace->GetPhase("execute", "roots")->AddCounter("roots", 1);
     }
     if (!root) break;
+    // The view scope starts only after the root pull: the underlying scan
+    // must run latest-committed (RootSource resolves its candidates
+    // itself), while assembly below reads under the cursor's view.
+    access::ReadViewScope view_scope(
+        shared_->snapshot != nullptr ? &shared_->snapshot->view() : nullptr);
     t0 = trace ? obs::NowNs() : 0;
     PRIMA_ASSIGN_OR_RETURN(Molecule molecule,
                            shared_->exec->Assemble(shared_->plan, *root));

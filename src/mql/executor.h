@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -120,6 +121,18 @@ class Executor;
 /// instead of materializing the full root set at open, so open-latency and
 /// memory stay bounded for huge root sets. Not thread-safe — the cursor
 /// pulls roots only on the consumer thread.
+///
+/// Snapshot mode (`view_` set): the underlying scan still runs
+/// latest-committed — the scan layer's own GetAtom calls error on missing
+/// atoms, so no thread-local view may be active during pulls — and every
+/// candidate is resolved against the view here. Candidates the view
+/// predates are dropped; too-new candidates are replaced by their
+/// before-image (the full WHERE re-evaluates downstream, so a before-image
+/// that no longer satisfies the scan's pushed-down predicate is filtered
+/// there). After the scan drains, a ghost pass resolves every chained atom
+/// of the root type the scan never surfaced — atoms whose delete, or whose
+/// move out of the scanned key range, the view cannot see — in sorted tid
+/// order, so the stream is deterministic for a fixed view.
 class RootSource {
  public:
   RootSource() = default;
@@ -130,6 +143,10 @@ class RootSource {
  private:
   friend class Executor;
 
+  /// The raw (latest-committed) scan stream.
+  util::Result<std::optional<access::Atom>> NextUnderlying();
+  util::Result<std::optional<access::Atom>> NextSnapshot();
+
   // Exactly one of these is engaged (key lookups materialize their 0/1
   // results at open — the lookup IS the open).
   std::unique_ptr<access::AtomTypeScan> type_scan_;
@@ -138,6 +155,16 @@ class RootSource {
   std::vector<access::Atom> lookup_;
   size_t lookup_next_ = 0;
   bool use_lookup_ = false;
+
+  // Snapshot mode. `view_` points into the cursor's pin (owned by the
+  // cursor's Shared state, which outlives the source).
+  access::AccessSystem* access_ = nullptr;
+  const access::ReadView* view_ = nullptr;
+  access::AtomTypeId root_type_ = 0;
+  std::set<uint64_t> yielded_;       ///< packed tids the scan surfaced
+  std::vector<uint64_t> ghosts_;
+  size_t ghost_next_ = 0;
+  bool ghosts_built_ = false;
 };
 
 /// A pull-based molecule stream. Root candidates are pulled incrementally
@@ -220,6 +247,11 @@ class MoleculeCursor {
     /// Workers touch ONLY the trace's atomic kernel counters; the phase
     /// tree stays with the consumer thread.
     std::shared_ptr<obs::StatementTrace> trace;
+    /// Pinned read view for snapshot-isolation cursors, or null
+    /// (latest-committed). Lives here so detached look-ahead tasks keep the
+    /// pin — and with it the version chains they resolve against — alive
+    /// until the last task finishes.
+    std::shared_ptr<access::VersionStore::Pin> snapshot;
   };
 
   /// One in-flight (or finished) look-ahead assembly.
@@ -272,17 +304,21 @@ class Executor {
   /// Open a streaming cursor over the query (plans it first). The cursor
   /// takes ownership of `query`. `trace`, when set, receives the cursor's
   /// phase timings (roots / assembly / project) — pass it only when the
-  /// cursor drains within the traced statement's scope.
+  /// cursor drains within the traced statement's scope. `snapshot`, when
+  /// set, makes this a snapshot cursor: every read resolves against the
+  /// pinned view, without acquiring a single lock.
   util::Result<MoleculeCursor> OpenCursor(
       Query query,
       std::shared_ptr<const std::atomic<bool>> invalidated = nullptr,
-      std::shared_ptr<obs::StatementTrace> trace = nullptr);
+      std::shared_ptr<obs::StatementTrace> trace = nullptr,
+      std::shared_ptr<access::VersionStore::Pin> snapshot = nullptr);
 
   /// Open a streaming cursor reusing a prepared plan.
   util::Result<MoleculeCursor> OpenCursorWithPlan(
       Query query, QueryPlan plan,
       std::shared_ptr<const std::atomic<bool>> invalidated = nullptr,
-      std::shared_ptr<obs::StatementTrace> trace = nullptr);
+      std::shared_ptr<obs::StatementTrace> trace = nullptr,
+      std::shared_ptr<access::VersionStore::Pin> snapshot = nullptr);
 
   /// Qualification only: resolve + scan + assemble + WHERE filter.
   util::Result<MoleculeSet> Qualify(const QueryPlan& plan, const Expr* where);

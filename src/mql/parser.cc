@@ -55,6 +55,10 @@ class Parser {
     } else if (AcceptKeyword("BEGIN")) {
       PRIMA_RETURN_IF_ERROR(ExpectKeyword("WORK"));
       stmt.kind = Statement::Kind::kBeginWork;
+      if (AcceptKeyword("READ")) {
+        PRIMA_RETURN_IF_ERROR(ExpectKeyword("ONLY"));
+        stmt.begin_read_only = true;
+      }
     } else if (AcceptKeyword("COMMIT")) {
       PRIMA_RETURN_IF_ERROR(ExpectKeyword("WORK"));
       stmt.kind = Statement::Kind::kCommitWork;

@@ -109,7 +109,23 @@ Result<mql::ExecResult> Client::Execute(const std::string& mql) {
   return DecodeExecResult(&in);
 }
 
-Status Client::Begin() {
+namespace {
+/// Trailing field list of kOpenCursor forms 1 and 2 (count-prefixed
+/// varints; field 0 = isolation override encoded +1, 0 = none).
+void AppendCursorFields(std::optional<Isolation> isolation,
+                        std::string* payload) {
+  util::PutVarint64(payload, 1);
+  util::PutVarint64(
+      payload, isolation.has_value()
+                   ? (*isolation == Isolation::kSnapshot ? 2u : 1u)
+                   : 0u);
+}
+}  // namespace
+
+Status Client::Begin(bool read_only) {
+  if (read_only) {
+    return Execute("BEGIN WORK READ ONLY").status();
+  }
   return RoundTrip(MsgKind::kBeginWork, {}, MsgKind::kOk).status();
 }
 Status Client::Commit() {
@@ -130,11 +146,27 @@ Result<RemoteStatement> Client::Prepare(const std::string& mql) {
   return RemoteStatement(this, id, params);
 }
 
-Result<RemoteCursor> Client::OpenCursor(const std::string& mql,
-                                        uint32_t batch_size) {
+Status Client::set_default_isolation(Isolation isolation) {
   std::string payload;
-  payload.push_back(0);  // not prepared: the rest is statement text
-  payload.append(mql);
+  payload.push_back(static_cast<char>(isolation));
+  return RoundTrip(MsgKind::kSetIsolation, payload, MsgKind::kOk).status();
+}
+
+Result<RemoteCursor> Client::OpenCursor(const std::string& mql,
+                                        uint32_t batch_size,
+                                        std::optional<Isolation> isolation) {
+  std::string payload;
+  if (isolation.has_value()) {
+    // Form 2: length-prefixed text + trailing field list. Only used when
+    // there is something to say — the legacy form 0 (bare text) keeps
+    // working against any server.
+    payload.push_back(2);
+    util::PutLengthPrefixed(&payload, mql);
+    AppendCursorFields(isolation, &payload);
+  } else {
+    payload.push_back(0);  // not prepared: the rest is statement text
+    payload.append(mql);
+  }
   Result<Frame> reply =
       RoundTrip(MsgKind::kOpenCursor, payload, MsgKind::kCursorOpened);
   if (!reply.ok()) return reply.status();
@@ -201,10 +233,14 @@ Result<mql::ExecResult> RemoteStatement::Execute() {
   return DecodeExecResult(&in);
 }
 
-Result<RemoteCursor> RemoteStatement::Query(uint32_t batch_size) {
+Result<RemoteCursor> RemoteStatement::Query(
+    uint32_t batch_size, std::optional<Isolation> isolation) {
   std::string payload;
   payload.push_back(1);  // prepared
   util::PutFixed32(&payload, id_);
+  // Trailing fields: a pre-snapshot server stops after the statement id
+  // and ignores these (its decode reads exactly what it knows).
+  AppendCursorFields(isolation, &payload);
   Result<Frame> reply =
       client_->RoundTrip(MsgKind::kOpenCursor, payload, MsgKind::kCursorOpened);
   if (!reply.ok()) return reply.status();

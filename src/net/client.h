@@ -49,9 +49,19 @@ class Client {
   util::Result<mql::ExecResult> Execute(const std::string& mql);
 
   /// Transaction control (sugar over the dedicated message kinds).
-  util::Status Begin();
+  /// Begin(true) opens BEGIN WORK READ ONLY — a pinned-snapshot transaction
+  /// whose queries all read one consistent view and whose DML/DDL are
+  /// refused. Sent as statement text, so a pre-snapshot server rejects it
+  /// with a parse error instead of silently opening a read-write
+  /// transaction.
+  util::Status Begin(bool read_only = false);
   util::Status Commit();
   util::Status Abort();
+
+  /// Default isolation for this connection's queries (same contract as
+  /// core::Session::set_default_isolation): one round trip, applies to
+  /// cursors opened afterwards.
+  util::Status set_default_isolation(Isolation isolation);
 
   /// Compile a statement server-side for repeated execution with `?` /
   /// `:name` placeholders.
@@ -59,8 +69,10 @@ class Client {
 
   /// Open a server-side streaming cursor over a SELECT; molecules arrive
   /// in batches of `batch_size` (further bounded server-side by bytes).
-  util::Result<RemoteCursor> OpenCursor(const std::string& mql,
-                                        uint32_t batch_size = 128);
+  /// `isolation` overrides the connection default for this one cursor.
+  util::Result<RemoteCursor> OpenCursor(
+      const std::string& mql, uint32_t batch_size = 128,
+      std::optional<Isolation> isolation = std::nullopt);
 
   /// Server + WAL gauge snapshot (the wedged-ring view on the wire).
   util::Result<ServerStats> Stats();
@@ -107,8 +119,11 @@ class RemoteStatement {
 
   /// Execute with the current bindings (one round trip).
   util::Result<mql::ExecResult> Execute();
-  /// Open a streaming cursor over the bound SELECT.
-  util::Result<RemoteCursor> Query(uint32_t batch_size = 128);
+  /// Open a streaming cursor over the bound SELECT. `isolation` overrides
+  /// the connection default for this one open.
+  util::Result<RemoteCursor> Query(
+      uint32_t batch_size = 128,
+      std::optional<Isolation> isolation = std::nullopt);
 
   /// Release the server-side statement. Closing twice reports NotFound
   /// (the server rejects the stale id cleanly).

@@ -304,7 +304,7 @@ Result<mql::ExecResult> DecodeExecResult(Slice* in) {
 // ---------------------------------------------------------------------------
 
 namespace {
-constexpr size_t kStatsFields = 23;
+constexpr size_t kStatsFields = 27;
 
 /// Stats fields in wire order. Appending a field (and bumping kStatsFields)
 /// stays compatible both ways: the leading count lets an older peer skip
@@ -317,7 +317,8 @@ std::vector<uint64_t> StatsFieldList(const ServerStats& s) {
           s.wal_archived_bytes,   s.commits_forced,      s.auto_checkpoints,
           s.active_txns,          s.oldest_active_lsn,   s.stmt_latency_p50_us,
           s.stmt_latency_p95_us,  s.stmt_latency_p99_us, s.slow_statements,
-          s.traced_statements,    s.net_request_p99_us};
+          s.traced_statements,    s.net_request_p99_us,  s.versions_retained,
+          s.versions_resolved,    s.snapshots_active,    s.oldest_snapshot_lsn};
 }
 }  // namespace
 
@@ -367,6 +368,10 @@ Result<ServerStats> DecodeServerStats(Slice* in) {
   s.slow_statements = fields[i++];
   s.traced_statements = fields[i++];
   s.net_request_p99_us = fields[i++];
+  s.versions_retained = fields[i++];
+  s.versions_resolved = fields[i++];
+  s.snapshots_active = fields[i++];
+  s.oldest_snapshot_lsn = fields[i++];
   return s;
 }
 

@@ -33,6 +33,14 @@ namespace prima::net {
 inline constexpr uint32_t kHandshakeMagic = 0x50524D4Eu;  ///< "PRMN"
 inline constexpr uint32_t kProtocolVersion = 1;
 
+/// Wire form of core::Isolation — how a remote session's queries read.
+/// Sent as one u8 (kSetIsolation, and the per-cursor override field of
+/// kOpenCursor). Values are pinned: they are protocol, not an enum detail.
+enum class Isolation : uint8_t {
+  kLatestCommitted = 0,  ///< read the newest committed state (default)
+  kSnapshot = 1,         ///< pin a consistent read view per cursor
+};
+
 /// Requests are statements and control messages — small. A frame claiming
 /// more is malformed (and must be rejected BEFORE allocating the claimed
 /// length, or a hostile header is a memory bomb).
@@ -61,6 +69,7 @@ enum class MsgKind : uint8_t {
   kStats = 13,          ///< -> kStatsReply
   kGoodbye = 14,        ///< -> kOk, then both sides close
   kMetrics = 15,        ///< -> kMetricsReply (Prometheus text exposition)
+  kSetIsolation = 16,   ///< u8 isolation (Isolation enum) -> kOk
 
   // Replies (server -> client).
   kHelloOk = 64,        ///< u32 version + u64 connection id
@@ -147,6 +156,13 @@ struct ServerStats {
   uint64_t slow_statements = 0;    ///< slow-query log captures
   uint64_t traced_statements = 0;  ///< statements that carried a trace
   uint64_t net_request_p99_us = 0; ///< server-side request handling p99
+  // Version-store health (appended fields 24-27, same evolution rule):
+  // MVCC chains retained / snapshot reads resolved / pinned views / the WAL
+  // LSN the oldest pin holds retirement at.
+  uint64_t versions_retained = 0;
+  uint64_t versions_resolved = 0;
+  uint64_t snapshots_active = 0;
+  uint64_t oldest_snapshot_lsn = 0;
 };
 
 void EncodeServerStats(const ServerStats& s, std::string* out);

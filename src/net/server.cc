@@ -420,9 +420,30 @@ void Server::ServeConnection(Conn* conn) {
           }
           const uint8_t prepared = static_cast<uint8_t>(in[0]);
           in.RemovePrefix(1);
+          // Optional trailing field list (count-prefixed varints, same
+          // evolution rule as stats): field 0 is the per-cursor isolation
+          // override, encoded +1 so 0 means "no override". Absent on the
+          // legacy forms — the raw-text form 0 has no room for it (the
+          // whole rest of the payload IS the statement text; form 2 is the
+          // length-prefixed replacement that does).
+          auto decode_trailing =
+              [](Slice* rest) -> std::optional<core::Isolation> {
+            uint64_t count = 0;
+            if (!util::GetVarint64(rest, &count)) return std::nullopt;
+            std::optional<core::Isolation> iso;
+            for (uint64_t i = 0; i < count; ++i) {
+              uint64_t v = 0;
+              if (!util::GetVarint64(rest, &v)) break;
+              if (i == 0 && v != 0) {
+                iso = v == 2 ? core::Isolation::kSnapshot
+                             : core::Isolation::kLatestCommitted;
+              }
+            }
+            return iso;
+          };
           Result<mql::MoleculeCursor> cursor = [&]() ->
               Result<mql::MoleculeCursor> {
-            if (prepared) {
+            if (prepared == 1) {
               uint32_t id = 0;
               if (!util::GetFixed32(&in, &id)) {
                 return Status::InvalidArgument("malformed cursor frame");
@@ -432,7 +453,15 @@ void Server::ServeConnection(Conn* conn) {
                 return Status::NotFound("no prepared statement with id " +
                                         std::to_string(id));
               }
-              return it->second.Query();
+              return it->second.Query(decode_trailing(&in));
+            }
+            if (prepared == 2) {
+              Slice mql;
+              if (!util::GetLengthPrefixed(&in, &mql)) {
+                return Status::InvalidArgument("malformed cursor frame");
+              }
+              return session->Query(std::string(mql.data(), mql.size()),
+                                    decode_trailing(&in));
             }
             return session->Query(std::string(in.data(), in.size()));
           }();
@@ -555,6 +584,23 @@ void Server::ServeConnection(Conn* conn) {
           break;
         }
 
+        case MsgKind::kSetIsolation: {
+          if (in.size() != 1 || static_cast<uint8_t>(in[0]) > 1) {
+            close_conn =
+                !SendError(fd, Status::InvalidArgument(
+                                   "malformed isolation frame"))
+                     .ok();
+            break;
+          }
+          session->set_default_isolation(
+              static_cast<uint8_t>(in[0]) ==
+                      static_cast<uint8_t>(Isolation::kSnapshot)
+                  ? core::Isolation::kSnapshot
+                  : core::Isolation::kLatestCommitted);
+          close_conn = !WriteFrame(fd, MsgKind::kOk, {}).ok();
+          break;
+        }
+
         case MsgKind::kStats: {
           std::string payload;
           EncodeServerStats(Stats(), &payload);
@@ -634,6 +680,12 @@ ServerStats Server::Stats() const {
     s.traced_statements = tel->traced();
     s.net_request_p99_us = tel->net_request_us()->Snapshot().p99();
   }
+  const access::VersionStoreStatsSnapshot ver =
+      db_->access().versions().StatsSnapshot();
+  s.versions_retained = ver.versions_retained;
+  s.versions_resolved = ver.versions_resolved;
+  s.snapshots_active = ver.snapshots_active;
+  s.oldest_snapshot_lsn = ver.oldest_snapshot_lsn;
   return s;
 }
 

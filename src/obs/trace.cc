@@ -107,6 +107,15 @@ void StatementTrace::Finish() {
     commit->count += forces;
     commit->AddCounter("force_waits", forces);
   }
+
+  const uint64_t walks = version_chain_walks.load(std::memory_order_relaxed);
+  if (walks > 0) {
+    TracePhase* chain = GetPhase("execute", "version_chain");
+    chain->ns += version_chain_ns.load(std::memory_order_relaxed);
+    chain->count += walks;
+    chain->AddCounter("resolved",
+                      versions_resolved.load(std::memory_order_relaxed));
+  }
 }
 
 std::string StatementTrace::Render(const std::string& header) const {

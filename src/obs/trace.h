@@ -94,6 +94,12 @@ class StatementTrace {
   std::atomic<uint64_t> commit_force_ns{0};
   std::atomic<uint64_t> worker_assembly_ns{0};  ///< pipelined workers' busy time
   std::atomic<uint64_t> worker_assemblies{0};
+  // Snapshot-read version resolution (MVCC chain walks); folded into an
+  // execute/version_chain phase so chain-walk time never silently inflates
+  // bare "execute".
+  std::atomic<uint64_t> version_chain_walks{0};
+  std::atomic<uint64_t> version_chain_ns{0};
+  std::atomic<uint64_t> versions_resolved{0};  ///< reads served off-chain
 
  private:
   uint64_t start_ns_;

@@ -178,6 +178,15 @@ Status RecoveryManager::AnalyzeAndRedoFrom(uint64_t ckpt_lsn) {
         std::to_string(seg) + " page " + std::to_string(page) +
         ") — media recovery needed");
   }
+
+  // Segment files whose zeroed header Open() skipped and whose creation the
+  // replayed history never mentioned were born after the last durable log
+  // force — no committed work can reference them (WAL rule), so the files
+  // are crash residue and are removed rather than left to fail the next
+  // restart.
+  PRIMA_ASSIGN_OR_RETURN(const size_t dropped,
+                         storage_->DropUnrecoveredSegments());
+  stats_.torn_segments_dropped = dropped;
   return Status::Ok();
 }
 

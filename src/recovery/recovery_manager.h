@@ -49,6 +49,9 @@ class RecoveryManager {
     uint64_t redo_chains = 0;    ///< distinct pages with redo work
     uint64_t redo_threads = 0;   ///< workers the apply phase fanned out to
     uint64_t segmeta_applied = 0;
+    /// Crash-torn newborn segment files replay never reinstated — deleted
+    /// as residue (see StorageSystem::DropUnrecoveredSegments).
+    uint64_t torn_segments_dropped = 0;
     uint64_t fixups_applied = 0;
     uint64_t struct_roots_applied = 0;  ///< index root/meta re-points
     uint64_t loser_txns = 0;

@@ -125,7 +125,11 @@ void StorageSystem::set_flush_on_close(bool v) {
 Status StorageSystem::Open() {
   for (SegmentId id : device_->ListFiles()) {
     if (IsReservedFileId(id)) continue;  // WAL / archive / backup files
-    PRIMA_RETURN_IF_ERROR(LoadSegmentMeta(id));
+    PRIMA_ASSIGN_OR_RETURN(const bool loaded, LoadSegmentMeta(id));
+    if (!loaded) {
+      std::lock_guard<std::mutex> lock(mu_);
+      crash_torn_.insert(id);
+    }
   }
   return Status::Ok();
 }
@@ -175,7 +179,7 @@ void StorageSystem::LogSegMeta(SegmentId seg, const SegmentMeta& meta) {
                        meta.page_count, meta.free_head);
 }
 
-Status StorageSystem::LoadSegmentMeta(SegmentId id) {
+Result<bool> StorageSystem::LoadSegmentMeta(SegmentId id) {
   PRIMA_ASSIGN_OR_RETURN(const uint32_t bs, device_->BlockSizeOf(id));
   PRIMA_ASSIGN_OR_RETURN(Frame* const frame,
                          buffer_->Fix(PageId{id, 0}, bs, false));
@@ -183,6 +187,15 @@ Status StorageSystem::LoadSegmentMeta(SegmentId id) {
   SegmentMeta meta;
   Status st;
   if (util::DecodeFixed32(payload) != kSegmentMagic) {
+    if (PageIsAllZero(frame->data.get(), bs)) {
+      // The file was created but its formatting never reached the device —
+      // a crash landed between Create and the header write-back. Skip it
+      // (the caller records it for replay) and evict the zeroed frame so
+      // redo goes through the torn-aware non-resident path.
+      buffer_->Unfix(frame);
+      PRIMA_RETURN_IF_ERROR(buffer_->Discard(id));
+      return false;
+    }
     st = Status::Corruption("segment " + std::to_string(id) +
                             ": bad segment header magic");
   } else {
@@ -195,7 +208,7 @@ Status StorageSystem::LoadSegmentMeta(SegmentId id) {
   if (!st.ok()) return st;
   std::lock_guard<std::mutex> lock(mu_);
   segments_[id] = meta;
-  return Status::Ok();
+  return true;
 }
 
 Status StorageSystem::PersistSegmentMeta(SegmentId id, SegmentMeta* meta) {
@@ -597,6 +610,7 @@ Result<StorageSystem::RedoChainResult> StorageSystem::RecoverApplyPageRedoChain(
       fresh.page_size = PageSizeFromBytes(page_size);
       fresh.dirty = true;
       it = segments_.emplace(seg, fresh).first;
+      crash_torn_.erase(seg);  // durable redo references it: reinstated
     }
     if (it->second.page_count <= page) {
       it->second.page_count = page + 1;
@@ -685,12 +699,30 @@ Status StorageSystem::RecoverSegmentMeta(SegmentId seg, PageSize size,
     PRIMA_RETURN_IF_ERROR(device_->Create(seg, PageSizeBytes(size)));
   }
   std::lock_guard<std::mutex> lock(mu_);
+  crash_torn_.erase(seg);  // replay repeated the creation: addressable again
   SegmentMeta& meta = segments_[seg];
   meta.page_size = size;
   meta.page_count = std::max(meta.page_count, page_count);
   meta.free_head = free_head;
   meta.dirty = true;
   return Status::Ok();
+}
+
+std::vector<SegmentId> StorageSystem::CrashTornSegments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SegmentId>(crash_torn_.begin(), crash_torn_.end());
+}
+
+Result<size_t> StorageSystem::DropUnrecoveredSegments() {
+  std::set<SegmentId> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    doomed.swap(crash_torn_);
+  }
+  for (SegmentId id : doomed) {
+    PRIMA_RETURN_IF_ERROR(device_->Remove(id));
+  }
+  return doomed.size();
 }
 
 }  // namespace prima::storage

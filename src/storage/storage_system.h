@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -208,6 +209,20 @@ class StorageSystem {
   util::Status RecoverSegmentMeta(SegmentId seg, PageSize size,
                                   uint32_t page_count, uint32_t free_head);
 
+  /// Segment files whose header page read back all-zero at Open(): files
+  /// born just before a crash whose formatting never reached the device.
+  /// Open() skips them instead of failing — they are unaddressable until
+  /// WAL replay repeats their creation (RecoverSegmentMeta / page redo,
+  /// which removes them from this list as it reinstates them).
+  std::vector<SegmentId> CrashTornSegments() const;
+
+  /// Delete the crash-torn segment files replay never reinstated. A
+  /// segment absent from the durable log was never referenced by any
+  /// committed work (the WAL rule forces the creation record out before
+  /// any dependent write), so the file is crash residue, not data.
+  /// Returns how many files were removed.
+  util::Result<size_t> DropUnrecoveredSegments();
+
   BufferManager& buffer() { return *buffer_; }
   BlockDevice& device() { return *device_; }
 
@@ -219,7 +234,9 @@ class StorageSystem {
     bool dirty = false;
   };
 
-  util::Status LoadSegmentMeta(SegmentId id);
+  // False = the header page is all-zero (crash-torn newborn): the segment
+  // was skipped and recorded in crash_torn_ for replay to reinstate.
+  util::Result<bool> LoadSegmentMeta(SegmentId id);
   util::Status PersistSegmentMeta(SegmentId id, SegmentMeta* meta);
   util::Result<uint32_t> AllocatePageLocked(SegmentId seg, SegmentMeta* meta);
   // Log a kSegMeta record for the segment's current bookkeeping.
@@ -230,8 +247,11 @@ class StorageSystem {
   WriteAheadLog* wal_ = nullptr;
   bool flush_on_close_ = true;
 
-  mutable std::mutex mu_;  // guards segments_
+  mutable std::mutex mu_;  // guards segments_ and crash_torn_
   std::map<SegmentId, SegmentMeta> segments_;
+  // Zero-headered files Open() skipped, pending replay (see
+  // CrashTornSegments).
+  std::set<SegmentId> crash_torn_;
 
   // Read-ahead: a dedicated prefetcher pool resolves hints into resident
   // frames; the atomic depth gauge caps how many batches may be queued or

@@ -947,5 +947,149 @@ TEST(NetServerTest, ShutdownRollsBackOpenRemoteTransactions) {
             1);
 }
 
+// --- isolation on the wire -------------------------------------------------
+
+/// Drain a remote cursor, returning every item's name attribute.
+std::vector<std::string> DrainNames(RemoteCursor* cursor) {
+  std::vector<std::string> names;
+  for (;;) {
+    auto m = cursor->Next();
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    if (!m.ok() || !m->has_value()) break;
+    names.push_back((*m)->groups[0].atoms[0].attrs[2].AsString());
+  }
+  return names;
+}
+
+TEST(NetServerTest, SnapshotCursorOverTheWireDrainsPreWriteState) {
+  auto db = OpenServerDb();
+  auto client = ConnectTo(*db);
+  CreateItemType(client.get());
+  for (int i = 1; i <= 6; ++i) ASSERT_TRUE(InsertItem(client.get(), i).ok());
+
+  // Per-open override (kOpenCursor form 2): pinned before the writer lands.
+  auto snap =
+      client->OpenCursor("SELECT ALL FROM item", 2, Isolation::kSnapshot);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  auto writer = ConnectTo(*db);
+  ASSERT_TRUE(writer->Execute("MODIFY item SET name = 'clobbered'").ok());
+
+  const std::vector<std::string> old_names = DrainNames(&*snap);
+  ASSERT_EQ(old_names.size(), 6u);
+  for (const std::string& n : old_names) EXPECT_EQ(n[0], 'n') << n;
+
+  // No override: latest-committed sees the new world.
+  auto latest = client->OpenCursor("SELECT ALL FROM item");
+  ASSERT_TRUE(latest.ok());
+  for (const std::string& n : DrainNames(&*latest)) {
+    EXPECT_EQ(n, "clobbered");
+  }
+}
+
+TEST(NetServerTest, ConnectionDefaultIsolationAppliesToCursors) {
+  auto db = OpenServerDb();
+  auto client = ConnectTo(*db);
+  CreateItemType(client.get());
+  ASSERT_TRUE(InsertItem(client.get(), 1).ok());
+
+  ASSERT_TRUE(client->set_default_isolation(Isolation::kSnapshot).ok());
+  auto snap = client->OpenCursor("SELECT ALL FROM item");  // default applies
+  ASSERT_TRUE(snap.ok());
+  auto writer = ConnectTo(*db);
+  ASSERT_TRUE(writer->Execute("MODIFY item SET name = 'poked'").ok());
+  const std::vector<std::string> names = DrainNames(&*snap);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "n1");
+
+  // The override beats the connection default in the other direction too.
+  auto latest = client->OpenCursor("SELECT ALL FROM item", 128,
+                                   Isolation::kLatestCommitted);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(DrainNames(&*latest).at(0), "poked");
+}
+
+TEST(NetServerTest, ReadOnlyTransactionOverTheWire) {
+  auto db = OpenServerDb();
+  auto client = ConnectTo(*db);
+  CreateItemType(client.get());
+  ASSERT_TRUE(InsertItem(client.get(), 1).ok());
+
+  ASSERT_TRUE(client->Begin(/*read_only=*/true).ok());
+  EXPECT_FALSE(InsertItem(client.get(), 2).ok()) << "DML must be refused";
+  EXPECT_FALSE(
+      client->Execute("CREATE ATOM_TYPE refused (x: INTEGER)").ok());
+
+  // Repeatable: another connection's commit stays invisible until COMMIT.
+  auto writer = ConnectTo(*db);
+  ASSERT_TRUE(writer->Execute("MODIFY item SET name = 'later'").ok());
+  auto inside = client->Execute("SELECT ALL FROM item");
+  ASSERT_TRUE(inside.ok());
+  ASSERT_EQ(inside->molecules.size(), 1u);
+  EXPECT_EQ(
+      inside->molecules.molecules[0].groups[0].atoms[0].attrs[2].AsString(),
+      "n1");
+
+  ASSERT_TRUE(client->Commit().ok());
+  ASSERT_TRUE(InsertItem(client.get(), 2).ok()) << "writable again";
+}
+
+TEST(NetServerTest, PreparedQueryIsolationOverrideOverTheWire) {
+  auto db = OpenServerDb();
+  auto client = ConnectTo(*db);
+  CreateItemType(client.get());
+  ASSERT_TRUE(InsertItem(client.get(), 7).ok());
+
+  auto stmt = client->Prepare("SELECT ALL FROM item WHERE num = ?");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(stmt->Bind(0, Value::Int(7)).ok());
+  auto snap = stmt->Query(128, Isolation::kSnapshot);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+
+  auto writer = ConnectTo(*db);
+  ASSERT_TRUE(writer->Execute("MODIFY item SET name = 'rewritten'").ok());
+
+  const std::vector<std::string> names = DrainNames(&*snap);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "n7");
+
+  // The same prepared statement re-queried without the override reads the
+  // committed present.
+  auto latest = stmt->Query();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(DrainNames(&*latest).at(0), "rewritten");
+}
+
+TEST(NetServerTest, StatsServeVersionStoreGauges) {
+  auto db = OpenServerDb();
+  auto client = ConnectTo(*db);
+  CreateItemType(client.get());
+  for (int i = 1; i <= 4; ++i) ASSERT_TRUE(InsertItem(client.get(), i).ok());
+
+  auto snap =
+      client->OpenCursor("SELECT ALL FROM item", 1, Isolation::kSnapshot);
+  ASSERT_TRUE(snap.ok());
+  auto writer = ConnectTo(*db);
+  ASSERT_TRUE(writer->Execute("MODIFY item SET name = 'churn'").ok());
+
+  auto pinned = client->Stats();
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned->snapshots_active, 1u);
+  EXPECT_GT(pinned->versions_retained, 0u);
+
+  ASSERT_EQ(DrainNames(&*snap).size(), 4u);
+  ASSERT_TRUE(snap->Close().ok());
+  // The pin may lag the close by a worker's beat; poll the gauge down.
+  for (int i = 0; i < 1000; ++i) {
+    auto s = client->Stats();
+    ASSERT_TRUE(s.ok());
+    if (s->snapshots_active == 0 && s->versions_retained == 0) {
+      EXPECT_GT(s->versions_resolved, 0u);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "version store never drained after the remote cursor closed";
+}
+
 }  // namespace
 }  // namespace prima::net
