@@ -353,6 +353,18 @@ void Prima::RegisterKernelMetrics() {
   reg.RegisterGauge("prima_stmt_cache_misses",
                     [this] { return data_->statement_cache().misses(); },
                     "shared statement-cache misses");
+  // Transaction manager (non-blocking 2PL): conflict and retry rates per
+  // workload tier come from diffing these around a run.
+  TransactionStats& txn = txns_->stats();
+  reg.RegisterCounter("prima_txns_begun", &txn.begun);
+  reg.RegisterCounter("prima_txns_committed", &txn.committed);
+  reg.RegisterCounter("prima_txns_aborted", &txn.aborted);
+  reg.RegisterCounter("prima_txn_lock_conflicts", &txn.lock_conflicts,
+                      "lock requests refused (non-blocking 2PL)");
+  reg.RegisterCounter("prima_txn_retries", &txn.txn_retries,
+                      "transactions re-run after a transient failure");
+  reg.RegisterCounter("prima_txn_undo_applied", &txn.undo_applied,
+                      "undo records compensated by aborts");
   // WAL (absent without options.wal).
   if (wal_ != nullptr) {
     recovery::WalStats& wal = wal_->stats();
@@ -384,6 +396,15 @@ PrimaStatsSnapshot Prima::stats() const {
   s.access = access::SnapshotStats(access_->stats());
   s.wal = wal_stats();
   s.versions = access_->versions().StatsSnapshot();
+  {
+    const TransactionStats& txn = txns_->stats();
+    s.txn.begun = txn.begun.load(std::memory_order_relaxed);
+    s.txn.committed = txn.committed.load(std::memory_order_relaxed);
+    s.txn.aborted = txn.aborted.load(std::memory_order_relaxed);
+    s.txn.lock_conflicts = txn.lock_conflicts.load(std::memory_order_relaxed);
+    s.txn.undo_applied = txn.undo_applied.load(std::memory_order_relaxed);
+    s.txn.txn_retries = txn.txn_retries.load(std::memory_order_relaxed);
+  }
   if (net_ != nullptr) s.net = net_->Stats();
   s.statement_us = telemetry_->statement_us()->Snapshot();
   s.traced_statements = telemetry_->traced();

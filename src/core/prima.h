@@ -45,6 +45,9 @@ struct PrimaStatsSnapshot {
   /// chain-walk resolution counters and depth histogram, live snapshot
   /// pins, and the oldest LSN a pinned snapshot holds the watermark at.
   access::VersionStoreStatsSnapshot versions;
+  /// Transaction-manager counters: begun/committed/aborted, lock conflicts
+  /// (non-blocking 2PL refusals), driver-reported retries, undo applied.
+  TransactionStatsSnapshot txn;
   /// Network front-door gauge; all zero without a server.
   net::ServerStats net;
   /// Statement latency distribution (microseconds) across every session.

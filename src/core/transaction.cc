@@ -287,6 +287,28 @@ Status Transaction::Commit() {
         force_st = mgr_->wal_->CommitForce(commit_lsn);
       }
     }
+    if (force_st.IsNoSpace()) {
+      // The checkpoint ran and the ring is still full: some long-running
+      // transaction's first record pins the undo floor, so truncation cannot
+      // advance past it. Name the culprit — a driver staring at a bare
+      // "log full" has no way to know which session to kill, and the stuck
+      // committer holds its own locks, so without this the storm wedges into
+      // a retry loop that can never succeed.
+      uint64_t culprit_id = 0, culprit_lsn = 0;
+      for (const auto& [txn_id, first_lsn] : mgr_->wal_->ActiveTxns()) {
+        if (culprit_id == 0 || first_lsn < culprit_lsn) {
+          culprit_id = txn_id;
+          culprit_lsn = first_lsn;
+        }
+      }
+      std::string msg = force_st.message();
+      if (culprit_id != 0 && culprit_id != id_) {
+        msg += "; undo floor pinned at oldest_active_lsn " +
+               std::to_string(culprit_lsn) + " by txn " +
+               std::to_string(culprit_id);
+      }
+      return Status::NoSpace(std::move(msg));
+    }
     PRIMA_RETURN_IF_ERROR(force_st);
   }
   state_ = State::kCommitted;

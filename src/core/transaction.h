@@ -93,6 +93,23 @@ struct TransactionStats {
   std::atomic<uint64_t> aborted{0};
   std::atomic<uint64_t> lock_conflicts{0};
   std::atomic<uint64_t> undo_applied{0};
+  /// Transactions re-run after a transient (kConflict) failure. The kernel
+  /// cannot see a client's retry decision, so this is fed by the retry
+  /// helper (util::RetryPolicy::retry_counter) — in-process drivers point
+  /// it here; remote clients retry on their own side of the wire and this
+  /// stays 0 for them.
+  std::atomic<uint64_t> txn_retries{0};
+};
+
+/// Plain-data copy of TransactionStats (Prima::stats() leg): conflict and
+/// retry rates per bench tier come from diffing two of these.
+struct TransactionStatsSnapshot {
+  uint64_t begun = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t lock_conflicts = 0;
+  uint64_t undo_applied = 0;
+  uint64_t txn_retries = 0;
 };
 
 /// Owns the transaction trees and the atom lock table.

@@ -304,7 +304,7 @@ Result<mql::ExecResult> DecodeExecResult(Slice* in) {
 // ---------------------------------------------------------------------------
 
 namespace {
-constexpr size_t kStatsFields = 27;
+constexpr size_t kStatsFields = 31;
 
 /// Stats fields in wire order. Appending a field (and bumping kStatsFields)
 /// stays compatible both ways: the leading count lets an older peer skip
@@ -318,7 +318,9 @@ std::vector<uint64_t> StatsFieldList(const ServerStats& s) {
           s.active_txns,          s.oldest_active_lsn,   s.stmt_latency_p50_us,
           s.stmt_latency_p95_us,  s.stmt_latency_p99_us, s.slow_statements,
           s.traced_statements,    s.net_request_p99_us,  s.versions_retained,
-          s.versions_resolved,    s.snapshots_active,    s.oldest_snapshot_lsn};
+          s.versions_resolved,    s.snapshots_active,    s.oldest_snapshot_lsn,
+          s.lock_conflicts,       s.txns_committed,      s.txns_aborted,
+          s.txn_retries};
 }
 }  // namespace
 
@@ -372,6 +374,10 @@ Result<ServerStats> DecodeServerStats(Slice* in) {
   s.versions_resolved = fields[i++];
   s.snapshots_active = fields[i++];
   s.oldest_snapshot_lsn = fields[i++];
+  s.lock_conflicts = fields[i++];
+  s.txns_committed = fields[i++];
+  s.txns_aborted = fields[i++];
+  s.txn_retries = fields[i++];
   return s;
 }
 

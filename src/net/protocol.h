@@ -163,6 +163,14 @@ struct ServerStats {
   uint64_t versions_resolved = 0;
   uint64_t snapshots_active = 0;
   uint64_t oldest_snapshot_lsn = 0;
+  // Contention digest (appended fields 28-31, same evolution rule): lock
+  // requests refused by the non-blocking 2PL, transaction outcomes, and
+  // in-process driver retries — the per-tier conflict-rate view bench_mmo
+  // reports for remote runs.
+  uint64_t lock_conflicts = 0;
+  uint64_t txns_committed = 0;
+  uint64_t txns_aborted = 0;
+  uint64_t txn_retries = 0;
 };
 
 void EncodeServerStats(const ServerStats& s, std::string* out);

@@ -686,6 +686,11 @@ ServerStats Server::Stats() const {
   s.versions_resolved = ver.versions_resolved;
   s.snapshots_active = ver.snapshots_active;
   s.oldest_snapshot_lsn = ver.oldest_snapshot_lsn;
+  const core::TransactionStats& txn = db_->transactions().stats();
+  s.lock_conflicts = txn.lock_conflicts.load(std::memory_order_relaxed);
+  s.txns_committed = txn.committed.load(std::memory_order_relaxed);
+  s.txns_aborted = txn.aborted.load(std::memory_order_relaxed);
+  s.txn_retries = txn.txn_retries.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -350,8 +350,12 @@ Status WalWriter::FlushAsLeaderLocked(std::unique_lock<std::mutex>& lk) {
 }
 
 Status WalWriter::ForceLocked(std::unique_lock<std::mutex>& lk, uint64_t lsn) {
+  // `lsn` is a record START offset: the record is durable only once
+  // durable_lsn_ moved strictly past it. `<=` here once skipped the force
+  // entirely when a record began exactly at the previous batch's sealed
+  // boundary — an acknowledged commit whose record lived only in memory.
   for (;;) {
-    if (durable_lsn_.load() >= lsn) return Status::Ok();
+    if (durable_lsn_.load() > lsn) return Status::Ok();
     if (!flushing_) break;
     // A leader is writing; its batch may already cover our LSN — and if
     // not, we lead the next (accumulated) batch ourselves.
@@ -363,26 +367,26 @@ Status WalWriter::ForceLocked(std::unique_lock<std::mutex>& lk, uint64_t lsn) {
 Status WalWriter::SyncDevice() { return device_->Sync(); }
 
 Status WalWriter::ForceUpTo(uint64_t lsn) {
-  if (lsn <= durable_lsn_.load()) return Status::Ok();
+  if (lsn < durable_lsn_.load()) return Status::Ok();
   std::unique_lock<std::mutex> lk(mu_);
   return ForceLocked(lk, lsn);
 }
 
 Status WalWriter::CommitForce(uint64_t lsn) {
-  if (lsn <= durable_lsn_.load()) return Status::Ok();
+  if (lsn < durable_lsn_.load()) return Status::Ok();
   obs::StatementTrace* trace = obs::CurrentTrace();
   const uint64_t t0 =
       (trace != nullptr || force_wait_hist_ != nullptr) ? obs::NowNs() : 0;
   std::unique_lock<std::mutex> lk(mu_);
   if (options_.commit_delay_us > 0 && !flushing_ &&
-      durable_lsn_.load() < lsn) {
+      durable_lsn_.load() <= lsn) {
     // Bounded delay window: hold the force open so concurrent committers
     // can append their records and share it. A force completed by anyone
     // else meanwhile ends the wait early. (With a force already in flight
     // the wait in ForceLocked plays that role — no extra delay.)
     stats_.commit_delay_waits++;
     cv_.wait_for(lk, std::chrono::microseconds(options_.commit_delay_us),
-                 [&] { return durable_lsn_.load() >= lsn; });
+                 [&] { return durable_lsn_.load() > lsn; });
   }
   Status st = ForceLocked(lk, lsn);
   if (t0 != 0) {

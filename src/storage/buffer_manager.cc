@@ -54,11 +54,15 @@ Status BufferManager::WriteBack(Frame* frame) {
     // The WAL rule: the log record describing the page's newest change must
     // reach the device before the page does, or a crash between the two
     // writes leaves an update that can neither be redone nor undone.
+    // page_lsn is the START of the record describing the newest change, so
+    // equality with durable_lsn() still means that record is NOT on the
+    // device yet.
     const uint64_t page_lsn = PageHeader::lsn(frame->data.get());
-    if (page_lsn > wal_->durable_lsn()) {
+    if (page_lsn >= wal_->durable_lsn()) {
       PRIMA_RETURN_IF_ERROR(wal_->ForceUpTo(page_lsn));
     }
-    assert(PageHeader::lsn(frame->data.get()) <= wal_->durable_lsn());
+    assert(PageHeader::lsn(frame->data.get()) == 0 ||
+           PageHeader::lsn(frame->data.get()) < wal_->durable_lsn());
   }
   PageHeader::Seal(frame->data.get(), frame->size);
   PRIMA_RETURN_IF_ERROR(

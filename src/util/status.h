@@ -56,6 +56,15 @@ class Status {
   bool IsIoError() const { return code_ == Code::kIoError; }
   bool IsAborted() const { return code_ == Code::kAborted; }
 
+  /// Transient failures are safe to retry wholesale: the operation lost a
+  /// race (lock conflict / serialization failure), not an argument. A caller
+  /// that aborts its transaction, backs off, and re-runs the same statements
+  /// can expect to succeed once the conflicting transaction finishes —
+  /// unlike kConstraint, kParseError, kNotFound, ... which fail the same way
+  /// every time. util/retry.h builds the bounded-backoff loop on top of
+  /// this predicate.
+  bool IsTransient() const { return code_ == Code::kConflict; }
+
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -212,6 +212,24 @@ TEST(NetProtocolTest, ServerStatsFromPreTelemetryPeerZeroFillsDigest) {
   EXPECT_EQ(back->net_request_p99_us, 0u);
 }
 
+TEST(NetProtocolTest, ServerStatsFromPreContentionPeerZeroFillsDigest) {
+  // A 27-field payload is what a peer built before the contention digest
+  // (fields 28-31) shipped: everything through the version-store block
+  // decodes, the contention counters zero-fill.
+  std::string old_wire;
+  util::PutVarint64(&old_wire, 27);
+  for (uint64_t f = 1; f <= 27; ++f) util::PutVarint64(&old_wire, f * 100);
+  Slice in(old_wire);
+  auto back = DecodeServerStats(&in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->connections_accepted, 100u);
+  EXPECT_EQ(back->oldest_snapshot_lsn, 2700u);  // field 27, the old tail
+  EXPECT_EQ(back->lock_conflicts, 0u);
+  EXPECT_EQ(back->txns_committed, 0u);
+  EXPECT_EQ(back->txns_aborted, 0u);
+  EXPECT_EQ(back->txn_retries, 0u);
+}
+
 TEST(NetProtocolTest, TextExecResultRoundTrip) {
   mql::ExecResult r;
   r.kind = mql::ExecResult::Kind::kText;
